@@ -1,0 +1,89 @@
+// Command availmodel evaluates the paper's Section 5 CTMC model: Eq. 8
+// steady-state availability, the Eq. 14 unavailability ratio (≈0.488 for
+// the Table 2 parameters), and the Fig. 10 reliability and hazard curves.
+//
+// Usage:
+//
+//	availmodel [-precision 0.70] [-recall 0.62] [-fpr 0.016]
+//	           [-ptp 0.25] [-pfp 0.1] [-ptn 0.001] [-k 2]
+//	           [-curves 0]
+//
+// With -curves N > 0 the Fig. 10(a)/(b) series are printed as
+// tab-separated rows (t, with-PFM, without-PFM).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/pfmmodel"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "availmodel:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	defaults := pfmmodel.DefaultParams()
+	precision := flag.Float64("precision", defaults.Precision, "predictor precision")
+	recall := flag.Float64("recall", defaults.Recall, "predictor recall")
+	fpr := flag.Float64("fpr", defaults.FPR, "predictor false positive rate")
+	ptp := flag.Float64("ptp", defaults.PTP, "P(failure | true positive)")
+	pfp := flag.Float64("pfp", defaults.PFP, "P(failure | false positive)")
+	ptn := flag.Float64("ptn", defaults.PTN, "P(failure | true negative)")
+	k := flag.Float64("k", defaults.K, "repair time improvement factor")
+	mttf := flag.Float64("mttf", 1/defaults.FailureRate, "mean time to failure [s]")
+	mttr := flag.Float64("mttr", 1/defaults.RepairRate, "mean time to repair [s]")
+	action := flag.Float64("action", 1/defaults.ActionRate, "mean action time [s]")
+	curves := flag.Int("curves", 0, "print Fig. 10 series with this many points")
+	rejuv := flag.Bool("rejuvenation", false, "compare blind time-triggered rejuvenation vs PFM (E15)")
+	flag.Parse()
+
+	p := pfmmodel.Params{
+		Precision:   *precision,
+		Recall:      *recall,
+		FPR:         *fpr,
+		PTP:         *ptp,
+		PFP:         *pfp,
+		PTN:         *ptn,
+		K:           *k,
+		FailureRate: 1 / *mttf,
+		RepairRate:  1 / *mttr,
+		ActionRate:  1 / *action,
+	}
+	res, err := experiments.RunModel(p)
+	if err != nil {
+		return err
+	}
+	experiments.Fprint(os.Stdout, "Section 5 model (Table 2, Eq. 8, Eq. 14)", res.Rows())
+
+	if *rejuv {
+		cmp, err := experiments.RunRejuvenationComparison()
+		if err != nil {
+			return err
+		}
+		experiments.Fprint(os.Stdout, "E15: blind rejuvenation (Huang et al.) vs prediction-triggered PFM", cmp.Rows())
+	}
+	if *curves > 0 {
+		rel, haz, err := experiments.Fig10Curves(p, *curves)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Fig. 10(a): reliability R(t) ==")
+		fmt.Println("t\twithPFM\twithoutPFM")
+		for _, pt := range rel {
+			fmt.Printf("%.0f\t%.6f\t%.6f\n", pt.T, pt.WithPFM, pt.WithoutPFM)
+		}
+		fmt.Println("== Fig. 10(b): hazard rate h(t) ==")
+		fmt.Println("t\twithPFM\twithoutPFM")
+		for _, pt := range haz {
+			fmt.Printf("%.0f\t%.8g\t%.8g\n", pt.T, pt.WithPFM, pt.WithoutPFM)
+		}
+	}
+	return nil
+}

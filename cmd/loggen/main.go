@@ -1,0 +1,122 @@
+// Command loggen runs the SCP simulator and writes its artifacts to disk:
+// the error log (the HSMM's input), the SAR monitoring series (the UBF's
+// input), and the ground-truth failure times — the synthetic counterpart of
+// the field data the paper calls for in Sect. 7.
+//
+// Usage:
+//
+//	loggen [-seed 7] [-days 7] [-out data]
+//
+// writes data.log (pipe-separated error events), data.sar.tsv (one column
+// per SAR variable) and data.failures.tsv.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/scp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "loggen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	seed := flag.Int64("seed", 7, "simulation seed")
+	days := flag.Float64("days", 7, "simulated horizon [days]")
+	out := flag.String("out", "data", "output file prefix")
+	flag.Parse()
+
+	cfg := scp.DefaultConfig()
+	cfg.Seed = *seed
+	sys, err := scp.New(cfg)
+	if err != nil {
+		return err
+	}
+	if err := sys.Run(*days * 86400); err != nil {
+		return err
+	}
+
+	if err := writeLog(sys, *out+".log"); err != nil {
+		return err
+	}
+	if err := writeSAR(sys, *out+".sar.tsv"); err != nil {
+		return err
+	}
+	if err := writeFailures(sys, *out+".failures.tsv"); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s.log (%d events), %s.sar.tsv, %s.failures.tsv (%d failures)\n",
+		*out, sys.Log().Len(), *out, *out, len(sys.Failures()))
+	return nil
+}
+
+func writeLog(sys *scp.System, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := sys.Log().WriteTo(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func writeSAR(sys *scp.System, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	fmt.Fprint(w, "t")
+	for _, name := range scp.SARVariables {
+		fmt.Fprintf(w, "\t%s", name)
+	}
+	fmt.Fprintln(w)
+	first, err := sys.SAR(scp.SARVariables[0])
+	if err != nil {
+		return err
+	}
+	for i := 0; i < first.Len(); i++ {
+		t := first.At(i).T
+		fmt.Fprintf(w, "%.0f", t)
+		for _, name := range scp.SARVariables {
+			series, err := sys.SAR(name)
+			if err != nil {
+				return err
+			}
+			v, _ := series.ValueAt(t)
+			fmt.Fprintf(w, "\t%g", v)
+		}
+		fmt.Fprintln(w)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func writeFailures(sys *scp.System, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	fmt.Fprintln(w, "t\tcause\tprepared\tdowntime")
+	for _, fr := range sys.Failures() {
+		fmt.Fprintf(w, "%.0f\t%s\t%t\t%.0f\n", fr.Time, fr.Cause, fr.Prepared, fr.Downtime)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return f.Close()
+}

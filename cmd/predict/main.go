@@ -1,0 +1,296 @@
+// Command predict is the file-based workflow around the HSMM failure
+// predictor: train a model from an error log plus known failure times, save
+// it, then score or evaluate it on (possibly different) logs — the
+// train-offline / deploy-online cycle of Sect. 3.2.
+//
+// Usage:
+//
+//	predict train -log data.log -failures data.failures.tsv -model model.json
+//	predict score -log data.log -model model.json -at 123456
+//	predict eval  -log data.log -failures data.failures.tsv -model model.json -from 0
+//
+// Logs use the pipe-separated format written by cmd/loggen; the failures
+// file is a TSV whose first column is the failure time (header line
+// allowed).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/eventlog"
+	"repro/internal/hsmm"
+	"repro/internal/predict"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "predict:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: predict <train|score|eval> [flags]")
+	}
+	switch args[0] {
+	case "train":
+		return runTrain(args[1:])
+	case "score":
+		return runScore(args[1:])
+	case "eval":
+		return runEval(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q (want train, score, or eval)", args[0])
+	}
+}
+
+// common flag plumbing -------------------------------------------------------
+
+type windowFlags struct {
+	window *float64
+	lead   *float64
+}
+
+func addWindowFlags(fs *flag.FlagSet) windowFlags {
+	return windowFlags{
+		window: fs.Float64("window", 300, "data window Δtd [s]"),
+		lead:   fs.Float64("lead", 300, "lead time Δtl [s]"),
+	}
+}
+
+func loadLog(path string) (*eventlog.Log, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	l, err := eventlog.Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return l, nil
+}
+
+// loadFailureTimes reads the first column of a TSV (header allowed).
+func loadFailureTimes(path string) ([]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []float64
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		first := strings.FieldsFunc(text, func(r rune) bool { return r == '\t' || r == ' ' })[0]
+		v, err := strconv.ParseFloat(first, 64)
+		if err != nil {
+			if line == 1 {
+				continue // header
+			}
+			return nil, fmt.Errorf("%s line %d: %v", path, line, err)
+		}
+		out = append(out, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no failure times", path)
+	}
+	return out, nil
+}
+
+func loadModel(path string) (*hsmm.Classifier, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return hsmm.LoadClassifier(f)
+}
+
+// subcommands ----------------------------------------------------------------
+
+func runTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ContinueOnError)
+	logPath := fs.String("log", "", "error log file (required)")
+	failPath := fs.String("failures", "", "failure-times TSV (required)")
+	modelPath := fs.String("model", "model.json", "output model file")
+	states := fs.Int("states", 6, "hidden states")
+	seed := fs.Int64("seed", 1, "training seed")
+	wf := addWindowFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *logPath == "" || *failPath == "" {
+		return fmt.Errorf("train: -log and -failures are required")
+	}
+	log, err := loadLog(*logPath)
+	if err != nil {
+		return err
+	}
+	failures, err := loadFailureTimes(*failPath)
+	if err != nil {
+		return err
+	}
+	var fail, nonFail []eventlog.Sequence
+	for _, lead := range []float64{*wf.lead, 0} {
+		f, nf, err := eventlog.Extract(log, failures, eventlog.ExtractConfig{
+			DataWindow:       *wf.window,
+			LeadTime:         lead,
+			MinEvents:        2,
+			NonFailureStride: *wf.window * 2,
+		})
+		if err != nil {
+			return err
+		}
+		fail = append(fail, f...)
+		if nonFail == nil {
+			nonFail = nf
+		}
+	}
+	clf, err := hsmm.TrainClassifier(fail, nonFail, hsmm.Config{States: *states, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	// Calibrate the decision threshold on the training grid.
+	scored, _, err := gridScores(clf, log, failures, *wf.window, *wf.lead, 0)
+	if err != nil {
+		return err
+	}
+	threshold, table, err := predict.MaxFMeasure(scored)
+	if err != nil {
+		return err
+	}
+	clf.Threshold = threshold
+	out, err := os.Create(*modelPath)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	if err := hsmm.SaveClassifier(out, clf); err != nil {
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("trained on %d failure / %d non-failure sequences; threshold %.4f\n",
+		len(fail), len(nonFail), threshold)
+	fmt.Printf("training-grid quality: %v\n", table)
+	fmt.Printf("model written to %s\n", *modelPath)
+	return nil
+}
+
+func runScore(args []string) error {
+	fs := flag.NewFlagSet("score", flag.ContinueOnError)
+	logPath := fs.String("log", "", "error log file (required)")
+	modelPath := fs.String("model", "model.json", "model file")
+	at := fs.Float64("at", -1, "score the window ending at this time (required)")
+	wf := addWindowFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *logPath == "" || *at < 0 {
+		return fmt.Errorf("score: -log and -at are required")
+	}
+	log, err := loadLog(*logPath)
+	if err != nil {
+		return err
+	}
+	clf, err := loadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	window := eventlog.SlidingWindow(log, *at, *wf.window)
+	score, err := clf.Score(window)
+	if err != nil {
+		return err
+	}
+	warning := score >= clf.Threshold
+	fmt.Printf("t=%.1f events=%d score=%.4f threshold=%.4f failure-prone=%t\n",
+		*at, window.Len(), score, clf.Threshold, warning)
+	return nil
+}
+
+func runEval(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ContinueOnError)
+	logPath := fs.String("log", "", "error log file (required)")
+	failPath := fs.String("failures", "", "failure-times TSV (required)")
+	modelPath := fs.String("model", "model.json", "model file")
+	from := fs.Float64("from", 0, "evaluate from this time on")
+	wf := addWindowFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *logPath == "" || *failPath == "" {
+		return fmt.Errorf("eval: -log and -failures are required")
+	}
+	log, err := loadLog(*logPath)
+	if err != nil {
+		return err
+	}
+	failures, err := loadFailureTimes(*failPath)
+	if err != nil {
+		return err
+	}
+	clf, err := loadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	scored, n, err := gridScores(clf, log, failures, *wf.window, *wf.lead, *from)
+	if err != nil {
+		return err
+	}
+	auc, err := predict.AUCOf(scored)
+	if err != nil {
+		return err
+	}
+	table := predict.Evaluate(scored, clf.Threshold)
+	fmt.Printf("evaluated %d points: AUC=%.4f\n", n, auc)
+	fmt.Printf("at stored threshold %.4f: %v\n", clf.Threshold, table)
+	return nil
+}
+
+// gridScores scores sliding windows on a Δtd-spaced grid with labels from
+// the failure times.
+func gridScores(clf *hsmm.Classifier, log *eventlog.Log, failures []float64, window, lead, from float64) ([]predict.Scored, int, error) {
+	if log.Len() == 0 {
+		return nil, 0, fmt.Errorf("empty log")
+	}
+	start := log.At(0).Time + window
+	if from > start {
+		start = from
+	}
+	end := log.At(log.Len() - 1).Time
+	var scored []predict.Scored
+	for t := start; t < end; t += window {
+		s, err := clf.Score(eventlog.SlidingWindow(log, t, window))
+		if err != nil {
+			return nil, 0, err
+		}
+		actual := false
+		for _, f := range failures {
+			if f > t && f <= t+lead+window {
+				actual = true
+				break
+			}
+		}
+		scored = append(scored, predict.Scored{Score: s, Actual: actual})
+	}
+	if len(scored) == 0 {
+		return nil, 0, fmt.Errorf("no evaluation points in range")
+	}
+	return scored, len(scored), nil
+}

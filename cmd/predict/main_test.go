@@ -1,0 +1,127 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/scp"
+)
+
+// writeArtifacts simulates a platform and writes its log and failure times
+// in the loggen file formats.
+func writeArtifacts(t *testing.T, dir, prefix string, seed int64, days float64) (logPath, failPath string) {
+	t.Helper()
+	cfg := scp.DefaultConfig()
+	cfg.Seed = seed
+	sys, err := scp.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(days * 86400); err != nil {
+		t.Fatal(err)
+	}
+	logPath = filepath.Join(dir, prefix+".log")
+	f, err := os.Create(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Log().WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	sb.WriteString("t\tcause\n")
+	for _, fr := range sys.Failures() {
+		sb.WriteString(strconv.FormatFloat(fr.Time, 'f', 1, 64))
+		sb.WriteString("\t")
+		sb.WriteString(fr.Cause)
+		sb.WriteString("\n")
+	}
+	failPath = filepath.Join(dir, prefix+".failures.tsv")
+	if err := os.WriteFile(failPath, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return logPath, failPath
+}
+
+// TestTrainScoreEvalWorkflow drives the full CLI workflow: train on one
+// simulated platform, persist the model, evaluate and score on another.
+func TestTrainScoreEvalWorkflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-day simulations")
+	}
+	dir := t.TempDir()
+	trainLog, trainFail := writeArtifacts(t, dir, "train", 7, 10)
+	testLog, testFail := writeArtifacts(t, dir, "test", 8, 4)
+	model := filepath.Join(dir, "model.json")
+
+	if err := run([]string{"train", "-log", trainLog, "-failures", trainFail, "-model", model}); err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	if _, err := os.Stat(model); err != nil {
+		t.Fatalf("model not written: %v", err)
+	}
+	if err := run([]string{"eval", "-log", testLog, "-failures", testFail, "-model", model}); err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	if err := run([]string{"score", "-log", testLog, "-model", model, "-at", "86400"}); err != nil {
+		t.Fatalf("score: %v", err)
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	cases := [][]string{
+		nil,
+		{"bogus"},
+		{"train"},               // missing -log/-failures
+		{"score", "-log", "x"},  // missing -at
+		{"eval", "-model", "x"}, // missing -log/-failures
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Fatalf("run(%v) accepted", args)
+		}
+	}
+}
+
+func TestLoadFailureTimes(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.tsv")
+	if err := os.WriteFile(path, []byte("t\tcause\n100.5\tleak\n200\tburst\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	times, err := loadFailureTimes(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 2 || times[0] != 100.5 || times[1] != 200 {
+		t.Fatalf("times = %v", times)
+	}
+	// Headerless plain list also works.
+	if err := os.WriteFile(path, []byte("1\n2\n3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	times, err = loadFailureTimes(path)
+	if err != nil || len(times) != 3 {
+		t.Fatalf("plain list: %v, %v", times, err)
+	}
+	// Empty file errors.
+	if err := os.WriteFile(path, []byte("t\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadFailureTimes(path); err == nil {
+		t.Fatal("empty failure list accepted")
+	}
+	// Garbage mid-file errors.
+	if err := os.WriteFile(path, []byte("1\nnope\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadFailureTimes(path); err == nil {
+		t.Fatal("garbage line accepted")
+	}
+}

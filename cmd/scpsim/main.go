@@ -1,0 +1,79 @@
+// Command scpsim runs the simulated telecom SCP with the full MEA loop
+// attached and compares it against the identical unmitigated system (E3:
+// Table 1 outcome accounting and measured availability), plus the Fig. 8
+// time-to-repair experiment (E7) and the oscillation-guard ablation (E12).
+//
+// Usage:
+//
+//	scpsim [-seed 11] [-days 7] [-fig8] [-oscillation]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "scpsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	defaults := experiments.DefaultMEAConfig()
+	seed := flag.Int64("seed", defaults.Seed, "simulation seed")
+	days := flag.Float64("days", defaults.RunDays, "closed-loop horizon [days]")
+	fig8 := flag.Bool("fig8", false, "run the Fig. 8 TTR experiment (E7)")
+	osc := flag.Bool("oscillation", false, "run the oscillation-guard ablation (E12)")
+	dyn := flag.Bool("dynamicity", false, "run the dynamicity/retraining experiment (E13)")
+	flag.Parse()
+
+	cfg := defaults
+	cfg.Seed = *seed
+	cfg.RunDays = *days
+
+	res, err := experiments.RunMEA(cfg)
+	if err != nil {
+		return err
+	}
+	experiments.Fprint(os.Stdout, "E3: MEA loop vs unmitigated system", res.Rows())
+	fmt.Println("Table 1 outcome × action matrix:")
+	fmt.Printf("  quality: %v\n", res.Quality)
+	for outcome, byAction := range res.Outcomes.Counts {
+		fmt.Printf("  %v: %v\n", outcome, byAction)
+	}
+
+	if *fig8 {
+		f8, err := experiments.RunFig8(*seed, *days, 900)
+		if err != nil {
+			return err
+		}
+		experiments.Fprint(os.Stdout, "E7: Fig. 8 time-to-repair decomposition", f8.Rows())
+	}
+	if *osc {
+		off, err := experiments.RunOscillationAblation(*seed, 2, false)
+		if err != nil {
+			return err
+		}
+		on, err := experiments.RunOscillationAblation(*seed, 2, true)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== E12: oscillation guard ablation ==")
+		fmt.Printf("guard off: availability %.5f, %d restarts\n", off.Availability, off.Restarts)
+		fmt.Printf("guard on:  availability %.5f, %d restarts, %d suppressed\n",
+			on.Availability, on.Restarts, on.SuppressedByGuard)
+	}
+	if *dyn {
+		d, err := experiments.RunDynamicity(*seed)
+		if err != nil {
+			return err
+		}
+		experiments.Fprint(os.Stdout, "E13: dynamicity, drift detection, retraining", d.Rows())
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+// Modelstudy: explore the Section 5 CTMC model around the paper's Table 2
+// operating point — how the Eq. 14 unavailability ratio responds to
+// predictor quality (recall, precision, false positive rate) and to the
+// repair-time improvement factor k, and where PFM stops paying off.
+//
+//	go run ./examples/modelstudy
+package main
+
+import (
+	"fmt"
+	"os"
+
+	pfm "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "modelstudy:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	base := pfm.DefaultModelParams()
+	res, err := pfm.RunModelExperiment(base)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Table 2 operating point: A=%.6f (baseline %.6f), Eq. 14 ratio %.4f\n\n",
+		res.Availability, res.BaselineAvail, res.UnavailabilityRatio)
+
+	sweep := func(title, label string, values []float64, apply func(*pfm.ModelParams, float64)) error {
+		fmt.Printf("== %s ==\n%-10s %-10s\n", title, label, "ratio")
+		for _, v := range values {
+			p := base
+			apply(&p, v)
+			ratio, err := p.UnavailabilityRatio()
+			if err != nil {
+				return err
+			}
+			marker := ""
+			if ratio >= 1 {
+				marker = "  <- PFM no longer pays off"
+			}
+			fmt.Printf("%-10.3g %-10.4f%s\n", v, ratio, marker)
+		}
+		fmt.Println()
+		return nil
+	}
+
+	if err := sweep("recall sweep (better coverage of failures)", "recall",
+		[]float64{0.1, 0.3, 0.5, 0.62, 0.8, 0.95},
+		func(p *pfm.ModelParams, v float64) { p.Recall = v }); err != nil {
+		return err
+	}
+	if err := sweep("precision sweep (fewer useless actions)", "precision",
+		[]float64{0.2, 0.4, 0.6, 0.7, 0.9},
+		func(p *pfm.ModelParams, v float64) { p.Precision = v }); err != nil {
+		return err
+	}
+	if err := sweep("repair improvement sweep (faster prepared repair)", "k",
+		[]float64{0.5, 1, 2, 4, 8},
+		func(p *pfm.ModelParams, v float64) { p.K = v }); err != nil {
+		return err
+	}
+	if err := sweep("action-risk sweep (failures induced by false alarms)", "P_FP",
+		[]float64{0, 0.1, 0.3, 0.6, 0.9},
+		func(p *pfm.ModelParams, v float64) { p.PFP = v }); err != nil {
+		return err
+	}
+
+	// Fig. 10 endpoints for the default operating point.
+	rel, haz, err := pfm.Fig10Curves(base, 10)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Fig. 10 summary ==")
+	mid := rel[len(rel)/2]
+	fmt.Printf("R(%.0f s): %.4f with PFM vs %.4f without\n", mid.T, mid.WithPFM, mid.WithoutPFM)
+	last := haz[len(haz)-1]
+	fmt.Printf("h(%.0f s): %.3g with PFM vs %.3g without\n", last.T, last.WithPFM, last.WithoutPFM)
+	return nil
+}

@@ -1,0 +1,51 @@
+// Telecom: the full Sect. 3.3 case-study pipeline on the simulated Service
+// Control Point — weeks of operation, HSMM and UBF training, and the
+// comparison against one baseline per taxonomy branch (Fig. 3), followed by
+// the closed MEA loop (E3).
+//
+//	go run ./examples/telecom
+package main
+
+import (
+	"fmt"
+	"os"
+
+	pfm "repro"
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "telecom:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// Part 1: offline prediction quality (E1/E2/E9).
+	cfg := pfm.DefaultCaseStudyConfig()
+	res, err := pfm.RunCaseStudy(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("simulated %g days (train) + %g days (test): %d + %d failures, %d evaluation points\n",
+		cfg.TrainDays, cfg.TestDays, res.TrainFailures, res.TestFailures, res.EvalPoints)
+	rows := make([]experiments.Row, 0, len(res.Predictors))
+	for _, p := range res.Predictors {
+		rows = append(rows, p.Row())
+	}
+	experiments.Fprint(os.Stdout, "online failure prediction quality (Sect. 3.3)", rows)
+	fmt.Println("paper reference: HSMM precision 0.70, recall 0.62, fpr 0.016, AUC 0.873; UBF AUC 0.846")
+	fmt.Println()
+
+	// Part 2: the trained predictor deployed in the closed MEA loop (E3).
+	mea, err := pfm.RunMEA(pfm.DefaultMEAExperimentConfig())
+	if err != nil {
+		return err
+	}
+	experiments.Fprint(os.Stdout, "closed MEA loop vs unmitigated system (E3)", mea.Rows())
+	fmt.Printf("Table 1 quality: %v\n", mea.Quality)
+	fmt.Printf("measured unavailability ratio %.3f (Section 5 model predicts ≈0.488 for a Table 2-quality predictor)\n",
+		mea.UnavailabilityRatio)
+	return nil
+}

@@ -1,0 +1,260 @@
+package act
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// fakeTarget records which operations ran.
+type fakeTarget struct {
+	cleanups, failovers, prepares, restarts int
+	shed                                    float64
+	util                                    float64
+	restartDowntime                         float64
+	failNext                                error
+}
+
+func (f *fakeTarget) CleanupState() error {
+	f.cleanups++
+	return f.failNext
+}
+func (f *fakeTarget) Failover() error {
+	f.failovers++
+	return f.failNext
+}
+func (f *fakeTarget) ShedLoad(fraction float64) error {
+	f.shed = fraction
+	return f.failNext
+}
+func (f *fakeTarget) PrepareRepair() error {
+	f.prepares++
+	return f.failNext
+}
+func (f *fakeTarget) Restart() (float64, error) {
+	f.restarts++
+	return f.restartDowntime, f.failNext
+}
+func (f *fakeTarget) Utilization() float64 { return f.util }
+
+func TestCategoryGoals(t *testing.T) {
+	avoidance := []Category{StateCleanup, PreventiveFailover, LoadLowering}
+	minimization := []Category{PreparedRepair, PreventiveRestart}
+	for _, c := range avoidance {
+		if c.Goal() != DowntimeAvoidance {
+			t.Fatalf("%v classified as %v", c, c.Goal())
+		}
+	}
+	for _, c := range minimization {
+		if c.Goal() != DowntimeMinimization {
+			t.Fatalf("%v classified as %v", c, c.Goal())
+		}
+	}
+}
+
+func TestActionConstructorsExecute(t *testing.T) {
+	ft := &fakeTarget{}
+	p := Params{Cost: 1, SuccessProb: 0.5, Complexity: 0.2}
+	cleanup, err := NewStateCleanup(ft, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failover, err := NewPreventiveFailover(ft, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shed, err := NewLoadLowering(ft, p, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep, err := NewPreparedRepair(ft, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restart, err := NewPreventiveRestart(ft, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []*Action{cleanup, failover, shed, prep, restart} {
+		if err := a.Execute(); err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+	}
+	if ft.cleanups != 1 || ft.failovers != 1 || ft.shed != 0.3 || ft.prepares != 1 || ft.restarts != 1 {
+		t.Fatalf("target operations: %+v", ft)
+	}
+}
+
+func TestActionValidation(t *testing.T) {
+	ft := &fakeTarget{}
+	good := Params{SuccessProb: 0.5}
+	if _, err := New("", StateCleanup, good, func() error { return nil }); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := New("x", Category(42), good, func() error { return nil }); err == nil {
+		t.Fatal("unknown category accepted")
+	}
+	if _, err := New("x", StateCleanup, good, nil); err == nil {
+		t.Fatal("nil execute accepted")
+	}
+	if _, err := New("x", StateCleanup, Params{Cost: -1}, func() error { return nil }); err == nil {
+		t.Fatal("negative cost accepted")
+	}
+	if _, err := New("x", StateCleanup, Params{SuccessProb: 1.2}, func() error { return nil }); err == nil {
+		t.Fatal("success probability > 1 accepted")
+	}
+	if _, err := New("x", StateCleanup, Params{Complexity: 2}, func() error { return nil }); err == nil {
+		t.Fatal("complexity > 1 accepted")
+	}
+	if _, err := NewLoadLowering(ft, good, 0); err == nil {
+		t.Fatal("zero shed fraction accepted")
+	}
+	if _, err := NewLoadLowering(ft, good, 1.5); err == nil {
+		t.Fatal("shed fraction > 1 accepted")
+	}
+}
+
+func TestActionErrorPropagates(t *testing.T) {
+	ft := &fakeTarget{failNext: errors.New("boom")}
+	a, err := NewStateCleanup(ft, Params{SuccessProb: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Execute(); err == nil {
+		t.Fatal("target error swallowed")
+	}
+}
+
+func TestSelectorPrefersEffectiveCheapActions(t *testing.T) {
+	ft := &fakeTarget{}
+	cheapEffective, _ := NewStateCleanup(ft, Params{Cost: 0.1, SuccessProb: 0.8, Complexity: 0.1})
+	expensive, _ := NewPreventiveFailover(ft, Params{Cost: 5, SuccessProb: 0.9, Complexity: 0.8})
+	s, err := NewSelector(DefaultWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, u, positive, err := s.Select([]*Action{expensive, cheapEffective}, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Name() != "state-cleanup" {
+		t.Fatalf("selected %s", best.Name())
+	}
+	if !positive || u <= 0 {
+		t.Fatalf("utility = %g, positive = %v", u, positive)
+	}
+}
+
+func TestSelectorLowConfidenceDoesNothing(t *testing.T) {
+	ft := &fakeTarget{}
+	costly, _ := NewPreventiveRestart(ft, Params{Cost: 10, SuccessProb: 0.9, Complexity: 0.5})
+	s, _ := NewSelector(DefaultWeights())
+	_, u, positive, err := s.Select([]*Action{costly}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if positive || u > 0 {
+		t.Fatalf("low-confidence costly action has positive utility %g", u)
+	}
+}
+
+func TestSelectorValidation(t *testing.T) {
+	if _, err := NewSelector(ObjectiveWeights{Benefit: 0}); err == nil {
+		t.Fatal("zero benefit accepted")
+	}
+	s, _ := NewSelector(DefaultWeights())
+	if _, _, _, err := s.Select(nil, 0.5); err == nil {
+		t.Fatal("empty action list accepted")
+	}
+	ft := &fakeTarget{}
+	a, _ := NewStateCleanup(ft, Params{SuccessProb: 1})
+	if _, _, _, err := s.Select([]*Action{a}, 1.5); err == nil {
+		t.Fatal("confidence > 1 accepted")
+	}
+}
+
+func TestSchedulerRunsAtLowUtilization(t *testing.T) {
+	e := sim.NewEngine()
+	ft := &fakeTarget{util: 0.9}
+	sched, err := NewScheduler(e, ft, 0.5, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := NewStateCleanup(ft, Params{SuccessProb: 1})
+	var execErr error
+	ran := false
+	if err := sched.Schedule(a, 100, func(err error) { ran, execErr = true, err }); err != nil {
+		t.Fatal(err)
+	}
+	// Load drops at t=30: the poll at t=30/40 should fire the action well
+	// before the deadline.
+	_ = e.Schedule(25, func() { ft.util = 0.2 })
+	e.Run(100)
+	if !ran || execErr != nil {
+		t.Fatalf("ran=%v err=%v", ran, execErr)
+	}
+	if ft.cleanups != 1 {
+		t.Fatalf("cleanups = %d, want exactly 1 (deadline event must not double-fire)", ft.cleanups)
+	}
+	if e.Now() != 100 {
+		t.Fatalf("clock = %g", e.Now())
+	}
+}
+
+func TestSchedulerFallsBackToDeadline(t *testing.T) {
+	e := sim.NewEngine()
+	ft := &fakeTarget{util: 0.9} // never drops
+	sched, err := NewScheduler(e, ft, 0.5, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := NewStateCleanup(ft, Params{SuccessProb: 1})
+	var ranAt float64 = -1
+	if err := sched.Schedule(a, 100, func(error) { ranAt = e.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	e.Run(200)
+	if ranAt != 95 { // deadline 100 − margin 5
+		t.Fatalf("deadline execution at %g, want 95", ranAt)
+	}
+	if ft.cleanups != 1 {
+		t.Fatalf("cleanups = %d", ft.cleanups)
+	}
+}
+
+func TestSchedulerImmediateWhenIdle(t *testing.T) {
+	e := sim.NewEngine()
+	ft := &fakeTarget{util: 0.1}
+	sched, _ := NewScheduler(e, ft, 0.5, 10, 5)
+	a, _ := NewStateCleanup(ft, Params{SuccessProb: 1})
+	var ranAt float64 = -1
+	if err := sched.Schedule(a, 100, func(error) { ranAt = e.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	e.Run(200)
+	if ranAt != 0 {
+		t.Fatalf("idle system should execute immediately, ran at %g", ranAt)
+	}
+}
+
+func TestSchedulerValidation(t *testing.T) {
+	e := sim.NewEngine()
+	ft := &fakeTarget{}
+	if _, err := NewScheduler(nil, ft, 0.5, 1, 0); err == nil {
+		t.Fatal("nil engine accepted")
+	}
+	if _, err := NewScheduler(e, nil, 0.5, 1, 0); err == nil {
+		t.Fatal("nil target accepted")
+	}
+	if _, err := NewScheduler(e, ft, 0, 1, 0); err == nil {
+		t.Fatal("zero max utilization accepted")
+	}
+	if _, err := NewScheduler(e, ft, 0.5, 0, 0); err == nil {
+		t.Fatal("zero poll interval accepted")
+	}
+	s, _ := NewScheduler(e, ft, 0.5, 1, 0)
+	if err := s.Schedule(nil, 10, nil); err == nil {
+		t.Fatal("nil action accepted")
+	}
+}

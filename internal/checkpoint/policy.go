@@ -1,0 +1,66 @@
+package checkpoint
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// PeriodicPolicy saves checkpoints on a fixed interval — the classical
+// fault-tolerance scheme of Sect. 4.3 ("checkpoints are saved independently
+// of upcoming failures, e.g., periodically").
+type PeriodicPolicy struct {
+	Interval float64
+}
+
+// Install schedules recurring checkpoint saves on the engine until the
+// stop callback returns false.
+func (p PeriodicPolicy) Install(e *sim.Engine, store *Store, active func() bool) error {
+	if p.Interval <= 0 {
+		return fmt.Errorf("%w: periodic interval %g", ErrCheckpoint, p.Interval)
+	}
+	return e.Every(p.Interval, func() bool {
+		if !active() {
+			return false
+		}
+		// Engine time never decreases, so Save cannot fail here.
+		_ = store.Save(Checkpoint{Time: e.Now()})
+		return true
+	})
+}
+
+// PredictionDrivenPolicy saves a checkpoint when a failure warning arrives,
+// placing the recovery point close to the failure (Sect. 4.3: "checkpoints
+// may be saved upon failure prediction close to the failure"). The paper's
+// caveat — the state might already be corrupted — is modeled by
+// StateTrustProb: with probability 1−StateTrustProb the checkpoint is
+// discarded as untrustworthy.
+type PredictionDrivenPolicy struct {
+	// StateTrustProb is the probability the pre-failure state is still
+	// checkpointable (fault isolation holds). 1 = always trust.
+	StateTrustProb float64
+	// TrustDraw decides trustworthiness; defaults to always-trust when
+	// nil. Inject a seeded RNG draw for stochastic studies.
+	TrustDraw func() float64
+}
+
+// OnWarning saves a warning-triggered checkpoint if the state is trusted.
+// It reports whether a checkpoint was saved.
+func (p PredictionDrivenPolicy) OnWarning(store *Store, now float64) (bool, error) {
+	if p.StateTrustProb < 0 || p.StateTrustProb > 1 {
+		return false, fmt.Errorf("%w: trust probability %g", ErrCheckpoint, p.StateTrustProb)
+	}
+	trust := 1.0
+	if p.TrustDraw != nil {
+		trust = p.TrustDraw()
+	} else if p.StateTrustProb < 1 {
+		return false, fmt.Errorf("%w: stochastic trust needs a TrustDraw", ErrCheckpoint)
+	}
+	if trust > p.StateTrustProb {
+		return false, nil
+	}
+	if err := store.Save(Checkpoint{Time: now, Prepared: true}); err != nil {
+		return false, err
+	}
+	return true, nil
+}

@@ -1,0 +1,311 @@
+// Package core is the paper's primary contribution made executable: the
+// Monitor–Evaluate–Act cycle (Fig. 1) wired across system layers per the
+// architectural blueprint (Fig. 11).
+//
+// Each layer owns a failure predictor tailored to its data (hardware
+// counters, VMM metrics, application error logs …). The Act stage spans all
+// layers: per-layer scores are combined (optionally by a stacked
+// meta-learner, Sect. 6), and a single cross-layer decision selects and
+// schedules the countermeasure — preventing conflicting actions like a VM
+// migration racing a hardware restart. Every prediction outcome is
+// accounted against ground truth in the Table 1 matrix, and a control-loop
+// oscillation guard (Sect. 2) bounds the action rate.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/act"
+	"repro/internal/predict"
+	"repro/internal/sim"
+)
+
+// ErrCore is wrapped by all package errors.
+var ErrCore = errors.New("core: invalid configuration")
+
+// Layer is one level of the Fig. 11 architecture: a named predictor over
+// that layer's monitoring data.
+type Layer struct {
+	// Name identifies the layer ("hardware", "vmm", "os", "application").
+	Name string
+	// Evaluate returns the layer's failure-proneness score at time now.
+	Evaluate func(now float64) (float64, error)
+	// Threshold is the layer's decision boundary; the layer votes
+	// "failure-prone" when score ≥ Threshold.
+	Threshold float64
+}
+
+// Combiner fuses per-layer scores into a single probability-like
+// confidence in [0,1]. meta.Stacker.Score satisfies this signature.
+type Combiner func(layerScores []float64) (float64, error)
+
+// Config parameterizes the MEA engine.
+type Config struct {
+	// EvalInterval is the period of the Evaluate step [s].
+	EvalInterval float64
+	// LeadTime Δtl is the anticipated time-to-failure of a warning [s].
+	LeadTime float64
+	// Confidence threshold above which a warning is raised.
+	WarnThreshold float64
+	// OscillationWindow and MaxActionsPerWindow bound the action rate
+	// (control-loop stability guard). Zero window disables the guard.
+	OscillationWindow   float64
+	MaxActionsPerWindow int
+}
+
+// validate rejects unusable configurations.
+func (c Config) validate() error {
+	if c.EvalInterval <= 0 || math.IsNaN(c.EvalInterval) {
+		return fmt.Errorf("%w: eval interval %g", ErrCore, c.EvalInterval)
+	}
+	if c.LeadTime < 0 {
+		return fmt.Errorf("%w: lead time %g", ErrCore, c.LeadTime)
+	}
+	if c.WarnThreshold < 0 || c.WarnThreshold > 1 {
+		return fmt.Errorf("%w: warn threshold %g", ErrCore, c.WarnThreshold)
+	}
+	if c.OscillationWindow < 0 || c.MaxActionsPerWindow < 0 {
+		return fmt.Errorf("%w: oscillation guard window=%g max=%d",
+			ErrCore, c.OscillationWindow, c.MaxActionsPerWindow)
+	}
+	return nil
+}
+
+// OutcomeMatrix is the Table 1 accounting: prediction outcome × action.
+type OutcomeMatrix struct {
+	// Counts[outcome][action name] — "none" for no action.
+	Counts map[predict.Outcome]map[string]int
+}
+
+// add records one cycle.
+func (m *OutcomeMatrix) add(o predict.Outcome, action string) {
+	if m.Counts == nil {
+		m.Counts = make(map[predict.Outcome]map[string]int)
+	}
+	if m.Counts[o] == nil {
+		m.Counts[o] = make(map[string]int)
+	}
+	m.Counts[o][action]++
+}
+
+// Table returns the contingency table implied by the matrix.
+func (m OutcomeMatrix) Table() predict.ContingencyTable {
+	var c predict.ContingencyTable
+	for o, byAction := range m.Counts {
+		n := 0
+		for _, k := range byAction {
+			n += k
+		}
+		switch o {
+		case predict.TruePositive:
+			c.TP += n
+		case predict.FalsePositive:
+			c.FP += n
+		case predict.TrueNegative:
+			c.TN += n
+		case predict.FalseNegative:
+			c.FN += n
+		}
+	}
+	return c
+}
+
+// Engine drives the MEA cycle on a simulation clock.
+type Engine struct {
+	cfg      Config
+	sim      *sim.Engine
+	layers   []*Layer
+	combiner Combiner
+	selector *act.Selector
+	actions  []*act.Action
+	// truth returns whether a failure is genuinely imminent within the
+	// horizon (ground-truth oracle for outcome accounting).
+	truth func(horizon float64) bool
+
+	scheduler   *act.Scheduler
+	warnings    []predict.Warning
+	outcomes    OutcomeMatrix
+	actionTimes []float64
+	suppressed  int
+	running     bool
+}
+
+// SetScheduler routes selected actions through a low-utilization scheduler
+// (Sect. 2: "its execution needs to be scheduled, e.g., at times of low
+// system utilization") instead of executing them immediately. The warning's
+// deadline (now + lead time) bounds the deferral. Call before Start.
+func (e *Engine) SetScheduler(s *act.Scheduler) { e.scheduler = s }
+
+// New assembles an engine. combiner may be nil (mean of layer votes);
+// truth may be nil (outcome accounting disabled).
+func New(
+	simEngine *sim.Engine,
+	layers []*Layer,
+	combiner Combiner,
+	selector *act.Selector,
+	actions []*act.Action,
+	truth func(horizon float64) bool,
+	cfg Config,
+) (*Engine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if simEngine == nil {
+		return nil, fmt.Errorf("%w: nil simulation engine", ErrCore)
+	}
+	if len(layers) == 0 {
+		return nil, fmt.Errorf("%w: at least one layer required", ErrCore)
+	}
+	for i, l := range layers {
+		if l == nil || l.Name == "" || l.Evaluate == nil {
+			return nil, fmt.Errorf("%w: layer %d must have a name and an evaluator", ErrCore, i)
+		}
+	}
+	if selector == nil {
+		return nil, fmt.Errorf("%w: nil selector", ErrCore)
+	}
+	if len(actions) == 0 {
+		return nil, fmt.Errorf("%w: at least one action required", ErrCore)
+	}
+	return &Engine{
+		cfg:      cfg,
+		sim:      simEngine,
+		layers:   layers,
+		combiner: combiner,
+		selector: selector,
+		actions:  actions,
+		truth:    truth,
+	}, nil
+}
+
+// Start arms the recurring MEA cycle; it keeps running until Stop.
+func (e *Engine) Start() error {
+	if e.running {
+		return fmt.Errorf("%w: already running", ErrCore)
+	}
+	e.running = true
+	return e.sim.Every(e.cfg.EvalInterval, func() bool {
+		if !e.running {
+			return false
+		}
+		e.cycle()
+		return true
+	})
+}
+
+// Stop halts the cycle at the next tick.
+func (e *Engine) Stop() { e.running = false }
+
+// EvaluateNow performs one MEA round immediately, outside the periodic
+// schedule — the hook for event-driven evaluation (e.g. on every new error
+// report rather than on a timer; Sect. 3.1 notes that detected-error
+// prediction is inherently event-driven).
+func (e *Engine) EvaluateNow() {
+	e.cycle()
+}
+
+// cycle performs one Monitor–Evaluate–Act round.
+func (e *Engine) cycle() {
+	now := e.sim.Now()
+	// Evaluate: collect per-layer scores. A failing layer abstains.
+	scores := make([]float64, len(e.layers))
+	votes := 0
+	usable := 0
+	for i, l := range e.layers {
+		s, err := l.Evaluate(now)
+		if err != nil {
+			scores[i] = l.Threshold // neutral
+			continue
+		}
+		scores[i] = s
+		usable++
+		if s >= l.Threshold {
+			votes++
+		}
+	}
+	confidence := 0.0
+	if e.combiner != nil {
+		c, err := e.combiner(scores)
+		if err == nil {
+			confidence = clamp01(c)
+		}
+	} else if usable > 0 {
+		confidence = float64(votes) / float64(len(e.layers))
+	}
+
+	positive := confidence >= e.cfg.WarnThreshold
+	imminent := false
+	if e.truth != nil {
+		imminent = e.truth(e.cfg.LeadTime + e.cfg.EvalInterval)
+	}
+
+	actionName := "none"
+	if positive {
+		e.warnings = append(e.warnings, predict.Warning{
+			Time:       now,
+			LeadTime:   e.cfg.LeadTime,
+			Confidence: confidence,
+			Source:     "mea",
+		})
+		// Act: select the countermeasure; the oscillation guard may veto.
+		action, _, worth, err := e.selector.Select(e.actions, confidence)
+		if err == nil && worth {
+			if e.guardAllows(now) {
+				e.actionTimes = append(e.actionTimes, now)
+				if e.scheduler != nil {
+					if schedErr := e.scheduler.Schedule(action, now+e.cfg.LeadTime, nil); schedErr == nil {
+						actionName = action.Name()
+					}
+				} else if execErr := action.Execute(); execErr == nil {
+					actionName = action.Name()
+				}
+			} else {
+				e.suppressed++
+			}
+		}
+	}
+	if e.truth != nil {
+		e.outcomes.add(predict.Classify(positive, imminent), actionName)
+	}
+}
+
+// guardAllows applies the oscillation guard.
+func (e *Engine) guardAllows(now float64) bool {
+	if e.cfg.OscillationWindow <= 0 {
+		return true
+	}
+	recent := 0
+	for i := len(e.actionTimes) - 1; i >= 0; i-- {
+		if now-e.actionTimes[i] > e.cfg.OscillationWindow {
+			break
+		}
+		recent++
+	}
+	return recent < e.cfg.MaxActionsPerWindow
+}
+
+// Warnings returns all raised failure warnings.
+func (e *Engine) Warnings() []predict.Warning {
+	return append([]predict.Warning(nil), e.warnings...)
+}
+
+// Outcomes returns the Table 1 accounting matrix.
+func (e *Engine) Outcomes() OutcomeMatrix { return e.outcomes }
+
+// SuppressedActions returns how many actions the oscillation guard vetoed.
+func (e *Engine) SuppressedActions() int { return e.suppressed }
+
+// ActionsTaken returns how many actions were executed.
+func (e *Engine) ActionsTaken() int { return len(e.actionTimes) }
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

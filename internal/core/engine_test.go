@@ -1,0 +1,410 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/act"
+	"repro/internal/predict"
+	"repro/internal/sim"
+)
+
+// scriptedTarget counts countermeasure executions.
+type scriptedTarget struct {
+	cleanups int
+	util     float64
+}
+
+func (s *scriptedTarget) CleanupState() error       { s.cleanups++; return nil }
+func (s *scriptedTarget) Failover() error           { return nil }
+func (s *scriptedTarget) ShedLoad(float64) error    { return nil }
+func (s *scriptedTarget) PrepareRepair() error      { return nil }
+func (s *scriptedTarget) Restart() (float64, error) { return 0, nil }
+func (s *scriptedTarget) Utilization() float64      { return s.util }
+
+func testActions(t *testing.T, target act.Target) []*act.Action {
+	t.Helper()
+	a, err := act.NewStateCleanup(target, act.Params{Cost: 0.5, SuccessProb: 0.9, Complexity: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*act.Action{a}
+}
+
+func testSelector(t *testing.T) *act.Selector {
+	t.Helper()
+	s, err := act.NewSelector(act.DefaultWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// constLayer always returns the given score with threshold 0.5.
+func constLayer(name string, score float64) *Layer {
+	return &Layer{
+		Name:      name,
+		Evaluate:  func(float64) (float64, error) { return score, nil },
+		Threshold: 0.5,
+	}
+}
+
+func defaultCfg() Config {
+	return Config{EvalInterval: 10, LeadTime: 30, WarnThreshold: 0.5}
+}
+
+func TestValidation(t *testing.T) {
+	se := sim.NewEngine()
+	tgt := &scriptedTarget{}
+	layers := []*Layer{constLayer("app", 1)}
+	sel := testSelector(t)
+	acts := testActions(t, tgt)
+	cases := []struct {
+		name string
+		f    func() (*Engine, error)
+	}{
+		{"nil sim", func() (*Engine, error) {
+			return New(nil, layers, nil, sel, acts, nil, defaultCfg())
+		}},
+		{"no layers", func() (*Engine, error) {
+			return New(se, nil, nil, sel, acts, nil, defaultCfg())
+		}},
+		{"anonymous layer", func() (*Engine, error) {
+			return New(se, []*Layer{{Evaluate: func(float64) (float64, error) { return 0, nil }}}, nil, sel, acts, nil, defaultCfg())
+		}},
+		{"nil selector", func() (*Engine, error) {
+			return New(se, layers, nil, nil, acts, nil, defaultCfg())
+		}},
+		{"no actions", func() (*Engine, error) {
+			return New(se, layers, nil, sel, nil, nil, defaultCfg())
+		}},
+		{"bad interval", func() (*Engine, error) {
+			cfg := defaultCfg()
+			cfg.EvalInterval = 0
+			return New(se, layers, nil, sel, acts, nil, cfg)
+		}},
+		{"bad threshold", func() (*Engine, error) {
+			cfg := defaultCfg()
+			cfg.WarnThreshold = 2
+			return New(se, layers, nil, sel, acts, nil, cfg)
+		}},
+	}
+	for _, tc := range cases {
+		if _, err := tc.f(); err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestWarningTriggersAction(t *testing.T) {
+	se := sim.NewEngine()
+	tgt := &scriptedTarget{}
+	eng, err := New(se,
+		[]*Layer{constLayer("app", 0.9)},
+		nil, testSelector(t), testActions(t, tgt),
+		func(float64) bool { return true },
+		defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	se.Run(100)
+	if len(eng.Warnings()) != 10 {
+		t.Fatalf("warnings = %d", len(eng.Warnings()))
+	}
+	if tgt.cleanups != 10 {
+		t.Fatalf("cleanups = %d", tgt.cleanups)
+	}
+	table := eng.Outcomes().Table()
+	if table.TP != 10 || table.FP+table.TN+table.FN != 0 {
+		t.Fatalf("outcomes = %v", table)
+	}
+}
+
+func TestNegativePredictionDoesNothing(t *testing.T) {
+	se := sim.NewEngine()
+	tgt := &scriptedTarget{}
+	eng, err := New(se,
+		[]*Layer{constLayer("app", 0.1)},
+		nil, testSelector(t), testActions(t, tgt),
+		func(float64) bool { return false },
+		defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	se.Run(100)
+	if len(eng.Warnings()) != 0 || tgt.cleanups != 0 {
+		t.Fatalf("negative prediction acted: warnings=%d cleanups=%d",
+			len(eng.Warnings()), tgt.cleanups)
+	}
+	if eng.Outcomes().Table().TN != 10 {
+		t.Fatalf("outcomes = %v", eng.Outcomes().Table())
+	}
+}
+
+func TestTable1AllFourOutcomes(t *testing.T) {
+	se := sim.NewEngine()
+	tgt := &scriptedTarget{}
+	// The layer alternates positive/negative; the truth alternates at half
+	// the rate, producing all four outcomes.
+	i := 0
+	layer := &Layer{
+		Name: "app",
+		Evaluate: func(float64) (float64, error) {
+			i++
+			if i%2 == 0 {
+				return 1, nil
+			}
+			return 0, nil
+		},
+		Threshold: 0.5,
+	}
+	j := 0
+	truth := func(float64) bool {
+		j++
+		return (j/2)%2 == 0
+	}
+	eng, err := New(se, []*Layer{layer}, nil, testSelector(t), testActions(t, tgt), truth, defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	se.Run(400)
+	table := eng.Outcomes().Table()
+	if table.TP == 0 || table.FP == 0 || table.TN == 0 || table.FN == 0 {
+		t.Fatalf("missing outcomes: %v", table)
+	}
+	// Per Table 1: actions only on positive predictions.
+	for _, o := range []predict.Outcome{predict.TrueNegative, predict.FalseNegative} {
+		for action, n := range eng.Outcomes().Counts[o] {
+			if action != "none" && n > 0 {
+				t.Fatalf("action %q taken on %v", action, o)
+			}
+		}
+	}
+}
+
+func TestLayerVoting(t *testing.T) {
+	se := sim.NewEngine()
+	tgt := &scriptedTarget{}
+	layers := []*Layer{
+		constLayer("hw", 0.9),
+		constLayer("vmm", 0.1),
+		constLayer("app", 0.9),
+	}
+	cfg := defaultCfg()
+	cfg.WarnThreshold = 0.6 // 2 of 3 votes
+	eng, err := New(se, layers, nil, testSelector(t), testActions(t, tgt), nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	se.Run(50)
+	if len(eng.Warnings()) != 5 {
+		t.Fatalf("2/3 votes should warn: %d", len(eng.Warnings()))
+	}
+	if w := eng.Warnings()[0]; w.Confidence < 0.66 || w.Confidence > 0.67 {
+		t.Fatalf("confidence = %g", w.Confidence)
+	}
+}
+
+func TestFailingLayerAbstains(t *testing.T) {
+	se := sim.NewEngine()
+	tgt := &scriptedTarget{}
+	layers := []*Layer{
+		{Name: "broken", Evaluate: func(float64) (float64, error) {
+			return 0, errors.New("sensor offline")
+		}, Threshold: 0.5},
+		constLayer("app", 0.9),
+	}
+	cfg := defaultCfg()
+	cfg.WarnThreshold = 0.5
+	eng, err := New(se, layers, nil, testSelector(t), testActions(t, tgt), nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	se.Run(20)
+	// One of two layers votes: confidence 0.5 ≥ threshold → warning.
+	if len(eng.Warnings()) != 2 {
+		t.Fatalf("warnings with abstaining layer = %d", len(eng.Warnings()))
+	}
+}
+
+func TestCustomCombiner(t *testing.T) {
+	se := sim.NewEngine()
+	tgt := &scriptedTarget{}
+	combined := func(scores []float64) (float64, error) {
+		// A stacker that trusts only the second layer.
+		return scores[1], nil
+	}
+	layers := []*Layer{constLayer("noisy", 1), constLayer("trusted", 0.2)}
+	eng, err := New(se, layers, combined, testSelector(t), testActions(t, tgt), nil, defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	se.Run(50)
+	if len(eng.Warnings()) != 0 {
+		t.Fatal("combiner override ignored")
+	}
+}
+
+// TestOscillationGuard is the library-level E12 experiment: a flapping
+// predictor would fire an action every cycle; the guard bounds the rate.
+func TestOscillationGuard(t *testing.T) {
+	run := func(window float64, maxActions int) (*Engine, *scriptedTarget) {
+		se := sim.NewEngine()
+		tgt := &scriptedTarget{}
+		cfg := defaultCfg()
+		cfg.OscillationWindow = window
+		cfg.MaxActionsPerWindow = maxActions
+		eng, err := New(se, []*Layer{constLayer("flappy", 0.9)}, nil,
+			testSelector(t), testActions(t, tgt), nil, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Start(); err != nil {
+			t.Fatal(err)
+		}
+		se.Run(1000)
+		return eng, tgt
+	}
+	unguarded, utgt := run(0, 0)
+	if utgt.cleanups != 100 {
+		t.Fatalf("unguarded actions = %d", utgt.cleanups)
+	}
+	guarded, gtgt := run(100, 2)
+	if gtgt.cleanups >= utgt.cleanups/2 {
+		t.Fatalf("guard ineffective: %d vs %d", gtgt.cleanups, utgt.cleanups)
+	}
+	if guarded.SuppressedActions() == 0 {
+		t.Fatal("no suppressions recorded")
+	}
+	if guarded.ActionsTaken()+guarded.SuppressedActions() != unguarded.ActionsTaken() {
+		t.Fatalf("actions %d + suppressed %d ≠ %d",
+			guarded.ActionsTaken(), guarded.SuppressedActions(), unguarded.ActionsTaken())
+	}
+}
+
+func TestStartStop(t *testing.T) {
+	se := sim.NewEngine()
+	tgt := &scriptedTarget{}
+	eng, err := New(se, []*Layer{constLayer("app", 0.9)}, nil,
+		testSelector(t), testActions(t, tgt), nil, defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err == nil {
+		t.Fatal("double start accepted")
+	}
+	se.Run(30)
+	eng.Stop()
+	se.Run(100)
+	if len(eng.Warnings()) != 3 {
+		t.Fatalf("warnings after stop = %d", len(eng.Warnings()))
+	}
+}
+
+func TestTranslucencyReport(t *testing.T) {
+	se := sim.NewEngine()
+	tgt := &scriptedTarget{}
+	eng, err := New(se, []*Layer{constLayer("hw", 0.9), constLayer("app", 0.9)}, nil,
+		testSelector(t), testActions(t, tgt),
+		func(float64) bool { return true }, defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	se.Run(50)
+	r := eng.Report()
+	if len(r.Layers) != 2 || r.Warnings != 5 || r.Actions != 5 {
+		t.Fatalf("report = %+v", r)
+	}
+	text := r.String()
+	for _, want := range []string{"hw", "app", "warnings: 5", "TP", "state-cleanup"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("report text missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestEvaluateNowEventDriven(t *testing.T) {
+	se := sim.NewEngine()
+	tgt := &scriptedTarget{}
+	eng, err := New(se, []*Layer{constLayer("app", 0.9)}, nil,
+		testSelector(t), testActions(t, tgt),
+		func(float64) bool { return true }, defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No Start: evaluation is driven purely by external events.
+	for i := 0; i < 3; i++ {
+		if err := se.Schedule(float64(i+1), eng.EvaluateNow); err != nil {
+			t.Fatal(err)
+		}
+	}
+	se.Run(10)
+	if len(eng.Warnings()) != 3 {
+		t.Fatalf("event-driven warnings = %d", len(eng.Warnings()))
+	}
+	if tgt.cleanups != 3 {
+		t.Fatalf("event-driven actions = %d", tgt.cleanups)
+	}
+	// Mixing with the periodic schedule also works.
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	se.Run(30) // periodic ticks at 20, 30
+	if len(eng.Warnings()) != 5 {
+		t.Fatalf("mixed-mode warnings = %d", len(eng.Warnings()))
+	}
+}
+
+func TestSchedulerDefersActionToLowUtilization(t *testing.T) {
+	se := sim.NewEngine()
+	tgt := &scriptedTarget{util: 0.95} // busy at warning time
+	eng, err := New(se, []*Layer{constLayer("app", 0.9)}, nil,
+		testSelector(t), testActions(t, tgt), nil, defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := act.NewScheduler(se, tgt, 0.5, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.SetScheduler(sched)
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// First evaluation at t=10 warns but the system is busy; load drops
+	// at t=14, so the poll at ~t=14-16 executes the deferred action well
+	// before the t=40 deadline.
+	_ = se.Schedule(14, func() { tgt.util = 0.1 })
+	se.Run(16)
+	if tgt.cleanups == 0 {
+		t.Fatal("deferred action never executed after load dropped")
+	}
+	if len(eng.Warnings()) == 0 {
+		t.Fatal("no warnings")
+	}
+}

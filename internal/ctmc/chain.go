@@ -1,0 +1,180 @@
+// Package ctmc implements continuous-time Markov chains: generator
+// matrices, steady-state and transient solutions, absorbing-chain analysis
+// and phase-type distributions. It is the engine behind the paper's
+// Section 5 availability/reliability model (Fig. 9, Eqs. 7–13).
+package ctmc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// ErrChain is wrapped by all chain-construction and solver errors.
+var ErrChain = errors.New("ctmc: invalid chain")
+
+// Chain is a finite-state CTMC described by its infinitesimal generator.
+// Off-diagonal entries are transition rates; diagonal entries are maintained
+// as the negated row sums.
+type Chain struct {
+	names []string
+	q     *mat.Matrix
+}
+
+// New returns a chain with one state per name and no transitions.
+func New(names ...string) *Chain {
+	if len(names) == 0 {
+		panic("ctmc: chain needs at least one state")
+	}
+	return &Chain{
+		names: append([]string(nil), names...),
+		q:     mat.New(len(names), len(names)),
+	}
+}
+
+// NumStates returns the number of states.
+func (c *Chain) NumStates() int { return len(c.names) }
+
+// StateName returns the name of state i.
+func (c *Chain) StateName(i int) string { return c.names[i] }
+
+// StateIndex returns the index of the named state, or -1.
+func (c *Chain) StateIndex(name string) int {
+	for i, n := range c.names {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// SetRate sets the transition rate from state i to state j (i ≠ j) and
+// rebalances the diagonal so rows keep summing to zero.
+func (c *Chain) SetRate(i, j int, rate float64) error {
+	n := c.NumStates()
+	if i < 0 || i >= n || j < 0 || j >= n {
+		return fmt.Errorf("%w: state index out of range (%d,%d)", ErrChain, i, j)
+	}
+	if i == j {
+		return fmt.Errorf("%w: cannot set diagonal rate (%d,%d)", ErrChain, i, j)
+	}
+	if rate < 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		return fmt.Errorf("%w: rate %g from %q to %q", ErrChain, rate, c.names[i], c.names[j])
+	}
+	old := c.q.At(i, j)
+	c.q.Set(i, j, rate)
+	c.q.Add(i, i, old-rate)
+	return nil
+}
+
+// Rate returns the transition rate from state i to state j.
+func (c *Chain) Rate(i, j int) float64 { return c.q.At(i, j) }
+
+// Generator returns a copy of the infinitesimal generator matrix Q.
+func (c *Chain) Generator() *mat.Matrix { return c.q.Clone() }
+
+// SteadyState returns the stationary distribution π with πQ = 0, Σπ = 1.
+// The chain must be irreducible over the states that carry probability;
+// a singular system (e.g. absorbing chains) returns an error.
+func (c *Chain) SteadyState() ([]float64, error) {
+	n := c.NumStates()
+	// Solve Qᵀ π = 0 with the last balance equation replaced by Σπ = 1.
+	a := c.q.Transpose()
+	for j := 0; j < n; j++ {
+		a.Set(n-1, j, 1)
+	}
+	b := make([]float64, n)
+	b[n-1] = 1
+	pi, err := mat.Solve(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("%w: steady state: %v", ErrChain, err)
+	}
+	for i, p := range pi {
+		if p < -1e-9 {
+			return nil, fmt.Errorf("%w: negative steady-state probability %g in state %q", ErrChain, p, c.names[i])
+		}
+		if p < 0 {
+			pi[i] = 0
+		}
+	}
+	return mat.Normalize(pi), nil
+}
+
+// TransientDistribution returns the state distribution at time t ≥ 0 given
+// the initial distribution p0, using uniformization (with a matrix-
+// exponential fallback when the uniformization constant would demand an
+// excessive number of terms).
+func (c *Chain) TransientDistribution(p0 []float64, t float64) ([]float64, error) {
+	n := c.NumStates()
+	if len(p0) != n {
+		return nil, fmt.Errorf("%w: initial distribution has length %d, want %d", ErrChain, len(p0), n)
+	}
+	if t < 0 {
+		return nil, fmt.Errorf("%w: negative time %g", ErrChain, t)
+	}
+	if t == 0 {
+		return mat.CloneVec(p0), nil
+	}
+	// Uniformization constant: Λ ≥ max_i |q_ii|.
+	lambda := 0.0
+	for i := 0; i < n; i++ {
+		if a := -c.q.At(i, i); a > lambda {
+			lambda = a
+		}
+	}
+	if lambda == 0 {
+		return mat.CloneVec(p0), nil // no transitions at all
+	}
+	lt := lambda * t
+	if lt > 400 {
+		return c.transientExpm(p0, t)
+	}
+	// P = I + Q/Λ.
+	p := mat.Identity(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			p.Add(i, j, c.q.At(i, j)/lambda)
+		}
+	}
+	// π(t) = Σ_k Poisson(Λt; k) · p0 Pᵏ, truncated once the accumulated
+	// Poisson mass covers 1-1e-12.
+	out := make([]float64, n)
+	vk := mat.CloneVec(p0)
+	logWeight := -lt // log Poisson(Λt; 0)
+	cum := 0.0
+	for k := 0; ; k++ {
+		w := math.Exp(logWeight)
+		mat.AddScaled(out, w, vk)
+		cum += w
+		if cum >= 1-1e-12 || k > 100000 {
+			break
+		}
+		next, err := p.VecMul(vk)
+		if err != nil {
+			return nil, err
+		}
+		vk = next
+		logWeight += math.Log(lt) - math.Log(float64(k+1))
+	}
+	return mat.Normalize(out), nil
+}
+
+// transientExpm computes p0·exp(tQ) directly.
+func (c *Chain) transientExpm(p0 []float64, t float64) ([]float64, error) {
+	e, err := mat.Expm(c.q.Clone().Scale(t))
+	if err != nil {
+		return nil, fmt.Errorf("%w: transient expm: %v", ErrChain, err)
+	}
+	out, err := e.VecMul(p0)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range out {
+		if v < 0 {
+			out[i] = 0
+		}
+	}
+	return mat.Normalize(out), nil
+}

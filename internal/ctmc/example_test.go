@@ -1,0 +1,59 @@
+package ctmc_test
+
+import (
+	"fmt"
+
+	"repro/internal/ctmc"
+	"repro/internal/mat"
+)
+
+// A two-state availability model: the classic up/down chain.
+func ExampleChain_SteadyState() {
+	c := ctmc.New("up", "down")
+	if err := c.SetRate(0, 1, 1.0/1000); err != nil { // MTTF 1000 s
+		fmt.Println("error:", err)
+		return
+	}
+	if err := c.SetRate(1, 0, 1.0/100); err != nil { // MTTR 100 s
+		fmt.Println("error:", err)
+		return
+	}
+	pi, err := c.SteadyState()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("availability %.4f\n", pi[0])
+	// Output:
+	// availability 0.9091
+}
+
+// Phase-type distributions: the Erlang-2 time to absorption.
+func ExampleNewPhaseType() {
+	sub, err := mat.FromRows([][]float64{
+		{-2, 2},
+		{0, -2},
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	p, err := ctmc.NewPhaseType([]float64{1, 0}, sub)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	mean, err := p.Mean()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	cdf, err := p.CDF(1)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("mean %.2f  F(1) %.3f\n", mean, cdf)
+	// Output:
+	// mean 1.00  F(1) 0.594
+}

@@ -1,0 +1,199 @@
+// Package diagnose implements pre-failure diagnosis (Sect. 2: "Evaluation
+// might also include diagnosis in order to identify the components that
+// cause the system to be failure-prone"). Unlike traditional diagnosis it
+// runs *before* any failure has occurred: given the error window that
+// triggered a failure warning, it ranks components by how strongly their
+// recent error behaviour resembles the pre-failure patterns seen in
+// training — the paper's footnote 3 challenge, and the "online root cause
+// analysis" research issue of Sect. 7.
+package diagnose
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/eventlog"
+)
+
+// ErrDiagnose is wrapped by all package errors.
+var ErrDiagnose = errors.New("diagnose: invalid operation")
+
+// Suspect is one ranked diagnosis candidate.
+type Suspect struct {
+	// Component is the suspected component ID.
+	Component string
+	// Score is the accumulated pre-failure evidence (log-ratio sum);
+	// higher means more suspicious.
+	Score float64
+	// Events is the number of window events attributed to the component.
+	Events int
+}
+
+// Diagnoser ranks components from learned pre-failure error signatures.
+type Diagnoser struct {
+	componentLR map[string]float64 // component presence log-ratio
+	typeLR      map[int]float64    // event-type presence log-ratio
+	unseen      float64
+}
+
+// CollectWindows assembles the pre-failure and reference error windows used
+// for training, with the same Δtd/Δtl geometry as the Fig. 6 extraction.
+func CollectWindows(l *eventlog.Log, failureTimes []float64, cfg eventlog.ExtractConfig) (failure, nonFailure [][]eventlog.Event, err error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if l.Len() == 0 {
+		return nil, nil, fmt.Errorf("%w: empty log", ErrDiagnose)
+	}
+	sorted := append([]float64(nil), failureTimes...)
+	sort.Float64s(sorted)
+	for _, tf := range sorted {
+		end := tf - cfg.LeadTime
+		w := l.Window(end-cfg.DataWindow, end)
+		if len(w) >= cfg.MinEvents && len(w) > 0 {
+			failure = append(failure, w)
+		}
+	}
+	guard := cfg.NonFailureGuard
+	if guard == 0 {
+		guard = cfg.DataWindow + cfg.LeadTime
+	}
+	first := l.At(0).Time
+	last := l.At(l.Len() - 1).Time
+	for start := first; start+cfg.DataWindow <= last; start += cfg.NonFailureStride {
+		point := start + cfg.DataWindow + cfg.LeadTime
+		if nearFailure(point, sorted, guard) {
+			continue
+		}
+		w := l.Window(start, start+cfg.DataWindow)
+		if len(w) >= cfg.MinEvents && len(w) > 0 {
+			nonFailure = append(nonFailure, w)
+		}
+	}
+	return failure, nonFailure, nil
+}
+
+func nearFailure(t float64, sorted []float64, guard float64) bool {
+	i := sort.SearchFloat64s(sorted, t)
+	if i < len(sorted) && sorted[i]-t < guard {
+		return true
+	}
+	return i > 0 && t-sorted[i-1] < guard
+}
+
+// Train learns component and event-type presence log-ratios from labeled
+// windows, with Laplace smoothing.
+func Train(failure, nonFailure [][]eventlog.Event, smoothing float64) (*Diagnoser, error) {
+	if len(failure) == 0 || len(nonFailure) == 0 {
+		return nil, fmt.Errorf("%w: training needs both classes (%d/%d)",
+			ErrDiagnose, len(failure), len(nonFailure))
+	}
+	if smoothing <= 0 {
+		smoothing = 1
+	}
+	compCounts := func(windows [][]eventlog.Event) (map[string]float64, map[int]float64) {
+		comps := make(map[string]float64)
+		types := make(map[int]float64)
+		for _, w := range windows {
+			seenC := make(map[string]bool)
+			seenT := make(map[int]bool)
+			for _, e := range w {
+				if !seenC[e.Component] {
+					comps[e.Component]++
+					seenC[e.Component] = true
+				}
+				if !seenT[e.Type] {
+					types[e.Type]++
+					seenT[e.Type] = true
+				}
+			}
+		}
+		return comps, types
+	}
+	fc, ft := compCounts(failure)
+	nc, nt := compCounts(nonFailure)
+	nf, nn := float64(len(failure)), float64(len(nonFailure))
+
+	d := &Diagnoser{
+		componentLR: make(map[string]float64),
+		typeLR:      make(map[int]float64),
+		unseen:      math.Log(smoothing / (nf + 2*smoothing) * (nn + 2*smoothing) / smoothing),
+	}
+	for c := range union(fc, nc) {
+		pf := (fc[c] + smoothing) / (nf + 2*smoothing)
+		pn := (nc[c] + smoothing) / (nn + 2*smoothing)
+		d.componentLR[c] = math.Log(pf / pn)
+	}
+	for t := range unionInt(ft, nt) {
+		pf := (ft[t] + smoothing) / (nf + 2*smoothing)
+		pn := (nt[t] + smoothing) / (nn + 2*smoothing)
+		d.typeLR[t] = math.Log(pf / pn)
+	}
+	return d, nil
+}
+
+func union(a, b map[string]float64) map[string]bool {
+	out := make(map[string]bool, len(a)+len(b))
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+func unionInt(a, b map[int]float64) map[int]bool {
+	out := make(map[int]bool, len(a)+len(b))
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+// Diagnose ranks the components present in the warning window by their
+// accumulated pre-failure evidence: each event contributes its component's
+// and its type's log-ratio to its component's score. An empty window yields
+// no suspects.
+func (d *Diagnoser) Diagnose(window []eventlog.Event) []Suspect {
+	scores := make(map[string]float64)
+	counts := make(map[string]int)
+	for _, e := range window {
+		lr, ok := d.componentLR[e.Component]
+		if !ok {
+			lr = d.unseen
+		}
+		tlr, ok := d.typeLR[e.Type]
+		if !ok {
+			tlr = d.unseen
+		}
+		scores[e.Component] += lr + tlr
+		counts[e.Component]++
+	}
+	out := make([]Suspect, 0, len(scores))
+	for c, s := range scores {
+		out = append(out, Suspect{Component: c, Score: s, Events: counts[c]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Component < out[j].Component
+	})
+	return out
+}
+
+// TopSuspect returns the highest-ranked component, or "" for an empty
+// window.
+func (d *Diagnoser) TopSuspect(window []eventlog.Event) string {
+	s := d.Diagnose(window)
+	if len(s) == 0 {
+		return ""
+	}
+	return s[0].Component
+}

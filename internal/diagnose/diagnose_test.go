@@ -1,0 +1,143 @@
+package diagnose
+
+import (
+	"testing"
+
+	"repro/internal/eventlog"
+)
+
+func win(events ...eventlog.Event) []eventlog.Event { return events }
+
+func ev(comp string, typ int) eventlog.Event {
+	return eventlog.Event{Component: comp, Type: typ, Severity: eventlog.SeverityError}
+}
+
+func trainedDiagnoser(t *testing.T) *Diagnoser {
+	t.Helper()
+	// Failures are preceded by db errors of type 1/2; healthy windows show
+	// net chatter of type 8/9.
+	failure := [][]eventlog.Event{
+		win(ev("db", 1), ev("db", 2), ev("net", 8)),
+		win(ev("db", 1), ev("db", 1)),
+		win(ev("db", 2), ev("db", 2), ev("db", 1)),
+	}
+	nonFailure := [][]eventlog.Event{
+		win(ev("net", 8), ev("net", 9)),
+		win(ev("net", 9)),
+		win(ev("net", 8), ev("app", 9)),
+	}
+	d, err := Train(failure, nonFailure, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, nil, 1); err == nil {
+		t.Fatal("empty training accepted")
+	}
+	if _, err := Train([][]eventlog.Event{win(ev("a", 1))}, nil, 1); err == nil {
+		t.Fatal("missing non-failure windows accepted")
+	}
+}
+
+func TestDiagnoseRanksCulprit(t *testing.T) {
+	d := trainedDiagnoser(t)
+	suspects := d.Diagnose(win(ev("db", 1), ev("db", 2), ev("net", 8)))
+	if len(suspects) != 2 {
+		t.Fatalf("suspects = %+v", suspects)
+	}
+	if suspects[0].Component != "db" {
+		t.Fatalf("top suspect = %q", suspects[0].Component)
+	}
+	if suspects[0].Score <= suspects[1].Score {
+		t.Fatal("ranking not descending")
+	}
+	if suspects[0].Events != 2 {
+		t.Fatalf("db event count = %d", suspects[0].Events)
+	}
+	if d.TopSuspect(win(ev("db", 1))) != "db" {
+		t.Fatal("TopSuspect wrong")
+	}
+}
+
+func TestDiagnoseEmptyWindow(t *testing.T) {
+	d := trainedDiagnoser(t)
+	if s := d.Diagnose(nil); len(s) != 0 {
+		t.Fatalf("empty window suspects = %+v", s)
+	}
+	if d.TopSuspect(nil) != "" {
+		t.Fatal("empty TopSuspect should be empty string")
+	}
+}
+
+func TestDiagnoseUnseenComponent(t *testing.T) {
+	d := trainedDiagnoser(t)
+	suspects := d.Diagnose(win(ev("ghost", 99)))
+	if len(suspects) != 1 || suspects[0].Component != "ghost" {
+		t.Fatalf("unseen suspects = %+v", suspects)
+	}
+	// Unseen evidence must not look more suspicious than the learned
+	// culprit signature.
+	culprit := d.Diagnose(win(ev("db", 1)))
+	if suspects[0].Score >= culprit[0].Score {
+		t.Fatalf("unseen %g ≥ culprit %g", suspects[0].Score, culprit[0].Score)
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	d := trainedDiagnoser(t)
+	// Two components with identical evidence rank alphabetically.
+	a := d.Diagnose(win(ev("zeta", 99), ev("alpha", 99)))
+	if a[0].Component != "alpha" {
+		t.Fatalf("tie break = %q", a[0].Component)
+	}
+}
+
+func TestCollectWindows(t *testing.T) {
+	l := eventlog.NewLog()
+	add := func(t_ float64, comp string, typ int) {
+		_ = l.Append(eventlog.Event{Time: t_, Component: comp, Type: typ, Severity: eventlog.SeverityError, Message: "m"})
+	}
+	// Pre-failure burst before the failure at t=1000 (lead 100, window 200:
+	// events in [700, 900) count).
+	add(710, "db", 1)
+	add(750, "db", 2)
+	add(800, "db", 1)
+	// Healthy chatter far away.
+	for tt := 3000.0; tt < 6000; tt += 250 {
+		add(tt, "net", 8)
+	}
+	cfg := eventlog.ExtractConfig{
+		DataWindow:       200,
+		LeadTime:         100,
+		MinEvents:        1,
+		NonFailureStride: 400,
+	}
+	fail, non, err := CollectWindows(l, []float64{1000}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fail) != 1 || len(fail[0]) != 3 {
+		t.Fatalf("failure windows = %d (events %d)", len(fail), len(fail[0]))
+	}
+	if len(non) == 0 {
+		t.Fatal("no non-failure windows")
+	}
+	for _, w := range non {
+		for _, e := range w {
+			if e.Component != "net" {
+				t.Fatalf("non-failure window polluted: %+v", e)
+			}
+		}
+	}
+	if _, _, err := CollectWindows(eventlog.NewLog(), nil, cfg); err == nil {
+		t.Fatal("empty log accepted")
+	}
+	bad := cfg
+	bad.DataWindow = 0
+	if _, _, err := CollectWindows(l, nil, bad); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}

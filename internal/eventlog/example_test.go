@@ -1,0 +1,45 @@
+package eventlog_test
+
+import (
+	"fmt"
+
+	"repro/internal/eventlog"
+)
+
+// Extracting failure and non-failure training sequences per Fig. 6.
+func ExampleExtract() {
+	log := eventlog.NewLog()
+	add := func(t float64, typ int) {
+		err := log.Append(eventlog.Event{
+			Time: t, Component: "c", Type: typ,
+			Severity: eventlog.SeverityError, Message: "m",
+		})
+		if err != nil {
+			fmt.Println("error:", err)
+		}
+	}
+	// A burst before the failure at t = 1000…
+	add(820, 1)
+	add(850, 1)
+	add(880, 2)
+	// …and unrelated chatter much later.
+	for t := 3000.0; t < 8000; t += 500 {
+		add(t, 9)
+	}
+	failure, nonFailure, err := eventlog.Extract(log, []float64{1000}, eventlog.ExtractConfig{
+		DataWindow:       200, // Δtd
+		LeadTime:         100, // Δtl
+		MinEvents:        1,
+		NonFailureStride: 1000,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("failure sequences: %d (first has %d events: types %v)\n",
+		len(failure), failure[0].Len(), failure[0].Types)
+	fmt.Printf("non-failure sequences: %d\n", len(nonFailure))
+	// Output:
+	// failure sequences: 1 (first has 3 events: types [1 1 2])
+	// non-failure sequences: 5
+}

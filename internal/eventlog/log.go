@@ -1,0 +1,221 @@
+// Package eventlog models detected-error reporting (Sect. 3.1, stage 4):
+// time-stamped error events with component and type identifiers, append-only
+// logs, burst tupling, and the Fig. 6 extraction of failure and non-failure
+// error sequences that feeds the HSMM predictor.
+package eventlog
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ErrLog is wrapped by all log errors.
+var ErrLog = errors.New("eventlog: invalid operation")
+
+// Severity grades an error report.
+type Severity int
+
+// Severity levels, in increasing order of gravity.
+const (
+	SeverityInfo Severity = iota + 1
+	SeverityWarning
+	SeverityError
+	SeverityCritical
+)
+
+// String returns the log-file token for s.
+func (s Severity) String() string {
+	switch s {
+	case SeverityInfo:
+		return "INFO"
+	case SeverityWarning:
+		return "WARN"
+	case SeverityError:
+		return "ERROR"
+	case SeverityCritical:
+		return "CRIT"
+	default:
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+}
+
+// parseSeverity inverts String.
+func parseSeverity(tok string) (Severity, error) {
+	switch tok {
+	case "INFO":
+		return SeverityInfo, nil
+	case "WARN":
+		return SeverityWarning, nil
+	case "ERROR":
+		return SeverityError, nil
+	case "CRIT":
+		return SeverityCritical, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown severity %q", ErrLog, tok)
+	}
+}
+
+// Event is one detected-error report.
+type Event struct {
+	Time      float64  // report time [s]
+	Component string   // reporting component ID
+	Type      int      // message / event type ID
+	Severity  Severity // report severity
+	Message   string   // free-text message (no newlines)
+}
+
+// Log is a time-ordered, append-only error log.
+type Log struct {
+	events []Event
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log { return &Log{} }
+
+// Append adds an event; its time must be ≥ the last event's time (equal
+// times are allowed — real loggers emit bursts with identical stamps).
+func (l *Log) Append(e Event) error {
+	if math.IsNaN(e.Time) || math.IsInf(e.Time, 0) {
+		return fmt.Errorf("%w: event time %g", ErrLog, e.Time)
+	}
+	if n := len(l.events); n > 0 && e.Time < l.events[n-1].Time {
+		return fmt.Errorf("%w: event time %g before log tail %g", ErrLog, e.Time, l.events[n-1].Time)
+	}
+	if strings.ContainsAny(e.Message, "\n|") {
+		return fmt.Errorf("%w: message contains reserved characters", ErrLog)
+	}
+	if e.Severity < SeverityInfo || e.Severity > SeverityCritical {
+		return fmt.Errorf("%w: severity %d", ErrLog, e.Severity)
+	}
+	l.events = append(l.events, e)
+	return nil
+}
+
+// Len returns the number of events.
+func (l *Log) Len() int { return len(l.events) }
+
+// At returns the i-th event.
+func (l *Log) At(i int) Event { return l.events[i] }
+
+// Events returns a copy of all events.
+func (l *Log) Events() []Event {
+	return append([]Event(nil), l.events...)
+}
+
+// Window returns the events with time in the half-open interval [from, to).
+func (l *Log) Window(from, to float64) []Event {
+	lo := sort.Search(len(l.events), func(i int) bool { return l.events[i].Time >= from })
+	hi := sort.Search(len(l.events), func(i int) bool { return l.events[i].Time >= to })
+	return append([]Event(nil), l.events[lo:hi]...)
+}
+
+// Filter returns a new log with only the events of at least the given
+// severity.
+func (l *Log) Filter(min Severity) *Log {
+	out := NewLog()
+	for _, e := range l.events {
+		if e.Severity >= min {
+			out.events = append(out.events, e)
+		}
+	}
+	return out
+}
+
+// Tuple collapses repeated reports: consecutive events with the same
+// component and type within epsilon seconds of the previous kept one are
+// merged into a single event (the first of the burst). This is the standard
+// log pre-processing step for bursty error reporting.
+func (l *Log) Tuple(epsilon float64) *Log {
+	out := NewLog()
+	type key struct {
+		component string
+		typ       int
+	}
+	lastKept := make(map[key]float64)
+	for _, e := range l.events {
+		k := key{e.Component, e.Type}
+		if t, ok := lastKept[k]; ok && e.Time-t <= epsilon {
+			continue
+		}
+		lastKept[k] = e.Time
+		out.events = append(out.events, e)
+	}
+	return out
+}
+
+// TypeSet returns the sorted set of distinct event types in the log.
+func (l *Log) TypeSet() []int {
+	seen := make(map[int]bool)
+	for _, e := range l.events {
+		seen[e.Type] = true
+	}
+	out := make([]int, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// WriteTo serializes the log in a line-oriented text format:
+//
+//	time|component|type|severity|message
+func (l *Log) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	bw := bufio.NewWriter(w)
+	for _, e := range l.events {
+		c, err := fmt.Fprintf(bw, "%.6f|%s|%d|%s|%s\n",
+			e.Time, e.Component, e.Type, e.Severity, e.Message)
+		n += int64(c)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// Parse reads a log in the WriteTo format.
+func Parse(r io.Reader) (*Log, error) {
+	out := NewLog()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.SplitN(text, "|", 5)
+		if len(parts) != 5 {
+			return nil, fmt.Errorf("%w: line %d: want 5 fields, got %d", ErrLog, line, len(parts))
+		}
+		t, err := strconv.ParseFloat(parts[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: time: %v", ErrLog, line, err)
+		}
+		typ, err := strconv.Atoi(parts[2])
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: type: %v", ErrLog, line, err)
+		}
+		sev, err := parseSeverity(parts[3])
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		if err := out.Append(Event{
+			Time: t, Component: parts[1], Type: typ, Severity: sev, Message: parts[4],
+		}); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%w: scan: %v", ErrLog, err)
+	}
+	return out, nil
+}

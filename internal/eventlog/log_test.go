@@ -1,0 +1,145 @@
+package eventlog
+
+import (
+	"strings"
+	"testing"
+)
+
+func ev(t float64, comp string, typ int, sev Severity) Event {
+	return Event{Time: t, Component: comp, Type: typ, Severity: sev, Message: "m"}
+}
+
+func buildLog(t *testing.T, events ...Event) *Log {
+	t.Helper()
+	l := NewLog()
+	for _, e := range events {
+		if err := l.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return l
+}
+
+func TestAppendValidation(t *testing.T) {
+	l := NewLog()
+	if err := l.Append(ev(1, "a", 1, SeverityError)); err != nil {
+		t.Fatal(err)
+	}
+	// Equal timestamps are fine (bursts), decreasing are not.
+	if err := l.Append(ev(1, "a", 2, SeverityError)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(ev(0.5, "a", 3, SeverityError)); err == nil {
+		t.Fatal("decreasing time accepted")
+	}
+	if err := l.Append(Event{Time: 2, Component: "a", Type: 1, Severity: 99, Message: "m"}); err == nil {
+		t.Fatal("bad severity accepted")
+	}
+	if err := l.Append(Event{Time: 2, Component: "a", Type: 1, Severity: SeverityInfo, Message: "a|b"}); err == nil {
+		t.Fatal("reserved character accepted")
+	}
+}
+
+func TestWindowAndFilter(t *testing.T) {
+	l := buildLog(t,
+		ev(1, "a", 1, SeverityInfo),
+		ev(2, "b", 2, SeverityError),
+		ev(3, "c", 3, SeverityCritical),
+	)
+	w := l.Window(2, 3)
+	if len(w) != 1 || w[0].Component != "b" {
+		t.Fatalf("Window = %v", w)
+	}
+	f := l.Filter(SeverityError)
+	if f.Len() != 2 {
+		t.Fatalf("Filter kept %d", f.Len())
+	}
+	if f.At(0).Severity != SeverityError {
+		t.Fatal("Filter order wrong")
+	}
+}
+
+func TestTuple(t *testing.T) {
+	l := buildLog(t,
+		ev(1.0, "a", 7, SeverityError),
+		ev(1.1, "a", 7, SeverityError), // burst duplicate
+		ev(1.2, "b", 7, SeverityError), // different component: kept
+		ev(1.3, "a", 8, SeverityError), // different type: kept
+		ev(5.0, "a", 7, SeverityError), // outside epsilon: kept
+	)
+	tp := l.Tuple(1.0)
+	if tp.Len() != 4 {
+		t.Fatalf("Tuple kept %d events, want 4", tp.Len())
+	}
+	// Chained bursts: each kept event resets the epsilon window.
+	chain := buildLog(t,
+		ev(0, "a", 1, SeverityError),
+		ev(0.5, "a", 1, SeverityError),
+		ev(1.4, "a", 1, SeverityError), // 1.4 > eps after event at 0? kept: last kept was 0
+	)
+	if got := chain.Tuple(1.0).Len(); got != 2 {
+		t.Fatalf("chained Tuple kept %d, want 2", got)
+	}
+}
+
+func TestTypeSet(t *testing.T) {
+	l := buildLog(t,
+		ev(1, "a", 5, SeverityError),
+		ev(2, "a", 3, SeverityError),
+		ev(3, "a", 5, SeverityError),
+	)
+	ts := l.TypeSet()
+	if len(ts) != 2 || ts[0] != 3 || ts[1] != 5 {
+		t.Fatalf("TypeSet = %v", ts)
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	l := buildLog(t,
+		ev(1.25, "db", 42, SeverityWarning),
+		ev(2.5, "net", 7, SeverityCritical),
+	)
+	var sb strings.Builder
+	if _, err := l.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("parsed %d events", back.Len())
+	}
+	for i := 0; i < 2; i++ {
+		a, b := l.At(i), back.At(i)
+		if a.Component != b.Component || a.Type != b.Type || a.Severity != b.Severity || a.Time != b.Time {
+			t.Fatalf("round trip mismatch: %+v vs %+v", a, b)
+		}
+	}
+}
+
+func TestParseSkipsCommentsAndBlank(t *testing.T) {
+	in := "# header\n\n1.0|a|1|INFO|hello\n"
+	l, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 1 || l.At(0).Message != "hello" {
+		t.Fatalf("parsed %v", l.Events())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"too few fields": "1.0|a|1|INFO\n",
+		"bad time":       "x|a|1|INFO|m\n",
+		"bad type":       "1.0|a|y|INFO|m\n",
+		"bad severity":   "1.0|a|1|LOUD|m\n",
+		"unordered":      "2|a|1|INFO|m\n1|a|1|INFO|m\n",
+	}
+	for name, in := range cases {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Fatalf("%s: Parse accepted %q", name, in)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package eventlog
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sequence is an event-driven temporal error sequence (Fig. 4): event type
+// IDs with their timestamps, re-based so the first event is at time zero.
+// Label records whether the sequence preceded a failure (training truth).
+type Sequence struct {
+	Times []float64 // re-based, non-decreasing
+	Types []int
+	Label bool
+}
+
+// Len returns the number of events in the sequence.
+func (s Sequence) Len() int { return len(s.Types) }
+
+// Delays returns the inter-event delays (len-1 values); useful for
+// duration-distribution fitting.
+func (s Sequence) Delays() []float64 {
+	if len(s.Times) < 2 {
+		return nil
+	}
+	out := make([]float64, len(s.Times)-1)
+	for i := 1; i < len(s.Times); i++ {
+		out[i-1] = s.Times[i] - s.Times[i-1]
+	}
+	return out
+}
+
+// newSequence builds a re-based sequence from raw events.
+func newSequence(events []Event, label bool) Sequence {
+	s := Sequence{
+		Times: make([]float64, len(events)),
+		Types: make([]int, len(events)),
+		Label: label,
+	}
+	if len(events) == 0 {
+		return s
+	}
+	base := events[0].Time
+	for i, e := range events {
+		s.Times[i] = e.Time - base
+		s.Types[i] = e.Type
+	}
+	return s
+}
+
+// ExtractConfig parameterizes the Fig. 6 sequence extraction.
+type ExtractConfig struct {
+	// DataWindow is Δtd, the length of the error-data window [s].
+	DataWindow float64
+	// LeadTime is Δtl, the gap between the end of the data window and the
+	// failure it predicts [s].
+	LeadTime float64
+	// MinEvents drops sequences with fewer events (too little signal).
+	MinEvents int
+	// NonFailureStride is the sampling stride for non-failure windows [s].
+	NonFailureStride float64
+	// NonFailureGuard is the minimum distance a non-failure window's
+	// prediction point may sit from any failure [s]; it defaults to
+	// DataWindow + LeadTime when zero.
+	NonFailureGuard float64
+}
+
+// Validate checks the configuration.
+func (c ExtractConfig) Validate() error {
+	if c.DataWindow <= 0 || math.IsNaN(c.DataWindow) {
+		return fmt.Errorf("%w: data window Δtd = %g", ErrLog, c.DataWindow)
+	}
+	if c.LeadTime < 0 || math.IsNaN(c.LeadTime) {
+		return fmt.Errorf("%w: lead time Δtl = %g", ErrLog, c.LeadTime)
+	}
+	if c.MinEvents < 0 {
+		return fmt.Errorf("%w: min events %d", ErrLog, c.MinEvents)
+	}
+	if c.NonFailureStride <= 0 || math.IsNaN(c.NonFailureStride) {
+		return fmt.Errorf("%w: non-failure stride %g", ErrLog, c.NonFailureStride)
+	}
+	if c.NonFailureGuard < 0 {
+		return fmt.Errorf("%w: non-failure guard %g", ErrLog, c.NonFailureGuard)
+	}
+	return nil
+}
+
+// Extract implements the Fig. 6 training-set construction. For every
+// failure at time t_f it emits the failure sequence of errors within
+// [t_f − Δtl − Δtd, t_f − Δtl). Non-failure sequences are windows of length
+// Δtd sampled on a stride whose prediction point (window end + Δtl) is at
+// least the guard distance away from every failure.
+func Extract(l *Log, failureTimes []float64, cfg ExtractConfig) (failure, nonFailure []Sequence, err error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if l.Len() == 0 {
+		return nil, nil, fmt.Errorf("%w: empty log", ErrLog)
+	}
+	guard := cfg.NonFailureGuard
+	if guard == 0 {
+		guard = cfg.DataWindow + cfg.LeadTime
+	}
+	ft := append([]float64(nil), failureTimes...)
+	sort.Float64s(ft)
+
+	for _, tf := range ft {
+		end := tf - cfg.LeadTime
+		start := end - cfg.DataWindow
+		events := l.Window(start, end)
+		if len(events) < cfg.MinEvents || len(events) == 0 {
+			continue
+		}
+		failure = append(failure, newSequence(events, true))
+	}
+
+	first := l.At(0).Time
+	last := l.At(l.Len() - 1).Time
+	for start := first; start+cfg.DataWindow <= last; start += cfg.NonFailureStride {
+		end := start + cfg.DataWindow
+		predictionPoint := end + cfg.LeadTime
+		if tooCloseToFailure(predictionPoint, ft, guard) {
+			continue
+		}
+		events := l.Window(start, end)
+		if len(events) < cfg.MinEvents || len(events) == 0 {
+			continue
+		}
+		nonFailure = append(nonFailure, newSequence(events, false))
+	}
+	return failure, nonFailure, nil
+}
+
+// tooCloseToFailure reports whether t lies within guard of any failure time
+// in the sorted slice ft.
+func tooCloseToFailure(t float64, ft []float64, guard float64) bool {
+	i := sort.SearchFloat64s(ft, t)
+	if i < len(ft) && ft[i]-t < guard {
+		return true
+	}
+	if i > 0 && t-ft[i-1] < guard {
+		return true
+	}
+	return false
+}
+
+// SlidingWindow returns the runtime-evaluation sequence: the errors within
+// the trailing Δtd window ending at time now.
+func SlidingWindow(l *Log, now, dataWindow float64) Sequence {
+	return newSequence(l.Window(now-dataWindow, now), false)
+}

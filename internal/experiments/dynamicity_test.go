@@ -1,0 +1,79 @@
+package experiments
+
+import "testing"
+
+// TestDynamicityAdaptation is the E13 acceptance test (Sect. 6): an error-
+// signature shift degrades the stale predictor, online change-point
+// detection notices within an operationally useful delay, and retraining on
+// post-shift data restores most of the quality.
+func TestDynamicityAdaptation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("28-day simulation + two training runs")
+	}
+	res, err := RunDynamicity(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AUCAfterShiftStale >= res.AUCBeforeShift-0.05 {
+		t.Fatalf("signature shift did not degrade the stale model: %.3f vs %.3f",
+			res.AUCAfterShiftStale, res.AUCBeforeShift)
+	}
+	if !res.Detected {
+		t.Fatal("drift not detected")
+	}
+	if res.DetectionDelay > 12*3600 {
+		t.Fatalf("detection took %.0f s", res.DetectionDelay)
+	}
+	if res.AUCAfterRetrain <= res.AUCAfterShiftStale {
+		t.Fatalf("retraining did not recover quality: %.3f vs stale %.3f",
+			res.AUCAfterRetrain, res.AUCAfterShiftStale)
+	}
+	if len(res.Rows()) != 3 {
+		t.Fatal("rows missing")
+	}
+}
+
+// TestDiagnosisAccuracy is the E14 acceptance test: pre-failure root-cause
+// attribution from the warning window alone identifies the injected fault
+// class for the clear majority of failures, across all three classes.
+func TestDiagnosisAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-week simulation")
+	}
+	res, err := RunDiagnosis(DefaultCaseStudyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Diagnosed < 30 {
+		t.Fatalf("only %d failures diagnosable", res.Diagnosed)
+	}
+	if res.Accuracy() < 0.7 {
+		t.Fatalf("diagnosis accuracy = %.3f, want ≥ 0.7", res.Accuracy())
+	}
+	for _, cause := range []string{"leak", "burst", "overload"} {
+		acc, ok := res.PerCause[cause]
+		if !ok {
+			t.Fatalf("no %s failures in the test period", cause)
+		}
+		if acc < 0.5 {
+			t.Fatalf("%s diagnosis accuracy = %.3f", cause, acc)
+		}
+	}
+	// The finer question: the exact replicated component (1 of 4) behind
+	// burst failures is named far above the 25 % chance level.
+	if res.BurstComponentsDiagnosed > 0 && res.ComponentAccuracy() < 0.5 {
+		t.Fatalf("exact-component accuracy = %.3f (%d/%d)",
+			res.ComponentAccuracy(), res.BurstComponentsExact, res.BurstComponentsDiagnosed)
+	}
+	if len(res.Rows()) < 2 {
+		t.Fatal("rows missing")
+	}
+}
+
+func TestDiagnosisValidation(t *testing.T) {
+	bad := DefaultCaseStudyConfig()
+	bad.TestDays = 0
+	if _, err := RunDiagnosis(bad); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}

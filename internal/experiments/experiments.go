@@ -1,0 +1,34 @@
+// Package experiments regenerates every quantitative artifact of the
+// paper's evaluation — the per-experiment index lives in DESIGN.md (E1–E12)
+// and the measured-vs-paper comparison in EXPERIMENTS.md. The cmd/ binaries
+// and the top-level benchmark suite are thin wrappers over this package.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrExperiment is wrapped by all harness errors.
+var ErrExperiment = errors.New("experiments: failed")
+
+// Row is one line of an experiment's output table.
+type Row struct {
+	Name   string
+	Values map[string]float64
+	// Order fixes the column order for printing.
+	Order []string
+}
+
+// Fprint renders rows as an aligned table.
+func Fprint(w io.Writer, title string, rows []Row) {
+	fmt.Fprintf(w, "== %s ==\n", title)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-28s", r.Name)
+		for _, k := range r.Order {
+			fmt.Fprintf(w, "  %s=%.6g", k, r.Values[k])
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,188 @@
+package experiments
+
+import "testing"
+
+// TestMEAImprovesAvailability is the E3 acceptance test: the closed MEA
+// loop must substantially improve measured availability over the identical
+// unmitigated system — the measured analogue of the Sect. 5 model's claim
+// that PFM roughly halves unavailability.
+func TestMEAImprovesAvailability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-week closed-loop simulation")
+	}
+	res, err := RunMEA(DefaultMEAConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvailabilityWithPFM <= res.AvailabilityWithout {
+		t.Fatalf("PFM did not improve availability: %.5f vs %.5f",
+			res.AvailabilityWithPFM, res.AvailabilityWithout)
+	}
+	// The model predicts ratio ≈ 0.488 for a Table 2-quality predictor; a
+	// proactive loop with avoidance does at least that well.
+	if res.UnavailabilityRatio > 0.6 {
+		t.Fatalf("unavailability ratio = %.3f, want < 0.6", res.UnavailabilityRatio)
+	}
+	if res.FailuresWithPFM >= res.FailuresWithout {
+		t.Fatalf("failures not reduced: %d vs %d", res.FailuresWithPFM, res.FailuresWithout)
+	}
+	// Table 1 accounting (E3): all four outcomes appear over a week.
+	table := res.Quality
+	if table.TP == 0 || table.FP == 0 || table.TN == 0 || table.FN == 0 {
+		t.Fatalf("Table 1 outcomes incomplete: %v", table)
+	}
+	// E7 factor 1: prepared repairs are k=2× faster.
+	if res.PreparedFailures == 0 {
+		t.Fatal("no prepared repairs despite PrepareRepair actions")
+	}
+	if res.MeanDowntimePrepared*1.5 > res.MeanDowntimeUnprepared && res.UnpreparedFailures > 0 {
+		t.Fatalf("prepared downtime %g not clearly below unprepared %g",
+			res.MeanDowntimePrepared, res.MeanDowntimeUnprepared)
+	}
+	if len(res.Rows()) == 0 {
+		t.Fatal("no printable rows")
+	}
+}
+
+func TestMEAValidation(t *testing.T) {
+	bad := DefaultMEAConfig()
+	bad.RunDays = 0
+	if _, err := RunMEA(bad); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+// TestFig8BothFactorsShrink is the E7 acceptance test: prediction-driven
+// recovery shortens both TTR factors of Fig. 8.
+func TestFig8BothFactorsShrink(t *testing.T) {
+	if testing.Short() {
+		t.Skip("week-long simulation")
+	}
+	res, err := RunFig8(3, 7, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures < 10 {
+		t.Fatalf("only %d failures", res.Failures)
+	}
+	if res.PFMFaultFree >= res.ClassicalFaultFree {
+		t.Fatalf("fault-free factor not reduced: %g vs %g",
+			res.PFMFaultFree, res.ClassicalFaultFree)
+	}
+	if res.PFMRecompute >= res.ClassicalRecompute {
+		t.Fatalf("recompute factor not reduced: %g vs %g",
+			res.PFMRecompute, res.ClassicalRecompute)
+	}
+	if res.PFMTTR() >= res.ClassicalTTR()/1.5 {
+		t.Fatalf("TTR improvement too small: %g vs %g", res.PFMTTR(), res.ClassicalTTR())
+	}
+	if len(res.Rows()) != 2 {
+		t.Fatal("rows missing")
+	}
+}
+
+func TestFig8Validation(t *testing.T) {
+	if _, err := RunFig8(1, 0, 900); err == nil {
+		t.Fatal("zero days accepted")
+	}
+	if _, err := RunFig8(1, 1, 0); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+}
+
+// TestOscillationGuardAblation is the E12 acceptance test: without the
+// guard a flapping predictor destroys availability through restart storms;
+// the guard preserves it.
+func TestOscillationGuardAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two-day simulations")
+	}
+	off, err := RunOscillationAblation(5, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := RunOscillationAblation(5, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Availability > 0.7 {
+		t.Fatalf("unguarded flapping loop kept availability %g — storm missing", off.Availability)
+	}
+	if on.Availability < 0.9 {
+		t.Fatalf("guarded availability only %g", on.Availability)
+	}
+	if on.Restarts >= off.Restarts/10 {
+		t.Fatalf("guard barely reduced restarts: %d vs %d", on.Restarts, off.Restarts)
+	}
+	if on.SuppressedByGuard == 0 {
+		t.Fatal("guard suppressed nothing")
+	}
+	if _, err := RunOscillationAblation(1, 0, true); err == nil {
+		t.Fatal("zero days accepted")
+	}
+}
+
+// TestMetaLearningImproves is the E11 acceptance test: the stacked
+// combination is at least as good as every per-layer base predictor.
+func TestMetaLearningImproves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-week simulation + training")
+	}
+	res, err := RunMetaLearning(DefaultCaseStudyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.BaseAUC) != 3 {
+		t.Fatalf("bases = %v", res.BaseAUC)
+	}
+	for name, auc := range res.BaseAUC {
+		if res.StackedAUC < auc-1e-9 {
+			t.Fatalf("stacked %.4f below base %s %.4f", res.StackedAUC, name, auc)
+		}
+	}
+	// The combiner should lean on the strongest layer (translucency).
+	if res.Weights["log-hsmm"] <= res.Weights["error-rate"] {
+		t.Fatalf("weights do not reflect layer quality: %v", res.Weights)
+	}
+	if len(res.Rows()) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows()))
+	}
+}
+
+// TestSelectionComparison is the E8 acceptance test: PWA beats the expert
+// subset decisively and matches or beats the greedy wrappers on final
+// predictor quality.
+func TestSelectionComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-week simulation + wrapper search")
+	}
+	res, err := RunSelectionComparison(DefaultCaseStudyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(name string) StrategyResult {
+		t.Helper()
+		s, ok := res.ByStrategy(name)
+		if !ok {
+			t.Fatalf("strategy %q missing", name)
+		}
+		return s
+	}
+	pwa := get("PWA")
+	expert := get("expert")
+	forward := get("forward")
+	backward := get("backward")
+	if pwa.CVError >= expert.CVError {
+		t.Fatalf("PWA cv %.5f not below expert %.5f", pwa.CVError, expert.CVError)
+	}
+	if pwa.TestAUC <= expert.TestAUC {
+		t.Fatalf("PWA AUC %.3f not above expert %.3f", pwa.TestAUC, expert.TestAUC)
+	}
+	if pwa.TestAUC < forward.TestAUC-0.02 || pwa.TestAUC < backward.TestAUC-0.02 {
+		t.Fatalf("PWA AUC %.3f clearly below greedy (%.3f/%.3f)",
+			pwa.TestAUC, forward.TestAUC, backward.TestAUC)
+	}
+	if len(pwa.Selected) == 0 {
+		t.Fatal("PWA selected nothing")
+	}
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/pfmmodel"
+)
+
+// RejuvenationRegime is one row of the E15 comparison: a degradation
+// regime, the availability of doing nothing, of optimally tuned blind
+// (time-triggered) rejuvenation, and of prediction-triggered PFM.
+type RejuvenationRegime struct {
+	// DegradedDwell is the mean time from aging onset to failure [s].
+	DegradedDwell float64
+	// NoAction / OptimalBlind / PFM are steady-state availabilities.
+	NoAction     float64
+	OptimalBlind float64
+	PFM          float64
+	// OptimalPeriod is 1/ρ* [s]; +Inf when rejuvenation does not pay.
+	OptimalPeriod float64
+}
+
+// RejuvenationComparison is the E15 result set.
+type RejuvenationComparison struct {
+	Regimes []RejuvenationRegime
+}
+
+// Rows renders the comparison.
+func (r RejuvenationComparison) Rows() []Row {
+	rows := make([]Row, 0, len(r.Regimes))
+	for _, reg := range r.Regimes {
+		rows = append(rows, Row{
+			Name: fmt.Sprintf("degraded dwell %.0fs", reg.DegradedDwell),
+			Values: map[string]float64{
+				"none":  reg.NoAction,
+				"blind": reg.OptimalBlind,
+				"PFM":   reg.PFM,
+			},
+			Order: []string{"none", "blind", "PFM"},
+		})
+	}
+	return rows
+}
+
+// RunRejuvenationComparison executes E15: on the Huang et al. [39] model
+// the Fig. 9 chain extends, compare no action, optimally tuned blind
+// time-triggered rejuvenation, and the prediction-triggered Fig. 9 model —
+// all sharing the same MTTF (12500 s), repair time (600 s) and a 60 s
+// planned restart.
+func RunRejuvenationComparison() (RejuvenationComparison, error) {
+	pfmAvail, err := pfmmodel.DefaultParams().Availability()
+	if err != nil {
+		return RejuvenationComparison{}, fmt.Errorf("%w: %v", ErrExperiment, err)
+	}
+	var out RejuvenationComparison
+	for _, dwell := range []float64{300, 1700, 6250} {
+		p := pfmmodel.RejuvenationParams{
+			DegradationRate:      1 / (12500 - dwell),
+			FailureRate:          1 / dwell,
+			RepairRate:           1.0 / 600,
+			RejuvenationDoneRate: 1.0 / 60,
+		}
+		none, err := p.Availability()
+		if err != nil {
+			return RejuvenationComparison{}, fmt.Errorf("%w: %v", ErrExperiment, err)
+		}
+		rate, opt, err := p.OptimalRejuvenationRate(1.0 / 60)
+		if err != nil {
+			return RejuvenationComparison{}, fmt.Errorf("%w: %v", ErrExperiment, err)
+		}
+		reg := RejuvenationRegime{
+			DegradedDwell: dwell,
+			NoAction:      none,
+			OptimalBlind:  opt,
+			PFM:           pfmAvail,
+			OptimalPeriod: 1e18,
+		}
+		if rate > 0 {
+			reg.OptimalPeriod = 1 / rate
+		}
+		out.Regimes = append(out.Regimes, reg)
+	}
+	return out, nil
+}

@@ -1,0 +1,76 @@
+package hsmm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/eventlog"
+)
+
+// Classifier is the paper's two-model sequence classifier: a failure model
+// trained on sequences preceding failures and a non-failure model trained
+// on the rest (Fig. 6). Score compares per-event sequence likelihoods;
+// Bayes decision theory turns the score into a classification via a
+// threshold that absorbs the class priors and misclassification costs.
+type Classifier struct {
+	Failure    *Model
+	NonFailure *Model
+	// Threshold is the decision boundary on the log-likelihood ratio; a
+	// sequence with Score ≥ Threshold is classified failure-prone.
+	Threshold float64
+}
+
+// TrainClassifier fits the two models from labeled sequences.
+func TrainClassifier(failure, nonFailure []eventlog.Sequence, cfg Config) (*Classifier, error) {
+	if len(failure) == 0 || len(nonFailure) == 0 {
+		return nil, fmt.Errorf("%w: classifier needs both failure (%d) and non-failure (%d) sequences",
+			ErrModel, len(failure), len(nonFailure))
+	}
+	fm, err := Fit(failure, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("failure model: %w", err)
+	}
+	nfCfg := cfg
+	nfCfg.Seed = cfg.Seed + 1
+	nm, err := Fit(nonFailure, nfCfg)
+	if err != nil {
+		return nil, fmt.Errorf("non-failure model: %w", err)
+	}
+	return &Classifier{Failure: fm, NonFailure: nm}, nil
+}
+
+// Score returns the log-likelihood ratio
+// log P(seq|failure) − log P(seq|non-failure); higher means more
+// failure-prone. The raw (unnormalized) ratio accumulates per-event
+// evidence, so richer windows — e.g. the accelerating bursts preceding
+// failures — score higher than sparse ones. Empty sequences score 0 (no
+// evidence either way): an empty error window is the hallmark of a healthy
+// system.
+func (c *Classifier) Score(seq eventlog.Sequence) (float64, error) {
+	if seq.Len() == 0 {
+		return 0, nil
+	}
+	lf, err := c.Failure.LogLikelihood(seq)
+	if err != nil {
+		return 0, err
+	}
+	ln, err := c.NonFailure.LogLikelihood(seq)
+	if err != nil {
+		return 0, err
+	}
+	score := lf - ln
+	if math.IsNaN(score) {
+		return 0, fmt.Errorf("%w: NaN score", ErrModel)
+	}
+	return score, nil
+}
+
+// Classify reports whether the sequence is failure-prone at the configured
+// threshold.
+func (c *Classifier) Classify(seq eventlog.Sequence) (bool, error) {
+	s, err := c.Score(seq)
+	if err != nil {
+		return false, err
+	}
+	return s >= c.Threshold, nil
+}

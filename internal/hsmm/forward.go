@@ -1,0 +1,114 @@
+package hsmm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/eventlog"
+	"repro/internal/stats"
+)
+
+// LogLikelihood returns log P(sequence | model) via the forward algorithm
+// in log space. The semi-Markov duration densities enter at every
+// transition. Empty sequences are an error.
+func (m *Model) LogLikelihood(seq eventlog.Sequence) (float64, error) {
+	if seq.Len() == 0 {
+		return 0, fmt.Errorf("%w: empty sequence", ErrModel)
+	}
+	p := m.prepare(seq)
+	alpha := m.forward(p)
+	return stats.LogSumExpSlice(alpha[len(alpha)-1]), nil
+}
+
+// LogLikelihoodPerEvent normalizes the log-likelihood by sequence length so
+// sequences of different lengths are comparable.
+func (m *Model) LogLikelihoodPerEvent(seq eventlog.Sequence) (float64, error) {
+	ll, err := m.LogLikelihood(seq)
+	if err != nil {
+		return 0, err
+	}
+	return ll / float64(seq.Len()), nil
+}
+
+// forward fills the forward lattice: alpha[k][j] = log P(o_1..o_k, s_k=j).
+func (m *Model) forward(p prepared) [][]float64 {
+	k := len(p.obs)
+	alpha := make([][]float64, k)
+	alpha[0] = make([]float64, m.n)
+	for j := 0; j < m.n; j++ {
+		alpha[0][j] = m.logPi[j] + m.logB[j][p.obs[0]]
+	}
+	buf := make([]float64, m.n)
+	for t := 1; t < k; t++ {
+		alpha[t] = make([]float64, m.n)
+		for j := 0; j < m.n; j++ {
+			for i := 0; i < m.n; i++ {
+				buf[i] = alpha[t-1][i] + m.logA[i][j] + m.dur[i].logPDF(p.delays[t])
+			}
+			alpha[t][j] = stats.LogSumExpSlice(buf) + m.logB[j][p.obs[t]]
+		}
+	}
+	return alpha
+}
+
+// backward fills the backward lattice: beta[k][i] = log P(o_{k+1}.. | s_k=i).
+func (m *Model) backward(p prepared) [][]float64 {
+	k := len(p.obs)
+	beta := make([][]float64, k)
+	beta[k-1] = make([]float64, m.n) // log 1 = 0
+	buf := make([]float64, m.n)
+	for t := k - 2; t >= 0; t-- {
+		beta[t] = make([]float64, m.n)
+		for i := 0; i < m.n; i++ {
+			for j := 0; j < m.n; j++ {
+				buf[j] = m.logA[i][j] + m.dur[i].logPDF(p.delays[t+1]) +
+					m.logB[j][p.obs[t+1]] + beta[t+1][j]
+			}
+			beta[t][i] = stats.LogSumExpSlice(buf)
+		}
+	}
+	return beta
+}
+
+// Viterbi returns the most likely hidden state path for the sequence and
+// its joint log-probability.
+func (m *Model) Viterbi(seq eventlog.Sequence) ([]int, float64, error) {
+	if seq.Len() == 0 {
+		return nil, 0, fmt.Errorf("%w: empty sequence", ErrModel)
+	}
+	p := m.prepare(seq)
+	k := len(p.obs)
+	delta := make([][]float64, k)
+	psi := make([][]int, k)
+	delta[0] = make([]float64, m.n)
+	for j := 0; j < m.n; j++ {
+		delta[0][j] = m.logPi[j] + m.logB[j][p.obs[0]]
+	}
+	for t := 1; t < k; t++ {
+		delta[t] = make([]float64, m.n)
+		psi[t] = make([]int, m.n)
+		for j := 0; j < m.n; j++ {
+			best, arg := math.Inf(-1), 0
+			for i := 0; i < m.n; i++ {
+				v := delta[t-1][i] + m.logA[i][j] + m.dur[i].logPDF(p.delays[t])
+				if v > best {
+					best, arg = v, i
+				}
+			}
+			delta[t][j] = best + m.logB[j][p.obs[t]]
+			psi[t][j] = arg
+		}
+	}
+	best, arg := math.Inf(-1), 0
+	for j := 0; j < m.n; j++ {
+		if delta[k-1][j] > best {
+			best, arg = delta[k-1][j], j
+		}
+	}
+	path := make([]int, k)
+	path[k-1] = arg
+	for t := k - 1; t > 0; t-- {
+		path[t-1] = psi[t][path[t]]
+	}
+	return path, best, nil
+}

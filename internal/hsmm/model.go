@@ -1,0 +1,170 @@
+package hsmm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/eventlog"
+	"repro/internal/stats"
+)
+
+// Config parameterizes model structure and training.
+type Config struct {
+	// States is the number of hidden states N ≥ 1.
+	States int
+	// Family selects the duration family (default lognormal).
+	Family DurationFamily
+	// MaxIter bounds the EM iterations (default 30).
+	MaxIter int
+	// Tol stops EM when the per-event log-likelihood improves by less
+	// (default 1e-4).
+	Tol float64
+	// Seed drives the random initialization.
+	Seed int64
+	// Restarts runs EM from this many random initializations and keeps the
+	// best model (default 1).
+	Restarts int
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Family == 0 {
+		c.Family = FamilyLogNormal
+	}
+	if c.MaxIter == 0 {
+		c.MaxIter = 30
+	}
+	if c.Tol == 0 {
+		c.Tol = 1e-4
+	}
+	if c.Restarts == 0 {
+		c.Restarts = 1
+	}
+	return c
+}
+
+// validate rejects unusable configurations.
+func (c Config) validate() error {
+	if c.States < 1 {
+		return fmt.Errorf("%w: %d states", ErrModel, c.States)
+	}
+	if c.MaxIter < 1 || c.Restarts < 1 {
+		return fmt.Errorf("%w: maxIter=%d restarts=%d", ErrModel, c.MaxIter, c.Restarts)
+	}
+	if c.Tol <= 0 || math.IsNaN(c.Tol) {
+		return fmt.Errorf("%w: tol=%g", ErrModel, c.Tol)
+	}
+	switch c.Family {
+	case FamilyLogNormal, FamilyExponential, FamilyNone:
+	default:
+		return fmt.Errorf("%w: unknown duration family %d", ErrModel, int(c.Family))
+	}
+	return nil
+}
+
+// Model is a trained hidden semi-Markov model over error sequences.
+// All probability parameters are stored in log space.
+type Model struct {
+	n       int            // hidden states
+	m       int            // alphabet size including the catch-all slot
+	symbols map[int]int    // event type ID → emission index
+	logPi   []float64      // n
+	logA    [][]float64    // n×n transition log-probabilities
+	logB    [][]float64    // n×m emission log-probabilities
+	dur     []durationDist // n per-state duration distributions
+	family  DurationFamily
+}
+
+// unknownSlot is the emission index for event types unseen in training.
+func (m *Model) unknownSlot() int { return m.m - 1 }
+
+// symbolIndex maps an event type to its emission index.
+func (m *Model) symbolIndex(eventType int) int {
+	if i, ok := m.symbols[eventType]; ok {
+		return i
+	}
+	return m.unknownSlot()
+}
+
+// NumStates returns the number of hidden states.
+func (m *Model) NumStates() int { return m.n }
+
+// AlphabetSize returns the emission alphabet size (including the catch-all
+// slot for unseen event types).
+func (m *Model) AlphabetSize() int { return m.m }
+
+// Family returns the duration family the model was trained with.
+func (m *Model) Family() DurationFamily { return m.family }
+
+// newRandomModel builds a randomly initialized model over the given symbol
+// alphabet. meanDelay scales the duration initialization.
+func newRandomModel(cfg Config, alphabet []int, meanDelay float64, g *stats.RNG) *Model {
+	n := cfg.States
+	m := len(alphabet) + 1 // + catch-all
+	model := &Model{
+		n:       n,
+		m:       m,
+		symbols: make(map[int]int, len(alphabet)),
+		logPi:   make([]float64, n),
+		logA:    make([][]float64, n),
+		logB:    make([][]float64, n),
+		dur:     make([]durationDist, n),
+		family:  cfg.Family,
+	}
+	for i, s := range alphabet {
+		model.symbols[s] = i
+	}
+	if meanDelay <= 0 {
+		meanDelay = 1
+	}
+	randRow := func(k int) []float64 {
+		row := make([]float64, k)
+		for i := range row {
+			row[i] = 0.2 + g.Float64()
+		}
+		row = normalizeToLog(row)
+		return row
+	}
+	model.logPi = randRow(n)
+	for i := 0; i < n; i++ {
+		model.logA[i] = randRow(n)
+		model.logB[i] = randRow(m)
+		model.dur[i] = newDuration(cfg.Family)
+		model.dur[i].randomize(g, meanDelay)
+	}
+	return model
+}
+
+// normalizeToLog converts positive weights to log-probabilities.
+func normalizeToLog(w []float64) []float64 {
+	sum := 0.0
+	for _, v := range w {
+		sum += v
+	}
+	out := make([]float64, len(w))
+	for i, v := range w {
+		out[i] = stats.Log(v / sum)
+	}
+	return out
+}
+
+// prepared is a sequence translated to emission indices and delays.
+type prepared struct {
+	obs    []int     // emission indices
+	delays []float64 // delays[k] is the delay preceding event k (k ≥ 1)
+}
+
+// prepare translates an event sequence for this model's alphabet.
+func (m *Model) prepare(seq eventlog.Sequence) prepared {
+	p := prepared{
+		obs:    make([]int, seq.Len()),
+		delays: make([]float64, seq.Len()),
+	}
+	for k, typ := range seq.Types {
+		p.obs[k] = m.symbolIndex(typ)
+		if k > 0 {
+			p.delays[k] = seq.Times[k] - seq.Times[k-1]
+		}
+	}
+	return p
+}

@@ -1,0 +1,170 @@
+package hsmm
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// modelJSON is the stable on-disk representation of a Model.
+type modelJSON struct {
+	States   int            `json:"states"`
+	Alphabet []int          `json:"alphabet"` // event types, in emission-index order
+	Family   string         `json:"family"`
+	LogPi    []float64      `json:"logPi"`
+	LogA     [][]float64    `json:"logA"`
+	LogB     [][]float64    `json:"logB"`
+	Dur      []durationJSON `json:"durations"`
+}
+
+type durationJSON struct {
+	Family string  `json:"family"`
+	Mu     float64 `json:"mu"`
+	Sigma  float64 `json:"sigma"`
+}
+
+func familyFromString(s string) (DurationFamily, error) {
+	switch s {
+	case "lognormal":
+		return FamilyLogNormal, nil
+	case "exponential":
+		return FamilyExponential, nil
+	case "none":
+		return FamilyNone, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown duration family %q", ErrModel, s)
+	}
+}
+
+// MarshalJSON serializes the trained model.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	alphabet := make([]int, len(m.symbols))
+	for typ, idx := range m.symbols {
+		if idx < 0 || idx >= len(alphabet) {
+			return nil, fmt.Errorf("%w: corrupt symbol table", ErrModel)
+		}
+		alphabet[idx] = typ
+	}
+	dur := make([]durationJSON, len(m.dur))
+	for i, d := range m.dur {
+		dur[i] = durationJSON{Family: d.family.String(), Mu: d.mu, Sigma: d.sigma}
+	}
+	return json.Marshal(modelJSON{
+		States:   m.n,
+		Alphabet: alphabet,
+		Family:   m.family.String(),
+		LogPi:    m.logPi,
+		LogA:     m.logA,
+		LogB:     m.logB,
+		Dur:      dur,
+	})
+}
+
+// UnmarshalJSON restores a model serialized with MarshalJSON.
+func (m *Model) UnmarshalJSON(data []byte) error {
+	var dto modelJSON
+	if err := json.Unmarshal(data, &dto); err != nil {
+		return fmt.Errorf("%w: %v", ErrModel, err)
+	}
+	if dto.States < 1 {
+		return fmt.Errorf("%w: %d states", ErrModel, dto.States)
+	}
+	family, err := familyFromString(dto.Family)
+	if err != nil {
+		return err
+	}
+	wantM := len(dto.Alphabet) + 1
+	if len(dto.LogPi) != dto.States || len(dto.LogA) != dto.States ||
+		len(dto.LogB) != dto.States || len(dto.Dur) != dto.States {
+		return fmt.Errorf("%w: inconsistent parameter shapes", ErrModel)
+	}
+	for i := 0; i < dto.States; i++ {
+		if len(dto.LogA[i]) != dto.States {
+			return fmt.Errorf("%w: logA row %d has %d entries", ErrModel, i, len(dto.LogA[i]))
+		}
+		if len(dto.LogB[i]) != wantM {
+			return fmt.Errorf("%w: logB row %d has %d entries, want %d", ErrModel, i, len(dto.LogB[i]), wantM)
+		}
+	}
+	symbols := make(map[int]int, len(dto.Alphabet))
+	for idx, typ := range dto.Alphabet {
+		if _, dup := symbols[typ]; dup {
+			return fmt.Errorf("%w: duplicate alphabet symbol %d", ErrModel, typ)
+		}
+		symbols[typ] = idx
+	}
+	dur := make([]durationDist, dto.States)
+	for i, d := range dto.Dur {
+		f, err := familyFromString(d.Family)
+		if err != nil {
+			return err
+		}
+		dur[i] = durationDist{family: f, mu: d.Mu, sigma: d.Sigma}
+	}
+	*m = Model{
+		n:       dto.States,
+		m:       wantM,
+		symbols: symbols,
+		logPi:   dto.LogPi,
+		logA:    dto.LogA,
+		logB:    dto.LogB,
+		dur:     dur,
+		family:  family,
+	}
+	return nil
+}
+
+// classifierJSON is the stable representation of a Classifier.
+type classifierJSON struct {
+	Failure    json.RawMessage `json:"failure"`
+	NonFailure json.RawMessage `json:"nonFailure"`
+	Threshold  float64         `json:"threshold"`
+}
+
+// MarshalJSON serializes the two-model classifier.
+func (c *Classifier) MarshalJSON() ([]byte, error) {
+	if c.Failure == nil || c.NonFailure == nil {
+		return nil, fmt.Errorf("%w: classifier missing models", ErrModel)
+	}
+	f, err := json.Marshal(c.Failure)
+	if err != nil {
+		return nil, err
+	}
+	n, err := json.Marshal(c.NonFailure)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(classifierJSON{Failure: f, NonFailure: n, Threshold: c.Threshold})
+}
+
+// UnmarshalJSON restores a classifier.
+func (c *Classifier) UnmarshalJSON(data []byte) error {
+	var dto classifierJSON
+	if err := json.Unmarshal(data, &dto); err != nil {
+		return fmt.Errorf("%w: %v", ErrModel, err)
+	}
+	var failure, nonFailure Model
+	if err := json.Unmarshal(dto.Failure, &failure); err != nil {
+		return fmt.Errorf("failure model: %w", err)
+	}
+	if err := json.Unmarshal(dto.NonFailure, &nonFailure); err != nil {
+		return fmt.Errorf("non-failure model: %w", err)
+	}
+	*c = Classifier{Failure: &failure, NonFailure: &nonFailure, Threshold: dto.Threshold}
+	return nil
+}
+
+// SaveClassifier writes the classifier to w as JSON.
+func SaveClassifier(w io.Writer, c *Classifier) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(c)
+}
+
+// LoadClassifier reads a classifier written by SaveClassifier.
+func LoadClassifier(r io.Reader) (*Classifier, error) {
+	var c Classifier
+	if err := json.NewDecoder(r).Decode(&c); err != nil {
+		return nil, fmt.Errorf("%w: decode: %v", ErrModel, err)
+	}
+	return &c, nil
+}

@@ -1,0 +1,105 @@
+package hsmm
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestClassifierSerializationRoundTrip(t *testing.T) {
+	g := stats.NewRNG(51)
+	clf, err := TrainClassifier(genFailureSeqs(g, 15), genNonFailureSeqs(g, 15),
+		Config{States: 3, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf.Threshold = 0.42
+
+	var buf bytes.Buffer
+	if err := SaveClassifier(&buf, clf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadClassifier(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Threshold != 0.42 {
+		t.Fatalf("threshold = %g", loaded.Threshold)
+	}
+	// The restored classifier must produce identical scores.
+	probe := genFailureSeqs(g, 5)
+	for _, seq := range probe {
+		want, err := clf.Score(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := loaded.Score(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(want-got) > 1e-12 {
+			t.Fatalf("score drift after round trip: %g vs %g", got, want)
+		}
+	}
+	// Unknown symbols must behave identically too (catch-all slot intact).
+	unseen := genFailureSeqs(g, 1)[0]
+	for i := range unseen.Types {
+		unseen.Types[i] = 9000 + i
+	}
+	want, _ := clf.Score(unseen)
+	got, _ := loaded.Score(unseen)
+	if math.Abs(want-got) > 1e-12 {
+		t.Fatalf("unknown-symbol score drift: %g vs %g", got, want)
+	}
+}
+
+func TestModelUnmarshalValidation(t *testing.T) {
+	g := stats.NewRNG(53)
+	m, err := Fit(genFailureSeqs(g, 8), Config{States: 2, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(mutate func(map[string]interface{})) string {
+		var dto map[string]interface{}
+		if err := json.Unmarshal(good, &dto); err != nil {
+			t.Fatal(err)
+		}
+		mutate(dto)
+		out, err := json.Marshal(dto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(out)
+	}
+	cases := map[string]string{
+		"zero states":     corrupt(func(d map[string]interface{}) { d["states"] = 0 }),
+		"bad family":      corrupt(func(d map[string]interface{}) { d["family"] = "weird" }),
+		"short logPi":     corrupt(func(d map[string]interface{}) { d["logPi"] = []float64{0} }),
+		"dup alphabet":    corrupt(func(d map[string]interface{}) { d["alphabet"] = []int{1, 1, 1} }),
+		"not JSON at all": "{",
+	}
+	for name, in := range cases {
+		var out Model
+		if err := json.Unmarshal([]byte(in), &out); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+}
+
+func TestLoadClassifierErrors(t *testing.T) {
+	if _, err := LoadClassifier(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	var empty Classifier
+	if _, err := empty.MarshalJSON(); err == nil {
+		t.Fatal("empty classifier marshaled")
+	}
+}

@@ -1,0 +1,200 @@
+package hsmm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/eventlog"
+	"repro/internal/stats"
+)
+
+// emissionFloor keeps emission probabilities bounded away from zero so
+// unseen symbols at evaluation time cannot produce -Inf likelihoods.
+const emissionFloor = 1e-6
+
+// Fit trains a model on the given sequences with (generalized) EM:
+// forward-backward responsibilities in the E step; closed-form transition,
+// emission and initial-distribution updates plus weighted-moment duration
+// re-fits in the M step. It runs cfg.Restarts random initializations and
+// returns the model with the highest training log-likelihood.
+func Fit(seqs []eventlog.Sequence, cfg Config) (*Model, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	var usable []eventlog.Sequence
+	for _, s := range seqs {
+		if s.Len() > 0 {
+			usable = append(usable, s)
+		}
+	}
+	if len(usable) == 0 {
+		return nil, fmt.Errorf("%w: no non-empty training sequences", ErrModel)
+	}
+	alphabet, meanDelay := trainingAlphabet(usable)
+	g := stats.NewRNG(cfg.Seed)
+	var best *Model
+	bestLL := math.Inf(-1)
+	for r := 0; r < cfg.Restarts; r++ {
+		model := newRandomModel(cfg, alphabet, meanDelay, g.Split(int64(r)))
+		ll, err := model.em(usable, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if ll > bestLL {
+			bestLL, best = ll, model
+		}
+	}
+	return best, nil
+}
+
+// trainingAlphabet collects the distinct event types and the mean delay.
+func trainingAlphabet(seqs []eventlog.Sequence) ([]int, float64) {
+	types := make(map[int]bool)
+	var delaySum float64
+	var delayN int
+	for _, s := range seqs {
+		for _, t := range s.Types {
+			types[t] = true
+		}
+		for _, d := range s.Delays() {
+			delaySum += d
+			delayN++
+		}
+	}
+	alphabet := make([]int, 0, len(types))
+	for t := range types {
+		alphabet = append(alphabet, t)
+	}
+	sort.Ints(alphabet)
+	meanDelay := 1.0
+	if delayN > 0 && delaySum > 0 {
+		meanDelay = delaySum / float64(delayN)
+	}
+	return alphabet, meanDelay
+}
+
+// em iterates E/M steps until convergence and returns the final total
+// log-likelihood.
+func (m *Model) em(seqs []eventlog.Sequence, cfg Config) (float64, error) {
+	preps := make([]prepared, len(seqs))
+	totalEvents := 0
+	for i, s := range seqs {
+		preps[i] = m.prepare(s)
+		totalEvents += s.Len()
+	}
+	prevLL := math.Inf(-1)
+	ll := prevLL
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		acc := newAccumulator(m.n, m.m)
+		ll = 0
+		for _, p := range preps {
+			seqLL := acc.accumulate(m, p)
+			if math.IsNaN(seqLL) {
+				return 0, fmt.Errorf("%w: NaN likelihood during EM", ErrModel)
+			}
+			ll += seqLL
+		}
+		m.applyMStep(acc)
+		if iter > 0 && (ll-prevLL)/float64(totalEvents) < cfg.Tol {
+			break
+		}
+		prevLL = ll
+	}
+	return ll, nil
+}
+
+// accumulator collects expected sufficient statistics across sequences.
+type accumulator struct {
+	pi        []float64   // expected initial-state counts
+	a         [][]float64 // expected transition counts
+	b         [][]float64 // expected emission counts
+	durDelay  [][]float64 // per-state delays observed
+	durWeight [][]float64 // matching posterior weights
+}
+
+func newAccumulator(n, m int) *accumulator {
+	acc := &accumulator{
+		pi:        make([]float64, n),
+		a:         make([][]float64, n),
+		b:         make([][]float64, n),
+		durDelay:  make([][]float64, n),
+		durWeight: make([][]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		acc.a[i] = make([]float64, n)
+		acc.b[i] = make([]float64, m)
+	}
+	return acc
+}
+
+// accumulate runs forward-backward on one prepared sequence, adds its
+// expected statistics, and returns its log-likelihood.
+func (acc *accumulator) accumulate(m *Model, p prepared) float64 {
+	alpha := m.forward(p)
+	beta := m.backward(p)
+	k := len(p.obs)
+	ll := stats.LogSumExpSlice(alpha[k-1])
+	if math.IsInf(ll, -1) {
+		return ll
+	}
+	// State posteriors γ.
+	for t := 0; t < k; t++ {
+		for i := 0; i < m.n; i++ {
+			g := math.Exp(alpha[t][i] + beta[t][i] - ll)
+			if t == 0 {
+				acc.pi[i] += g
+			}
+			acc.b[i][p.obs[t]] += g
+			if t < k-1 {
+				acc.durDelay[i] = append(acc.durDelay[i], p.delays[t+1])
+				acc.durWeight[i] = append(acc.durWeight[i], g)
+			}
+		}
+	}
+	// Transition posteriors ξ.
+	for t := 0; t < k-1; t++ {
+		for i := 0; i < m.n; i++ {
+			base := alpha[t][i] + m.dur[i].logPDF(p.delays[t+1])
+			for j := 0; j < m.n; j++ {
+				x := math.Exp(base + m.logA[i][j] + m.logB[j][p.obs[t+1]] + beta[t+1][j] - ll)
+				acc.a[i][j] += x
+			}
+		}
+	}
+	return ll
+}
+
+// applyMStep re-estimates all parameters from the accumulated statistics,
+// flooring probabilities to keep the model usable on unseen data.
+func (m *Model) applyMStep(acc *accumulator) {
+	m.logPi = floorNormalizeToLog(acc.pi)
+	for i := 0; i < m.n; i++ {
+		m.logA[i] = floorNormalizeToLog(acc.a[i])
+		m.logB[i] = floorNormalizeToLog(acc.b[i])
+		m.dur[i].fit(acc.durDelay[i], acc.durWeight[i])
+	}
+}
+
+// floorNormalizeToLog normalizes non-negative weights to probabilities with
+// an additive floor, returning log-probabilities.
+func floorNormalizeToLog(w []float64) []float64 {
+	sum := 0.0
+	for _, v := range w {
+		sum += v
+	}
+	out := make([]float64, len(w))
+	if sum <= 0 {
+		// No evidence at all: fall back to uniform.
+		for i := range out {
+			out[i] = -math.Log(float64(len(w)))
+		}
+		return out
+	}
+	floorTotal := emissionFloor * float64(len(w))
+	for i, v := range w {
+		out[i] = math.Log((v/sum + emissionFloor) / (1 + floorTotal))
+	}
+	return out
+}

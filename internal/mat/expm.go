@@ -1,0 +1,118 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// padé coefficients for the degree-13 diagonal approximant (Higham 2005).
+var pade13 = [...]float64{
+	64764752532480000, 32382376266240000, 7771770303897600,
+	1187353796428800, 129060195264000, 10559470521600,
+	670442572800, 33522128640, 1323241920,
+	40840800, 960960, 16380, 182, 1,
+}
+
+// thetas for choosing lower-degree approximants (Higham 2005, Table 2.3).
+var padeThetas = []struct {
+	degree int
+	theta  float64
+}{
+	{3, 1.495585217958292e-2},
+	{5, 2.539398330063230e-1},
+	{7, 9.504178996162932e-1},
+	{9, 2.097847961257068},
+	{13, 5.371920351148152},
+}
+
+var padeCoeffs = map[int][]float64{
+	3:  {120, 60, 12, 1},
+	5:  {30240, 15120, 3360, 420, 30, 1},
+	7:  {17297280, 8648640, 1995840, 277200, 25200, 1512, 56, 1},
+	9:  {17643225600, 8821612800, 2075673600, 302702400, 30270240, 2162160, 110880, 3960, 90, 1},
+	13: pade13[:],
+}
+
+// Expm returns the matrix exponential exp(a) using the scaling-and-squaring
+// method with Padé approximation (Higham 2005). a must be square.
+func Expm(a *Matrix) (*Matrix, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("%w: expm of %dx%d", ErrDimension, a.Rows, a.Cols)
+	}
+	norm := a.Norm1()
+	for _, pt := range padeThetas[:len(padeThetas)-1] {
+		if norm <= pt.theta {
+			return padeApprox(a, pt.degree)
+		}
+	}
+	// Scaling and squaring with degree 13.
+	theta13 := padeThetas[len(padeThetas)-1].theta
+	s := 0
+	if norm > theta13 {
+		s = int(math.Ceil(math.Log2(norm / theta13)))
+	}
+	scaled := a.Clone().Scale(math.Pow(2, -float64(s)))
+	e, err := padeApprox(scaled, 13)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < s; i++ {
+		e, err = e.Mul(e)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// padeApprox evaluates the [m/m] Padé approximant of exp at a.
+func padeApprox(a *Matrix, degree int) (*Matrix, error) {
+	c := padeCoeffs[degree]
+	n := a.Rows
+	a2, err := a.Mul(a)
+	if err != nil {
+		return nil, err
+	}
+	// U = A * (sum of odd-coefficient powers), V = sum of even-coefficient powers.
+	// Evaluate via Horner in A².
+	evenSum := Identity(n).Scale(c[0])
+	oddSum := Identity(n).Scale(c[1])
+	pow := Identity(n) // A^(2k)
+	for k := 1; 2*k <= degree; k++ {
+		pow, err = pow.Mul(a2)
+		if err != nil {
+			return nil, err
+		}
+		if 2*k < len(c) {
+			evenSum, err = evenSum.AddMat(pow.Clone().Scale(c[2*k]))
+			if err != nil {
+				return nil, err
+			}
+		}
+		if 2*k+1 < len(c) {
+			oddSum, err = oddSum.AddMat(pow.Clone().Scale(c[2*k+1]))
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	u, err := a.Mul(oddSum)
+	if err != nil {
+		return nil, err
+	}
+	v := evenSum
+	// exp(A) ≈ (V - U)⁻¹ (V + U)
+	num, err := v.AddMat(u)
+	if err != nil {
+		return nil, err
+	}
+	den, err := v.Sub(u)
+	if err != nil {
+		return nil, err
+	}
+	f, err := Factorize(den)
+	if err != nil {
+		return nil, fmt.Errorf("expm: %w", err)
+	}
+	return f.SolveMat(num)
+}

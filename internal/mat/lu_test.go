@@ -1,0 +1,160 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveKnownSystem(t *testing.T) {
+	a, _ := FromRows([][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	})
+	x, err := Solve(a, []float64{8, -11, -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-10 {
+			t.Fatalf("Solve = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {2, 4}})
+	_, err := Solve(a, []float64{1, 2})
+	if err == nil {
+		t.Fatal("singular system did not error")
+	}
+	if !errors.Is(err, ErrSingular) {
+		t.Fatalf("error %v is not ErrSingular", err)
+	}
+}
+
+func TestFactorizeNonSquare(t *testing.T) {
+	if _, err := Factorize(New(2, 3)); !errors.Is(err, ErrDimension) {
+		t.Fatalf("Factorize(2x3) error = %v, want ErrDimension", err)
+	}
+}
+
+// Property: solving A*x = A*x0 recovers x0 for random well-conditioned A.
+func TestSolveRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		a := New(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		// Diagonal dominance keeps the system well-conditioned.
+		for i := 0; i < n; i++ {
+			a.Add(i, i, float64(n)+1)
+		}
+		x0 := make([]float64, n)
+		for i := range x0 {
+			x0[i] = rng.NormFloat64()
+		}
+		b, _ := a.MulVec(x0)
+		x, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(x[i]-x0[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDet(t *testing.T) {
+	a, _ := FromRows([][]float64{{3, 8}, {4, 6}})
+	f, err := Factorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Det(); math.Abs(got-(-14)) > 1e-12 {
+		t.Fatalf("Det = %g, want -14", got)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	a, _ := FromRows([][]float64{{4, 7}, {2, 6}})
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, _ := a.Mul(inv)
+	if !prod.Equalish(Identity(2), 1e-12) {
+		t.Fatalf("A*A⁻¹ = %v, want I", prod)
+	}
+}
+
+func TestSolveMatMatchesSolveVec(t *testing.T) {
+	a, _ := FromRows([][]float64{{5, 1}, {-1, 3}})
+	f, err := Factorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := FromRows([][]float64{{1, 0}, {0, 1}})
+	x, err := f.SolveMat(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col0, _ := f.SolveVec([]float64{1, 0})
+	if math.Abs(x.At(0, 0)-col0[0]) > 1e-14 || math.Abs(x.At(1, 0)-col0[1]) > 1e-14 {
+		t.Fatal("SolveMat disagrees with SolveVec")
+	}
+}
+
+func TestSolveLeastSquaresExact(t *testing.T) {
+	// Overdetermined but consistent system: the LS solution is the exact one.
+	a, _ := FromRows([][]float64{{1, 0}, {0, 1}, {1, 1}})
+	x0 := []float64{2, -3}
+	b, _ := a.MulVec(x0)
+	x, err := SolveLeastSquares(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x0 {
+		if math.Abs(x[i]-x0[i]) > 1e-10 {
+			t.Fatalf("lstsq = %v, want %v", x, x0)
+		}
+	}
+}
+
+func TestSolveLeastSquaresRidgeShrinks(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 0}, {0, 1}})
+	b := []float64{1, 1}
+	x0, err := SolveLeastSquares(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x1, err := SolveLeastSquares(a, b, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Norm2(x1) >= Norm2(x0) {
+		t.Fatalf("ridge did not shrink solution: %v vs %v", x1, x0)
+	}
+}
+
+func TestSolveLeastSquaresErrors(t *testing.T) {
+	a := New(3, 2)
+	if _, err := SolveLeastSquares(a, []float64{1, 2}, 0); err == nil {
+		t.Fatal("mismatched rhs did not error")
+	}
+	if _, err := SolveLeastSquares(a, []float64{1, 2, 3}, -1); err == nil {
+		t.Fatal("negative ridge did not error")
+	}
+}

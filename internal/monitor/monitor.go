@@ -1,0 +1,159 @@
+// Package monitor implements the Monitor stage of the MEA cycle with the
+// Sect. 6 requirements: a pluggable source abstraction ("new monitoring
+// data sources can be incorporated easily"), a variable registry, periodic
+// collection into time series, and runtime-adaptive sampling ("monitoring
+// should be adaptable during runtime... adjust the frequency or precision
+// of the data for a monitored object").
+package monitor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/timeseries"
+)
+
+// ErrMonitor is wrapped by all package errors.
+var ErrMonitor = errors.New("monitor: invalid operation")
+
+// Source provides the current value of one monitored variable.
+type Source interface {
+	// Name identifies the variable (unique within a collector).
+	Name() string
+	// Read samples the variable now.
+	Read() (float64, error)
+}
+
+// funcSource adapts a closure to Source.
+type funcSource struct {
+	name string
+	read func() float64
+}
+
+func (f funcSource) Name() string { return f.name }
+func (f funcSource) Read() (float64, error) {
+	return f.read(), nil
+}
+
+// SourceFunc wraps a closure as a Source.
+func SourceFunc(name string, read func() float64) Source {
+	return funcSource{name: name, read: read}
+}
+
+// Variable is one registered monitored variable.
+type Variable struct {
+	source   Source
+	series   *timeseries.Series
+	interval float64
+	active   bool
+	// readErrs counts failed samples (the collector degrades gracefully:
+	// a failing source does not stop monitoring).
+	readErrs int
+}
+
+// Series returns the collected time series (live reference).
+func (v *Variable) Series() *timeseries.Series { return v.series }
+
+// Interval returns the current sampling interval [s].
+func (v *Variable) Interval() float64 { return v.interval }
+
+// SetInterval adapts the sampling rate at runtime; takes effect at the next
+// scheduled sample.
+func (v *Variable) SetInterval(d float64) error {
+	if d <= 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+		return fmt.Errorf("%w: interval %g", ErrMonitor, d)
+	}
+	v.interval = d
+	return nil
+}
+
+// ReadErrors returns the number of failed samples so far.
+func (v *Variable) ReadErrors() int { return v.readErrs }
+
+// Collector samples registered sources on the simulation clock.
+type Collector struct {
+	engine *sim.Engine
+	vars   map[string]*Variable
+	order  []string // registration order, for deterministic iteration
+}
+
+// NewCollector builds a collector on the engine.
+func NewCollector(e *sim.Engine) (*Collector, error) {
+	if e == nil {
+		return nil, fmt.Errorf("%w: nil engine", ErrMonitor)
+	}
+	return &Collector{engine: e, vars: make(map[string]*Variable)}, nil
+}
+
+// Register adds a source sampled at the given interval and starts its
+// sampling loop immediately (first sample after one interval).
+func (c *Collector) Register(src Source, interval float64) (*Variable, error) {
+	if src == nil || src.Name() == "" {
+		return nil, fmt.Errorf("%w: source must be named", ErrMonitor)
+	}
+	if _, dup := c.vars[src.Name()]; dup {
+		return nil, fmt.Errorf("%w: duplicate variable %q", ErrMonitor, src.Name())
+	}
+	v := &Variable{
+		source:   src,
+		series:   timeseries.New(src.Name()),
+		interval: interval,
+		active:   true,
+	}
+	if err := v.SetInterval(interval); err != nil {
+		return nil, err
+	}
+	c.vars[src.Name()] = v
+	c.order = append(c.order, src.Name())
+	var sample func()
+	sample = func() {
+		if !v.active {
+			return
+		}
+		val, err := v.source.Read()
+		if err != nil {
+			v.readErrs++
+		} else if err := v.series.Append(c.engine.Now(), val); err != nil {
+			// Duplicate timestamp (two samples scheduled at one instant
+			// after an interval change): drop the sample.
+			v.readErrs++
+		}
+		_ = c.engine.Schedule(v.interval, sample)
+	}
+	if err := c.engine.Schedule(v.interval, sample); err != nil {
+		delete(c.vars, src.Name())
+		c.order = c.order[:len(c.order)-1]
+		return nil, err
+	}
+	return v, nil
+}
+
+// Variable returns the registered variable by name.
+func (c *Collector) Variable(name string) (*Variable, bool) {
+	v, ok := c.vars[name]
+	return v, ok
+}
+
+// Names returns the registered variable names in registration order.
+func (c *Collector) Names() []string {
+	return append([]string(nil), c.order...)
+}
+
+// Stop deactivates a variable's sampling loop; it reports whether the
+// variable existed.
+func (c *Collector) Stop(name string) bool {
+	v, ok := c.vars[name]
+	if ok {
+		v.active = false
+	}
+	return ok
+}
+
+// StopAll deactivates every sampling loop.
+func (c *Collector) StopAll() {
+	for _, v := range c.vars {
+		v.active = false
+	}
+}

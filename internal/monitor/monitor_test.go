@@ -1,0 +1,143 @@
+package monitor
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestCollectorSamplesPeriodically(t *testing.T) {
+	e := sim.NewEngine()
+	c, err := NewCollector(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := 1.0
+	v, err := c.Register(SourceFunc("cpu", func() float64 { return val }), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(35)
+	if v.Series().Len() != 3 { // t = 10, 20, 30
+		t.Fatalf("samples = %d", v.Series().Len())
+	}
+	if v.Series().At(0).T != 10 || v.Series().At(0).V != 1 {
+		t.Fatalf("first sample = %+v", v.Series().At(0))
+	}
+}
+
+func TestAdaptiveInterval(t *testing.T) {
+	e := sim.NewEngine()
+	c, _ := NewCollector(e)
+	v, err := c.Register(SourceFunc("mem", func() float64 { return 0 }), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(30) // samples at 10, 20, 30
+	// A predictor decides it needs finer data (Sect. 6). The new interval
+	// takes effect at the next scheduled sample (t=40).
+	if err := v.SetInterval(1); err != nil {
+		t.Fatal(err)
+	}
+	e.Run(45) // samples at 40, 41, …, 45
+	if got := v.Series().Len(); got != 9 {
+		t.Fatalf("samples after adaptation = %d, want 9", got)
+	}
+	if err := v.SetInterval(0); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+}
+
+func TestDuplicateRegistrationRejected(t *testing.T) {
+	e := sim.NewEngine()
+	c, _ := NewCollector(e)
+	if _, err := c.Register(SourceFunc("x", func() float64 { return 0 }), 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Register(SourceFunc("x", func() float64 { return 0 }), 1); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if _, err := c.Register(nil, 1); err == nil {
+		t.Fatal("nil source accepted")
+	}
+	if _, err := c.Register(SourceFunc("", func() float64 { return 0 }), 1); err == nil {
+		t.Fatal("empty name accepted")
+	}
+}
+
+type failingSource struct{ fails int }
+
+func (f *failingSource) Name() string { return "flaky" }
+func (f *failingSource) Read() (float64, error) {
+	f.fails++
+	if f.fails%2 == 0 {
+		return 0, errors.New("transient")
+	}
+	return float64(f.fails), nil
+}
+
+func TestFailingSourceDegradesGracefully(t *testing.T) {
+	e := sim.NewEngine()
+	c, _ := NewCollector(e)
+	v, err := c.Register(&failingSource{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(10)
+	if v.ReadErrors() != 5 {
+		t.Fatalf("read errors = %d, want 5", v.ReadErrors())
+	}
+	if v.Series().Len() != 5 {
+		t.Fatalf("good samples = %d, want 5", v.Series().Len())
+	}
+}
+
+func TestStopAndStopAll(t *testing.T) {
+	e := sim.NewEngine()
+	c, _ := NewCollector(e)
+	v1, _ := c.Register(SourceFunc("a", func() float64 { return 0 }), 1)
+	v2, _ := c.Register(SourceFunc("b", func() float64 { return 0 }), 1)
+	e.Run(5)
+	if !c.Stop("a") {
+		t.Fatal("Stop returned false for existing variable")
+	}
+	if c.Stop("missing") {
+		t.Fatal("Stop returned true for missing variable")
+	}
+	e.Run(10)
+	if v1.Series().Len() != 5 {
+		t.Fatalf("stopped variable kept sampling: %d", v1.Series().Len())
+	}
+	if v2.Series().Len() != 10 {
+		t.Fatalf("running variable = %d", v2.Series().Len())
+	}
+	c.StopAll()
+	e.Run(20)
+	if v2.Series().Len() != 10 {
+		t.Fatal("StopAll did not stop sampling")
+	}
+}
+
+func TestNamesAndLookup(t *testing.T) {
+	e := sim.NewEngine()
+	c, _ := NewCollector(e)
+	_, _ = c.Register(SourceFunc("z", func() float64 { return 0 }), 1)
+	_, _ = c.Register(SourceFunc("a", func() float64 { return 0 }), 1)
+	names := c.Names()
+	if len(names) != 2 || names[0] != "z" || names[1] != "a" {
+		t.Fatalf("Names = %v (want registration order)", names)
+	}
+	if _, ok := c.Variable("a"); !ok {
+		t.Fatal("lookup failed")
+	}
+	if _, ok := c.Variable("nope"); ok {
+		t.Fatal("phantom variable")
+	}
+}
+
+func TestNewCollectorValidation(t *testing.T) {
+	if _, err := NewCollector(nil); err == nil {
+		t.Fatal("nil engine accepted")
+	}
+}

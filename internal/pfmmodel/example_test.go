@@ -1,0 +1,43 @@
+package pfmmodel_test
+
+import (
+	"fmt"
+
+	"repro/internal/pfmmodel"
+)
+
+// The paper's Table 2 example: availability with proactive fault management
+// and the Eq. 14 unavailability ratio.
+func ExampleParams_UnavailabilityRatio() {
+	p := pfmmodel.DefaultParams()
+	a, err := p.Availability()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	ratio, err := p.UnavailabilityRatio()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("availability with PFM: %.4f\n", a)
+	fmt.Printf("unavailability ratio:  %.3f (paper: ≈0.488)\n", ratio)
+	// Output:
+	// availability with PFM: 0.9776
+	// unavailability ratio:  0.489 (paper: ≈0.488)
+}
+
+// Reliability with PFM dominates the no-PFM exponential (Fig. 10(a)).
+func ExampleParams_Reliability() {
+	p := pfmmodel.DefaultParams()
+	withPFM, err := p.Reliability(25000)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("R(25000s) with PFM:    %.3f\n", withPFM)
+	fmt.Printf("R(25000s) without PFM: %.3f\n", p.BaselineReliability(25000))
+	// Output:
+	// R(25000s) with PFM:    0.322
+	// R(25000s) without PFM: 0.135
+}

@@ -1,0 +1,163 @@
+package pfmmodel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ctmc"
+)
+
+// RejuvenationParams is the classic software-rejuvenation model of Huang et
+// al. [39] — the CTMC the paper's Fig. 9 model extends (Sect. 5.3: "The
+// model presented here is based on the CTMC originally published by Huang
+// et al."). Four states:
+//
+//	S0 (robust up) → Sp (failure probable) → Sf (failed, repair) → S0
+//	                 Sp → Sr (rejuvenation, short planned downtime) → S0
+//
+// Time-triggered rejuvenation restarts the system at rate ρ — blindly,
+// from the healthy state as much as from the degraded one, because a
+// purely time-triggered policy cannot observe which it is in (the paper's
+// Sect. 5.2 distinction: PFM "operates upon failure predictions rather
+// than on a purely time-triggered execution of fault-tolerance
+// mechanisms"). Comparing its best achievable availability against the
+// Fig. 9 model isolates the value of prediction-triggered action.
+type RejuvenationParams struct {
+	// DegradationRate δ: aging onset, S0 → Sp [1/s].
+	DegradationRate float64
+	// FailureRate λ: failure of the degraded system, Sp → Sf [1/s].
+	FailureRate float64
+	// RepairRate μ: full repair after failure, Sf → S0 [1/s].
+	RepairRate float64
+	// RejuvenationRate ρ: scheduled blind restart, S0 → Sr and Sp → Sr
+	// [1/s]; zero disables rejuvenation.
+	RejuvenationRate float64
+	// RejuvenationDoneRate ν: end of the planned downtime, Sr → S0 [1/s].
+	RejuvenationDoneRate float64
+}
+
+// Huang model state indices.
+const (
+	rejuvUp = iota
+	rejuvProbable
+	rejuvFailed
+	rejuvRestarting
+)
+
+// Validate checks the parameters.
+func (p RejuvenationParams) Validate() error {
+	positive := map[string]float64{
+		"degradation rate":       p.DegradationRate,
+		"failure rate":           p.FailureRate,
+		"repair rate":            p.RepairRate,
+		"rejuvenation done rate": p.RejuvenationDoneRate,
+	}
+	for name, v := range positive {
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: %s = %g must be positive", ErrParams, name, v)
+		}
+	}
+	if p.RejuvenationRate < 0 || math.IsNaN(p.RejuvenationRate) || math.IsInf(p.RejuvenationRate, 0) {
+		return fmt.Errorf("%w: rejuvenation rate %g", ErrParams, p.RejuvenationRate)
+	}
+	return nil
+}
+
+// Chain builds the four-state Huang CTMC.
+func (p RejuvenationParams) Chain() (*ctmc.Chain, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	c := ctmc.New("S0", "Sp", "Sf", "Sr")
+	arcs := []struct {
+		from, to int
+		rate     float64
+	}{
+		{rejuvUp, rejuvProbable, p.DegradationRate},
+		{rejuvUp, rejuvRestarting, p.RejuvenationRate},
+		{rejuvProbable, rejuvFailed, p.FailureRate},
+		{rejuvProbable, rejuvRestarting, p.RejuvenationRate},
+		{rejuvFailed, rejuvUp, p.RepairRate},
+		{rejuvRestarting, rejuvUp, p.RejuvenationDoneRate},
+	}
+	for _, a := range arcs {
+		if a.rate == 0 {
+			continue
+		}
+		if err := c.SetRate(a.from, a.to, a.rate); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Availability returns the steady-state probability of the two up states
+// (S0 and Sp — the degraded system still delivers service in Huang's
+// model).
+func (p RejuvenationParams) Availability() (float64, error) {
+	c, err := p.Chain()
+	if err != nil {
+		return 0, err
+	}
+	pi, err := c.SteadyState()
+	if err != nil {
+		return 0, err
+	}
+	return pi[rejuvUp] + pi[rejuvProbable], nil
+}
+
+// OptimalRejuvenationRate searches ρ ∈ [0, hi] for the maximum steady-state
+// availability (golden-section search; the availability is unimodal in ρ:
+// too little leaves failures, too much accumulates planned downtime).
+func (p RejuvenationParams) OptimalRejuvenationRate(hi float64) (rate, availability float64, err error) {
+	if hi <= 0 {
+		return 0, 0, fmt.Errorf("%w: search bound %g", ErrParams, hi)
+	}
+	eval := func(rho float64) (float64, error) {
+		q := p
+		q.RejuvenationRate = rho
+		return q.Availability()
+	}
+	const phi = 1.618033988749895
+	lo := 0.0
+	a, b := lo, hi
+	c1 := b - (b-lo)/phi
+	c2 := a + (b-a)/phi
+	f1, err := eval(c1)
+	if err != nil {
+		return 0, 0, err
+	}
+	f2, err := eval(c2)
+	if err != nil {
+		return 0, 0, err
+	}
+	for i := 0; i < 100; i++ {
+		if f1 > f2 {
+			b, c2, f2 = c2, c1, f1
+			c1 = b - (b-a)/phi
+			f1, err = eval(c1)
+		} else {
+			a, c1, f1 = c1, c2, f2
+			c2 = a + (b-a)/phi
+			f2, err = eval(c2)
+		}
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	best := (a + b) / 2
+	avail, err := eval(best)
+	if err != nil {
+		return 0, 0, err
+	}
+	// The boundary ρ=0 (no rejuvenation) can dominate when restarts are
+	// expensive; check it explicitly.
+	none, err := eval(0)
+	if err != nil {
+		return 0, 0, err
+	}
+	if none >= avail {
+		return 0, none, nil
+	}
+	return best, avail, nil
+}

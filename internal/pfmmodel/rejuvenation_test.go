@@ -1,0 +1,115 @@
+package pfmmodel
+
+import (
+	"math"
+	"testing"
+)
+
+// huangParams maps the Fig. 9 setting onto the Huang model: the combined
+// time to failure 1/δ + 1/λ equals the default MTTF (12500 s), repair
+// matches, and the planned restart takes 60 s.
+func huangParams(degradedDwell float64) RejuvenationParams {
+	return RejuvenationParams{
+		DegradationRate:      1 / (12500 - degradedDwell),
+		FailureRate:          1 / degradedDwell,
+		RepairRate:           1.0 / 600,
+		RejuvenationDoneRate: 1.0 / 60,
+	}
+}
+
+func TestRejuvenationValidation(t *testing.T) {
+	bad := []RejuvenationParams{
+		{DegradationRate: 0, FailureRate: 1, RepairRate: 1, RejuvenationDoneRate: 1},
+		{DegradationRate: 1, FailureRate: -1, RepairRate: 1, RejuvenationDoneRate: 1},
+		{DegradationRate: 1, FailureRate: 1, RepairRate: 1, RejuvenationDoneRate: 0},
+		{DegradationRate: 1, FailureRate: 1, RepairRate: 1, RejuvenationDoneRate: 1, RejuvenationRate: -1},
+		{DegradationRate: math.NaN(), FailureRate: 1, RepairRate: 1, RejuvenationDoneRate: 1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("bad params %d accepted", i)
+		}
+	}
+	if _, _, err := huangParams(1000).OptimalRejuvenationRate(0); err == nil {
+		t.Fatal("zero search bound accepted")
+	}
+}
+
+func TestHuangNoRejuvenationMatchesTwoStateBaseline(t *testing.T) {
+	// With ρ=0 the chain reduces to up (S0+Sp, mean 12500 s) / down
+	// (600 s): availability must match the two-state baseline of Eq. 14.
+	p := huangParams(3000)
+	a, err := p.Availability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 12500.0 / 13100.0
+	if math.Abs(a-want) > 1e-12 {
+		t.Fatalf("Huang ρ=0 availability %.10f, want %.10f", a, want)
+	}
+}
+
+// TestBlindRejuvenationVsPFM is the E15 model experiment: blind
+// time-triggered rejuvenation helps only in slow-aging regimes, and even
+// at its optimum stays clearly below the prediction-triggered Fig. 9
+// model (the Sect. 5.2 "key property of proactive fault management").
+func TestBlindRejuvenationVsPFM(t *testing.T) {
+	pfm, err := DefaultParams().Availability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		degradedDwell float64
+		expectGain    bool
+	}{
+		{300, false}, // failure follows degradation fast: blind restarts useless
+		{6250, true}, // slow aging: scheduled restarts recover some availability
+	} {
+		p := huangParams(tc.degradedDwell)
+		none, err := p.Availability()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rate, opt, err := p.OptimalRejuvenationRate(1.0 / 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tc.expectGain {
+			if opt <= none+1e-6 {
+				t.Fatalf("dwell %g: expected rejuvenation gain, got %.6f vs %.6f",
+					tc.degradedDwell, opt, none)
+			}
+			if rate <= 0 {
+				t.Fatalf("dwell %g: optimal rate %g", tc.degradedDwell, rate)
+			}
+		} else if opt > none+1e-6 {
+			t.Fatalf("dwell %g: blind rejuvenation should not pay, got %.6f vs %.6f",
+				tc.degradedDwell, opt, none)
+		}
+		if pfm <= opt {
+			t.Fatalf("dwell %g: PFM %.6f not above optimal blind rejuvenation %.6f",
+				tc.degradedDwell, pfm, opt)
+		}
+	}
+}
+
+func TestRejuvenationAvailabilityMonotoneRegions(t *testing.T) {
+	// In the slow-aging regime, availability rises then falls in ρ
+	// (unimodal): check a coarse scan brackets the golden-section optimum.
+	p := huangParams(6250)
+	_, opt, err := p.OptimalRejuvenationRate(1.0 / 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rho := range []float64{0, 1.0 / 10000, 1.0 / 1000, 1.0 / 100} {
+		q := p
+		q.RejuvenationRate = rho
+		a, err := q.Availability()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a > opt+1e-9 {
+			t.Fatalf("scan found availability %.8f above 'optimum' %.8f at ρ=%g", a, opt, rho)
+		}
+	}
+}

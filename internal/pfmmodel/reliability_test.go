@@ -1,0 +1,130 @@
+package pfmmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestReliabilityBoundsAndMonotonicity(t *testing.T) {
+	p := DefaultParams()
+	m, err := p.ReliabilityModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 1.0
+	for _, tt := range []float64{0, 100, 1000, 5000, 20000, 50000} {
+		r, err := m.Survival(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r < 0 || r > 1 {
+			t.Fatalf("R(%g) = %g outside [0,1]", tt, r)
+		}
+		if r > prev+1e-12 {
+			t.Fatalf("R not monotone at %g: %g > %g", tt, r, prev)
+		}
+		prev = r
+	}
+}
+
+// TestFig10aReliabilityDominates is experiment E5: with PFM the
+// reliability curve must lie above the no-PFM exponential everywhere
+// (Fig. 10(a) shows a clear separation).
+func TestFig10aReliabilityDominates(t *testing.T) {
+	pts, err := DefaultParams().ReliabilityCurve(50000, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range pts[1:] {
+		if pt.WithPFM <= pt.WithoutPFM {
+			t.Fatalf("R_PFM(%g) = %g not above baseline %g", pt.T, pt.WithPFM, pt.WithoutPFM)
+		}
+	}
+	// The separation should be substantial at mid-horizon, as in the figure.
+	mid := pts[len(pts)/2]
+	if mid.Improvement < 0.05 {
+		t.Fatalf("mid-horizon improvement only %g", mid.Improvement)
+	}
+}
+
+// TestFig10bHazardBelowBaseline is experiment E6: the hazard rate with PFM
+// stays below the constant no-PFM hazard λ_F ≈ 8e-5 (Fig. 10(b)).
+func TestFig10bHazardBelowBaseline(t *testing.T) {
+	p := DefaultParams()
+	pts, err := p.HazardCurve(1000, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range pts {
+		if pt.WithPFM >= pt.WithoutPFM {
+			t.Fatalf("h_PFM(%g) = %g not below baseline %g", pt.T, pt.WithPFM, pt.WithoutPFM)
+		}
+	}
+	// Baseline hazard must sit at the paper's ≈8e-5 plateau.
+	if math.Abs(pts[0].WithoutPFM-8e-5) > 1e-6 {
+		t.Fatalf("baseline hazard = %g, want ≈8e-5", pts[0].WithoutPFM)
+	}
+	// Hazard with PFM starts at 0 (the system cannot fail instantaneously
+	// from the up state: it must pass through a prediction state first).
+	if pts[0].WithPFM > 1e-9 {
+		t.Fatalf("h_PFM(0) = %g, want ≈0", pts[0].WithPFM)
+	}
+}
+
+func TestMTTFImprovesWithPFM(t *testing.T) {
+	p := DefaultParams()
+	mttf, err := p.MTTF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := 1 / p.FailureRate
+	if mttf <= baseline {
+		t.Fatalf("MTTF with PFM %g not above baseline %g", mttf, baseline)
+	}
+}
+
+func TestReliabilityModelConsistentWithHazard(t *testing.T) {
+	// R(t) should satisfy R(t) ≈ exp(−∫h) on a coarse grid.
+	p := DefaultParams()
+	m, err := p.ReliabilityModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	integral := 0.0
+	dt := 50.0
+	for x := 0.0; x < 10000; x += dt {
+		h, err := m.Hazard(x + dt/2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		integral += h * dt
+	}
+	r, err := m.Survival(10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(r - math.Exp(-integral)); diff > 0.005 {
+		t.Fatalf("R(10000)=%g vs exp(-∫h)=%g (diff %g)", r, math.Exp(-integral), diff)
+	}
+}
+
+func TestCurveValidation(t *testing.T) {
+	p := DefaultParams()
+	if _, err := p.ReliabilityCurve(-1, 10); err == nil {
+		t.Fatal("negative horizon did not error")
+	}
+	if _, err := p.HazardCurve(10, 0); err == nil {
+		t.Fatal("zero points did not error")
+	}
+}
+
+func TestBaselineReliability(t *testing.T) {
+	p := DefaultParams()
+	if got := p.BaselineReliability(0); got != 1 {
+		t.Fatalf("baseline R(0) = %g", got)
+	}
+	mttf := 1 / p.FailureRate
+	if got := p.BaselineReliability(mttf); math.Abs(got-math.Exp(-1)) > 1e-12 {
+		t.Fatalf("baseline R(MTTF) = %g", got)
+	}
+}

@@ -1,0 +1,52 @@
+package predict_test
+
+import (
+	"fmt"
+
+	"repro/internal/predict"
+)
+
+// Evaluating a failure predictor with the Sect. 3.3 metrics.
+func ExampleContingencyTable() {
+	var table predict.ContingencyTable
+	// 10 predictions against ground truth.
+	outcomes := []struct{ predicted, actual bool }{
+		{true, true}, {true, true}, {true, false},
+		{false, true}, {false, false}, {false, false},
+		{false, false}, {false, false}, {false, false}, {false, false},
+	}
+	for _, o := range outcomes {
+		table.Add(o.predicted, o.actual)
+	}
+	fmt.Printf("precision %.2f recall %.2f fpr %.2f\n",
+		table.Precision(), table.Recall(), table.FPR())
+	// Output:
+	// precision 0.67 recall 0.67 fpr 0.14
+}
+
+// Sweeping thresholds: ROC curve, AUC, and the max-F operating point.
+func ExampleMaxFMeasure() {
+	scored := []predict.Scored{
+		{Score: 0.95, Actual: true},
+		{Score: 0.80, Actual: true},
+		{Score: 0.60, Actual: false},
+		{Score: 0.55, Actual: true},
+		{Score: 0.30, Actual: false},
+		{Score: 0.10, Actual: false},
+	}
+	auc, err := predict.AUCOf(scored)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	threshold, table, err := predict.MaxFMeasure(scored)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("AUC %.3f\n", auc)
+	fmt.Printf("best threshold %.2f with F %.3f\n", threshold, table.FMeasure())
+	// Output:
+	// AUC 0.889
+	// best threshold 0.55 with F 0.857
+}

@@ -1,0 +1,296 @@
+package predict
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		predicted, actual bool
+		want              Outcome
+	}{
+		{true, true, TruePositive},
+		{true, false, FalsePositive},
+		{false, false, TrueNegative},
+		{false, true, FalseNegative},
+	}
+	for _, tc := range cases {
+		if got := Classify(tc.predicted, tc.actual); got != tc.want {
+			t.Fatalf("Classify(%v,%v) = %v", tc.predicted, tc.actual, got)
+		}
+	}
+}
+
+func TestContingencyMetricsPaperInterpretation(t *testing.T) {
+	// The paper's worked interpretation (Sect. 3.3): precision 0.8 means
+	// 80% of warnings are correct; recall 0.9 means 90% of failures are
+	// caught; fpr 0.1 means 10% of non-failures falsely warned.
+	c := ContingencyTable{TP: 72, FP: 18, FN: 8, TN: 162}
+	if got := c.Precision(); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("precision = %g", got)
+	}
+	if got := c.Recall(); math.Abs(got-0.9) > 1e-12 {
+		t.Fatalf("recall = %g", got)
+	}
+	if got := c.FPR(); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("fpr = %g", got)
+	}
+	wantF := 2 * 0.8 * 0.9 / 1.7
+	if got := c.FMeasure(); math.Abs(got-wantF) > 1e-12 {
+		t.Fatalf("F = %g, want %g", got, wantF)
+	}
+	if got := c.Accuracy(); math.Abs(got-234.0/260.0) > 1e-12 {
+		t.Fatalf("accuracy = %g", got)
+	}
+}
+
+func TestMetricsDegenerateCases(t *testing.T) {
+	var empty ContingencyTable
+	if !math.IsNaN(empty.Precision()) || !math.IsNaN(empty.Recall()) ||
+		!math.IsNaN(empty.FPR()) || !math.IsNaN(empty.Accuracy()) {
+		t.Fatal("degenerate metrics should be NaN")
+	}
+	if empty.FMeasure() != 0 {
+		t.Fatal("degenerate F-measure should be 0")
+	}
+}
+
+func TestAddAccumulates(t *testing.T) {
+	var c ContingencyTable
+	c.Add(true, true)
+	c.Add(true, false)
+	c.Add(false, false)
+	c.Add(false, true)
+	if c.TP != 1 || c.FP != 1 || c.TN != 1 || c.FN != 1 || c.Total() != 4 {
+		t.Fatalf("table = %+v", c)
+	}
+}
+
+func TestEvaluateThreshold(t *testing.T) {
+	scored := []Scored{
+		{0.9, true}, {0.8, false}, {0.4, true}, {0.1, false},
+	}
+	c := Evaluate(scored, 0.5)
+	if c.TP != 1 || c.FP != 1 || c.FN != 1 || c.TN != 1 {
+		t.Fatalf("Evaluate = %+v", c)
+	}
+	// Threshold at the score value is inclusive.
+	c = Evaluate(scored, 0.9)
+	if c.TP != 1 || c.FP != 0 {
+		t.Fatalf("inclusive threshold = %+v", c)
+	}
+}
+
+func TestROCPerfectPredictor(t *testing.T) {
+	scored := []Scored{
+		{0.9, true}, {0.8, true}, {0.2, false}, {0.1, false},
+	}
+	auc, err := AUCOf(scored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc != 1 {
+		t.Fatalf("perfect AUC = %g", auc)
+	}
+}
+
+func TestROCInvertedPredictor(t *testing.T) {
+	scored := []Scored{
+		{0.9, false}, {0.8, false}, {0.2, true}, {0.1, true},
+	}
+	auc, err := AUCOf(scored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc != 0 {
+		t.Fatalf("inverted AUC = %g", auc)
+	}
+}
+
+func TestROCRandomScoresNearHalf(t *testing.T) {
+	g := stats.NewRNG(5)
+	scored := make([]Scored, 4000)
+	for i := range scored {
+		scored[i] = Scored{Score: g.Float64(), Actual: g.Bernoulli(0.3)}
+	}
+	auc, err := AUCOf(scored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-0.5) > 0.03 {
+		t.Fatalf("random AUC = %g, want ≈0.5", auc)
+	}
+}
+
+func TestROCEndpointsAndTies(t *testing.T) {
+	scored := []Scored{
+		{0.5, true}, {0.5, false}, {0.5, true}, {0.2, false},
+	}
+	curve, err := ROC(scored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := curve[0], curve[len(curve)-1]
+	if first.TPR != 0 || first.FPR != 0 {
+		t.Fatalf("ROC start = %+v", first)
+	}
+	if last.TPR != 1 || last.FPR != 1 {
+		t.Fatalf("ROC end = %+v", last)
+	}
+	// Ties at 0.5 are a single point: 3 points total (start, tie, end).
+	if len(curve) != 3 {
+		t.Fatalf("ROC has %d points: %v", len(curve), curve)
+	}
+}
+
+func TestROCValidation(t *testing.T) {
+	if _, err := ROC([]Scored{{0.5, true}}); err == nil {
+		t.Fatal("single-class ROC accepted")
+	}
+	if _, err := ROC([]Scored{{math.NaN(), true}, {0.1, false}}); err == nil {
+		t.Fatal("NaN score accepted")
+	}
+	if _, err := AUC(nil); err == nil {
+		t.Fatal("empty AUC accepted")
+	}
+}
+
+// Property: AUC is always within [0,1], and relabeling scores by a strictly
+// increasing transform leaves AUC unchanged.
+func TestAUCInvarianceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := stats.NewRNG(seed)
+		n := 10 + g.Intn(50)
+		scored := make([]Scored, n)
+		hasPos, hasNeg := false, false
+		for i := range scored {
+			scored[i] = Scored{Score: g.Float64(), Actual: g.Bernoulli(0.4)}
+			if scored[i].Actual {
+				hasPos = true
+			} else {
+				hasNeg = true
+			}
+		}
+		if !hasPos || !hasNeg {
+			return true
+		}
+		auc1, err := AUCOf(scored)
+		if err != nil {
+			return false
+		}
+		transformed := make([]Scored, n)
+		for i, s := range scored {
+			transformed[i] = Scored{Score: math.Exp(3*s.Score) + 7, Actual: s.Actual}
+		}
+		auc2, err := AUCOf(transformed)
+		if err != nil {
+			return false
+		}
+		return auc1 >= 0 && auc1 <= 1 && math.Abs(auc1-auc2) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxFMeasure(t *testing.T) {
+	scored := []Scored{
+		{0.9, true}, {0.85, true}, {0.6, false}, {0.5, true}, {0.2, false}, {0.1, false},
+	}
+	th, c, err := MaxFMeasure(scored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best operating point: threshold 0.85 gives P=1, R=2/3, F=0.8;
+	// threshold 0.5 gives P=0.75, R=1, F≈0.857 — the latter wins.
+	if th != 0.5 {
+		t.Fatalf("best threshold = %g (table %v)", th, c)
+	}
+	if math.Abs(c.FMeasure()-6.0/7.0) > 1e-12 {
+		t.Fatalf("best F = %g", c.FMeasure())
+	}
+	if _, _, err := MaxFMeasure(nil); err == nil {
+		t.Fatal("empty MaxFMeasure accepted")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	g := stats.NewRNG(3)
+	train, test, err := Split(10, 0.7, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(train) != 7 || len(test) != 3 {
+		t.Fatalf("split sizes %d/%d", len(train), len(test))
+	}
+	seen := make(map[int]bool)
+	for _, i := range append(append([]int(nil), train...), test...) {
+		if seen[i] {
+			t.Fatalf("index %d appears twice", i)
+		}
+		seen[i] = true
+	}
+	if len(seen) != 10 {
+		t.Fatal("split lost indices")
+	}
+	if _, _, err := Split(1, 0.5, g); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	if _, _, err := Split(10, 1.0, g); err == nil {
+		t.Fatal("frac=1 accepted")
+	}
+}
+
+func TestKFold(t *testing.T) {
+	g := stats.NewRNG(3)
+	folds, err := KFold(10, 3, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, f := range folds {
+		total += len(f)
+	}
+	if total != 10 || len(folds) != 3 {
+		t.Fatalf("folds = %v", folds)
+	}
+	if _, err := KFold(3, 5, g); err == nil {
+		t.Fatal("k > n accepted")
+	}
+	if _, err := KFold(10, 1, g); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+}
+
+func TestMatchWarnings(t *testing.T) {
+	warnings := []Warning{
+		{Time: 100, LeadTime: 50},  // covers failure at 130 → TP
+		{Time: 300, LeadTime: 50},  // no failure in [300,360] → FP
+		{Time: 500, LeadTime: 100}, // covers failure at 580 → TP
+	}
+	failures := []float64{130, 580, 900} // failure at 900 missed → FN
+	c := MatchWarnings(warnings, failures, 10, 20)
+	if c.TP != 2 || c.FP != 1 || c.FN != 1 {
+		t.Fatalf("MatchWarnings = %+v", c)
+	}
+	if c.TN != 20-2-1-1 {
+		t.Fatalf("TN = %d", c.TN)
+	}
+	// A single failure cannot satisfy two warnings.
+	double := []Warning{{Time: 100, LeadTime: 50}, {Time: 110, LeadTime: 50}}
+	c = MatchWarnings(double, []float64{130}, 0, 10)
+	if c.TP != 1 || c.FP != 1 {
+		t.Fatalf("double-counted failure: %+v", c)
+	}
+}
+
+func TestWarningDeadline(t *testing.T) {
+	w := Warning{Time: 10, LeadTime: 5}
+	if w.Deadline() != 15 {
+		t.Fatalf("Deadline = %g", w.Deadline())
+	}
+}

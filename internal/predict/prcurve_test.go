@@ -1,0 +1,118 @@
+package predict
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestPrecisionRecallPerfect(t *testing.T) {
+	scored := []Scored{
+		{0.9, true}, {0.8, true}, {0.2, false}, {0.1, false},
+	}
+	curve, err := PrecisionRecall(scored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the most conservative threshold precision is 1; the final point
+	// has recall 1.
+	if curve[0].Precision != 1 {
+		t.Fatalf("first precision = %g", curve[0].Precision)
+	}
+	last := curve[len(curve)-1]
+	if last.Recall != 1 || last.Precision != 0.5 {
+		t.Fatalf("last point = %+v", last)
+	}
+	be, err := Breakeven(scored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if be != 1 {
+		t.Fatalf("perfect breakeven = %g", be)
+	}
+}
+
+func TestPrecisionRecallValidation(t *testing.T) {
+	if _, err := PrecisionRecall([]Scored{{0.5, false}}); err == nil {
+		t.Fatal("no positives accepted")
+	}
+	if _, err := PrecisionRecall([]Scored{{math.NaN(), true}}); err == nil {
+		t.Fatal("NaN accepted")
+	}
+	if _, err := Breakeven(nil); err == nil {
+		t.Fatal("empty breakeven accepted")
+	}
+}
+
+func TestBreakevenMatchesKnownCrossing(t *testing.T) {
+	// Two positives, two negatives, interleaved: at threshold 0.7
+	// precision=1, recall=0.5; at 0.5: precision=2/3, recall=1... the
+	// crossing lies between.
+	scored := []Scored{
+		{0.9, true}, {0.7, false}, {0.5, true}, {0.3, false},
+	}
+	be, err := Breakeven(scored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if be < 0.5 || be > 1 {
+		t.Fatalf("breakeven = %g out of plausible range", be)
+	}
+}
+
+func TestBreakevenTracksPredictorQuality(t *testing.T) {
+	g := stats.NewRNG(8)
+	mk := func(sep float64) []Scored {
+		scored := make([]Scored, 600)
+		for i := range scored {
+			actual := g.Bernoulli(0.3)
+			mean := 0.0
+			if actual {
+				mean = sep
+			}
+			scored[i] = Scored{Score: mean + g.NormFloat64(), Actual: actual}
+		}
+		return scored
+	}
+	weak, err := Breakeven(mk(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	strong, err := Breakeven(mk(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strong <= weak {
+		t.Fatalf("breakeven should grow with separation: weak=%g strong=%g", weak, strong)
+	}
+	if strong < 0.8 {
+		t.Fatalf("strong separation breakeven = %g", strong)
+	}
+}
+
+// Property: precision-recall recall values are non-decreasing along the
+// threshold sweep.
+func TestPRRecallMonotone(t *testing.T) {
+	g := stats.NewRNG(9)
+	for trial := 0; trial < 20; trial++ {
+		scored := make([]Scored, 50)
+		hasPos := false
+		for i := range scored {
+			scored[i] = Scored{Score: g.Float64(), Actual: g.Bernoulli(0.4)}
+			hasPos = hasPos || scored[i].Actual
+		}
+		if !hasPos {
+			continue
+		}
+		curve, err := PrecisionRecall(scored)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(curve); i++ {
+			if curve[i].Recall < curve[i-1].Recall {
+				t.Fatalf("recall not monotone at %d", i)
+			}
+		}
+	}
+}

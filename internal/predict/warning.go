@@ -1,0 +1,58 @@
+package predict
+
+import "fmt"
+
+// Warning is a failure warning emitted by an online predictor: the
+// prediction time, the lead time Δtl until the anticipated failure, and the
+// predictor's confidence (its raw score mapped to [0,1] where possible).
+type Warning struct {
+	Time       float64 // when the warning was raised [s]
+	LeadTime   float64 // anticipated time until failure [s]
+	Confidence float64 // predictor confidence in [0,1]
+	Source     string  // predictor that raised it (layer name in Fig. 11)
+}
+
+// Deadline returns the anticipated failure time.
+func (w Warning) Deadline() float64 { return w.Time + w.LeadTime }
+
+// String renders the warning.
+func (w Warning) String() string {
+	return fmt.Sprintf("warning[t=%.1f +%.0fs conf=%.2f src=%s]", w.Time, w.LeadTime, w.Confidence, w.Source)
+}
+
+// MatchWarnings pairs warnings against actual failure times and returns the
+// contingency table: a warning is a true positive if a failure occurs
+// within [Time, Time+LeadTime+slack]; a failure with no covering warning is
+// a false negative. The negatives count is calibrated by the number of
+// evaluation points (prediction opportunities) supplied by the caller.
+func MatchWarnings(warnings []Warning, failures []float64, slack float64, evaluations int) ContingencyTable {
+	var c ContingencyTable
+	usedFailure := make([]bool, len(failures))
+	for _, w := range warnings {
+		hit := false
+		for i, f := range failures {
+			if usedFailure[i] {
+				continue
+			}
+			if f >= w.Time && f <= w.Deadline()+slack {
+				usedFailure[i] = true
+				hit = true
+				break
+			}
+		}
+		if hit {
+			c.TP++
+		} else {
+			c.FP++
+		}
+	}
+	for _, used := range usedFailure {
+		if !used {
+			c.FN++
+		}
+	}
+	if tn := evaluations - c.TP - c.FP - c.FN; tn > 0 {
+		c.TN = tn
+	}
+	return c
+}

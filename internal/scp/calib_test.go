@@ -1,0 +1,36 @@
+package scp
+
+import "testing"
+
+// TestWeekLongCalibration pins the simulator's macroscopic behaviour: a
+// one-week unmitigated run fails with an MTTF in the few-hours range the
+// Sect. 5 model assumes, with all three fault classes contributing.
+func TestWeekLongCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("week-long simulation")
+	}
+	s := newSystem(t, DefaultConfig())
+	const week = 7 * 86400.0
+	if err := s.Run(week); err != nil {
+		t.Fatal(err)
+	}
+	fails := s.Failures()
+	if len(fails) < 20 || len(fails) > 90 {
+		t.Fatalf("failures in a week = %d, want 20–90 (MTTF in the hours range)", len(fails))
+	}
+	causes := map[string]int{}
+	for _, f := range fails {
+		causes[f.Cause]++
+	}
+	for _, cause := range []string{"leak", "burst", "overload"} {
+		if causes[cause] == 0 {
+			t.Fatalf("no %s failures in a week: %v", cause, causes)
+		}
+	}
+	if a := s.MeasuredAvailability(); a < 0.9 || a >= 1 {
+		t.Fatalf("unmitigated availability = %g", a)
+	}
+	if s.Log().Len() < 1000 {
+		t.Fatalf("only %d error events in a week", s.Log().Len())
+	}
+}

@@ -1,0 +1,186 @@
+// Package scp simulates the paper's case-study system (Sect. 3.3): a
+// telecommunication Service Control Point handling MOC/SMS/GPRS service
+// requests. It is a discrete-event simulation that reproduces the fault →
+// error → symptom → failure causality of Fig. 2:
+//
+//   - faults are injected as episodes (memory leaks, intermittent error
+//     bursts, load spikes),
+//   - detected errors are reported to an error log (the HSMM's input),
+//   - symptoms surface in SAR-style monitoring variables (the UBF's input),
+//   - failures are performance failures per the paper's Eq. 2: within
+//     non-overlapping five-minute intervals, the fraction of calls with
+//     response time over 250 ms must not exceed 0.01% (four-nines interval
+//     service availability).
+//
+// The simulator implements act.Target, so the full MEA loop can steer it.
+package scp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrSCP is wrapped by all package errors.
+var ErrSCP = errors.New("scp: invalid operation")
+
+// Event type IDs emitted into the error log, grouped by fault domain.
+const (
+	// Memory-leak domain (thresholds crossed as free memory shrinks).
+	EventMemWarning  = 100
+	EventMemLow      = 101
+	EventMemCritical = 102
+	EventAllocFail   = 103
+	EventSwapPress   = 104
+	// Intermittent-fault domain: failure-bound bursts skew to 200/201,
+	// benign bursts to 203/204; 202 is shared between both.
+	EventCompTimeout  = 200
+	EventCompRestart  = 201
+	EventCompRetry    = 202
+	EventLinkFlap     = 203
+	EventProtoWarning = 204
+	// Intermittent-fault domain after a "software update" (dynamicity,
+	// Sect. 6): the same faults report under new message IDs.
+	EventCompTimeoutV2 = 210
+	EventCompRestartV2 = 211
+	EventCompRetryV2   = 212
+	// Overload domain.
+	EventOverload = 300
+	// Background noise domain (not failure related): 400–409.
+	EventNoiseBase = 400
+	NoiseTypes     = 10
+)
+
+// Config parameterizes the simulated SCP.
+type Config struct {
+	Seed int64
+
+	// Tick is the simulation step for load/response accounting [s].
+	Tick float64
+	// SARInterval is the System Activity Reporter sampling period [s].
+	SARInterval float64
+	// SpecInterval is the Eq. 2 evaluation interval [s] (five minutes).
+	SpecInterval float64
+	// SlowFractionLimit is the Eq. 2 violation threshold (0.01% = 1e-4).
+	SlowFractionLimit float64
+
+	// BaseLoad is the nominal request rate [req/s]; the diurnal profile
+	// modulates it by ±DiurnalAmplitude.
+	BaseLoad         float64
+	DiurnalAmplitude float64
+	// Capacity is the request rate the platform serves without
+	// degradation [req/s].
+	Capacity float64
+
+	// MemTotal and SwapThreshold shape the memory-leak symptom [MB]:
+	// below the threshold the system starts swapping and degrades.
+	MemTotal      float64
+	SwapThreshold float64
+
+	// LeakMTBF is the mean time between memory-leak episodes [s];
+	// LeakRate the mean leak speed [MB/s].
+	LeakMTBF float64
+	LeakRate float64
+	// BurstMTBF is the mean time between intermittent-fault bursts [s];
+	// BurstFailureProb the fraction of bursts that escalate to a failure.
+	BurstMTBF        float64
+	BurstFailureProb float64
+	// SpikeMTBF is the mean time between load spikes [s]; spike
+	// multipliers are drawn uniformly from [SpikeMinMult, SpikeMaxMult].
+	SpikeMTBF    float64
+	SpikeMinMult float64
+	SpikeMaxMult float64
+	// NoiseErrorRate is the background (failure-unrelated) error rate
+	// [errors/s].
+	NoiseErrorRate float64
+
+	// RepairTime is the unprepared repair downtime [s];
+	// PreparedRepairTime the prewarmed-spare downtime (Fig. 8);
+	// RestartDowntime the forced downtime of a preventive restart [s].
+	RepairTime         float64
+	PreparedRepairTime float64
+	RestartDowntime    float64
+
+	// SignatureShiftAt simulates system dynamicity (Sect. 6): from this
+	// time on, failure-bound bursts report under the V2 event-type IDs —
+	// the log-message churn of an update. Zero disables the shift.
+	SignatureShiftAt float64
+}
+
+// DefaultConfig returns a configuration calibrated so that unmitigated
+// operation fails roughly every few hours (matching the Sect. 5 model's
+// failure-rate assumption) while healthy operation stays comfortably inside
+// the Eq. 2 specification.
+func DefaultConfig() Config {
+	return Config{
+		Tick:               5,
+		SARInterval:        60,
+		SpecInterval:       300,
+		SlowFractionLimit:  1e-4,
+		BaseLoad:           100,
+		DiurnalAmplitude:   0.3,
+		Capacity:           180,
+		MemTotal:           4096,
+		SwapThreshold:      512,
+		LeakMTBF:           6 * 3600,
+		LeakRate:           0.4,
+		BurstMTBF:          3 * 3600,
+		BurstFailureProb:   0.55,
+		SpikeMTBF:          8 * 3600,
+		SpikeMinMult:       1.1,
+		SpikeMaxMult:       1.7,
+		NoiseErrorRate:     1.0 / 120,
+		RepairTime:         600,
+		PreparedRepairTime: 300,
+		RestartDowntime:    60,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	positive := map[string]float64{
+		"tick":                 c.Tick,
+		"SAR interval":         c.SARInterval,
+		"spec interval":        c.SpecInterval,
+		"slow fraction limit":  c.SlowFractionLimit,
+		"base load":            c.BaseLoad,
+		"capacity":             c.Capacity,
+		"total memory":         c.MemTotal,
+		"swap threshold":       c.SwapThreshold,
+		"leak MTBF":            c.LeakMTBF,
+		"leak rate":            c.LeakRate,
+		"burst MTBF":           c.BurstMTBF,
+		"spike MTBF":           c.SpikeMTBF,
+		"repair time":          c.RepairTime,
+		"prepared repair time": c.PreparedRepairTime,
+		"restart downtime":     c.RestartDowntime,
+	}
+	for name, v := range positive {
+		if v <= 0 {
+			return fmt.Errorf("%w: %s = %g must be positive", ErrSCP, name, v)
+		}
+	}
+	if c.DiurnalAmplitude < 0 || c.DiurnalAmplitude >= 1 {
+		return fmt.Errorf("%w: diurnal amplitude %g", ErrSCP, c.DiurnalAmplitude)
+	}
+	if c.SwapThreshold >= c.MemTotal {
+		return fmt.Errorf("%w: swap threshold %g ≥ total memory %g", ErrSCP, c.SwapThreshold, c.MemTotal)
+	}
+	if c.BurstFailureProb < 0 || c.BurstFailureProb > 1 {
+		return fmt.Errorf("%w: burst failure probability %g", ErrSCP, c.BurstFailureProb)
+	}
+	if c.SpikeMinMult <= 0 || c.SpikeMaxMult < c.SpikeMinMult {
+		return fmt.Errorf("%w: spike multipliers [%g, %g]", ErrSCP, c.SpikeMinMult, c.SpikeMaxMult)
+	}
+	if c.NoiseErrorRate < 0 {
+		return fmt.Errorf("%w: noise error rate %g", ErrSCP, c.NoiseErrorRate)
+	}
+	if c.PreparedRepairTime > c.RepairTime {
+		return fmt.Errorf("%w: prepared repair %g slower than unprepared %g",
+			ErrSCP, c.PreparedRepairTime, c.RepairTime)
+	}
+	if c.SpecInterval < c.Tick || c.SARInterval < c.Tick {
+		return fmt.Errorf("%w: tick %g must not exceed SAR (%g) or spec (%g) intervals",
+			ErrSCP, c.Tick, c.SARInterval, c.SpecInterval)
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+// Package sim provides a small deterministic discrete-event simulation
+// kernel: a virtual clock and a time-ordered event queue. The telecom SCP
+// simulator and the countermeasure experiments run on top of it.
+//
+// Determinism: events scheduled for the same instant fire in scheduling
+// order (FIFO tie-break), so a seeded simulation replays identically.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSchedule is wrapped by scheduling errors.
+var ErrSchedule = errors.New("sim: invalid schedule")
+
+type event struct {
+	time   float64
+	seq    int64 // FIFO tie-break for simultaneous events
+	action func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation engine. The zero value is not
+// usable; construct with NewEngine.
+type Engine struct {
+	now     float64
+	queue   eventHeap
+	seq     int64
+	stopped bool
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule enqueues action to run after delay ≥ 0 units of virtual time.
+func (e *Engine) Schedule(delay float64, action func()) error {
+	if delay < 0 || math.IsNaN(delay) || math.IsInf(delay, 0) {
+		return fmt.Errorf("%w: delay %g", ErrSchedule, delay)
+	}
+	return e.ScheduleAt(e.now+delay, action)
+}
+
+// ScheduleAt enqueues action to run at absolute virtual time t ≥ Now().
+func (e *Engine) ScheduleAt(t float64, action func()) error {
+	if action == nil {
+		return fmt.Errorf("%w: nil action", ErrSchedule)
+	}
+	if t < e.now || math.IsNaN(t) || math.IsInf(t, 0) {
+		return fmt.Errorf("%w: time %g before now %g", ErrSchedule, t, e.now)
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{time: t, seq: e.seq, action: action})
+	return nil
+}
+
+// Run processes events in time order until the clock reaches `until`, the
+// queue drains, or Stop is called. Events scheduled exactly at `until` are
+// processed. It returns the number of events executed, and leaves the clock
+// at `until` (or at the stop time).
+func (e *Engine) Run(until float64) int {
+	e.stopped = false
+	n := 0
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.time > until {
+			break
+		}
+		heap.Pop(&e.queue)
+		e.now = next.time
+		next.action()
+		n++
+	}
+	if !e.stopped && e.now < until {
+		e.now = until
+	}
+	return n
+}
+
+// Stop halts Run after the currently executing event.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Every schedules a recurring action with the given period, starting after
+// one period. The action receives the engine so it can cancel by returning
+// false. Recurrence stops when the callback returns false.
+func (e *Engine) Every(period float64, action func() bool) error {
+	if period <= 0 || math.IsNaN(period) || math.IsInf(period, 0) {
+		return fmt.Errorf("%w: period %g", ErrSchedule, period)
+	}
+	var tick func()
+	tick = func() {
+		if !action() {
+			return
+		}
+		// Scheduling from inside an event cannot fail: delay is positive
+		// and the clock is valid.
+		_ = e.Schedule(period, tick)
+	}
+	return e.Schedule(period, tick)
+}

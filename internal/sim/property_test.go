@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+// Property: for any random schedule, events fire in non-decreasing time
+// order and all events within the horizon fire exactly once.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := stats.NewRNG(seed)
+		e := NewEngine()
+		n := 1 + g.Intn(50)
+		times := make([]float64, n)
+		var fired []float64
+		for i := 0; i < n; i++ {
+			times[i] = g.Float64() * 100
+			tt := times[i]
+			if err := e.ScheduleAt(tt, func() { fired = append(fired, tt) }); err != nil {
+				return false
+			}
+		}
+		horizon := g.Float64() * 120
+		e.Run(horizon)
+		// Fired events are exactly those within the horizon, in order.
+		var want []float64
+		for _, tt := range times {
+			if tt <= horizon {
+				want = append(want, tt)
+			}
+		}
+		sort.Float64s(want)
+		if len(fired) != len(want) {
+			return false
+		}
+		for i := range fired {
+			if fired[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the clock never moves backwards, regardless of nested
+// scheduling from within events.
+func TestClockMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := stats.NewRNG(seed)
+		e := NewEngine()
+		monotone := true
+		last := 0.0
+		var spawn func()
+		spawn = func() {
+			if e.Now() < last {
+				monotone = false
+			}
+			last = e.Now()
+			if g.Bernoulli(0.7) {
+				_ = e.Schedule(g.Float64()*5, spawn)
+			}
+		}
+		for i := 0; i < 5; i++ {
+			_ = e.Schedule(g.Float64()*10, spawn)
+		}
+		e.Run(200)
+		return monotone
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,107 @@
+package timeseries
+
+import (
+	"math"
+	"testing"
+)
+
+func buildSpecs(t *testing.T) []FeatureSpec {
+	t.Helper()
+	mem := mustSeries(t, "mem",
+		Point{0, 100}, Point{10, 90}, Point{20, 80}, Point{30, 70})
+	cpu := mustSeries(t, "cpu",
+		Point{0, 0.2}, Point{10, 0.4}, Point{20, 0.6}, Point{30, 0.8})
+	return []FeatureSpec{
+		{Series: mem, Window: 25, WithMean: true, WithTrend: true},
+		{Series: cpu},
+	}
+}
+
+func TestFeatureSpecColumns(t *testing.T) {
+	specs := buildSpecs(t)
+	if got := specs[0].NumColumns(); got != 3 {
+		t.Fatalf("NumColumns = %d", got)
+	}
+	names := specs[0].ColumnNames()
+	if len(names) != 3 || names[1] != "mem.mean" || names[2] != "mem.trend" {
+		t.Fatalf("names = %v", names)
+	}
+	if specs[1].NumColumns() != 1 {
+		t.Fatal("raw-only spec should have one column")
+	}
+}
+
+func TestBuildMatrix(t *testing.T) {
+	specs := buildSpecs(t)
+	m, names, err := BuildMatrix(specs, []float64{20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 2 || m.Cols != 4 {
+		t.Fatalf("matrix is %dx%d", m.Rows, m.Cols)
+	}
+	if len(names) != 4 {
+		t.Fatalf("names = %v", names)
+	}
+	// Raw mem at t=20 is 80; at t=30 is 70.
+	if m.At(0, 0) != 80 || m.At(1, 0) != 70 {
+		t.Fatalf("raw mem column = %g, %g", m.At(0, 0), m.At(1, 0))
+	}
+	// Window mean at t=20 over [−5,20] covers {100,90,80} → 90.
+	if m.At(0, 1) != 90 {
+		t.Fatalf("mem.mean at 20 = %g", m.At(0, 1))
+	}
+	// Trend of mem is −1 per second.
+	if math.Abs(m.At(0, 2)+1) > 1e-9 {
+		t.Fatalf("mem.trend = %g", m.At(0, 2))
+	}
+	// cpu raw column.
+	if m.At(1, 3) != 0.8 {
+		t.Fatalf("cpu at 30 = %g", m.At(1, 3))
+	}
+}
+
+func TestBuildMatrixErrors(t *testing.T) {
+	specs := buildSpecs(t)
+	if _, _, err := BuildMatrix(nil, []float64{1}); err == nil {
+		t.Fatal("no specs accepted")
+	}
+	if _, _, err := BuildMatrix(specs, nil); err == nil {
+		t.Fatal("no times accepted")
+	}
+	// Time before any observation.
+	if _, _, err := BuildMatrix(specs, []float64{-5}); err == nil {
+		t.Fatal("pre-history time accepted")
+	}
+}
+
+func TestStandardizeRoundTrip(t *testing.T) {
+	specs := buildSpecs(t)
+	m, _, err := BuildMatrix(specs, []float64{10, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := m.Clone()
+	means, stds := StandardizeColumns(m)
+	// Each column must now have ≈0 mean.
+	for c := 0; c < m.Cols; c++ {
+		sum := 0.0
+		for r := 0; r < m.Rows; r++ {
+			sum += m.At(r, c)
+		}
+		if math.Abs(sum) > 1e-9 {
+			t.Fatalf("column %d mean %g after standardize", c, sum/3)
+		}
+	}
+	// Applying the same transform to the original reproduces the z-scores.
+	again := orig.Clone()
+	if err := ApplyStandardization(again, means, stds); err != nil {
+		t.Fatal(err)
+	}
+	if !again.Equalish(m, 1e-12) {
+		t.Fatal("ApplyStandardization does not reproduce StandardizeColumns")
+	}
+	if err := ApplyStandardization(again, means[:1], stds); err == nil {
+		t.Fatal("mismatched transform accepted")
+	}
+}

@@ -1,0 +1,197 @@
+// Package timeseries provides the time-series representation shared by the
+// monitoring layer and the symptom-based failure predictors: append-only
+// series of (time, value) points with windowing, resampling, smoothing,
+// trend estimation, and feature extraction for learning.
+package timeseries
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrSeries is wrapped by all series errors.
+var ErrSeries = errors.New("timeseries: invalid operation")
+
+// Point is one observation.
+type Point struct {
+	T float64 // observation time [s]
+	V float64 // observed value
+}
+
+// Series is an append-only, time-ordered sequence of observations of one
+// monitored variable.
+type Series struct {
+	Name   string
+	points []Point
+}
+
+// New returns an empty series for the named variable.
+func New(name string) *Series {
+	return &Series{Name: name}
+}
+
+// FromPoints builds a series from points, which must be strictly increasing
+// in time.
+func FromPoints(name string, pts []Point) (*Series, error) {
+	s := New(name)
+	for _, p := range pts {
+		if err := s.Append(p.T, p.V); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Append adds an observation; time must strictly increase.
+func (s *Series) Append(t, v float64) error {
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		return fmt.Errorf("%w: time %g", ErrSeries, t)
+	}
+	if n := len(s.points); n > 0 && t <= s.points[n-1].T {
+		return fmt.Errorf("%w: time %g not after %g", ErrSeries, t, s.points[n-1].T)
+	}
+	s.points = append(s.points, Point{T: t, V: v})
+	return nil
+}
+
+// Len returns the number of observations.
+func (s *Series) Len() int { return len(s.points) }
+
+// At returns the i-th observation.
+func (s *Series) At(i int) Point { return s.points[i] }
+
+// Last returns the most recent observation and whether one exists.
+func (s *Series) Last() (Point, bool) {
+	if len(s.points) == 0 {
+		return Point{}, false
+	}
+	return s.points[len(s.points)-1], true
+}
+
+// Values returns a copy of all observed values.
+func (s *Series) Values() []float64 {
+	out := make([]float64, len(s.points))
+	for i, p := range s.points {
+		out[i] = p.V
+	}
+	return out
+}
+
+// Times returns a copy of all observation times.
+func (s *Series) Times() []float64 {
+	out := make([]float64, len(s.points))
+	for i, p := range s.points {
+		out[i] = p.T
+	}
+	return out
+}
+
+// Window returns the sub-series with times in the half-open interval
+// [from, to).
+func (s *Series) Window(from, to float64) *Series {
+	lo := sort.Search(len(s.points), func(i int) bool { return s.points[i].T >= from })
+	hi := sort.Search(len(s.points), func(i int) bool { return s.points[i].T >= to })
+	out := New(s.Name)
+	out.points = append(out.points, s.points[lo:hi]...)
+	return out
+}
+
+// ValueAt returns the latest observed value at or before t (zero-order
+// hold), and whether any observation exists at or before t.
+func (s *Series) ValueAt(t float64) (float64, bool) {
+	i := sort.Search(len(s.points), func(i int) bool { return s.points[i].T > t })
+	if i == 0 {
+		return 0, false
+	}
+	return s.points[i-1].V, true
+}
+
+// Resample aggregates the series into buckets of width step (starting at
+// the first observation), taking the mean of each non-empty bucket. The
+// resampled point carries the bucket start time.
+func (s *Series) Resample(step float64) (*Series, error) {
+	if step <= 0 || math.IsNaN(step) {
+		return nil, fmt.Errorf("%w: resample step %g", ErrSeries, step)
+	}
+	out := New(s.Name)
+	if len(s.points) == 0 {
+		return out, nil
+	}
+	start := s.points[0].T
+	bucket := 0
+	sum, n := 0.0, 0
+	flush := func() {
+		if n > 0 {
+			// Bucket start times strictly increase, so Append cannot fail.
+			_ = out.Append(start+float64(bucket)*step, sum/float64(n))
+		}
+	}
+	for _, p := range s.points {
+		b := int((p.T - start) / step)
+		if b != bucket {
+			flush()
+			bucket = b
+			sum, n = 0, 0
+		}
+		sum += p.V
+		n++
+	}
+	flush()
+	return out, nil
+}
+
+// Smooth returns an exponentially smoothed copy with factor alpha ∈ (0,1].
+func (s *Series) Smooth(alpha float64) (*Series, error) {
+	if alpha <= 0 || alpha > 1 || math.IsNaN(alpha) {
+		return nil, fmt.Errorf("%w: smoothing factor %g", ErrSeries, alpha)
+	}
+	out := New(s.Name)
+	prev := 0.0
+	for i, p := range s.points {
+		v := p.V
+		if i > 0 {
+			v = alpha*p.V + (1-alpha)*prev
+		}
+		_ = out.Append(p.T, v)
+		prev = v
+	}
+	return out, nil
+}
+
+// LinearTrend fits v ≈ slope·t + intercept by ordinary least squares.
+// It returns an error for fewer than two points or constant time.
+func (s *Series) LinearTrend() (slope, intercept float64, err error) {
+	n := len(s.points)
+	if n < 2 {
+		return 0, 0, fmt.Errorf("%w: trend needs ≥ 2 points", ErrSeries)
+	}
+	var st, sv, stt, stv float64
+	for _, p := range s.points {
+		st += p.T
+		sv += p.V
+		stt += p.T * p.T
+		stv += p.T * p.V
+	}
+	fn := float64(n)
+	den := fn*stt - st*st
+	if den == 0 {
+		return 0, 0, fmt.Errorf("%w: degenerate time axis", ErrSeries)
+	}
+	slope = (fn*stv - st*sv) / den
+	intercept = (sv - slope*st) / fn
+	return slope, intercept, nil
+}
+
+// Rate returns the difference quotient series (dV/dT between consecutive
+// observations), timestamped at the later observation.
+func (s *Series) Rate() *Series {
+	out := New(s.Name + ".rate")
+	for i := 1; i < len(s.points); i++ {
+		dt := s.points[i].T - s.points[i-1].T
+		// Times strictly increase, so dt > 0 and Append cannot fail.
+		_ = out.Append(s.points[i].T, (s.points[i].V-s.points[i-1].V)/dt)
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+// Package ubf implements the paper's Universal Basis Functions failure
+// predictor (Sect. 3.2): function approximation over monitored system
+// variables with mixed kernels
+//
+//	k_i(x) = m_i·γ(x; λγ_i) + (1−m_i)·δ(x; λδ_i)        (Eq. 1)
+//
+// where γ is a Gaussian and δ a sigmoid kernel. By optimizing the mixture
+// weight m_i along with the kernel parameters, a UBF network models peaked,
+// stepping, or mixed behaviour in different regions of the input space.
+// Output-layer weights are fitted by regularized least squares; kernel
+// parameters by randomized search with local refinement.
+//
+// The package also provides the Probabilistic Wrapper Approach (PWA) for
+// variable selection, combining forward selection and backward elimination
+// in a probabilistic framework, plus both classic strategies for the E8
+// comparison experiment.
+package ubf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// ErrUBF is wrapped by all package errors.
+var ErrUBF = errors.New("ubf: invalid operation")
+
+// Kernel is one universal basis function (Eq. 1): a convex mixture of a
+// Gaussian kernel γ and a sigmoid kernel δ sharing the center.
+type Kernel struct {
+	Center []float64 // kernel location λ.c
+	Width  float64   // length scale λ.w > 0
+	Mix    float64   // m ∈ [0,1]: 1 = pure Gaussian, 0 = pure sigmoid
+	Dir    []float64 // sigmoid direction (unit vector)
+}
+
+// Validate checks the kernel parameters.
+func (k Kernel) Validate(dim int) error {
+	if len(k.Center) != dim || len(k.Dir) != dim {
+		return fmt.Errorf("%w: kernel dims center=%d dir=%d, want %d", ErrUBF, len(k.Center), len(k.Dir), dim)
+	}
+	if k.Width <= 0 || math.IsNaN(k.Width) {
+		return fmt.Errorf("%w: kernel width %g", ErrUBF, k.Width)
+	}
+	if k.Mix < 0 || k.Mix > 1 || math.IsNaN(k.Mix) {
+		return fmt.Errorf("%w: mixture weight %g", ErrUBF, k.Mix)
+	}
+	return nil
+}
+
+// Eval returns k(x) = m·γ(x) + (1−m)·δ(x).
+func (k Kernel) Eval(x []float64) float64 {
+	g := 0.0
+	if k.Mix > 0 {
+		g = k.gaussian(x)
+	}
+	s := 0.0
+	if k.Mix < 1 {
+		s = k.sigmoid(x)
+	}
+	return k.Mix*g + (1-k.Mix)*s
+}
+
+// gaussian is γ(x) = exp(−‖x−c‖² / (2w²)).
+func (k Kernel) gaussian(x []float64) float64 {
+	d2 := 0.0
+	for i, c := range k.Center {
+		d := x[i] - c
+		d2 += d * d
+	}
+	return math.Exp(-d2 / (2 * k.Width * k.Width))
+}
+
+// sigmoid is δ(x) = 1 / (1 + exp(−u·(x−c)/w)).
+func (k Kernel) sigmoid(x []float64) float64 {
+	z := 0.0
+	for i, c := range k.Center {
+		z += k.Dir[i] * (x[i] - c)
+	}
+	return 1 / (1 + math.Exp(-z/k.Width))
+}
+
+// Network is a trained UBF network: f(x) = w₀ + Σᵢ wᵢ·kᵢ(x).
+type Network struct {
+	Kernels []Kernel
+	Weights []float64 // len(Kernels)+1; Weights[0] is the bias
+	dim     int
+}
+
+// Dim returns the expected input dimension.
+func (n *Network) Dim() int { return n.dim }
+
+// Predict evaluates the network at x.
+func (n *Network) Predict(x []float64) (float64, error) {
+	if len(x) != n.dim {
+		return 0, fmt.Errorf("%w: input dim %d, want %d", ErrUBF, len(x), n.dim)
+	}
+	y := n.Weights[0]
+	for i, k := range n.Kernels {
+		y += n.Weights[i+1] * k.Eval(x)
+	}
+	return y, nil
+}
+
+// PredictRows evaluates the network on every row of m.
+func (n *Network) PredictRows(m *mat.Matrix) ([]float64, error) {
+	if m.Cols != n.dim {
+		return nil, fmt.Errorf("%w: matrix has %d columns, want %d", ErrUBF, m.Cols, n.dim)
+	}
+	out := make([]float64, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		y, err := n.Predict(m.Row(r))
+		if err != nil {
+			return nil, err
+		}
+		out[r] = y
+	}
+	return out, nil
+}
+
+// designMatrix builds Φ: rows [1, k₁(x), …, k_K(x)].
+func designMatrix(kernels []Kernel, x *mat.Matrix) *mat.Matrix {
+	phi := mat.New(x.Rows, len(kernels)+1)
+	for r := 0; r < x.Rows; r++ {
+		row := x.Row(r)
+		phi.Set(r, 0, 1)
+		for i, k := range kernels {
+			phi.Set(r, i+1, k.Eval(row))
+		}
+	}
+	return phi
+}
+
+// mse returns the mean squared error of predictions vs targets.
+func mse(pred, y []float64) float64 {
+	s := 0.0
+	for i, p := range pred {
+		d := p - y[i]
+		s += d * d
+	}
+	return s / float64(len(y))
+}

@@ -1,0 +1,199 @@
+package ubf
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/stats"
+)
+
+func unitDir(dim int) []float64 {
+	d := make([]float64, dim)
+	d[0] = 1
+	return d
+}
+
+func TestGaussianKernelPeaksAtCenter(t *testing.T) {
+	k := Kernel{Center: []float64{1, 2}, Width: 0.5, Mix: 1, Dir: unitDir(2)}
+	if got := k.Eval([]float64{1, 2}); got != 1 {
+		t.Fatalf("γ(center) = %g", got)
+	}
+	near := k.Eval([]float64{1.1, 2})
+	far := k.Eval([]float64{3, 2})
+	if !(near < 1 && far < near) {
+		t.Fatalf("γ not decaying: near=%g far=%g", near, far)
+	}
+}
+
+func TestSigmoidKernelSteps(t *testing.T) {
+	k := Kernel{Center: []float64{0}, Width: 1, Mix: 0, Dir: []float64{1}}
+	if got := k.Eval([]float64{0}); got != 0.5 {
+		t.Fatalf("δ(center) = %g", got)
+	}
+	lo := k.Eval([]float64{-10})
+	hi := k.Eval([]float64{10})
+	if lo > 0.01 || hi < 0.99 {
+		t.Fatalf("δ step = %g…%g", lo, hi)
+	}
+}
+
+func TestMixedKernelInterpolates(t *testing.T) {
+	x := []float64{0.3}
+	g := Kernel{Center: []float64{0}, Width: 1, Mix: 1, Dir: []float64{1}}
+	s := Kernel{Center: []float64{0}, Width: 1, Mix: 0, Dir: []float64{1}}
+	m := Kernel{Center: []float64{0}, Width: 1, Mix: 0.4, Dir: []float64{1}}
+	want := 0.4*g.Eval(x) + 0.6*s.Eval(x)
+	if got := m.Eval(x); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("mixture = %g, want %g", got, want)
+	}
+}
+
+func TestKernelValidate(t *testing.T) {
+	good := Kernel{Center: []float64{0}, Width: 1, Mix: 0.5, Dir: []float64{1}}
+	if err := good.Validate(1); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Kernel{
+		{Center: []float64{0, 0}, Width: 1, Mix: 0.5, Dir: []float64{1, 0}},
+		{Center: []float64{0}, Width: 0, Mix: 0.5, Dir: []float64{1}},
+		{Center: []float64{0}, Width: 1, Mix: -0.1, Dir: []float64{1}},
+		{Center: []float64{0}, Width: 1, Mix: 1.1, Dir: []float64{1}},
+	}
+	for i, k := range bad {
+		dim := 1
+		if err := k.Validate(dim); err == nil {
+			t.Fatalf("bad kernel %d accepted", i)
+		}
+	}
+}
+
+func TestNetworkPredictDims(t *testing.T) {
+	n := &Network{
+		Kernels: []Kernel{{Center: []float64{0}, Width: 1, Mix: 1, Dir: []float64{1}}},
+		Weights: []float64{0.5, 2},
+		dim:     1,
+	}
+	y, err := n.Predict([]float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y != 2.5 { // bias 0.5 + 2·γ(0)=2
+		t.Fatalf("Predict = %g", y)
+	}
+	if _, err := n.Predict([]float64{0, 1}); err == nil {
+		t.Fatal("wrong dim accepted")
+	}
+	if _, err := n.PredictRows(mat.New(2, 3)); err == nil {
+		t.Fatal("wrong matrix dim accepted")
+	}
+}
+
+// trainData builds (x, y) rows sampling f over [-3, 3].
+func trainData(f func(float64) float64, n int, g *stats.RNG) (*mat.Matrix, []float64) {
+	x := mat.New(n, 1)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := -3 + 6*g.Float64()
+		x.Set(i, 0, v)
+		y[i] = f(v)
+	}
+	return x, y
+}
+
+func TestTrainApproximatesSmoothFunction(t *testing.T) {
+	g := stats.NewRNG(1)
+	f := func(v float64) float64 { return math.Sin(v) }
+	x, y := trainData(f, 150, g)
+	net, err := Train(x, y, TrainConfig{NumKernels: 10, Candidates: 15, Refinements: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare against predicting the mean (variance of y).
+	pred, err := net.PredictRows(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := stats.Variance(y)
+	if got := mse(pred, y); got > baseline*0.1 {
+		t.Fatalf("UBF MSE %g vs mean-baseline %g", got, baseline)
+	}
+}
+
+// TestMixedKernelsBeatPureRBFOnStep exercises the paper's motivation for
+// UBF over RBF: a step-shaped target is natural for the sigmoid component,
+// so mixed kernels should fit it at least as well as pure Gaussians.
+func TestMixedKernelsBeatPureRBFOnStep(t *testing.T) {
+	g := stats.NewRNG(3)
+	f := func(v float64) float64 {
+		if v > 0 {
+			return 1
+		}
+		return 0
+	}
+	x, y := trainData(f, 200, g)
+	cfg := TrainConfig{NumKernels: 4, Candidates: 25, Refinements: 15, Seed: 4}
+	mixed, err := Train(x, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pure := cfg
+	pure.PureRBF = true
+	rbf, err := Train(x, y, pure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := mixed.PredictRows(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := rbf.PredictRows(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mse(mp, y) > mse(rp, y)*1.05 {
+		t.Fatalf("mixed MSE %g worse than pure RBF %g on step target", mse(mp, y), mse(rp, y))
+	}
+	// The pure-RBF ablation must really be pure.
+	for _, k := range rbf.Kernels {
+		if k.Mix != 1 {
+			t.Fatalf("PureRBF produced mixture %g", k.Mix)
+		}
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	x := mat.New(5, 1)
+	y := []float64{1, 2, 3, 4, 5}
+	if _, err := Train(x, y[:3], TrainConfig{}); err == nil {
+		t.Fatal("mismatched rows accepted")
+	}
+	if _, err := Train(mat.New(1, 1), []float64{1}, TrainConfig{}); err == nil {
+		t.Fatal("single row accepted")
+	}
+	if _, err := Train(x, y, TrainConfig{NumKernels: -1}); err == nil {
+		t.Fatal("negative kernels accepted")
+	}
+	if _, err := Train(x, y, TrainConfig{Ridge: -1}); err == nil {
+		t.Fatal("negative ridge accepted")
+	}
+}
+
+func TestTrainDeterministicForSeed(t *testing.T) {
+	g := stats.NewRNG(5)
+	x, y := trainData(math.Tanh, 60, g)
+	cfg := TrainConfig{NumKernels: 5, Candidates: 5, Refinements: 3, Seed: 11}
+	a, err := Train(x, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(x, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, _ := a.Predict([]float64{0.5})
+	pb, _ := b.Predict([]float64{0.5})
+	if pa != pb {
+		t.Fatalf("same seed, different networks: %g vs %g", pa, pb)
+	}
+}

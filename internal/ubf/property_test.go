@@ -1,0 +1,93 @@
+package ubf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+// Property: every UBF kernel value lies in [0, 1] for any valid parameters
+// and any input — both γ and δ are bounded, so their convex mixture is too.
+func TestKernelBoundedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := stats.NewRNG(seed)
+		dim := 1 + g.Intn(4)
+		center := make([]float64, dim)
+		dir := make([]float64, dim)
+		for i := range center {
+			center[i] = g.NormFloat64() * 10
+			dir[i] = g.NormFloat64()
+		}
+		norm := 0.0
+		for _, v := range dir {
+			norm += v * v
+		}
+		if norm == 0 {
+			dir[0] = 1
+			norm = 1
+		}
+		norm = math.Sqrt(norm)
+		for i := range dir {
+			dir[i] /= norm
+		}
+		k := Kernel{
+			Center: center,
+			Width:  0.01 + g.Float64()*10,
+			Mix:    g.Float64(),
+			Dir:    dir,
+		}
+		if err := k.Validate(dim); err != nil {
+			return false
+		}
+		for trial := 0; trial < 20; trial++ {
+			x := make([]float64, dim)
+			for i := range x {
+				x[i] = g.NormFloat64() * 20
+			}
+			v := k.Eval(x)
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PWA always returns a valid subset (sorted, unique, in range)
+// regardless of the evaluator's landscape.
+func TestPWASubsetValidProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := stats.NewRNG(seed)
+		n := 2 + g.Intn(8)
+		// A deterministic but arbitrary landscape.
+		eval := func(subset []int) (float64, error) {
+			s := 1.0
+			for _, v := range subset {
+				s += math.Sin(float64(v)*float64(seed%97)) * 0.3
+			}
+			return s, nil
+		}
+		subset, _, err := PWASelect(n, eval, SelectorConfig{Iterations: 30, Seed: seed})
+		if err != nil {
+			return false
+		}
+		seen := make(map[int]bool)
+		prev := -1
+		for _, v := range subset {
+			if v < 0 || v >= n || seen[v] || v <= prev {
+				return false
+			}
+			seen[v] = true
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,172 @@
+package ubf
+
+import (
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/stats"
+)
+
+// selectionData builds a regression problem on six variables where only a
+// *pair* of variables (0 and 1) is informative — individually each looks
+// useless, which is exactly the trap greedy forward selection falls into.
+// Variables 2–5 are pure noise.
+func selectionData(g *stats.RNG, n int) (*mat.Matrix, []float64) {
+	x := mat.New(n, 6)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a := g.NormFloat64() * 5 // large common component
+		s := g.NormFloat64()     // the actual signal
+		x.Set(i, 0, a)
+		x.Set(i, 1, s-a)
+		for c := 2; c < 6; c++ {
+			x.Set(i, c, g.NormFloat64())
+		}
+		y[i] = s + g.NormFloat64()*0.05
+	}
+	return x, y
+}
+
+func mustEval(t *testing.T, x *mat.Matrix, y []float64) SubsetEvaluator {
+	t.Helper()
+	eval, err := LinearCVEvaluator(x, y, 5, 1e-6, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eval
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func TestLinearCVEvaluatorOrdersSubsets(t *testing.T) {
+	g := stats.NewRNG(1)
+	x, y := selectionData(g, 200)
+	eval := mustEval(t, x, y)
+	full, err := eval([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty, err := eval(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full >= empty {
+		t.Fatalf("informative pair (%g) not better than empty (%g)", full, empty)
+	}
+}
+
+func TestPWAFindsInteractingPair(t *testing.T) {
+	g := stats.NewRNG(2)
+	x, y := selectionData(g, 200)
+	eval := mustEval(t, x, y)
+	subset, score, err := PWASelect(6, eval, SelectorConfig{Iterations: 80, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(subset, 0) || !contains(subset, 1) {
+		t.Fatalf("PWA subset %v missing the interacting pair (score %g)", subset, score)
+	}
+}
+
+// TestPWAMatchesOrBeatsGreedyStrategies checks the Sect. 3.2 claim (E8) in
+// its testable form: the probabilistic wrapper is never worse than greedy
+// forward selection or backward elimination on the same evaluator (the
+// full measured comparison is reported by the E8 experiment harness).
+func TestPWAMatchesOrBeatsGreedyStrategies(t *testing.T) {
+	g := stats.NewRNG(4)
+	x, y := selectionData(g, 200)
+	eval := mustEval(t, x, y)
+	_, pwaScore, err := PWASelect(6, eval, SelectorConfig{Iterations: 80, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwdSubset, fwdScore, err := ForwardSelect(6, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pwaScore > fwdScore {
+		t.Fatalf("PWA (%g) worse than forward selection (%g, subset %v)",
+			pwaScore, fwdScore, fwdSubset)
+	}
+	bwdSubset, bwdScore, err := BackwardEliminate(6, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pwaScore > bwdScore {
+		t.Fatalf("PWA (%g) worse than backward elimination (%g, subset %v)",
+			pwaScore, bwdScore, bwdSubset)
+	}
+}
+
+func TestBackwardEliminationDropsNoise(t *testing.T) {
+	g := stats.NewRNG(6)
+	x, y := selectionData(g, 200)
+	eval := mustEval(t, x, y)
+	subset, _, err := BackwardEliminate(6, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(subset, 0) || !contains(subset, 1) {
+		t.Fatalf("backward elimination dropped the signal pair: %v", subset)
+	}
+	if len(subset) > 4 {
+		t.Fatalf("backward elimination kept too much noise: %v", subset)
+	}
+}
+
+func TestSelectorValidation(t *testing.T) {
+	eval := func([]int) (float64, error) { return 0, nil }
+	if _, _, err := PWASelect(0, eval, SelectorConfig{}); err == nil {
+		t.Fatal("zero vars accepted")
+	}
+	if _, _, err := PWASelect(3, eval, SelectorConfig{Iterations: -1}); err == nil {
+		t.Fatal("negative iterations accepted")
+	}
+	if _, _, err := ForwardSelect(0, eval); err == nil {
+		t.Fatal("forward zero vars accepted")
+	}
+	if _, _, err := BackwardEliminate(0, eval); err == nil {
+		t.Fatal("backward zero vars accepted")
+	}
+}
+
+func TestSubsetColumns(t *testing.T) {
+	m, _ := mat.FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	sub, err := SubsetColumns(m, []int{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.At(0, 0) != 3 || sub.At(0, 1) != 1 || sub.At(1, 0) != 6 {
+		t.Fatalf("subset = %v", sub)
+	}
+	empty, err := SubsetColumns(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Cols != 1 || empty.At(0, 0) != 1 {
+		t.Fatal("empty subset should be an intercept column")
+	}
+	if _, err := SubsetColumns(m, []int{7}); err == nil {
+		t.Fatal("out-of-range column accepted")
+	}
+}
+
+func TestLinearCVEvaluatorValidation(t *testing.T) {
+	x := mat.New(4, 2)
+	if _, err := LinearCVEvaluator(x, []float64{1, 2}, 2, 0, 1); err == nil {
+		t.Fatal("mismatched targets accepted")
+	}
+	if _, err := LinearCVEvaluator(x, []float64{1, 2, 3, 4}, 1, 0, 1); err == nil {
+		t.Fatal("single fold accepted")
+	}
+	if _, err := LinearCVEvaluator(x, []float64{1, 2, 3, 4}, 9, 0, 1); err == nil {
+		t.Fatal("folds > rows accepted")
+	}
+}

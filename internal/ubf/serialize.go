@@ -1,0 +1,54 @@
+package ubf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// networkJSON is the stable on-disk representation of a Network.
+type networkJSON struct {
+	Dim     int       `json:"dim"`
+	Kernels []Kernel  `json:"kernels"`
+	Weights []float64 `json:"weights"`
+}
+
+// MarshalJSON serializes the trained network.
+func (n *Network) MarshalJSON() ([]byte, error) {
+	return json.Marshal(networkJSON{Dim: n.dim, Kernels: n.Kernels, Weights: n.Weights})
+}
+
+// UnmarshalJSON restores a network serialized with MarshalJSON.
+func (n *Network) UnmarshalJSON(data []byte) error {
+	var dto networkJSON
+	if err := json.Unmarshal(data, &dto); err != nil {
+		return fmt.Errorf("%w: %v", ErrUBF, err)
+	}
+	if dto.Dim < 1 {
+		return fmt.Errorf("%w: dimension %d", ErrUBF, dto.Dim)
+	}
+	if len(dto.Weights) != len(dto.Kernels)+1 {
+		return fmt.Errorf("%w: %d weights for %d kernels", ErrUBF, len(dto.Weights), len(dto.Kernels))
+	}
+	for i, k := range dto.Kernels {
+		if err := k.Validate(dto.Dim); err != nil {
+			return fmt.Errorf("kernel %d: %w", i, err)
+		}
+	}
+	*n = Network{Kernels: dto.Kernels, Weights: dto.Weights, dim: dto.Dim}
+	return nil
+}
+
+// SaveNetwork writes the network to w as JSON.
+func SaveNetwork(w io.Writer, n *Network) error {
+	return json.NewEncoder(w).Encode(n)
+}
+
+// LoadNetwork reads a network written by SaveNetwork.
+func LoadNetwork(r io.Reader) (*Network, error) {
+	var n Network
+	if err := json.NewDecoder(r).Decode(&n); err != nil {
+		return nil, fmt.Errorf("%w: decode: %v", ErrUBF, err)
+	}
+	return &n, nil
+}

@@ -1,0 +1,68 @@
+package ubf
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestNetworkSerializationRoundTrip(t *testing.T) {
+	g := stats.NewRNG(61)
+	x, y := trainData(math.Sin, 80, g)
+	net, err := Train(x, y, TrainConfig{NumKernels: 5, Candidates: 5, Refinements: 2, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveNetwork(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadNetwork(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, probe := range []float64{-2, -0.5, 0, 1.3, 2.9} {
+		want, err := net.Predict([]float64{probe})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := loaded.Predict([]float64{probe})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want != got {
+			t.Fatalf("prediction drift at %g: %g vs %g", probe, got, want)
+		}
+	}
+	if loaded.Dim() != 1 {
+		t.Fatalf("Dim = %d", loaded.Dim())
+	}
+}
+
+func TestNetworkUnmarshalValidation(t *testing.T) {
+	good := `{"dim":1,"kernels":[{"Center":[0],"Width":1,"Mix":0.5,"Dir":[1]}],"weights":[0.1,0.2]}`
+	var ok Network
+	if err := json.Unmarshal([]byte(good), &ok); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]string{
+		"zero dim":         `{"dim":0,"kernels":[],"weights":[0]}`,
+		"weight mismatch":  `{"dim":1,"kernels":[],"weights":[0,1]}`,
+		"bad kernel width": `{"dim":1,"kernels":[{"Center":[0],"Width":0,"Mix":0.5,"Dir":[1]}],"weights":[0,1]}`,
+		"kernel dim":       `{"dim":2,"kernels":[{"Center":[0],"Width":1,"Mix":0.5,"Dir":[1]}],"weights":[0,1]}`,
+		"garbage":          `{`,
+	}
+	for name, in := range cases {
+		var n Network
+		if err := json.Unmarshal([]byte(in), &n); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+	if _, err := LoadNetwork(strings.NewReader("nope")); err == nil {
+		t.Fatal("garbage stream accepted")
+	}
+}
