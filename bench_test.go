@@ -11,17 +11,23 @@ package pfm
 // of regenerating them.
 
 import (
+	"context"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/eventlog"
 	"repro/internal/experiments"
 	"repro/internal/hsmm"
 	"repro/internal/mat"
 	"repro/internal/pfmmodel"
+	"repro/internal/runtime"
 	"repro/internal/stats"
 	"repro/internal/ubf"
 )
+
+// rtpool builds a layer-evaluation worker pool (aliased for benchmarks).
+func rtpool(workers int) *runtime.Pool { return runtime.NewPool(workers) }
 
 // --- Section 5 model: Table 2, Eq. 8, Eq. 14, Fig. 10 ------------------------
 
@@ -494,4 +500,110 @@ func BenchmarkRejuvenationComparison(b *testing.B) {
 	b.ReportMetric(slow.NoAction, "A-none")
 	b.ReportMetric(slow.OptimalBlind, "A-blind-opt")
 	b.ReportMetric(slow.PFM, "A-PFM")
+}
+
+// --- Streaming runtime (internal/runtime, cmd/pfmd) ---------------------------
+
+// benchRuntimeEngine builds an externally clocked MEA engine over the given
+// layers for runtime benchmarks.
+func benchRuntimeEngine(b *testing.B, layers []*Layer) *MEAEngine {
+	b.Helper()
+	sel, err := NewActionSelector(DefaultObjectiveWeights())
+	if err != nil {
+		b.Fatal(err)
+	}
+	action, err := NewAction("noop", StateCleanup,
+		ActionParams{Cost: 0.1, SuccessProb: 0.9, Complexity: 0.1},
+		func() error { return nil })
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := NewMEAEngine(nil, layers, nil, sel, []*Action{action}, nil, MEAConfig{
+		EvalInterval:  1,
+		LeadTime:      300,
+		WarnThreshold: 0.5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng
+}
+
+// BenchmarkRuntimeThroughput measures sustained ingest throughput of the
+// streaming pipeline (bounded queue → Apply) and reports events/sec.
+func BenchmarkRuntimeThroughput(b *testing.B) {
+	layers := []*Layer{{
+		Name:      "quiet",
+		Evaluate:  func(float64) (float64, error) { return 0, nil },
+		Threshold: 1,
+	}}
+	var applied int64
+	rt, err := NewRuntime(RuntimeConfig{
+		Engine:        benchRuntimeEngine(b, layers),
+		Apply:         func(RuntimeEvent) error { applied++; return nil },
+		QueueCapacity: 4096,
+		Overflow:      OverflowBlock,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := rt.Start(ctx); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		if err := rt.Ingest(ctx, RuntimeEvent{Kind: RuntimeEventSample, Time: float64(i), Variable: "x", Value: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := rt.Stop(ctx); err != nil {
+		b.Fatal(err)
+	}
+	elapsed := time.Since(start).Seconds()
+	b.StopTimer()
+	if applied != int64(b.N) {
+		b.Fatalf("applied %d of %d", applied, b.N)
+	}
+	b.ReportMetric(float64(b.N)/elapsed, "events/sec")
+}
+
+// BenchmarkRuntimeParallelLayers compares sequential layer evaluation with
+// the runtime's worker pool on latency-bound layers (each simulating a
+// ~200 µs monitor fetch, the common case for remote data sources). The
+// pooled variant should complete one cycle in roughly fetch-latency rather
+// than layers × fetch-latency.
+func BenchmarkRuntimeParallelLayers(b *testing.B) {
+	const nLayers = 8
+	const fetchLatency = 200 * time.Microsecond
+	layers := make([]*Layer, nLayers)
+	for i := range layers {
+		layers[i] = &Layer{
+			Name: "remote",
+			Evaluate: func(float64) (float64, error) {
+				time.Sleep(fetchLatency) // stand-in for a monitor round-trip
+				return 0.1, nil
+			},
+			Threshold: 1,
+		}
+	}
+	eng := benchRuntimeEngine(b, layers)
+
+	b.Run("sequential", func(b *testing.B) {
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			eng.EvaluateLayers(float64(i))
+		}
+		b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "cycles/sec")
+	})
+	b.Run("pool-8", func(b *testing.B) {
+		pool := rtpool(nLayers)
+		defer pool.Close()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			pool.Evaluate(eng.Layers(), float64(i))
+		}
+		b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "cycles/sec")
+	})
 }

@@ -1,0 +1,332 @@
+// Command pfmd runs the PFM library as a long-running service: the
+// concurrent streaming MEA runtime (internal/runtime) fed by the SCP
+// simulator in real-time-scaled replay mode. Simulated operation is paced
+// by the wall clock at a configurable time-compression factor; the
+// simulator's error log and SAR samples stream through the bounded ingest
+// queue into mirror state, layered predictors score in a worker pool, and
+// the serialized act stage steers the live simulator through a command
+// mailbox (applied on the simulation thread between replay slices).
+//
+// Observability: /metrics (Prometheus text) and /healthz on -addr while
+// the replay runs, e.g.
+//
+//	pfmd -days 2 -compress 7200 &
+//	curl -s localhost:9600/metrics | grep pfm_
+//
+// Usage:
+//
+//	pfmd [-addr :9600] [-seed 11] [-days 1] [-compress 3600]
+//	     [-queue 4096] [-overflow block|drop-oldest|drop-newest]
+//	     [-workers 4] [-eval 250ms]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/act"
+	"repro/internal/core"
+	"repro/internal/eventlog"
+	"repro/internal/runtime"
+	"repro/internal/scp"
+	ts "repro/internal/timeseries"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pfmd:", err)
+		os.Exit(1)
+	}
+}
+
+// mirror is the runtime's predictor-visible state: the ingest stage
+// replays the simulator's error log and SAR series into it, and the
+// layers read it. Locking is owned by the runtime (Apply under the write
+// lock, Layer.Evaluate under the read lock).
+type mirror struct {
+	log *eventlog.Log
+	sar map[string]*ts.Series
+}
+
+func newMirror() *mirror {
+	m := &mirror{log: eventlog.NewLog(), sar: make(map[string]*ts.Series)}
+	for _, name := range scp.SARVariables {
+		m.sar[name] = ts.New(name)
+	}
+	return m
+}
+
+// apply integrates one streamed event.
+func (m *mirror) apply(ev runtime.Event) error {
+	switch ev.Kind {
+	case runtime.KindError:
+		return m.log.Append(ev.Error)
+	case runtime.KindSample:
+		s, ok := m.sar[ev.Variable]
+		if !ok {
+			return fmt.Errorf("unknown variable %q", ev.Variable)
+		}
+		return s.Append(ev.Time, ev.Value)
+	default:
+		return fmt.Errorf("unknown event kind %d", ev.Kind)
+	}
+}
+
+// layers builds the per-level predictors of the Fig. 11 blueprint over
+// the mirror state.
+func (m *mirror) layers(memFloor float64) []*core.Layer {
+	return []*core.Layer{
+		{
+			// Application level: detected-error rate over the data window.
+			Name: "errors",
+			Evaluate: func(now float64) (float64, error) {
+				w := m.log.Window(now-600, now+1e-9)
+				return float64(len(w)) / 600, nil
+			},
+			Threshold: 0.05,
+		},
+		{
+			// OS/resource level: free-memory depletion trend.
+			Name: "memory",
+			Evaluate: func(now float64) (float64, error) {
+				w := m.sar["mem_free"].Window(now-1200, now+1e-9)
+				if w.Len() < 3 {
+					return 0, nil
+				}
+				slope, _, err := w.LinearTrend()
+				if err != nil {
+					return 0, nil
+				}
+				score := -slope
+				if v, ok := w.Last(); ok && v.V < memFloor {
+					score += 1
+				}
+				return score, nil
+			},
+			Threshold: 0.1,
+		},
+		{
+			// Platform level: utilization headroom.
+			Name: "load",
+			Evaluate: func(now float64) (float64, error) {
+				v, ok := m.sar["cpu"].Last()
+				if !ok {
+					return 0, nil
+				}
+				return v.V, nil
+			},
+			Threshold: 0.85,
+		},
+		{
+			// Platform level: swap pressure (already degrading).
+			Name: "swap",
+			Evaluate: func(now float64) (float64, error) {
+				v, ok := m.sar["swap"].Last()
+				if !ok {
+					return 0, nil
+				}
+				return v.V, nil
+			},
+			Threshold: 0.5,
+		},
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":9600", "metrics/health listen address")
+	seed := flag.Int64("seed", 11, "simulation seed")
+	days := flag.Float64("days", 1, "replay horizon [simulated days]")
+	compress := flag.Float64("compress", 3600, "time compression [simulated seconds per wall second]")
+	queueCap := flag.Int("queue", 4096, "ingest queue capacity")
+	overflow := flag.String("overflow", "block", "overflow policy: block|drop-oldest|drop-newest")
+	workers := flag.Int("workers", 4, "layer-evaluation worker pool size")
+	evalEvery := flag.Duration("eval", 250*time.Millisecond, "wall-clock MEA cadence")
+	flag.Parse()
+	if *days <= 0 || *compress <= 0 {
+		return fmt.Errorf("days and compress must be positive")
+	}
+	policy, err := runtime.ParsePolicy(*overflow)
+	if err != nil {
+		return err
+	}
+
+	scpCfg := scp.DefaultConfig()
+	scpCfg.Seed = *seed
+	sys, err := scp.New(scpCfg)
+	if err != nil {
+		return err
+	}
+
+	// Act commands cross back to the simulation thread through a mailbox:
+	// the act stage enqueues, the replay loop applies between slices, so
+	// the non-thread-safe simulator is only ever touched from one
+	// goroutine.
+	cmds := make(chan func(), 64)
+	mitigate := func() error {
+		select {
+		case cmds <- func() {
+			if !sys.Up() {
+				return
+			}
+			if sys.Utilization() > 0.85 {
+				_ = sys.ShedLoad(0.3)
+				_ = sys.Engine().Schedule(1200, func() {
+					if sys.Up() {
+						_ = sys.ShedLoad(0)
+					}
+				})
+			}
+			if sys.FreeMemory() < 2*scpCfg.SwapThreshold {
+				_ = sys.CleanupState()
+			}
+			_ = sys.PrepareRepair()
+		}:
+		default: // mailbox full: the pending mitigation will cover it
+		}
+		return nil
+	}
+	action, err := act.New("mitigate+prepare", act.PreparedRepair,
+		act.Params{Cost: 0.5, SuccessProb: 0.85, Complexity: 0.3}, mitigate)
+	if err != nil {
+		return err
+	}
+	selector, err := act.NewSelector(act.DefaultWeights())
+	if err != nil {
+		return err
+	}
+
+	m := newMirror()
+	// Externally clocked engine: the runtime drives it on replay time.
+	engine, err := core.New(nil, m.layers(2*scpCfg.SwapThreshold), nil, selector,
+		[]*act.Action{action}, nil, core.Config{
+			EvalInterval:        *compress * evalEvery.Seconds(), // cadence in sim time
+			LeadTime:            300,
+			WarnThreshold:       0.2, // any single layer suffices (4 layers)
+			OscillationWindow:   1800,
+			MaxActionsPerWindow: 6,
+		})
+	if err != nil {
+		return err
+	}
+
+	// The replay clock: sim-time high-water mark, advanced by the feeder.
+	var simNow atomic.Uint64
+	rt, err := runtime.New(runtime.Config{
+		Engine:        engine,
+		Apply:         m.apply,
+		Clock:         func() float64 { return math.Float64frombits(simNow.Load()) },
+		QueueCapacity: *queueCap,
+		Overflow:      policy,
+		EvalInterval:  *evalEvery,
+		Workers:       *workers,
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := rt.Start(ctx); err != nil {
+		return err
+	}
+	srv, bound, err := rt.Serve(*addr)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("pfmd: serving /metrics and /healthz on %s\n", bound)
+	fmt.Printf("pfmd: replaying %.3g simulated days at %gx wall speed (policy %s, %d workers)\n",
+		*days, *compress, policy, *workers)
+
+	if err := replay(ctx, sys, rt, cmds, *days*86400, *compress, &simNow); err != nil &&
+		ctx.Err() == nil {
+		return err
+	}
+
+	// Graceful drain, bounded so Ctrl-C always wins within a few seconds.
+	stopCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := rt.Stop(stopCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "pfmd: drain:", err)
+	}
+
+	mm := rt.Metrics()
+	fmt.Printf("pfmd: ingested %d events (applied %d, dropped %d), %d evaluations\n",
+		mm.Ingested.Value(), mm.Applied.Value(), mm.Dropped(), mm.Evaluations.Value())
+	fmt.Printf("pfmd: warnings %d, actions %d, suppressed %d\n",
+		mm.Warnings.Value(), mm.Actions.Value(), mm.Suppressed.Value())
+	fmt.Printf("pfmd: system availability %.5f, %d failures, %d restarts\n",
+		sys.MeasuredAvailability(), len(sys.Failures()), len(sys.Restarts()))
+	fmt.Print(engine.Report())
+	return nil
+}
+
+// replay advances the simulator in wall-paced slices, applying queued act
+// commands on the simulation thread and streaming new error events and
+// SAR samples into the runtime.
+func replay(
+	ctx context.Context,
+	sys *scp.System,
+	rt *runtime.Runtime,
+	cmds chan func(),
+	horizon, compress float64,
+	simNow *atomic.Uint64,
+) error {
+	const wallSlice = 100 * time.Millisecond
+	simSlice := compress * wallSlice.Seconds()
+	seenLog := 0
+	seenSAR := make(map[string]int, len(scp.SARVariables))
+	ticker := time.NewTicker(wallSlice)
+	defer ticker.Stop()
+	for elapsed := 0.0; elapsed < horizon; elapsed += simSlice {
+		// Countermeasures decided by the act stage since the last slice.
+		for {
+			select {
+			case cmd := <-cmds:
+				cmd()
+				continue
+			default:
+			}
+			break
+		}
+		step := math.Min(simSlice, horizon-elapsed)
+		if err := sys.Run(step); err != nil {
+			return err
+		}
+		simNow.Store(math.Float64bits(sys.Now()))
+		// Stream everything the slice produced.
+		for n := sys.Log().Len(); seenLog < n; seenLog++ {
+			e := sys.Log().At(seenLog)
+			if err := rt.Ingest(ctx, runtime.Event{Kind: runtime.KindError, Time: e.Time, Error: e}); err != nil {
+				return err
+			}
+		}
+		for _, name := range scp.SARVariables {
+			series, err := sys.SAR(name)
+			if err != nil {
+				return err
+			}
+			for n := series.Len(); seenSAR[name] < n; seenSAR[name]++ {
+				p := series.At(seenSAR[name])
+				if err := rt.Ingest(ctx, runtime.Event{
+					Kind: runtime.KindSample, Time: p.T, Variable: name, Value: p.V,
+				}); err != nil {
+					return err
+				}
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+		}
+	}
+	return nil
+}

@@ -10,12 +10,30 @@
 // migration racing a hardware restart. Every prediction outcome is
 // accounted against ground truth in the Table 1 matrix, and a control-loop
 // oscillation guard (Sect. 2) bounds the action rate.
+//
+// # Locking contract
+//
+// Engine is safe for concurrent use: ActOn, Start, Stop, EvaluateNow and
+// every accessor (Warnings, Outcomes, Report, …) serialize on an internal
+// mutex, so the cross-layer decision, the oscillation guard, and the
+// Table 1 accounting always observe a consistent state even when driven
+// from multiple goroutines (e.g. by internal/runtime's act stage).
+// Two things remain the caller's responsibility:
+//
+//   - Layer.Evaluate closures are invoked OUTSIDE the engine mutex — by
+//     EvaluateLayers sequentially, or concurrently with each other by a
+//     worker pool. They must be safe with respect to whatever state they
+//     read (internal/runtime guards predictor state with an RWMutex).
+//   - Action Execute closures and the truth oracle run INSIDE the mutex
+//     (the act stage is deliberately serialized); they must not call back
+//     into the engine.
 package core
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/act"
 	"repro/internal/predict"
@@ -112,7 +130,9 @@ func (m OutcomeMatrix) Table() predict.ContingencyTable {
 	return c
 }
 
-// Engine drives the MEA cycle on a simulation clock.
+// Engine drives the MEA cycle on a simulation clock, or — constructed with
+// a nil clock and driven through EvaluateLayers/ActOn — on any external
+// clock (wall time in internal/runtime).
 type Engine struct {
 	cfg      Config
 	sim      *sim.Engine
@@ -124,6 +144,8 @@ type Engine struct {
 	// horizon (ground-truth oracle for outcome accounting).
 	truth func(horizon float64) bool
 
+	// mu guards all mutable state below (see the package locking contract).
+	mu          sync.Mutex
 	scheduler   *act.Scheduler
 	warnings    []predict.Warning
 	outcomes    OutcomeMatrix
@@ -136,10 +158,16 @@ type Engine struct {
 // (Sect. 2: "its execution needs to be scheduled, e.g., at times of low
 // system utilization") instead of executing them immediately. The warning's
 // deadline (now + lead time) bounds the deferral. Call before Start.
-func (e *Engine) SetScheduler(s *act.Scheduler) { e.scheduler = s }
+func (e *Engine) SetScheduler(s *act.Scheduler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.scheduler = s
+}
 
 // New assembles an engine. combiner may be nil (mean of layer votes);
-// truth may be nil (outcome accounting disabled).
+// truth may be nil (outcome accounting disabled); simEngine may be nil for
+// an externally clocked engine (Start is then unavailable — drive it with
+// EvaluateLayers + ActOn instead).
 func New(
 	simEngine *sim.Engine,
 	layers []*Layer,
@@ -151,9 +179,6 @@ func New(
 ) (*Engine, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
-	}
-	if simEngine == nil {
-		return nil, fmt.Errorf("%w: nil simulation engine", ErrCore)
 	}
 	if len(layers) == 0 {
 		return nil, fmt.Errorf("%w: at least one layer required", ErrCore)
@@ -180,14 +205,24 @@ func New(
 	}, nil
 }
 
-// Start arms the recurring MEA cycle; it keeps running until Stop.
+// Start arms the recurring MEA cycle; it keeps running until Stop. It
+// requires a simulation clock (New with a non-nil sim engine).
 func (e *Engine) Start() error {
+	if e.sim == nil {
+		return fmt.Errorf("%w: no simulation clock (externally clocked engine)", ErrCore)
+	}
+	e.mu.Lock()
 	if e.running {
+		e.mu.Unlock()
 		return fmt.Errorf("%w: already running", ErrCore)
 	}
 	e.running = true
+	e.mu.Unlock()
 	return e.sim.Every(e.cfg.EvalInterval, func() bool {
-		if !e.running {
+		e.mu.Lock()
+		running := e.running
+		e.mu.Unlock()
+		if !running {
 			return false
 		}
 		e.cycle()
@@ -196,30 +231,87 @@ func (e *Engine) Start() error {
 }
 
 // Stop halts the cycle at the next tick.
-func (e *Engine) Stop() { e.running = false }
+func (e *Engine) Stop() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.running = false
+}
 
 // EvaluateNow performs one MEA round immediately, outside the periodic
 // schedule — the hook for event-driven evaluation (e.g. on every new error
 // report rather than on a timer; Sect. 3.1 notes that detected-error
-// prediction is inherently event-driven).
+// prediction is inherently event-driven). No-op on an externally clocked
+// engine (use EvaluateLayers + ActOn there).
 func (e *Engine) EvaluateNow() {
+	if e.sim == nil {
+		return
+	}
 	e.cycle()
 }
 
-// cycle performs one Monitor–Evaluate–Act round.
+// cycle performs one Monitor–Evaluate–Act round on the simulation clock.
 func (e *Engine) cycle() {
 	now := e.sim.Now()
-	// Evaluate: collect per-layer scores. A failing layer abstains.
+	e.ActOn(now, e.EvaluateLayers(now))
+}
+
+// Layers returns the engine's layers (copy of the slice; the *Layer values
+// are shared and must not be mutated after New).
+func (e *Engine) Layers() []*Layer {
+	return append([]*Layer(nil), e.layers...)
+}
+
+// EvaluateLayers runs every layer predictor sequentially at time now and
+// returns the per-layer scores. A failing layer abstains, marked NaN —
+// ActOn treats NaN as "no evidence either way". The engine mutex is NOT
+// held: callers may instead score the layers themselves (e.g. in a worker
+// pool) and feed the result to ActOn.
+func (e *Engine) EvaluateLayers(now float64) []float64 {
 	scores := make([]float64, len(e.layers))
-	votes := 0
-	usable := 0
 	for i, l := range e.layers {
 		s, err := l.Evaluate(now)
 		if err != nil {
-			scores[i] = l.Threshold // neutral
+			scores[i] = math.NaN()
 			continue
 		}
 		scores[i] = s
+	}
+	return scores
+}
+
+// Decision is the outcome of one Act round.
+type Decision struct {
+	Time       float64 // evaluation time
+	Confidence float64 // combined cross-layer confidence in [0,1]
+	Warned     bool    // a failure warning was raised
+	ActionName string  // executed/scheduled action, "none" otherwise
+	Executed   bool    // an action was executed or scheduled
+	Suppressed bool    // the oscillation guard vetoed the action
+}
+
+// ActOn performs the serialized cross-layer Act stage on externally
+// produced layer scores: combine, warn, select the countermeasure, apply
+// the oscillation guard, and account the outcome. scores must be indexed
+// like the engine's layers; NaN marks an abstaining layer. It is the
+// single point of cross-layer decision making — concurrent callers are
+// serialized on the engine mutex, preserving the one-decision-at-a-time
+// semantics of the simulation-clocked cycle.
+func (e *Engine) ActOn(now float64, scores []float64) Decision {
+	// Combine outside observable state: abstaining layers contribute their
+	// threshold (neutral) to the combiner input and no vote.
+	input := make([]float64, len(e.layers))
+	votes := 0
+	usable := 0
+	for i, l := range e.layers {
+		s := math.NaN()
+		if i < len(scores) {
+			s = scores[i]
+		}
+		if math.IsNaN(s) {
+			input[i] = l.Threshold // neutral
+			continue
+		}
+		input[i] = s
 		usable++
 		if s >= l.Threshold {
 			votes++
@@ -227,7 +319,7 @@ func (e *Engine) cycle() {
 	}
 	confidence := 0.0
 	if e.combiner != nil {
-		c, err := e.combiner(scores)
+		c, err := e.combiner(input)
 		if err == nil {
 			confidence = clamp01(c)
 		}
@@ -241,8 +333,11 @@ func (e *Engine) cycle() {
 		imminent = e.truth(e.cfg.LeadTime + e.cfg.EvalInterval)
 	}
 
-	actionName := "none"
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	d := Decision{Time: now, Confidence: confidence, ActionName: "none"}
 	if positive {
+		d.Warned = true
 		e.warnings = append(e.warnings, predict.Warning{
 			Time:       now,
 			LeadTime:   e.cfg.LeadTime,
@@ -256,19 +351,23 @@ func (e *Engine) cycle() {
 				e.actionTimes = append(e.actionTimes, now)
 				if e.scheduler != nil {
 					if schedErr := e.scheduler.Schedule(action, now+e.cfg.LeadTime, nil); schedErr == nil {
-						actionName = action.Name()
+						d.ActionName = action.Name()
+						d.Executed = true
 					}
 				} else if execErr := action.Execute(); execErr == nil {
-					actionName = action.Name()
+					d.ActionName = action.Name()
+					d.Executed = true
 				}
 			} else {
 				e.suppressed++
+				d.Suppressed = true
 			}
 		}
 	}
 	if e.truth != nil {
-		e.outcomes.add(predict.Classify(positive, imminent), actionName)
+		e.outcomes.add(predict.Classify(positive, imminent), d.ActionName)
 	}
+	return d
 }
 
 // guardAllows applies the oscillation guard.
@@ -288,17 +387,43 @@ func (e *Engine) guardAllows(now float64) bool {
 
 // Warnings returns all raised failure warnings.
 func (e *Engine) Warnings() []predict.Warning {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	return append([]predict.Warning(nil), e.warnings...)
 }
 
-// Outcomes returns the Table 1 accounting matrix.
-func (e *Engine) Outcomes() OutcomeMatrix { return e.outcomes }
+// Outcomes returns a snapshot of the Table 1 accounting matrix.
+func (e *Engine) Outcomes() OutcomeMatrix {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	snap := OutcomeMatrix{}
+	for o, byAction := range e.outcomes.Counts {
+		for a, n := range byAction {
+			if snap.Counts == nil {
+				snap.Counts = make(map[predict.Outcome]map[string]int)
+			}
+			if snap.Counts[o] == nil {
+				snap.Counts[o] = make(map[string]int)
+			}
+			snap.Counts[o][a] = n
+		}
+	}
+	return snap
+}
 
 // SuppressedActions returns how many actions the oscillation guard vetoed.
-func (e *Engine) SuppressedActions() int { return e.suppressed }
+func (e *Engine) SuppressedActions() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.suppressed
+}
 
 // ActionsTaken returns how many actions were executed.
-func (e *Engine) ActionsTaken() int { return len(e.actionTimes) }
+func (e *Engine) ActionsTaken() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.actionTimes)
+}
 
 func clamp01(x float64) float64 {
 	if x < 0 {

@@ -2,7 +2,9 @@ package core
 
 import (
 	"errors"
+	"math"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/act"
@@ -64,9 +66,6 @@ func TestValidation(t *testing.T) {
 		name string
 		f    func() (*Engine, error)
 	}{
-		{"nil sim", func() (*Engine, error) {
-			return New(nil, layers, nil, sel, acts, nil, defaultCfg())
-		}},
 		{"no layers", func() (*Engine, error) {
 			return New(se, nil, nil, sel, acts, nil, defaultCfg())
 		}},
@@ -406,5 +405,97 @@ func TestSchedulerDefersActionToLowUtilization(t *testing.T) {
 	}
 	if len(eng.Warnings()) == 0 {
 		t.Fatal("no warnings")
+	}
+}
+
+// TestExternallyClockedEngine drives an engine without a simulation clock
+// through EvaluateLayers + ActOn, the path internal/runtime uses.
+func TestExternallyClockedEngine(t *testing.T) {
+	tgt := &scriptedTarget{}
+	eng, err := New(nil, []*Layer{constLayer("app", 0.9)}, nil,
+		testSelector(t), testActions(t, tgt), nil, defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err == nil {
+		t.Fatal("Start accepted without a simulation clock")
+	}
+	d := eng.ActOn(10, eng.EvaluateLayers(10))
+	if !d.Warned || !d.Executed {
+		t.Fatalf("decision %+v: expected warning + action", d)
+	}
+	if tgt.cleanups == 0 {
+		t.Fatal("action not executed")
+	}
+	if got := len(eng.Warnings()); got != 1 {
+		t.Fatalf("warnings = %d, want 1", got)
+	}
+}
+
+// TestActOnAbstainingLayer checks that NaN scores abstain exactly like a
+// failing Evaluate in the simulation-clocked cycle: neutral combiner
+// input, no vote.
+func TestActOnAbstainingLayer(t *testing.T) {
+	tgt := &scriptedTarget{}
+	broken := &Layer{
+		Name:      "broken",
+		Evaluate:  func(float64) (float64, error) { return 0, errors.New("down") },
+		Threshold: 0.5,
+	}
+	eng, err := New(nil, []*Layer{constLayer("app", 0.9), broken}, nil,
+		testSelector(t), testActions(t, tgt), nil, defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := eng.EvaluateLayers(0)
+	if !math.IsNaN(scores[1]) {
+		t.Fatalf("broken layer score = %g, want NaN", scores[1])
+	}
+	// One vote out of two layers = 0.5 ≥ default WarnThreshold.
+	if d := eng.ActOn(0, scores); !d.Warned {
+		t.Fatalf("decision %+v: expected warning despite abstaining layer", d)
+	}
+}
+
+// TestEngineConcurrentActOn hammers the serialized act stage and the
+// accessors from many goroutines; run with -race to validate the locking
+// contract.
+func TestEngineConcurrentActOn(t *testing.T) {
+	tgt := &scriptedTarget{}
+	cfg := defaultCfg()
+	cfg.OscillationWindow = 1e9 // everything within one window
+	cfg.MaxActionsPerWindow = 50
+	eng, err := New(nil, []*Layer{constLayer("app", 0.9)}, nil,
+		testSelector(t), testActions(t, tgt),
+		func(float64) bool { return true }, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, rounds = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				eng.ActOn(float64(g*rounds+i), []float64{0.9})
+				_ = eng.ActionsTaken()
+				_ = eng.Report()
+			}
+		}(g)
+	}
+	wg.Wait()
+	warned := len(eng.Warnings())
+	if warned != goroutines*rounds {
+		t.Fatalf("warnings = %d, want %d", warned, goroutines*rounds)
+	}
+	if got := eng.ActionsTaken() + eng.SuppressedActions(); got != warned {
+		t.Fatalf("taken+suppressed = %d, want %d", got, warned)
+	}
+	if eng.SuppressedActions() == 0 {
+		t.Fatal("oscillation guard never engaged under concurrency")
+	}
+	if n := eng.Outcomes().Table().TP; n != warned {
+		t.Fatalf("TP = %d, want %d", n, warned)
 	}
 }

@@ -20,19 +20,23 @@ type TranslucencyReport struct {
 	Quality    predict.ContingencyTable
 }
 
-// Report assembles the current translucency snapshot.
+// Report assembles the current translucency snapshot. Safe for concurrent
+// use (see the package locking contract).
 func (e *Engine) Report() TranslucencyReport {
 	names := make([]string, len(e.layers))
 	for i, l := range e.layers {
 		names[i] = l.Name
 	}
+	outcomes := e.Outcomes()
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	return TranslucencyReport{
 		Layers:     names,
 		Warnings:   len(e.warnings),
 		Actions:    len(e.actionTimes),
 		Suppressed: e.suppressed,
-		Outcomes:   e.outcomes,
-		Quality:    e.outcomes.Table(),
+		Outcomes:   outcomes,
+		Quality:    outcomes.Table(),
 	}
 }
 

@@ -1,0 +1,267 @@
+package runtime
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n ≥ 0.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Histogram is a fixed-bucket latency histogram with atomic cells. Bucket
+// boundaries are upper bounds in seconds; observations above the last
+// bound land in the implicit +Inf bucket.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1, last is +Inf
+	sum    atomic.Uint64  // float64 bits, CAS-accumulated
+	count  atomic.Int64
+}
+
+// Observe records one value (seconds).
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// DefBuckets are the default latency buckets [s]: 1µs … 10s.
+var DefBuckets = []float64{
+	1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10,
+}
+
+// metric is one labeled series inside a family.
+type metric struct {
+	labels string // rendered `{k="v",…}` or ""
+	c      *Counter
+	g      func() float64
+	h      *Histogram
+}
+
+// family groups series sharing a metric name (one TYPE line per family).
+type family struct {
+	name, help, typ string
+	series          []*metric
+}
+
+// Registry holds metric families and renders them as Prometheus text.
+// Registration is mutex-guarded; the hot path (Inc/Observe) is atomic.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// renderLabels formats k,v pairs as `{k="v",…}`; empty input renders "".
+func renderLabels(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic("runtime: labels must be key,value pairs")
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i := 0; i < len(labels); i += 2 {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", labels[i], labels[i+1])
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// register appends a series to its family, creating the family on first use.
+func (r *Registry) register(name, help, typ string, m *metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	}
+	f.series = append(f.series, m)
+}
+
+// Counter registers a counter series; labels are key,value pairs.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	c := &Counter{}
+	r.register(name, help, "counter", &metric{labels: renderLabels(labels), c: c})
+	return c
+}
+
+// GaugeFunc registers a gauge evaluated at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	r.register(name, help, "gauge", &metric{labels: renderLabels(labels), g: fn})
+}
+
+// Histogram registers a histogram series with the given bucket bounds.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	h := &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	r.register(name, help, "histogram", &metric{labels: renderLabels(labels), h: h})
+	return h
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	order := append([]string(nil), r.order...)
+	r.mu.Unlock()
+	for _, name := range order {
+		r.mu.Lock()
+		f := r.families[name]
+		series := append([]*metric(nil), f.series...)
+		r.mu.Unlock()
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ); err != nil {
+			return err
+		}
+		for _, m := range series {
+			var err error
+			switch {
+			case m.c != nil:
+				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, m.labels, m.c.Value())
+			case m.g != nil:
+				_, err = fmt.Fprintf(w, "%s%s %g\n", f.name, m.labels, m.g())
+			case m.h != nil:
+				err = writeHistogram(w, f.name, m.labels, m.h)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeHistogram renders cumulative buckets plus _sum and _count.
+func writeHistogram(w io.Writer, name, labels string, h *Histogram) error {
+	inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+	cum := int64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		if err := writeBucket(w, name, inner, fmt.Sprintf("%g", bound), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	if err := writeBucket(w, name, inner, "+Inf", cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", name, labels, h.Sum()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labels, h.Count())
+	return err
+}
+
+// writeBucket renders one cumulative le bucket, merging the series labels.
+func writeBucket(w io.Writer, name, innerLabels, le string, cum int64) error {
+	sep := ""
+	if innerLabels != "" {
+		sep = ","
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, innerLabels, sep, le, cum)
+	return err
+}
+
+// Metrics is the runtime's observability surface: every stage of the
+// pipeline feeds these counters and histograms; Registry renders them for
+// scraping.
+type Metrics struct {
+	reg *Registry
+
+	// Ingest stage.
+	Ingested        *Counter // events presented to Ingest (not rejected-for-closed)
+	Applied         *Counter // events delivered to the Apply callback
+	ApplyErrors     *Counter // Apply calls that returned an error
+	DroppedOldest   *Counter // evicted by DropOldest
+	DroppedNewest   *Counter // rejected at the door by DropNewest
+	DroppedCanceled *Counter // abandoned by context cancellation while blocked
+
+	// Evaluate + act stages.
+	Evaluations *Counter // completed MEA cycles
+	Warnings    *Counter // cycles that raised a failure warning
+	Actions     *Counter // countermeasures executed or scheduled
+	Suppressed  *Counter // actions vetoed by the oscillation guard
+
+	// Per-stage latency.
+	IngestLatency *Histogram // queue admission (Ingest call) [s]
+	ApplyLatency  *Histogram // state application per event [s]
+	EvalLatency   *Histogram // layer scoring per cycle [s]
+	ActLatency    *Histogram // serialized act decision per cycle [s]
+}
+
+// NewMetrics builds the runtime metric set on a fresh registry.
+func NewMetrics() *Metrics {
+	reg := NewRegistry()
+	m := &Metrics{
+		reg:             reg,
+		Ingested:        reg.Counter("pfm_events_ingested_total", "Events presented to the ingest stage."),
+		Applied:         reg.Counter("pfm_events_applied_total", "Events applied to predictor state."),
+		ApplyErrors:     reg.Counter("pfm_events_apply_errors_total", "Apply callbacks that returned an error."),
+		DroppedOldest:   reg.Counter("pfm_events_dropped_total", "Events dropped by overflow policy or cancellation.", "reason", "oldest"),
+		DroppedNewest:   reg.Counter("pfm_events_dropped_total", "", "reason", "newest"),
+		DroppedCanceled: reg.Counter("pfm_events_dropped_total", "", "reason", "canceled"),
+		Evaluations:     reg.Counter("pfm_evaluations_total", "Completed Monitor-Evaluate-Act cycles."),
+		Warnings:        reg.Counter("pfm_warnings_total", "Failure warnings raised."),
+		Actions:         reg.Counter("pfm_actions_total", "Countermeasures executed or scheduled."),
+		Suppressed:      reg.Counter("pfm_actions_suppressed_total", "Actions vetoed by the oscillation guard."),
+		IngestLatency:   reg.Histogram("pfm_stage_latency_seconds", "Per-stage latency.", nil, "stage", "ingest"),
+		ApplyLatency:    reg.Histogram("pfm_stage_latency_seconds", "", nil, "stage", "apply"),
+		EvalLatency:     reg.Histogram("pfm_stage_latency_seconds", "", nil, "stage", "evaluate"),
+		ActLatency:      reg.Histogram("pfm_stage_latency_seconds", "", nil, "stage", "act"),
+	}
+	return m
+}
+
+// Dropped returns the total events dropped across all reasons.
+func (m *Metrics) Dropped() int64 {
+	return m.DroppedOldest.Value() + m.DroppedNewest.Value() + m.DroppedCanceled.Value()
+}
+
+// Registry exposes the underlying registry (to register app-level series
+// such as queue depth gauges next to the pipeline metrics).
+func (m *Metrics) Registry() *Registry { return m.reg }
+
+// WritePrometheus renders all metrics in Prometheus text format.
+func (m *Metrics) WritePrometheus(w io.Writer) error { return m.reg.WritePrometheus(w) }

@@ -1,0 +1,143 @@
+package runtime
+
+import (
+	"context"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_total", "help text", "kind", "a")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	reg.GaugeFunc("test_gauge", "a gauge", func() float64 { return 2.5 })
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE test_total counter",
+		`test_total{kind="a"} 5`,
+		"# TYPE test_gauge gauge",
+		"test_gauge 2.5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBucketsAndRendering(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat_seconds", "latency", []float64{0.001, 0.01, 0.1}, "stage", "x")
+	for _, v := range []float64{0.0005, 0.001, 0.05, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if math.Abs(h.Sum()-5.0515) > 1e-9 {
+		t.Fatalf("sum = %g", h.Sum())
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{stage="x",le="0.001"} 2`, // 0.0005 and the exact bound
+		`lat_seconds_bucket{stage="x",le="0.01"} 2`,
+		`lat_seconds_bucket{stage="x",le="0.1"} 3`,
+		`lat_seconds_bucket{stage="x",le="+Inf"} 4`,
+		`lat_seconds_count{stage="x"} 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestSharedFamilyRendersOneTypeLine(t *testing.T) {
+	m := NewMetrics()
+	m.DroppedOldest.Inc()
+	m.DroppedNewest.Add(2)
+	var sb strings.Builder
+	if err := m.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if got := strings.Count(out, "# TYPE pfm_events_dropped_total"); got != 1 {
+		t.Fatalf("TYPE lines for shared family = %d, want 1\n%s", got, out)
+	}
+	if !strings.Contains(out, `pfm_events_dropped_total{reason="oldest"} 1`) ||
+		!strings.Contains(out, `pfm_events_dropped_total{reason="newest"} 2`) {
+		t.Fatalf("missing labeled drop counters in:\n%s", out)
+	}
+	if m.Dropped() != 3 {
+		t.Fatalf("Dropped() = %d, want 3", m.Dropped())
+	}
+}
+
+// TestServerEndpoints exercises /metrics and /healthz over a real listener,
+// including the 503 flip once the pipeline stops.
+func TestServerEndpoints(t *testing.T) {
+	rt := startRuntime(t, func(Event) error { return nil }, 4, Block)
+	srv, addr, err := rt.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	if err := rt.Ingest(context.Background(), Event{Time: 1}); err != nil {
+		t.Fatal(err)
+	}
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/healthz")
+	if code != http.StatusOK || !strings.Contains(body, `"status":"ok"`) {
+		t.Fatalf("healthz: %d %s", code, body)
+	}
+	code, body = get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics status %d", code)
+	}
+	for _, want := range []string{
+		"pfm_events_ingested_total",
+		"pfm_queue_depth",
+		"pfm_queue_capacity 4",
+		"pfm_events_dropped_total",
+		"pfm_stage_latency_seconds_bucket",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	if err := rt.Stop(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if code, body = get("/healthz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz after stop: %d %s", code, body)
+	}
+}

@@ -1,0 +1,69 @@
+package runtime
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Pool is a fixed worker pool that scores MEA layers in parallel — the
+// sharded evaluate stage. Workers are long-lived; each Evaluate call fans
+// its layers across them and waits for the full score vector, so one slow
+// layer no longer serializes the whole cycle behind it.
+type Pool struct {
+	tasks chan poolTask
+	wg    sync.WaitGroup
+}
+
+type poolTask struct {
+	layer *core.Layer
+	now   float64
+	out   []float64
+	i     int
+	done  *sync.WaitGroup
+}
+
+// NewPool starts workers goroutines (minimum 1). Close releases them.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{tasks: make(chan poolTask)}
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer p.wg.Done()
+			for t := range p.tasks {
+				s, err := t.layer.Evaluate(t.now)
+				if err != nil {
+					s = math.NaN() // abstain, same convention as core.EvaluateLayers
+				}
+				t.out[t.i] = s
+				t.done.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// Evaluate scores every layer at time now and returns the per-layer score
+// vector (NaN = abstained). Layers run concurrently up to the pool's
+// worker count; Evaluate itself is safe for use from one goroutine at a
+// time per result (the runtime's evaluate stage is that goroutine).
+func (p *Pool) Evaluate(layers []*core.Layer, now float64) []float64 {
+	out := make([]float64, len(layers))
+	var done sync.WaitGroup
+	done.Add(len(layers))
+	for i, l := range layers {
+		p.tasks <- poolTask{layer: l, now: now, out: out, i: i, done: &done}
+	}
+	done.Wait()
+	return out
+}
+
+// Close stops the workers after in-flight tasks finish.
+func (p *Pool) Close() {
+	close(p.tasks)
+	p.wg.Wait()
+}

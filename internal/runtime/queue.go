@@ -1,0 +1,170 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	stdruntime "runtime"
+	"sync"
+
+	"repro/internal/eventlog"
+)
+
+// ErrRuntime is wrapped by all package errors.
+var ErrRuntime = errors.New("runtime: invalid operation")
+
+// ErrClosed is returned by Ingest after shutdown has begun.
+var ErrClosed = fmt.Errorf("%w: runtime closed", ErrRuntime)
+
+// OverflowPolicy selects what a full ingest queue does with new events.
+type OverflowPolicy int
+
+const (
+	// Block applies backpressure: Ingest waits for queue space (or
+	// context cancellation). No event is ever dropped.
+	Block OverflowPolicy = iota
+	// DropOldest evicts the oldest queued event to admit the new one —
+	// fresh evidence beats stale evidence for online prediction.
+	DropOldest
+	// DropNewest rejects the incoming event, protecting the backlog —
+	// first-come-first-served under pressure.
+	DropNewest
+)
+
+// String returns the flag token for p.
+func (p OverflowPolicy) String() string {
+	switch p {
+	case Block:
+		return "block"
+	case DropOldest:
+		return "drop-oldest"
+	case DropNewest:
+		return "drop-newest"
+	default:
+		return fmt.Sprintf("OverflowPolicy(%d)", int(p))
+	}
+}
+
+// ParsePolicy inverts String.
+func ParsePolicy(s string) (OverflowPolicy, error) {
+	switch s {
+	case "block":
+		return Block, nil
+	case "drop-oldest":
+		return DropOldest, nil
+	case "drop-newest":
+		return DropNewest, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown overflow policy %q", ErrRuntime, s)
+	}
+}
+
+// EventKind discriminates the two monitoring inputs of the paper's case
+// study: detected-error reports and periodic SAR-style samples.
+type EventKind int
+
+const (
+	// KindError is a detected-error report (Sect. 3.1, stage 4).
+	KindError EventKind = iota
+	// KindSample is one periodic monitoring-variable sample.
+	KindSample
+)
+
+// Event is one unit of monitoring ingest.
+type Event struct {
+	Kind EventKind
+	// Time is the domain timestamp [s] (simulation or epoch seconds —
+	// whatever clock the runtime's layers evaluate against).
+	Time float64
+	// Error is set for KindError.
+	Error eventlog.Event
+	// Variable/Value are set for KindSample.
+	Variable string
+	Value    float64
+}
+
+// queue is the bounded ingest stage: a channel for the buffer (so blocked
+// producers stay context-cancelable) plus a close gate that lets shutdown
+// wait out in-flight producers before closing the channel.
+type queue struct {
+	ch     chan Event
+	policy OverflowPolicy
+
+	mu       sync.Mutex
+	closed   bool
+	inflight sync.WaitGroup
+}
+
+func newQueue(capacity int, policy OverflowPolicy) *queue {
+	return &queue{ch: make(chan Event, capacity), policy: policy}
+}
+
+// depth returns the number of queued events.
+func (q *queue) depth() int { return len(q.ch) }
+
+// capacity returns the buffer size.
+func (q *queue) capacity() int { return cap(q.ch) }
+
+// push offers one event under the queue's overflow policy. It returns
+// ErrClosed if shutdown has begun (the event is NOT counted ingested) and
+// ctx.Err() if a blocked push was canceled (counted ingested + dropped).
+func (q *queue) push(ctx context.Context, ev Event, m *Metrics) error {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return ErrClosed
+	}
+	q.inflight.Add(1)
+	q.mu.Unlock()
+	defer q.inflight.Done()
+
+	m.Ingested.Inc()
+	switch q.policy {
+	case DropNewest:
+		select {
+		case q.ch <- ev:
+		default:
+			m.DroppedNewest.Inc()
+		}
+		return nil
+	case DropOldest:
+		for {
+			select {
+			case q.ch <- ev:
+				return nil
+			default:
+			}
+			// Full: evict one (the consumer may win the race — then the
+			// retry above succeeds without an eviction).
+			select {
+			case <-q.ch:
+				m.DroppedOldest.Inc()
+			default:
+			}
+			stdruntime.Gosched()
+		}
+	default: // Block
+		select {
+		case q.ch <- ev:
+			return nil
+		case <-ctx.Done():
+			m.DroppedCanceled.Inc()
+			return ctx.Err()
+		}
+	}
+}
+
+// close begins shutdown: new pushes are rejected, in-flight pushes are
+// waited out (the consumer must keep draining meanwhile), then the channel
+// is closed so the consumer's range loop terminates after the drain.
+func (q *queue) close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.closed = true
+	q.mu.Unlock()
+	q.inflight.Wait()
+	close(q.ch)
+}

@@ -1,0 +1,317 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	stdruntime "runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Config parameterizes the streaming runtime.
+type Config struct {
+	// Engine supplies the layers and the serialized Act semantics
+	// (cross-layer decision, oscillation guard, Table 1 accounting). It
+	// may be externally clocked (core.New with a nil sim engine).
+	Engine *core.Engine
+	// Apply integrates one ingested event into the predictor-visible
+	// state (e.g. append to an eventlog.Log or a timeseries.Series).
+	// Calls are serialized and run under the runtime's state write-lock;
+	// Layer.Evaluate closures run under the matching read-lock, so Apply
+	// and the layers may share state without their own locking.
+	Apply func(Event) error
+	// Clock maps wall time to the domain time passed to Layer.Evaluate
+	// and Engine.ActOn. Nil defaults to seconds since Start.
+	Clock func() float64
+	// QueueCapacity bounds the ingest queue (default 1024).
+	QueueCapacity int
+	// Overflow is the full-queue policy (default Block).
+	Overflow OverflowPolicy
+	// EvalInterval is the wall-clock MEA cadence. Zero disables the
+	// ticker; cycles then run only via EvaluateNow.
+	EvalInterval time.Duration
+	// Workers sizes the layer-evaluation pool (default GOMAXPROCS, or
+	// the layer count if smaller). 1 evaluates sequentially.
+	Workers int
+	// Metrics receives pipeline observability; nil allocates a fresh set.
+	Metrics *Metrics
+}
+
+// cycleResult carries one score vector from the evaluate to the act stage.
+type cycleResult struct {
+	now    float64
+	scores []float64
+}
+
+// Runtime is the concurrent streaming MEA pipeline. Construct with New,
+// drive with Start/Ingest/EvaluateNow, finish with Stop.
+type Runtime struct {
+	cfg     Config
+	engine  *core.Engine
+	layers  []*core.Layer
+	queue   *queue
+	pool    *Pool
+	metrics *Metrics
+
+	// stateMu guards the user's predictor state: Apply holds the write
+	// lock, layer evaluation the read lock.
+	stateMu sync.RWMutex
+
+	evalReq  chan struct{}
+	actCh    chan cycleResult
+	evalStop chan struct{} // closed after ingest drain: evaluator exits
+	hardCtx  context.Context
+	hardStop context.CancelFunc
+	wg       sync.WaitGroup
+
+	started   atomic.Bool
+	stopping  atomic.Bool
+	stopOnce  sync.Once
+	stopErr   error
+	startWall time.Time
+	lastCycle atomic.Int64 // unix nanos of the last completed act round
+}
+
+// New validates the configuration and assembles a runtime (not yet
+// running; call Start).
+func New(cfg Config) (*Runtime, error) {
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("%w: nil engine", ErrRuntime)
+	}
+	if cfg.Apply == nil {
+		return nil, fmt.Errorf("%w: nil Apply", ErrRuntime)
+	}
+	if cfg.QueueCapacity < 0 || cfg.EvalInterval < 0 || cfg.Workers < 0 {
+		return nil, fmt.Errorf("%w: negative capacity/interval/workers", ErrRuntime)
+	}
+	if cfg.QueueCapacity == 0 {
+		cfg.QueueCapacity = 1024
+	}
+	layers := cfg.Engine.Layers()
+	if cfg.Workers == 0 {
+		cfg.Workers = stdruntime.GOMAXPROCS(0)
+		if len(layers) < cfg.Workers {
+			cfg.Workers = len(layers)
+		}
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = NewMetrics()
+	}
+	r := &Runtime{
+		cfg:     cfg,
+		engine:  cfg.Engine,
+		layers:  layers,
+		queue:   newQueue(cfg.QueueCapacity, cfg.Overflow),
+		metrics: cfg.Metrics,
+		evalReq: make(chan struct{}, 1),
+		actCh:   make(chan cycleResult, 1),
+	}
+	r.metrics.Registry().GaugeFunc("pfm_queue_depth",
+		"Events waiting in the ingest queue.", func() float64 { return float64(r.queue.depth()) })
+	r.metrics.Registry().GaugeFunc("pfm_queue_capacity",
+		"Ingest queue capacity.", func() float64 { return float64(r.queue.capacity()) })
+	return r, nil
+}
+
+// Metrics returns the pipeline's metric set.
+func (r *Runtime) Metrics() *Metrics { return r.metrics }
+
+// QueueDepth returns the current ingest backlog.
+func (r *Runtime) QueueDepth() int { return r.queue.depth() }
+
+// Start launches the pipeline stages. ctx cancellation hard-stops the
+// pipeline (no drain); use Stop for graceful shutdown.
+func (r *Runtime) Start(ctx context.Context) error {
+	if !r.started.CompareAndSwap(false, true) {
+		return fmt.Errorf("%w: already started", ErrRuntime)
+	}
+	r.startWall = time.Now()
+	if r.cfg.Clock == nil {
+		start := r.startWall
+		r.cfg.Clock = func() float64 { return time.Since(start).Seconds() }
+	}
+	r.hardCtx, r.hardStop = context.WithCancel(ctx)
+	r.evalStop = make(chan struct{})
+	if r.cfg.Workers > 1 {
+		r.pool = NewPool(r.cfg.Workers)
+	}
+	r.wg.Add(3)
+	go r.consumeLoop()
+	go r.evaluateLoop()
+	go r.actLoop()
+	// Hard-stop path: if the parent context dies without a graceful Stop,
+	// close the queue so the consumer's drain loop can terminate.
+	go func() {
+		<-r.hardCtx.Done()
+		r.stopping.Store(true)
+		r.queue.close()
+	}()
+	return nil
+}
+
+// Ingest offers one event to the pipeline under the configured overflow
+// policy. Under Block it waits for queue space until ctx is canceled. It
+// returns ErrClosed once shutdown has begun.
+func (r *Runtime) Ingest(ctx context.Context, ev Event) error {
+	start := time.Now()
+	err := r.queue.push(ctx, ev, r.metrics)
+	if !errors.Is(err, ErrClosed) {
+		r.metrics.IngestLatency.Observe(time.Since(start).Seconds())
+	}
+	return err
+}
+
+// EvaluateNow requests an immediate MEA cycle (event-driven evaluation).
+// Coalesces if a request is already pending.
+func (r *Runtime) EvaluateNow() {
+	select {
+	case r.evalReq <- struct{}{}:
+	default:
+	}
+}
+
+// consumeLoop is the single ingest consumer: it applies queued events to
+// the predictor state under the write lock, then signals the evaluator to
+// shut down once the queue has fully drained.
+func (r *Runtime) consumeLoop() {
+	defer r.wg.Done()
+	for ev := range r.queue.ch {
+		start := time.Now()
+		r.stateMu.Lock()
+		err := r.cfg.Apply(ev)
+		r.stateMu.Unlock()
+		r.metrics.Applied.Inc()
+		if err != nil {
+			r.metrics.ApplyErrors.Inc()
+		}
+		r.metrics.ApplyLatency.Observe(time.Since(start).Seconds())
+	}
+	// Queue closed and drained: release the evaluate stage.
+	close(r.evalStop)
+}
+
+// evaluateLoop runs MEA cycles on the ticker and on demand, scoring the
+// layers in the worker pool under the state read lock.
+func (r *Runtime) evaluateLoop() {
+	defer r.wg.Done()
+	defer close(r.actCh)
+	var tick <-chan time.Time
+	if r.cfg.EvalInterval > 0 {
+		t := time.NewTicker(r.cfg.EvalInterval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-r.hardCtx.Done():
+			return
+		case <-r.evalStop:
+			// Drain complete: one final cycle so late events still reach
+			// a decision, then shut the act stage.
+			r.runCycle()
+			return
+		case <-tick:
+		case <-r.evalReq:
+		}
+		r.runCycle()
+	}
+}
+
+// runCycle scores all layers (parallel when pooled) and hands the vector
+// to the act stage. Blocks on the act channel — act backpressure
+// throttles evaluation rather than piling up unacted scores.
+func (r *Runtime) runCycle() {
+	start := time.Now()
+	now := r.cfg.Clock()
+	r.stateMu.RLock()
+	var scores []float64
+	if r.pool != nil {
+		scores = r.pool.Evaluate(r.layers, now)
+	} else {
+		scores = r.engine.EvaluateLayers(now)
+	}
+	r.stateMu.RUnlock()
+	r.metrics.EvalLatency.Observe(time.Since(start).Seconds())
+	select {
+	case r.actCh <- cycleResult{now: now, scores: scores}:
+	case <-r.hardCtx.Done():
+	}
+}
+
+// actLoop is the serialized act stage: one cross-layer decision at a time
+// through core.Engine.ActOn.
+func (r *Runtime) actLoop() {
+	defer r.wg.Done()
+	for res := range r.actCh {
+		start := time.Now()
+		d := r.engine.ActOn(res.now, res.scores)
+		r.metrics.Evaluations.Inc()
+		if d.Warned {
+			r.metrics.Warnings.Inc()
+		}
+		if d.Executed {
+			r.metrics.Actions.Inc()
+		}
+		if d.Suppressed {
+			r.metrics.Suppressed.Inc()
+		}
+		r.metrics.ActLatency.Observe(time.Since(start).Seconds())
+		r.lastCycle.Store(time.Now().UnixNano())
+	}
+}
+
+// Stop shuts the pipeline down gracefully: reject new ingest, drain the
+// queue through Apply, run a final evaluation, let the act stage finish,
+// then release the workers. If ctx expires first, the pipeline is
+// hard-stopped and ctx's error returned. Stop is idempotent.
+func (r *Runtime) Stop(ctx context.Context) error {
+	if !r.started.Load() {
+		return fmt.Errorf("%w: not started", ErrRuntime)
+	}
+	r.stopOnce.Do(func() {
+		r.stopping.Store(true)
+		r.queue.close()
+		done := make(chan struct{})
+		go func() {
+			r.wg.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			r.hardStop()
+			<-done
+			r.stopErr = ctx.Err()
+		}
+		r.hardStop()
+		if r.pool != nil {
+			r.pool.Close()
+		}
+	})
+	return r.stopErr
+}
+
+// Running reports whether the pipeline is started and not yet stopping.
+func (r *Runtime) Running() bool { return r.started.Load() && !r.stopping.Load() }
+
+// Uptime returns the wall-clock time since Start.
+func (r *Runtime) Uptime() time.Duration {
+	if !r.started.Load() {
+		return 0
+	}
+	return time.Since(r.startWall)
+}
+
+// LastCycle returns when the act stage last completed a decision (zero
+// time if no cycle has completed yet).
+func (r *Runtime) LastCycle() time.Time {
+	ns := r.lastCycle.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}

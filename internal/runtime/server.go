@@ -1,0 +1,73 @@
+package runtime
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Health is the /healthz response body.
+type Health struct {
+	Status        string  `json:"status"` // "ok" | "stopping"
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	QueueDepth    int     `json:"queueDepth"`
+	QueueCapacity int     `json:"queueCapacity"`
+	Evaluations   int64   `json:"evaluations"`
+	// LastCycleAgoSeconds is the age of the newest act decision; -1
+	// before the first cycle completes.
+	LastCycleAgoSeconds float64 `json:"lastCycleAgoSeconds"`
+}
+
+// health snapshots liveness.
+func (r *Runtime) health() Health {
+	h := Health{
+		Status:              "ok",
+		UptimeSeconds:       r.Uptime().Seconds(),
+		QueueDepth:          r.queue.depth(),
+		QueueCapacity:       r.queue.capacity(),
+		Evaluations:         r.metrics.Evaluations.Value(),
+		LastCycleAgoSeconds: -1,
+	}
+	if !r.Running() {
+		h.Status = "stopping"
+	}
+	if last := r.LastCycle(); !last.IsZero() {
+		h.LastCycleAgoSeconds = time.Since(last).Seconds()
+	}
+	return h
+}
+
+// Handler serves the observability endpoints:
+//
+//	GET /metrics  — Prometheus text exposition of the pipeline metrics
+//	GET /healthz  — JSON liveness (200 while running, 503 once stopping)
+func (r *Runtime) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.metrics.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		h := r.health()
+		w.Header().Set("Content-Type", "application/json")
+		if h.Status != "ok" {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		_ = json.NewEncoder(w).Encode(h)
+	})
+	return mux
+}
+
+// Serve starts the observability server on addr (e.g. ":9600"; ":0" picks
+// a free port). It returns the server and the bound address; shut it down
+// with srv.Shutdown or srv.Close.
+func (r *Runtime) Serve(addr string) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: r.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr().String(), nil
+}
