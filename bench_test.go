@@ -12,7 +12,9 @@ package pfm
 
 import (
 	"context"
+	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -415,6 +417,92 @@ func BenchmarkHSMMScore(b *testing.B) {
 	}
 }
 
+// benchHSMMSeqs draws n synthetic error sequences of the given length with
+// a 5-symbol alphabet and bursty lognormal delays.
+func benchHSMMSeqs(g *stats.RNG, n, length int) []eventlog.Sequence {
+	out := make([]eventlog.Sequence, n)
+	for i := range out {
+		seq := eventlog.Sequence{Times: make([]float64, length), Types: make([]int, length)}
+		t := 0.0
+		for k := 0; k < length; k++ {
+			if k > 0 {
+				t += stats.LogNormal{Mu: 0.5, Sigma: 0.8}.Sample(g)
+			}
+			seq.Times[k] = t
+			seq.Types[k] = 1 + g.Intn(5)
+		}
+		out[i] = seq
+	}
+	return out
+}
+
+// BenchmarkHSMMForward times the steady-state forward pass (LogLikelihood)
+// on an 8-state model over a 64-event window. The allocs/op column enforces
+// the allocation-free kernel claim: it must read 0.
+func BenchmarkHSMMForward(b *testing.B) {
+	g := stats.NewRNG(71)
+	m, err := hsmm.Fit(benchHSMMSeqs(g, 16, 32), hsmm.Config{States: 8, Seed: 3, MaxIter: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	window := benchHSMMSeqs(g, 1, 64)[0]
+	if _, err := m.LogLikelihood(window); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.LogLikelihood(window); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHSMMFit times full EM training of an 8-state model (4 restarts,
+// 10 iterations) over 24 sequences — the parallel-restart/parallel-E-step
+// hot path.
+func BenchmarkHSMMFit(b *testing.B) {
+	g := stats.NewRNG(73)
+	seqs := benchHSMMSeqs(g, 24, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hsmm.Fit(seqs, hsmm.Config{States: 8, Seed: 5, MaxIter: 10, Restarts: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClassifierScore times two-model scoring of a 64-event window
+// under an 8-state classifier, plus the batched ScoreAll over the full test
+// grid (the case-study path).
+func BenchmarkClassifierScore(b *testing.B) {
+	g := stats.NewRNG(79)
+	clf, err := hsmm.TrainClassifier(
+		benchHSMMSeqs(g, 12, 24), benchHSMMSeqs(g, 12, 24),
+		hsmm.Config{States: 8, Seed: 7, MaxIter: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	windows := benchHSMMSeqs(g, 64, 64)
+	b.Run("single", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := clf.Score(windows[i%len(windows)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("batch-64", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := clf.ScoreAll(windows); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkUBFPredict times one UBF network evaluation (the per-cycle cost
 // of the symptom layer).
 func BenchmarkUBFPredict(b *testing.B) {
@@ -567,6 +655,71 @@ func BenchmarkRuntimeThroughput(b *testing.B) {
 		b.Fatalf("applied %d of %d", applied, b.N)
 	}
 	b.ReportMetric(float64(b.N)/elapsed, "events/sec")
+}
+
+// BenchmarkRuntimeShardedIngest measures ingest throughput with the
+// monitoring streams of eight SAR-style variables routed over 1 vs 4 ingest
+// shards. Apply burns a small fixed amount of per-event work, standing in
+// for mirror-state maintenance; with shards > 1 that work runs on several
+// consumers (on multi-core hosts) while per-variable ordering is preserved.
+func BenchmarkRuntimeShardedIngest(b *testing.B) {
+	vars := []string{"cpu", "mem_free", "swap", "io", "net", "queue", "semops", "err_rate"}
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			layers := []*Layer{{
+				Name:      "quiet",
+				Evaluate:  func(float64) (float64, error) { return 0, nil },
+				Threshold: 1,
+			}}
+			var applied atomic.Int64
+			rt, err := NewRuntime(RuntimeConfig{
+				Engine: benchRuntimeEngine(b, layers),
+				Apply: func(ev RuntimeEvent) error {
+					// Fixed per-event work (~a short series append + stat).
+					s := 0.0
+					for k := 0; k < 64; k++ {
+						s += ev.Value * float64(k)
+					}
+					if s < 0 {
+						return nil
+					}
+					applied.Add(1)
+					return nil
+				},
+				QueueCapacity: 4096,
+				Overflow:      OverflowBlock,
+				Shards:        shards,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			if err := rt.Start(ctx); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				ev := RuntimeEvent{
+					Kind: RuntimeEventSample, Time: float64(i),
+					Variable: vars[i%len(vars)], Value: 1,
+				}
+				if err := rt.Ingest(ctx, ev); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := rt.Stop(ctx); err != nil {
+				b.Fatal(err)
+			}
+			elapsed := time.Since(start).Seconds()
+			b.StopTimer()
+			if applied.Load() != int64(b.N) {
+				b.Fatalf("applied %d of %d", applied.Load(), b.N)
+			}
+			b.ReportMetric(float64(b.N)/elapsed, "events/sec")
+		})
+	}
 }
 
 // BenchmarkRuntimeParallelLayers compares sequential layer evaluation with

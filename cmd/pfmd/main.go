@@ -17,7 +17,7 @@
 //
 //	pfmd [-addr :9600] [-seed 11] [-days 1] [-compress 3600]
 //	     [-queue 4096] [-overflow block|drop-oldest|drop-newest]
-//	     [-workers 4] [-eval 250ms]
+//	     [-workers 4] [-eval 250ms] [-shards 1] [-pprof]
 package main
 
 import (
@@ -48,8 +48,11 @@ func main() {
 
 // mirror is the runtime's predictor-visible state: the ingest stage
 // replays the simulator's error log and SAR series into it, and the
-// layers read it. Locking is owned by the runtime (Apply under the write
-// lock, Layer.Evaluate under the read lock).
+// layers read it. Locking is owned by the runtime: Apply and evaluation
+// never overlap, and sharded ingest (-shards > 1) is safe here because the
+// default shard key serializes all error-log appends on one shard while
+// each SAR series is only touched by its own variable's shard (the sar map
+// itself is fully populated before Start and read-only afterwards).
 type mirror struct {
 	log *eventlog.Log
 	sar map[string]*ts.Series
@@ -148,6 +151,8 @@ func run() error {
 	overflow := flag.String("overflow", "block", "overflow policy: block|drop-oldest|drop-newest")
 	workers := flag.Int("workers", 4, "layer-evaluation worker pool size")
 	evalEvery := flag.Duration("eval", 250*time.Millisecond, "wall-clock MEA cadence")
+	shards := flag.Int("shards", 1, "parallel ingest shards (per-variable routing)")
+	pprofOn := flag.Bool("pprof", false, "expose /debug/pprof/ on the metrics address")
 	flag.Parse()
 	if *days <= 0 || *compress <= 0 {
 		return fmt.Errorf("days and compress must be positive")
@@ -226,6 +231,8 @@ func run() error {
 		Overflow:      policy,
 		EvalInterval:  *evalEvery,
 		Workers:       *workers,
+		Shards:        *shards,
+		Profiling:     *pprofOn,
 	})
 	if err != nil {
 		return err
@@ -242,8 +249,8 @@ func run() error {
 	}
 	defer srv.Close()
 	fmt.Printf("pfmd: serving /metrics and /healthz on %s\n", bound)
-	fmt.Printf("pfmd: replaying %.3g simulated days at %gx wall speed (policy %s, %d workers)\n",
-		*days, *compress, policy, *workers)
+	fmt.Printf("pfmd: replaying %.3g simulated days at %gx wall speed (policy %s, %d workers, %d shards)\n",
+		*days, *compress, policy, *workers, rt.Shards())
 
 	if err := replay(ctx, sys, rt, cmds, *days*86400, *compress, &simNow); err != nil &&
 		ctx.Err() == nil {

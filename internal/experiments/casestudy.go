@@ -304,19 +304,15 @@ func trainHSMMOn(log *eventlog.Log, failures []float64, cfg CaseStudyConfig) (*h
 	})
 }
 
-// hsmmScoresAt scores sliding windows ending at the given times.
+// hsmmScoresAt scores sliding windows ending at the given times, batched
+// through the classifier so windows score in parallel where cores allow.
 func (ds *dataset) hsmmScoresAt(clf *hsmm.Classifier, times []float64) ([]float64, error) {
-	scores := make([]float64, len(times))
 	log := ds.sys.Log()
+	windows := make([]eventlog.Sequence, len(times))
 	for i, t := range times {
-		seq := eventlog.SlidingWindow(log, t, ds.cfg.DataWindow)
-		s, err := clf.Score(seq)
-		if err != nil {
-			return nil, err
-		}
-		scores[i] = s
+		windows[i] = eventlog.SlidingWindow(log, t, ds.cfg.DataWindow)
 	}
-	return scores, nil
+	return clf.ScoreAll(windows)
 }
 
 // ubfFeatureNames are the SAR variables offered to the UBF predictor (the

@@ -3,6 +3,9 @@ package hsmm
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/eventlog"
 )
@@ -63,6 +66,59 @@ func (c *Classifier) Score(seq eventlog.Sequence) (float64, error) {
 		return 0, fmt.Errorf("%w: NaN score", ErrModel)
 	}
 	return score, nil
+}
+
+// ScoreAll scores a batch of sequences, fanning the windows across a
+// GOMAXPROCS-bounded worker pool. Models are read-only during scoring, so
+// the workers share them without locking; results come back in input order
+// (scores[i] corresponds to seqs[i]) regardless of scheduling. This is the
+// case-study path: scoring the full evaluation grid is embarrassingly
+// parallel.
+func (c *Classifier) ScoreAll(seqs []eventlog.Sequence) ([]float64, error) {
+	scores := make([]float64, len(seqs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(seqs) {
+		workers = len(seqs)
+	}
+	if workers <= 1 {
+		for i, s := range seqs {
+			sc, err := c.Score(s)
+			if err != nil {
+				return nil, err
+			}
+			scores[i] = sc
+		}
+		return scores, nil
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(seqs) {
+					return
+				}
+				sc, err := c.Score(seqs[i])
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					return
+				}
+				scores[i] = sc
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return scores, nil
 }
 
 // Classify reports whether the sequence is failure-prone at the configured

@@ -86,52 +86,58 @@ func (d durationDist) logPDF(dt float64) float64 {
 	}
 }
 
-// fit re-estimates the distribution from delays with non-negative weights.
-// Zero total weight leaves the distribution unchanged.
-func (d *durationDist) fit(delays, weights []float64) {
-	if d.family == FamilyNone {
-		return
+// fillLogPDF writes logPDF(delays[t]) for every t into dst — one state's
+// row of a prepared sequence's duration table. logDelays carries
+// log(max(delays[t], minDelay)) precomputed once per sequence, so the
+// lognormal row costs no transcendental calls in the loop: the per-state
+// constants are hoisted and each cell is a handful of multiply-adds.
+func (d durationDist) fillLogPDF(dst, delays, logDelays []float64) {
+	switch d.family {
+	case FamilyLogNormal:
+		c := -math.Log(d.sigma) - 0.5*math.Log(2*math.Pi)
+		inv := 1 / d.sigma
+		for t, ld := range logDelays {
+			z := (ld - d.mu) * inv
+			dst[t] = -0.5*z*z - ld + c
+		}
+	case FamilyExponential:
+		logMu := math.Log(d.mu)
+		for t, dt := range delays {
+			if dt < minDelay {
+				dt = minDelay
+			}
+			dst[t] = logMu - d.mu*dt
+		}
+	default: // FamilyNone: durations carry no information
+		for t := range dst {
+			dst[t] = 0
+		}
 	}
-	var wsum float64
-	for _, w := range weights {
-		wsum += w
-	}
-	if wsum <= 0 {
+}
+
+// fitMoments re-estimates the distribution from weighted sufficient
+// statistics accumulated during the E step: total posterior weight w,
+// Σ w·log dt and Σ w·(log dt)² (lognormal), and Σ w·dt (exponential), all
+// over delays clamped to minDelay. Zero total weight leaves the
+// distribution unchanged.
+func (d *durationDist) fitMoments(w, wLog, wLog2, wDt float64) {
+	if d.family == FamilyNone || w <= 0 {
 		return
 	}
 	switch d.family {
 	case FamilyLogNormal:
-		var mean float64
-		for i, dt := range delays {
-			if dt < minDelay {
-				dt = minDelay
-			}
-			mean += weights[i] * math.Log(dt)
+		mean := wLog / w
+		variance := wLog2/w - mean*mean
+		if variance < 0 {
+			variance = 0 // guard the E[x²]−mean² form against rounding
 		}
-		mean /= wsum
-		var variance float64
-		for i, dt := range delays {
-			if dt < minDelay {
-				dt = minDelay
-			}
-			z := math.Log(dt) - mean
-			variance += weights[i] * z * z
-		}
-		variance /= wsum
 		d.mu = mean
 		d.sigma = math.Sqrt(variance)
 		if d.sigma < 0.05 {
 			d.sigma = 0.05 // keep densities bounded
 		}
 	case FamilyExponential:
-		var mean float64
-		for i, dt := range delays {
-			if dt < minDelay {
-				dt = minDelay
-			}
-			mean += weights[i] * dt
-		}
-		mean /= wsum
+		mean := wDt / w
 		if mean < minDelay {
 			mean = minDelay
 		}

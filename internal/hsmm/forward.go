@@ -3,10 +3,49 @@ package hsmm
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/eventlog"
 	"repro/internal/stats"
 )
+
+// The inference kernels below are allocation-free on the steady-state path:
+// lattices are flat k×n row-major buffers recycled through pools, the
+// duration log-PDFs come from the prepared sequence's table (built once per
+// prepare/refreshDur instead of once per lattice cell), transition and
+// emission parameters are read from the model's flat caches, and the
+// per-row max is tracked while the row is filled so LogSumExpWithMax skips
+// the extra scan.
+
+// bufPool recycles the flat float64 lattices and scratch rows.
+var bufPool = sync.Pool{New: func() any { return new([]float64) }}
+
+// getBuf returns a length-n float64 buffer from the pool (contents
+// arbitrary); return it with putBuf.
+func getBuf(n int) *[]float64 {
+	bp := bufPool.Get().(*[]float64)
+	if cap(*bp) < n {
+		*bp = make([]float64, n)
+	}
+	*bp = (*bp)[:n]
+	return bp
+}
+
+func putBuf(bp *[]float64) { bufPool.Put(bp) }
+
+// intBufPool recycles the Viterbi backpointer lattice.
+var intBufPool = sync.Pool{New: func() any { return new([]int) }}
+
+func getIntBuf(n int) *[]int {
+	bp := intBufPool.Get().(*[]int)
+	if cap(*bp) < n {
+		*bp = make([]int, n)
+	}
+	*bp = (*bp)[:n]
+	return bp
+}
+
+func putIntBuf(bp *[]int) { intBufPool.Put(bp) }
 
 // LogLikelihood returns log P(sequence | model) via the forward algorithm
 // in log space. The semi-Markov duration densities enter at every
@@ -16,8 +55,17 @@ func (m *Model) LogLikelihood(seq eventlog.Sequence) (float64, error) {
 		return 0, fmt.Errorf("%w: empty sequence", ErrModel)
 	}
 	p := m.prepare(seq)
-	alpha := m.forward(p)
-	return stats.LogSumExpSlice(alpha[len(alpha)-1]), nil
+	k := len(p.obs)
+	bp := getBuf(k*m.n + 2*m.n)
+	buf := *bp
+	alpha := buf[:k*m.n]
+	tmp := buf[k*m.n : k*m.n+m.n]
+	row := buf[k*m.n+m.n:]
+	m.forwardInto(p, alpha, tmp, row)
+	ll := stats.LogSumExpSlice(alpha[(k-1)*m.n:])
+	putBuf(bp)
+	p.release()
+	return ll, nil
 }
 
 // LogLikelihoodPerEvent normalizes the log-likelihood by sequence length so
@@ -30,44 +78,69 @@ func (m *Model) LogLikelihoodPerEvent(seq eventlog.Sequence) (float64, error) {
 	return ll / float64(seq.Len()), nil
 }
 
-// forward fills the forward lattice: alpha[k][j] = log P(o_1..o_k, s_k=j).
-func (m *Model) forward(p prepared) [][]float64 {
-	k := len(p.obs)
-	alpha := make([][]float64, k)
-	alpha[0] = make([]float64, m.n)
-	for j := 0; j < m.n; j++ {
-		alpha[0][j] = m.logPi[j] + m.logB[j][p.obs[0]]
+// forwardInto fills the k×n row-major forward lattice:
+// alpha[t*n+j] = log P(o_1..o_t, s_t=j). tmp and row are n-sized scratch
+// buffers owned by the caller.
+func (m *Model) forwardInto(p *prepared, alpha, tmp, row []float64) {
+	n, k := m.n, len(p.obs)
+	for j := 0; j < n; j++ {
+		alpha[j] = m.logPi[j] + m.logBf[j*m.m+p.obs[0]]
 	}
-	buf := make([]float64, m.n)
 	for t := 1; t < k; t++ {
-		alpha[t] = make([]float64, m.n)
-		for j := 0; j < m.n; j++ {
-			for i := 0; i < m.n; i++ {
-				buf[i] = alpha[t-1][i] + m.logA[i][j] + m.dur[i].logPDF(p.delays[t])
+		prev := alpha[(t-1)*n : t*n]
+		cur := alpha[t*n : (t+1)*n]
+		// The duration term depends on (i, t) only: fold it into the
+		// predecessor scores once per timestep instead of once per cell.
+		for i := 0; i < n; i++ {
+			tmp[i] = prev[i] + p.durLP[i*k+t]
+		}
+		o := p.obs[t]
+		for j := 0; j < n; j++ {
+			at := m.logAT[j*n : (j+1)*n]
+			mx := math.Inf(-1)
+			for i := 0; i < n; i++ {
+				v := tmp[i] + at[i]
+				row[i] = v
+				if v > mx {
+					mx = v
+				}
 			}
-			alpha[t][j] = stats.LogSumExpSlice(buf) + m.logB[j][p.obs[t]]
+			cur[j] = stats.LogSumExpWithMax(row, mx) + m.logBf[j*m.m+o]
 		}
 	}
-	return alpha
 }
 
-// backward fills the backward lattice: beta[k][i] = log P(o_{k+1}.. | s_k=i).
-func (m *Model) backward(p prepared) [][]float64 {
-	k := len(p.obs)
-	beta := make([][]float64, k)
-	beta[k-1] = make([]float64, m.n) // log 1 = 0
-	buf := make([]float64, m.n)
+// backwardInto fills the k×n row-major backward lattice:
+// beta[t*n+i] = log P(o_{t+1}.. | s_t=i). w and row are n-sized scratch
+// buffers owned by the caller.
+func (m *Model) backwardInto(p *prepared, beta, w, row []float64) {
+	n, k := m.n, len(p.obs)
+	last := beta[(k-1)*n : k*n]
+	for i := range last {
+		last[i] = 0 // log 1
+	}
 	for t := k - 2; t >= 0; t-- {
-		beta[t] = make([]float64, m.n)
-		for i := 0; i < m.n; i++ {
-			for j := 0; j < m.n; j++ {
-				buf[j] = m.logA[i][j] + m.dur[i].logPDF(p.delays[t+1]) +
-					m.logB[j][p.obs[t+1]] + beta[t+1][j]
+		next := beta[(t+1)*n : (t+2)*n]
+		cur := beta[t*n : (t+1)*n]
+		o := p.obs[t+1]
+		// Successor emission + continuation, shared across all i.
+		for j := 0; j < n; j++ {
+			w[j] = m.logBf[j*m.m+o] + next[j]
+		}
+		for i := 0; i < n; i++ {
+			ai := m.logAf[i*n : (i+1)*n]
+			mx := math.Inf(-1)
+			for j := 0; j < n; j++ {
+				v := ai[j] + w[j]
+				row[j] = v
+				if v > mx {
+					mx = v
+				}
 			}
-			beta[t][i] = stats.LogSumExpSlice(buf)
+			// The duration term is constant over j: add it after the sum.
+			cur[i] = stats.LogSumExpWithMax(row, mx) + p.durLP[i*k+t+1]
 		}
 	}
-	return beta
 }
 
 // Viterbi returns the most likely hidden state path for the sequence and
@@ -77,38 +150,49 @@ func (m *Model) Viterbi(seq eventlog.Sequence) ([]int, float64, error) {
 		return nil, 0, fmt.Errorf("%w: empty sequence", ErrModel)
 	}
 	p := m.prepare(seq)
-	k := len(p.obs)
-	delta := make([][]float64, k)
-	psi := make([][]int, k)
-	delta[0] = make([]float64, m.n)
-	for j := 0; j < m.n; j++ {
-		delta[0][j] = m.logPi[j] + m.logB[j][p.obs[0]]
+	n, k := m.n, seq.Len()
+	bp := getBuf(k*n + n)
+	buf := *bp
+	delta := buf[:k*n]
+	tmp := buf[k*n:]
+	pp := getIntBuf(k * n)
+	psi := *pp
+	for j := 0; j < n; j++ {
+		delta[j] = m.logPi[j] + m.logBf[j*m.m+p.obs[0]]
 	}
 	for t := 1; t < k; t++ {
-		delta[t] = make([]float64, m.n)
-		psi[t] = make([]int, m.n)
-		for j := 0; j < m.n; j++ {
+		prev := delta[(t-1)*n : t*n]
+		cur := delta[t*n : (t+1)*n]
+		back := psi[t*n : (t+1)*n]
+		for i := 0; i < n; i++ {
+			tmp[i] = prev[i] + p.durLP[i*k+t]
+		}
+		o := p.obs[t]
+		for j := 0; j < n; j++ {
+			at := m.logAT[j*n : (j+1)*n]
 			best, arg := math.Inf(-1), 0
-			for i := 0; i < m.n; i++ {
-				v := delta[t-1][i] + m.logA[i][j] + m.dur[i].logPDF(p.delays[t])
-				if v > best {
+			for i := 0; i < n; i++ {
+				if v := tmp[i] + at[i]; v > best {
 					best, arg = v, i
 				}
 			}
-			delta[t][j] = best + m.logB[j][p.obs[t]]
-			psi[t][j] = arg
+			cur[j] = best + m.logBf[j*m.m+o]
+			back[j] = arg
 		}
 	}
 	best, arg := math.Inf(-1), 0
-	for j := 0; j < m.n; j++ {
-		if delta[k-1][j] > best {
-			best, arg = delta[k-1][j], j
+	for j := 0; j < n; j++ {
+		if v := delta[(k-1)*n+j]; v > best {
+			best, arg = v, j
 		}
 	}
 	path := make([]int, k)
 	path[k-1] = arg
 	for t := k - 1; t > 0; t-- {
-		path[t-1] = psi[t][path[t]]
+		path[t-1] = psi[t*n+path[t]]
 	}
+	putBuf(bp)
+	putIntBuf(pp)
+	p.release()
 	return path, best, nil
 }

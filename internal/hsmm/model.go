@@ -3,6 +3,7 @@ package hsmm
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/eventlog"
 	"repro/internal/stats"
@@ -73,6 +74,32 @@ type Model struct {
 	logB    [][]float64    // n×m emission log-probabilities
 	dur     []durationDist // n per-state duration distributions
 	family  DurationFamily
+
+	// Flat kernel caches derived from logA/logB by refreshKernel (at init,
+	// after every M step, and on deserialization): logAf is row-major
+	// (logAf[i*n+j] = logA[i][j]), logAT is its transpose
+	// (logAT[j*n+i] = logA[i][j]), logBf is row-major
+	// (logBf[j*m+o] = logB[j][o]). The hot kernels walk these contiguously
+	// instead of chasing per-row slice headers.
+	logAf, logAT, logBf []float64
+}
+
+// refreshKernel rebuilds the flat caches after logA/logB change.
+func (m *Model) refreshKernel() {
+	if len(m.logAf) != m.n*m.n {
+		m.logAf = make([]float64, m.n*m.n)
+		m.logAT = make([]float64, m.n*m.n)
+	}
+	if len(m.logBf) != m.n*m.m {
+		m.logBf = make([]float64, m.n*m.m)
+	}
+	for i := 0; i < m.n; i++ {
+		copy(m.logAf[i*m.n:(i+1)*m.n], m.logA[i])
+		for j, v := range m.logA[i] {
+			m.logAT[j*m.n+i] = v
+		}
+		copy(m.logBf[i*m.m:(i+1)*m.m], m.logB[i])
+	}
 }
 
 // unknownSlot is the emission index for event types unseen in training.
@@ -132,6 +159,7 @@ func newRandomModel(cfg Config, alphabet []int, meanDelay float64, g *stats.RNG)
 		model.dur[i] = newDuration(cfg.Family)
 		model.dur[i].randomize(g, meanDelay)
 	}
+	model.refreshKernel()
 	return model
 }
 
@@ -148,23 +176,75 @@ func normalizeToLog(w []float64) []float64 {
 	return out
 }
 
-// prepared is a sequence translated to emission indices and delays.
+// prepared is a sequence translated to the model's emission alphabet plus
+// the per-sequence tables the kernels index instead of recomputing:
+// inter-event delays, clamped log-delays, and the n×k duration log-PDF
+// table. forward, backward, Viterbi and the EM ξ-accumulation all read
+// durLP, turning the O(n·k²) transcendental calls of the naive lattices
+// into an O(n·k) table build. Instances are recycled through prepPool;
+// callers must release() them when done.
 type prepared struct {
 	obs    []int     // emission indices
-	delays []float64 // delays[k] is the delay preceding event k (k ≥ 1)
+	delays []float64 // delays[t] is the delay preceding event t (t ≥ 1)
+	logDel []float64 // log(max(delays[t], minDelay))
+	durLP  []float64 // n×k row-major: durLP[i*k+t] = dur[i].logPDF(delays[t])
 }
 
-// prepare translates an event sequence for this model's alphabet.
-func (m *Model) prepare(seq eventlog.Sequence) prepared {
-	p := prepared{
-		obs:    make([]int, seq.Len()),
-		delays: make([]float64, seq.Len()),
-	}
-	for k, typ := range seq.Types {
-		p.obs[k] = m.symbolIndex(typ)
-		if k > 0 {
-			p.delays[k] = seq.Times[k] - seq.Times[k-1]
+// prepPool recycles prepared buffers across LogLikelihood/Viterbi/EM calls
+// so the steady-state inference path allocates nothing.
+var prepPool = sync.Pool{New: func() any { return new(prepared) }}
+
+// prepare translates an event sequence for this model's alphabet and builds
+// the duration table for the model's current parameters. Release the result
+// with release().
+func (m *Model) prepare(seq eventlog.Sequence) *prepared {
+	k := seq.Len()
+	p := prepPool.Get().(*prepared)
+	p.obs = growInts(p.obs, k)
+	p.delays = growF64(p.delays, k)
+	p.logDel = growF64(p.logDel, k)
+	p.durLP = growF64(p.durLP, m.n*k)
+	for t, typ := range seq.Types {
+		p.obs[t] = m.symbolIndex(typ)
+		d := 0.0
+		if t > 0 {
+			d = seq.Times[t] - seq.Times[t-1]
 		}
+		p.delays[t] = d
+		if d < minDelay {
+			d = minDelay
+		}
+		p.logDel[t] = math.Log(d)
 	}
+	p.refreshDur(m)
 	return p
+}
+
+// refreshDur rebuilds the duration table for the model's current duration
+// parameters (needed between EM iterations, where the M step moves them).
+func (p *prepared) refreshDur(m *Model) {
+	k := len(p.obs)
+	for i := 0; i < m.n; i++ {
+		m.dur[i].fillLogPDF(p.durLP[i*k:(i+1)*k], p.delays, p.logDel)
+	}
+}
+
+// release returns the prepared buffers to the pool.
+func (p *prepared) release() { prepPool.Put(p) }
+
+// growF64 returns buf resized to length n, reallocating only when the
+// capacity is insufficient (contents arbitrary).
+func growF64(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// growInts is growF64 for int buffers.
+func growInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
 }

@@ -111,6 +111,7 @@ func (m *Model) UnmarshalJSON(data []byte) error {
 		dur:     dur,
 		family:  family,
 	}
+	m.refreshKernel()
 	return nil
 }
 

@@ -3,7 +3,10 @@ package hsmm
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/eventlog"
 	"repro/internal/stats"
@@ -16,8 +19,17 @@ const emissionFloor = 1e-6
 // Fit trains a model on the given sequences with (generalized) EM:
 // forward-backward responsibilities in the E step; closed-form transition,
 // emission and initial-distribution updates plus weighted-moment duration
-// re-fits in the M step. It runs cfg.Restarts random initializations and
-// returns the model with the highest training log-likelihood.
+// re-fits in the M step. It runs cfg.Restarts random initializations across
+// a GOMAXPROCS-bounded worker pool and returns the model with the highest
+// training log-likelihood.
+//
+// Determinism contract: restart RNG streams are split from cfg.Seed in
+// restart order before any worker starts, every restart is independent, and
+// the best-model scan runs in restart order — so a given seed produces the
+// same model bit-for-bit regardless of scheduling. The E step inside each
+// restart shards sequences into fixed contiguous blocks merged in block
+// order (see em), so it is likewise schedule-independent; only changing
+// GOMAXPROCS between runs can regroup the floating-point reductions.
 func Fit(seqs []eventlog.Sequence, cfg Config) (*Model, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
@@ -34,19 +46,63 @@ func Fit(seqs []eventlog.Sequence, cfg Config) (*Model, error) {
 	}
 	alphabet, meanDelay := trainingAlphabet(usable)
 	g := stats.NewRNG(cfg.Seed)
+	// Pre-split the per-restart streams sequentially so the draw order —
+	// and thus every initialization — matches the sequential
+	// implementation exactly.
+	rngs := make([]*stats.RNG, cfg.Restarts)
+	for r := range rngs {
+		rngs[r] = g.Split(int64(r))
+	}
+	models := make([]*Model, cfg.Restarts)
+	lls := make([]float64, cfg.Restarts)
+	errs := make([]error, cfg.Restarts)
+	runRestart := func(r int) {
+		model := newRandomModel(cfg, alphabet, meanDelay, rngs[r])
+		lls[r], errs[r] = model.em(usable, cfg)
+		models[r] = model
+	}
+	if workers := boundedWorkers(cfg.Restarts); workers <= 1 {
+		for r := 0; r < cfg.Restarts; r++ {
+			runRestart(r)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					r := int(next.Add(1)) - 1
+					if r >= cfg.Restarts {
+						return
+					}
+					runRestart(r)
+				}
+			}()
+		}
+		wg.Wait()
+	}
 	var best *Model
 	bestLL := math.Inf(-1)
 	for r := 0; r < cfg.Restarts; r++ {
-		model := newRandomModel(cfg, alphabet, meanDelay, g.Split(int64(r)))
-		ll, err := model.em(usable, cfg)
-		if err != nil {
-			return nil, err
+		if errs[r] != nil {
+			return nil, errs[r]
 		}
-		if ll > bestLL {
-			bestLL, best = ll, model
+		if lls[r] > bestLL {
+			bestLL, best = lls[r], models[r]
 		}
 	}
 	return best, nil
+}
+
+// boundedWorkers caps a worker count at GOMAXPROCS.
+func boundedWorkers(tasks int) int {
+	w := runtime.GOMAXPROCS(0)
+	if tasks < w {
+		w = tasks
+	}
+	return w
 }
 
 // trainingAlphabet collects the distinct event types and the mean delay.
@@ -76,27 +132,91 @@ func trainingAlphabet(seqs []eventlog.Sequence) ([]int, float64) {
 }
 
 // em iterates E/M steps until convergence and returns the final total
-// log-likelihood.
+// log-likelihood. The E step fans sequences out across shard-local
+// accumulators: shard s owns the s-th contiguous block of sequences,
+// accumulates them in index order, and the shards are merged in shard
+// order — a fixed-order reduction whose result does not depend on
+// goroutine scheduling.
 func (m *Model) em(seqs []eventlog.Sequence, cfg Config) (float64, error) {
-	preps := make([]prepared, len(seqs))
+	preps := make([]*prepared, len(seqs))
 	totalEvents := 0
 	for i, s := range seqs {
 		preps[i] = m.prepare(s)
 		totalEvents += s.Len()
 	}
+	defer func() {
+		for _, p := range preps {
+			p.release()
+		}
+	}()
+	shards := boundedWorkers(len(preps))
+	if shards < 1 {
+		shards = 1
+	}
+	accs := make([]*accumulator, shards)
+	scratch := make([]*emScratch, shards)
+	lls := make([]float64, shards)
+	fails := make([]bool, shards)
+	for s := range accs {
+		accs[s] = newAccumulator(m.n, m.m)
+		scratch[s] = &emScratch{
+			tmp: make([]float64, m.n),
+			row: make([]float64, m.n),
+			w:   make([]float64, m.n),
+		}
+	}
+	chunk := (len(preps) + shards - 1) / shards
+	runShard := func(s int) {
+		acc := accs[s]
+		acc.reset()
+		lls[s], fails[s] = 0, false
+		hi := (s + 1) * chunk
+		if hi > len(preps) {
+			hi = len(preps)
+		}
+		for i := s * chunk; i < hi; i++ {
+			seqLL := acc.accumulate(m, preps[i], scratch[s])
+			if math.IsNaN(seqLL) {
+				fails[s] = true
+				return
+			}
+			lls[s] += seqLL
+		}
+	}
+
 	prevLL := math.Inf(-1)
 	ll := prevLL
 	for iter := 0; iter < cfg.MaxIter; iter++ {
-		acc := newAccumulator(m.n, m.m)
+		if iter > 0 {
+			// The M step moved the duration parameters: rebuild the tables.
+			for _, p := range preps {
+				p.refreshDur(m)
+			}
+		}
+		if shards == 1 {
+			runShard(0)
+		} else {
+			var wg sync.WaitGroup
+			wg.Add(shards)
+			for s := 0; s < shards; s++ {
+				go func(s int) {
+					defer wg.Done()
+					runShard(s)
+				}(s)
+			}
+			wg.Wait()
+		}
 		ll = 0
-		for _, p := range preps {
-			seqLL := acc.accumulate(m, p)
-			if math.IsNaN(seqLL) {
+		for s := 0; s < shards; s++ {
+			if fails[s] {
 				return 0, fmt.Errorf("%w: NaN likelihood during EM", ErrModel)
 			}
-			ll += seqLL
+			ll += lls[s]
 		}
-		m.applyMStep(acc)
+		for s := 1; s < shards; s++ {
+			accs[0].merge(accs[s])
+		}
+		m.applyMStep(accs[0])
 		if iter > 0 && (ll-prevLL)/float64(totalEvents) < cfg.Tol {
 			break
 		}
@@ -106,60 +226,112 @@ func (m *Model) em(seqs []eventlog.Sequence, cfg Config) (float64, error) {
 }
 
 // accumulator collects expected sufficient statistics across sequences.
+// All buffers are preallocated once and reset between EM iterations — the
+// duration statistics in particular are fixed-size weighted moments rather
+// than per-observation append-grown slices.
 type accumulator struct {
-	pi        []float64   // expected initial-state counts
-	a         [][]float64 // expected transition counts
-	b         [][]float64 // expected emission counts
-	durDelay  [][]float64 // per-state delays observed
-	durWeight [][]float64 // matching posterior weights
+	pi []float64 // n: expected initial-state counts
+	a  []float64 // n×n flat: expected transition counts
+	b  []float64 // n×m flat: expected emission counts
+	// Per-state duration sufficient statistics over minDelay-clamped
+	// delays: total posterior weight, Σ w·log dt, Σ w·(log dt)², Σ w·dt.
+	durW, durWLog, durWLog2, durWDt []float64
 }
 
 func newAccumulator(n, m int) *accumulator {
-	acc := &accumulator{
-		pi:        make([]float64, n),
-		a:         make([][]float64, n),
-		b:         make([][]float64, n),
-		durDelay:  make([][]float64, n),
-		durWeight: make([][]float64, n),
+	return &accumulator{
+		pi:       make([]float64, n),
+		a:        make([]float64, n*n),
+		b:        make([]float64, n*m),
+		durW:     make([]float64, n),
+		durWLog:  make([]float64, n),
+		durWLog2: make([]float64, n),
+		durWDt:   make([]float64, n),
 	}
-	for i := 0; i < n; i++ {
-		acc.a[i] = make([]float64, n)
-		acc.b[i] = make([]float64, m)
+}
+
+// reset zeroes the accumulator for reuse in the next iteration.
+func (acc *accumulator) reset() {
+	for _, buf := range [][]float64{acc.pi, acc.a, acc.b, acc.durW, acc.durWLog, acc.durWLog2, acc.durWDt} {
+		for i := range buf {
+			buf[i] = 0
+		}
 	}
-	return acc
+}
+
+// merge adds o's statistics element-wise.
+func (acc *accumulator) merge(o *accumulator) {
+	pairs := [][2][]float64{
+		{acc.pi, o.pi}, {acc.a, o.a}, {acc.b, o.b},
+		{acc.durW, o.durW}, {acc.durWLog, o.durWLog},
+		{acc.durWLog2, o.durWLog2}, {acc.durWDt, o.durWDt},
+	}
+	for _, p := range pairs {
+		for i, v := range p[1] {
+			p[0][i] += v
+		}
+	}
+}
+
+// emScratch is one shard's reusable forward-backward workspace; the
+// lattices grow to the largest sequence in the shard and stay there.
+type emScratch struct {
+	alpha, beta []float64 // k×n lattices
+	tmp, row, w []float64 // n-sized kernel scratch
 }
 
 // accumulate runs forward-backward on one prepared sequence, adds its
 // expected statistics, and returns its log-likelihood.
-func (acc *accumulator) accumulate(m *Model, p prepared) float64 {
-	alpha := m.forward(p)
-	beta := m.backward(p)
-	k := len(p.obs)
-	ll := stats.LogSumExpSlice(alpha[k-1])
+func (acc *accumulator) accumulate(m *Model, p *prepared, s *emScratch) float64 {
+	n, k := m.n, len(p.obs)
+	s.alpha = growF64(s.alpha, k*n)
+	s.beta = growF64(s.beta, k*n)
+	m.forwardInto(p, s.alpha, s.tmp, s.row)
+	m.backwardInto(p, s.beta, s.w, s.row)
+	ll := stats.LogSumExpSlice(s.alpha[(k-1)*n:])
 	if math.IsInf(ll, -1) {
 		return ll
 	}
+	withDur := m.family != FamilyNone
 	// State posteriors γ.
 	for t := 0; t < k; t++ {
-		for i := 0; i < m.n; i++ {
-			g := math.Exp(alpha[t][i] + beta[t][i] - ll)
+		arow := s.alpha[t*n : (t+1)*n]
+		brow := s.beta[t*n : (t+1)*n]
+		o := p.obs[t]
+		for i := 0; i < n; i++ {
+			g := math.Exp(arow[i] + brow[i] - ll)
 			if t == 0 {
 				acc.pi[i] += g
 			}
-			acc.b[i][p.obs[t]] += g
-			if t < k-1 {
-				acc.durDelay[i] = append(acc.durDelay[i], p.delays[t+1])
-				acc.durWeight[i] = append(acc.durWeight[i], g)
+			acc.b[i*m.m+o] += g
+			if withDur && t < k-1 {
+				ld := p.logDel[t+1]
+				dt := p.delays[t+1]
+				if dt < minDelay {
+					dt = minDelay
+				}
+				acc.durW[i] += g
+				acc.durWLog[i] += g * ld
+				acc.durWLog2[i] += g * ld * ld
+				acc.durWDt[i] += g * dt
 			}
 		}
 	}
 	// Transition posteriors ξ.
 	for t := 0; t < k-1; t++ {
-		for i := 0; i < m.n; i++ {
-			base := alpha[t][i] + m.dur[i].logPDF(p.delays[t+1])
-			for j := 0; j < m.n; j++ {
-				x := math.Exp(base + m.logA[i][j] + m.logB[j][p.obs[t+1]] + beta[t+1][j] - ll)
-				acc.a[i][j] += x
+		o := p.obs[t+1]
+		next := s.beta[(t+1)*n : (t+2)*n]
+		// Successor emission + continuation − normalizer, shared across i.
+		for j := 0; j < n; j++ {
+			s.w[j] = m.logBf[j*m.m+o] + next[j] - ll
+		}
+		arow := s.alpha[t*n : (t+1)*n]
+		for i := 0; i < n; i++ {
+			base := arow[i] + p.durLP[i*k+t+1]
+			ai := m.logAf[i*n : (i+1)*n]
+			accA := acc.a[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				accA[j] += math.Exp(base + ai[j] + s.w[j])
 			}
 		}
 	}
@@ -167,34 +339,36 @@ func (acc *accumulator) accumulate(m *Model, p prepared) float64 {
 }
 
 // applyMStep re-estimates all parameters from the accumulated statistics,
-// flooring probabilities to keep the model usable on unseen data.
+// flooring probabilities to keep the model usable on unseen data, and
+// refreshes the flat kernel caches.
 func (m *Model) applyMStep(acc *accumulator) {
-	m.logPi = floorNormalizeToLog(acc.pi)
+	floorNormalizeToLogInto(m.logPi, acc.pi)
 	for i := 0; i < m.n; i++ {
-		m.logA[i] = floorNormalizeToLog(acc.a[i])
-		m.logB[i] = floorNormalizeToLog(acc.b[i])
-		m.dur[i].fit(acc.durDelay[i], acc.durWeight[i])
+		floorNormalizeToLogInto(m.logA[i], acc.a[i*m.n:(i+1)*m.n])
+		floorNormalizeToLogInto(m.logB[i], acc.b[i*m.m:(i+1)*m.m])
+		m.dur[i].fitMoments(acc.durW[i], acc.durWLog[i], acc.durWLog2[i], acc.durWDt[i])
 	}
+	m.refreshKernel()
 }
 
-// floorNormalizeToLog normalizes non-negative weights to probabilities with
-// an additive floor, returning log-probabilities.
-func floorNormalizeToLog(w []float64) []float64 {
+// floorNormalizeToLogInto normalizes non-negative weights to probabilities
+// with an additive floor, writing log-probabilities into dst
+// (len(dst) == len(w)). All-zero weights fall back to uniform.
+func floorNormalizeToLogInto(dst, w []float64) {
 	sum := 0.0
 	for _, v := range w {
 		sum += v
 	}
-	out := make([]float64, len(w))
 	if sum <= 0 {
 		// No evidence at all: fall back to uniform.
-		for i := range out {
-			out[i] = -math.Log(float64(len(w)))
+		u := -math.Log(float64(len(w)))
+		for i := range dst {
+			dst[i] = u
 		}
-		return out
+		return
 	}
 	floorTotal := emissionFloor * float64(len(w))
 	for i, v := range w {
-		out[i] = math.Log((v/sum + emissionFloor) / (1 + floorTotal))
+		dst[i] = math.Log((v/sum + emissionFloor) / (1 + floorTotal))
 	}
-	return out
 }

@@ -89,14 +89,23 @@ type Event struct {
 type queue struct {
 	ch     chan Event
 	policy OverflowPolicy
+	drops  *Counter // per-shard drop counter (any reason); may be nil
 
 	mu       sync.Mutex
 	closed   bool
 	inflight sync.WaitGroup
 }
 
-func newQueue(capacity int, policy OverflowPolicy) *queue {
-	return &queue{ch: make(chan Event, capacity), policy: policy}
+func newQueue(capacity int, policy OverflowPolicy, drops *Counter) *queue {
+	return &queue{ch: make(chan Event, capacity), policy: policy, drops: drops}
+}
+
+// dropped counts one shed event on this shard alongside the global
+// per-reason counters.
+func (q *queue) dropped() {
+	if q.drops != nil {
+		q.drops.Inc()
+	}
 }
 
 // depth returns the number of queued events.
@@ -125,6 +134,7 @@ func (q *queue) push(ctx context.Context, ev Event, m *Metrics) error {
 		case q.ch <- ev:
 		default:
 			m.DroppedNewest.Inc()
+			q.dropped()
 		}
 		return nil
 	case DropOldest:
@@ -139,6 +149,7 @@ func (q *queue) push(ctx context.Context, ev Event, m *Metrics) error {
 			select {
 			case <-q.ch:
 				m.DroppedOldest.Inc()
+				q.dropped()
 			default:
 			}
 			stdruntime.Gosched()
@@ -149,6 +160,7 @@ func (q *queue) push(ctx context.Context, ev Event, m *Metrics) error {
 			return nil
 		case <-ctx.Done():
 			m.DroppedCanceled.Inc()
+			q.dropped()
 			return ctx.Err()
 		}
 	}

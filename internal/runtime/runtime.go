@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	stdruntime "runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,17 +21,35 @@ type Config struct {
 	Engine *core.Engine
 	// Apply integrates one ingested event into the predictor-visible
 	// state (e.g. append to an eventlog.Log or a timeseries.Series).
-	// Calls are serialized and run under the runtime's state write-lock;
-	// Layer.Evaluate closures run under the matching read-lock, so Apply
-	// and the layers may share state without their own locking.
+	// Apply and Layer.Evaluate never overlap: Apply runs under the shared
+	// side of the runtime's state lock, evaluation under the exclusive
+	// side. With Shards == 1 (the default) Apply calls are additionally
+	// fully serialized, so Apply and the layers may share state without
+	// their own locking. With Shards > 1, events whose ShardKey matches
+	// stay serialized and ordered, but Apply may run concurrently for
+	// events of different keys — state reached from more than one key
+	// needs its own synchronization.
 	Apply func(Event) error
 	// Clock maps wall time to the domain time passed to Layer.Evaluate
 	// and Engine.ActOn. Nil defaults to seconds since Start.
 	Clock func() float64
-	// QueueCapacity bounds the ingest queue (default 1024).
+	// QueueCapacity bounds each ingest shard's queue (default 1024).
 	QueueCapacity int
 	// Overflow is the full-queue policy (default Block).
 	Overflow OverflowPolicy
+	// Shards is the number of parallel ingest shards (default 1). Each
+	// shard owns a bounded queue and one consumer goroutine; events are
+	// routed by FNV-1a hash of their shard key, so per-key ordering is
+	// preserved while independent monitor streams apply in parallel.
+	Shards int
+	// ShardKey overrides event→key routing (nil uses DefaultShardKey:
+	// samples by Variable, all error events on one key). Ignored when
+	// Shards == 1.
+	ShardKey func(Event) string
+	// Profiling exposes net/http/pprof handlers under /debug/pprof/ on
+	// the runtime's Handler. Off by default — profiles reveal operational
+	// detail, so they are opt-in.
+	Profiling bool
 	// EvalInterval is the wall-clock MEA cadence. Zero disables the
 	// ticker; cycles then run only via EvaluateNow.
 	EvalInterval time.Duration
@@ -53,13 +72,19 @@ type Runtime struct {
 	cfg     Config
 	engine  *core.Engine
 	layers  []*core.Layer
-	queue   *queue
+	queues  []*queue // one bounded queue + consumer per ingest shard
 	pool    *Pool
 	metrics *Metrics
 
-	// stateMu guards the user's predictor state: Apply holds the write
-	// lock, layer evaluation the read lock.
+	// stateMu guards the user's predictor state: shard consumers hold the
+	// read (shared) lock around Apply so independent shards apply in
+	// parallel, layer evaluation holds the write (exclusive) lock. Apply
+	// and evaluation therefore never overlap.
 	stateMu sync.RWMutex
+
+	// consumersWg tracks the shard consumers; the evaluator's drain signal
+	// fires once all of them have exhausted their queues.
+	consumersWg sync.WaitGroup
 
 	evalReq  chan struct{}
 	actCh    chan cycleResult
@@ -85,11 +110,17 @@ func New(cfg Config) (*Runtime, error) {
 	if cfg.Apply == nil {
 		return nil, fmt.Errorf("%w: nil Apply", ErrRuntime)
 	}
-	if cfg.QueueCapacity < 0 || cfg.EvalInterval < 0 || cfg.Workers < 0 {
-		return nil, fmt.Errorf("%w: negative capacity/interval/workers", ErrRuntime)
+	if cfg.QueueCapacity < 0 || cfg.EvalInterval < 0 || cfg.Workers < 0 || cfg.Shards < 0 {
+		return nil, fmt.Errorf("%w: negative capacity/interval/workers/shards", ErrRuntime)
 	}
 	if cfg.QueueCapacity == 0 {
 		cfg.QueueCapacity = 1024
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	if cfg.ShardKey == nil {
+		cfg.ShardKey = DefaultShardKey
 	}
 	layers := cfg.Engine.Layers()
 	if cfg.Workers == 0 {
@@ -105,23 +136,63 @@ func New(cfg Config) (*Runtime, error) {
 		cfg:     cfg,
 		engine:  cfg.Engine,
 		layers:  layers,
-		queue:   newQueue(cfg.QueueCapacity, cfg.Overflow),
+		queues:  make([]*queue, cfg.Shards),
 		metrics: cfg.Metrics,
 		evalReq: make(chan struct{}, 1),
 		actCh:   make(chan cycleResult, 1),
 	}
-	r.metrics.Registry().GaugeFunc("pfm_queue_depth",
-		"Events waiting in the ingest queue.", func() float64 { return float64(r.queue.depth()) })
-	r.metrics.Registry().GaugeFunc("pfm_queue_capacity",
-		"Ingest queue capacity.", func() float64 { return float64(r.queue.capacity()) })
+	reg := r.metrics.Registry()
+	for s := range r.queues {
+		// Per-shard series share their family: help text on the first only.
+		depthHelp, dropHelp := "", ""
+		if s == 0 {
+			depthHelp = "Events waiting per ingest shard."
+			dropHelp = "Events dropped per ingest shard (all reasons)."
+		}
+		drops := reg.Counter("pfm_shard_dropped_total", dropHelp, "shard", strconv.Itoa(s))
+		r.queues[s] = newQueue(cfg.QueueCapacity, cfg.Overflow, drops)
+		q := r.queues[s]
+		reg.GaugeFunc("pfm_shard_queue_depth", depthHelp,
+			func() float64 { return float64(q.depth()) }, "shard", strconv.Itoa(s))
+	}
+	reg.GaugeFunc("pfm_queue_depth",
+		"Events waiting across all ingest shard queues.", func() float64 { return float64(r.QueueDepth()) })
+	reg.GaugeFunc("pfm_queue_capacity",
+		"Total ingest queue capacity across shards.", func() float64 { return float64(r.queueCapacity()) })
 	return r, nil
 }
 
 // Metrics returns the pipeline's metric set.
 func (r *Runtime) Metrics() *Metrics { return r.metrics }
 
-// QueueDepth returns the current ingest backlog.
-func (r *Runtime) QueueDepth() int { return r.queue.depth() }
+// QueueDepth returns the current ingest backlog summed across shards.
+func (r *Runtime) QueueDepth() int {
+	total := 0
+	for _, q := range r.queues {
+		total += q.depth()
+	}
+	return total
+}
+
+// queueCapacity returns the total buffer capacity across shards.
+func (r *Runtime) queueCapacity() int {
+	total := 0
+	for _, q := range r.queues {
+		total += q.capacity()
+	}
+	return total
+}
+
+// Shards returns the number of ingest shards.
+func (r *Runtime) Shards() int { return len(r.queues) }
+
+// shardFor routes an event to its shard queue by hashing the shard key.
+func (r *Runtime) shardFor(ev Event) *queue {
+	if len(r.queues) == 1 {
+		return r.queues[0]
+	}
+	return r.queues[fnv1a(r.cfg.ShardKey(ev))%uint32(len(r.queues))]
+}
 
 // Start launches the pipeline stages. ctx cancellation hard-stops the
 // pipeline (no drain); use Stop for graceful shutdown.
@@ -139,16 +210,27 @@ func (r *Runtime) Start(ctx context.Context) error {
 	if r.cfg.Workers > 1 {
 		r.pool = NewPool(r.cfg.Workers)
 	}
-	r.wg.Add(3)
-	go r.consumeLoop()
+	r.wg.Add(len(r.queues) + 3)
+	r.consumersWg.Add(len(r.queues))
+	for s := range r.queues {
+		go r.consumeLoop(r.queues[s])
+	}
+	// Release the evaluate stage only after every shard has drained.
+	go func() {
+		defer r.wg.Done()
+		r.consumersWg.Wait()
+		close(r.evalStop)
+	}()
 	go r.evaluateLoop()
 	go r.actLoop()
 	// Hard-stop path: if the parent context dies without a graceful Stop,
-	// close the queue so the consumer's drain loop can terminate.
+	// close the queues so the consumers' drain loops can terminate.
 	go func() {
 		<-r.hardCtx.Done()
 		r.stopping.Store(true)
-		r.queue.close()
+		for _, q := range r.queues {
+			q.close()
+		}
 	}()
 	return nil
 }
@@ -158,7 +240,7 @@ func (r *Runtime) Start(ctx context.Context) error {
 // returns ErrClosed once shutdown has begun.
 func (r *Runtime) Ingest(ctx context.Context, ev Event) error {
 	start := time.Now()
-	err := r.queue.push(ctx, ev, r.metrics)
+	err := r.shardFor(ev).push(ctx, ev, r.metrics)
 	if !errors.Is(err, ErrClosed) {
 		r.metrics.IngestLatency.Observe(time.Since(start).Seconds())
 	}
@@ -174,24 +256,24 @@ func (r *Runtime) EvaluateNow() {
 	}
 }
 
-// consumeLoop is the single ingest consumer: it applies queued events to
-// the predictor state under the write lock, then signals the evaluator to
-// shut down once the queue has fully drained.
-func (r *Runtime) consumeLoop() {
+// consumeLoop is one shard's ingest consumer: it applies the shard's
+// queued events to the predictor state under the shared state lock, so
+// consumers of different shards apply concurrently while evaluation (which
+// takes the exclusive lock) still never overlaps an Apply.
+func (r *Runtime) consumeLoop(q *queue) {
 	defer r.wg.Done()
-	for ev := range r.queue.ch {
+	defer r.consumersWg.Done()
+	for ev := range q.ch {
 		start := time.Now()
-		r.stateMu.Lock()
+		r.stateMu.RLock()
 		err := r.cfg.Apply(ev)
-		r.stateMu.Unlock()
+		r.stateMu.RUnlock()
 		r.metrics.Applied.Inc()
 		if err != nil {
 			r.metrics.ApplyErrors.Inc()
 		}
 		r.metrics.ApplyLatency.Observe(time.Since(start).Seconds())
 	}
-	// Queue closed and drained: release the evaluate stage.
-	close(r.evalStop)
 }
 
 // evaluateLoop runs MEA cycles on the ticker and on demand, scoring the
@@ -227,14 +309,16 @@ func (r *Runtime) evaluateLoop() {
 func (r *Runtime) runCycle() {
 	start := time.Now()
 	now := r.cfg.Clock()
-	r.stateMu.RLock()
+	// Exclusive lock: evaluation sees a quiescent state snapshot even when
+	// several shard consumers apply concurrently under the shared lock.
+	r.stateMu.Lock()
 	var scores []float64
 	if r.pool != nil {
 		scores = r.pool.Evaluate(r.layers, now)
 	} else {
 		scores = r.engine.EvaluateLayers(now)
 	}
-	r.stateMu.RUnlock()
+	r.stateMu.Unlock()
 	r.metrics.EvalLatency.Observe(time.Since(start).Seconds())
 	select {
 	case r.actCh <- cycleResult{now: now, scores: scores}:
@@ -274,7 +358,9 @@ func (r *Runtime) Stop(ctx context.Context) error {
 	}
 	r.stopOnce.Do(func() {
 		r.stopping.Store(true)
-		r.queue.close()
+		for _, q := range r.queues {
+			q.close()
+		}
 		done := make(chan struct{})
 		go func() {
 			r.wg.Wait()

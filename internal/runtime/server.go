@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"time"
 )
 
@@ -11,8 +12,9 @@ import (
 type Health struct {
 	Status        string  `json:"status"` // "ok" | "stopping"
 	UptimeSeconds float64 `json:"uptimeSeconds"`
-	QueueDepth    int     `json:"queueDepth"`
-	QueueCapacity int     `json:"queueCapacity"`
+	Shards        int     `json:"shards"`
+	QueueDepth    int     `json:"queueDepth"`    // summed across shards
+	QueueCapacity int     `json:"queueCapacity"` // summed across shards
 	Evaluations   int64   `json:"evaluations"`
 	// LastCycleAgoSeconds is the age of the newest act decision; -1
 	// before the first cycle completes.
@@ -24,8 +26,9 @@ func (r *Runtime) health() Health {
 	h := Health{
 		Status:              "ok",
 		UptimeSeconds:       r.Uptime().Seconds(),
-		QueueDepth:          r.queue.depth(),
-		QueueCapacity:       r.queue.capacity(),
+		Shards:              r.Shards(),
+		QueueDepth:          r.QueueDepth(),
+		QueueCapacity:       r.queueCapacity(),
 		Evaluations:         r.metrics.Evaluations.Value(),
 		LastCycleAgoSeconds: -1,
 	}
@@ -42,6 +45,9 @@ func (r *Runtime) health() Health {
 //
 //	GET /metrics  — Prometheus text exposition of the pipeline metrics
 //	GET /healthz  — JSON liveness (200 while running, 503 once stopping)
+//
+// With Config.Profiling set, the standard net/http/pprof handlers are also
+// mounted under /debug/pprof/.
 func (r *Runtime) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -56,6 +62,13 @@ func (r *Runtime) Handler() http.Handler {
 		}
 		_ = json.NewEncoder(w).Encode(h)
 	})
+	if r.cfg.Profiling {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 

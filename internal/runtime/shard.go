@@ -1,0 +1,28 @@
+package runtime
+
+// Shard routing: events are distributed over the per-shard ingest queues by
+// an FNV-1a hash of their shard key. Events with equal keys always land on
+// the same shard, so they are applied by one consumer in ingest order;
+// events with different keys may apply concurrently on different shards.
+
+// DefaultShardKey is the routing used when Config.ShardKey is nil: samples
+// shard by monitoring variable (independent SAR streams apply in parallel),
+// while all detected-error events share one key — the error log is a single
+// time-ordered stream (eventlog.Log.Append enforces monotonic timestamps),
+// so its appends must stay serialized on one shard.
+func DefaultShardKey(ev Event) string {
+	if ev.Kind == KindSample {
+		return ev.Variable
+	}
+	return "\x00errors"
+}
+
+// fnv1a is the 32-bit FNV-1a hash, inlined so routing never allocates.
+func fnv1a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
