@@ -13,6 +13,7 @@ package pfm
 import (
 	"context"
 	"fmt"
+	stdruntime "runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -526,6 +527,130 @@ func BenchmarkUBFPredict(b *testing.B) {
 		if _, err := net.Predict(probe); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchUBFNet trains a case-study-sized UBF network (12 kernels over 7
+// standardized SAR features) with a matching evaluation grid.
+func benchUBFNet(b *testing.B, rows int) (*ubf.Network, *mat.Matrix) {
+	b.Helper()
+	g := stats.NewRNG(41)
+	x := mat.New(rows, 7)
+	y := make([]float64, rows)
+	for i := 0; i < rows; i++ {
+		for c := 0; c < 7; c++ {
+			x.Set(i, c, g.NormFloat64())
+		}
+		y[i] = g.NormFloat64()
+	}
+	net, err := ubf.Train(x, y, ubf.TrainConfig{NumKernels: 12, Candidates: 5, Refinements: 2, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return net, x
+}
+
+// BenchmarkUBFScore times the batched design-matrix kernel plus the fused
+// prediction over a 512-point grid — the symptom layer's test-grid scoring
+// path. The allocs/op column enforces the flat-buffer claim: it must read 0.
+func BenchmarkUBFScore(b *testing.B) {
+	net, x := benchUBFNet(b, 512)
+	phi := make([]float64, x.Rows*(len(net.Kernels)+1))
+	out := make([]float64, x.Rows)
+	if err := net.EvalAll(x, phi); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := net.EvalAll(x, phi); err != nil {
+			b.Fatal(err)
+		}
+		if err := net.PredictRowsInto(x, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUBFFit times full UBF training (randomized candidate search with
+// per-candidate RNG streams, fanned across cores, plus serial refinement)
+// at the case-study configuration.
+func BenchmarkUBFFit(b *testing.B) {
+	g := stats.NewRNG(43)
+	x := mat.New(300, 7)
+	y := make([]float64, 300)
+	for i := 0; i < 300; i++ {
+		for c := 0; c < 7; c++ {
+			x.Set(i, c, g.NormFloat64())
+		}
+		y[i] = g.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ubf.Train(x, y, ubf.TrainConfig{NumKernels: 12, Candidates: 15, Refinements: 10, Seed: 44}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSCPSimYear times a simulated year of the unmitigated SCP — the
+// discrete-event engine's typed-heap/freelist hot path at ~6.3M ticks.
+func BenchmarkSCPSimYear(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sys, err := NewSCP(DefaultSCPConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.Run(365 * 86400); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCaseStudyParallel shards four whole seed-replicate case studies
+// (reduced horizon) across cores and reports the speedup over the serial
+// run. The rendered results must match byte for byte — the determinism
+// contract — and on a ≥4-core host the sweep is expected to reach ≥3×;
+// with fewer cores the speedup is reported without being enforceable.
+func BenchmarkCaseStudyParallel(b *testing.B) {
+	base := experiments.DefaultCaseStudyConfig()
+	base.TrainDays, base.TestDays = 4, 2
+	cfgs := experiments.ReplicateConfigs(base, 4)
+	render := func(results []experiments.CaseStudyResult) string {
+		s := ""
+		for _, r := range results {
+			for _, p := range r.Predictors {
+				s += fmt.Sprintf("%s %v %v %d %d %d %d\n",
+					p.Name, p.AUC, p.Threshold, p.Table.TP, p.Table.FP, p.Table.FN, p.Table.TN)
+			}
+		}
+		return s
+	}
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		serial, err := experiments.RunCaseStudySweep(cfgs, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		serialDur := time.Since(t0)
+		t1 := time.Now()
+		parallel, err := experiments.RunCaseStudySweep(cfgs, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		parallelDur := time.Since(t1)
+		if render(serial) != render(parallel) {
+			b.Fatal("parallel sweep result diverges from serial")
+		}
+		speedup = serialDur.Seconds() / parallelDur.Seconds()
+	}
+	b.ReportMetric(speedup, "speedup")
+	b.ReportMetric(float64(stdruntime.NumCPU()), "cores")
+	if stdruntime.NumCPU() >= 4 && speedup < 3 {
+		b.Logf("speedup %.2f× below the 3× target on %d cores (load-dependent)", speedup, stdruntime.NumCPU())
 	}
 }
 

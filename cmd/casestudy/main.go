@@ -5,17 +5,22 @@
 //
 // Usage:
 //
-//	casestudy [-seed 7] [-train 14] [-test 7] [-pwa] [-selection] [-meta]
+//	casestudy [-seed 7] [-train 14] [-test 7] [-workers 0] [-replicates 1]
+//	          [-leadtimes 150,300,600] [-pwa] [-selection] [-meta]
 //
 // -pwa enables the Probabilistic Wrapper Approach for UBF variable
 // selection; -selection runs the E8 strategy comparison; -meta runs the E11
-// stacked-generalization experiment.
+// stacked-generalization experiment. -workers bounds the parallel stages
+// (0 = all cores); -replicates > 1 runs seed-replicated experiments in
+// parallel; -leadtimes sweeps the prediction horizon over one simulation.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/experiments"
 )
@@ -37,6 +42,9 @@ func run() error {
 	metaExp := flag.Bool("meta", false, "run the E11 meta-learning experiment")
 	diagnosis := flag.Bool("diagnosis", false, "run the E14 pre-failure diagnosis experiment")
 	roc := flag.Bool("roc", false, "print the full ROC curves as TSV")
+	workers := flag.Int("workers", 0, "worker bound for parallel stages (0 = all cores)")
+	replicates := flag.Int("replicates", 1, "seed replicates to run in parallel")
+	leadTimes := flag.String("leadtimes", "", "comma-separated lead times [s] to sweep over one simulation")
 	flag.Parse()
 
 	cfg := defaults
@@ -44,6 +52,41 @@ func run() error {
 	cfg.TrainDays = *train
 	cfg.TestDays = *test
 	cfg.UsePWA = *pwa
+	cfg.Workers = *workers
+
+	if *leadTimes != "" {
+		leads, err := parseFloats(*leadTimes)
+		if err != nil {
+			return fmt.Errorf("-leadtimes: %w", err)
+		}
+		points, err := experiments.RunLeadTimeSweep(cfg, leads, *workers)
+		if err != nil {
+			return err
+		}
+		for _, pt := range points {
+			rows := make([]experiments.Row, 0, len(pt.Result.Predictors))
+			for _, p := range pt.Result.Predictors {
+				rows = append(rows, p.Row())
+			}
+			experiments.Fprint(os.Stdout, fmt.Sprintf("lead time %gs", pt.LeadTime), rows)
+		}
+		return nil
+	}
+	if *replicates > 1 {
+		results, err := experiments.RunCaseStudySweep(
+			experiments.ReplicateConfigs(cfg, *replicates), *workers)
+		if err != nil {
+			return err
+		}
+		for i, res := range results {
+			rows := make([]experiments.Row, 0, len(res.Predictors))
+			for _, p := range res.Predictors {
+				rows = append(rows, p.Row())
+			}
+			experiments.Fprint(os.Stdout, fmt.Sprintf("replicate %d (seed %d)", i, cfg.Seed+int64(i)), rows)
+		}
+		return nil
+	}
 
 	res, err := experiments.RunCaseStudy(cfg)
 	if err != nil {
@@ -94,4 +137,18 @@ func run() error {
 		experiments.Fprint(os.Stdout, "E14: pre-failure root-cause diagnosis", d.Rows())
 	}
 	return nil
+}
+
+// parseFloats parses a comma-separated float list.
+func parseFloats(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }

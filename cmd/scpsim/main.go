@@ -5,7 +5,10 @@
 //
 // Usage:
 //
-//	scpsim [-seed 11] [-days 7] [-fig8] [-oscillation]
+//	scpsim [-seed 11] [-days 7] [-workers 0] [-replicates 1] [-fig8] [-oscillation]
+//
+// -replicates > 1 runs seed-replicated closed-loop experiments sharded
+// across -workers (0 = all cores) and prints each replicate's availability.
 package main
 
 import (
@@ -30,11 +33,25 @@ func run() error {
 	fig8 := flag.Bool("fig8", false, "run the Fig. 8 TTR experiment (E7)")
 	osc := flag.Bool("oscillation", false, "run the oscillation-guard ablation (E12)")
 	dyn := flag.Bool("dynamicity", false, "run the dynamicity/retraining experiment (E13)")
+	workers := flag.Int("workers", 0, "worker bound for replicate sweeps (0 = all cores)")
+	replicates := flag.Int("replicates", 1, "seed replicates to run in parallel")
 	flag.Parse()
 
 	cfg := defaults
 	cfg.Seed = *seed
 	cfg.RunDays = *days
+
+	if *replicates > 1 {
+		results, err := experiments.RunMEAReplicates(cfg, *replicates, *workers)
+		if err != nil {
+			return err
+		}
+		for i, r := range results {
+			fmt.Printf("replicate %d (seed %d): availability withPFM=%.5f without=%.5f ratio=%.3f\n",
+				i, cfg.Seed+int64(i), r.AvailabilityWithPFM, r.AvailabilityWithout, r.UnavailabilityRatio)
+		}
+		return nil
+	}
 
 	res, err := experiments.RunMEA(cfg)
 	if err != nil {

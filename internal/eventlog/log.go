@@ -108,11 +108,22 @@ func (l *Log) Events() []Event {
 	return append([]Event(nil), l.events...)
 }
 
-// Window returns the events with time in the half-open interval [from, to).
+// Window returns a copy of the events with time in the half-open interval
+// [from, to).
 func (l *Log) Window(from, to float64) []Event {
+	return append([]Event(nil), l.WindowView(from, to)...)
+}
+
+// WindowView returns the events in [from, to) as a read-only view into the
+// log's backing store — no copy. The hot case-study and dataset scan loops
+// slide millions of windows over a finished log and immediately discard
+// each one, so the copy Window makes is pure overhead there. The view must
+// not be modified, and must not be retained across a later Append (which
+// may reallocate the backing array).
+func (l *Log) WindowView(from, to float64) []Event {
 	lo := sort.Search(len(l.events), func(i int) bool { return l.events[i].Time >= from })
 	hi := sort.Search(len(l.events), func(i int) bool { return l.events[i].Time >= to })
-	return append([]Event(nil), l.events[lo:hi]...)
+	return l.events[lo:hi]
 }
 
 // Filter returns a new log with only the events of at least the given

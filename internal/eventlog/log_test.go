@@ -143,3 +143,32 @@ func TestParseErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestWindowViewMatchesWindow pins the zero-copy view to the copying
+// Window: same events, same boundary semantics ([from, to)), and a view
+// that genuinely aliases the log's backing store.
+func TestWindowViewMatchesWindow(t *testing.T) {
+	l := NewLog()
+	for i := 0; i < 10; i++ {
+		if err := l.Append(Event{Time: float64(i), Component: "c", Type: i, Severity: SeverityInfo}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, span := range [][2]float64{{0, 10}, {2, 7}, {3, 3}, {-5, 2}, {9, 50}, {20, 30}} {
+		copied := l.Window(span[0], span[1])
+		view := l.WindowView(span[0], span[1])
+		if len(copied) != len(view) {
+			t.Fatalf("[%g,%g): copy %d events, view %d", span[0], span[1], len(copied), len(view))
+		}
+		for i := range view {
+			if view[i] != copied[i] {
+				t.Fatalf("[%g,%g): event %d differs: %+v vs %+v", span[0], span[1], i, view[i], copied[i])
+			}
+		}
+	}
+	// The view aliases the log; the copy does not.
+	view := l.WindowView(4, 6)
+	if len(view) != 2 || &view[0] != &l.events[4] {
+		t.Fatal("WindowView does not alias the backing store")
+	}
+}

@@ -108,7 +108,7 @@ func Extract(l *Log, failureTimes []float64, cfg ExtractConfig) (failure, nonFai
 	for _, tf := range ft {
 		end := tf - cfg.LeadTime
 		start := end - cfg.DataWindow
-		events := l.Window(start, end)
+		events := l.WindowView(start, end)
 		if len(events) < cfg.MinEvents || len(events) == 0 {
 			continue
 		}
@@ -123,7 +123,7 @@ func Extract(l *Log, failureTimes []float64, cfg ExtractConfig) (failure, nonFai
 		if tooCloseToFailure(predictionPoint, ft, guard) {
 			continue
 		}
-		events := l.Window(start, end)
+		events := l.WindowView(start, end)
 		if len(events) < cfg.MinEvents || len(events) == 0 {
 			continue
 		}
@@ -146,7 +146,9 @@ func tooCloseToFailure(t float64, ft []float64, guard float64) bool {
 }
 
 // SlidingWindow returns the runtime-evaluation sequence: the errors within
-// the trailing Δtd window ending at time now.
+// the trailing Δtd window ending at time now. It scans the log through a
+// zero-copy view (newSequence re-bases into fresh slices anyway), so the
+// per-window cost is one binary search plus the sequence itself.
 func SlidingWindow(l *Log, now, dataWindow float64) Sequence {
-	return newSequence(l.Window(now-dataWindow, now), false)
+	return newSequence(l.WindowView(now-dataWindow, now), false)
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/eventlog"
 	"repro/internal/hsmm"
 	"repro/internal/mat"
+	"repro/internal/par"
 	"repro/internal/predict"
 	"repro/internal/scp"
 	ts "repro/internal/timeseries"
@@ -36,6 +37,12 @@ type CaseStudyConfig struct {
 	UBFKernels int
 	// UsePWA selects UBF input variables with the probabilistic wrapper.
 	UsePWA bool
+	// Workers bounds the worker goroutines of the parallelizable stages
+	// (baseline grid scoring and experiment sweeps): 0 means GOMAXPROCS,
+	// 1 is the serial reference. Any value produces identical results —
+	// parallel stages follow the pre-split/fixed-merge determinism
+	// contract.
+	Workers int
 }
 
 // DefaultCaseStudyConfig mirrors the paper's setup: five-minute data
@@ -171,6 +178,13 @@ func RunCaseStudy(cfg CaseStudyConfig) (CaseStudyResult, error) {
 	if err != nil {
 		return CaseStudyResult{}, err
 	}
+	return runCaseStudyOn(ds)
+}
+
+// runCaseStudyOn trains and evaluates every predictor on a built dataset.
+// Split from RunCaseStudy so sweeps can share one simulated system across
+// many dataset variants.
+func runCaseStudyOn(ds *dataset) (CaseStudyResult, error) {
 	result := CaseStudyResult{
 		TrainFailures: countBefore(ds.failures, ds.splitAt),
 		TestFailures:  len(ds.failures) - countBefore(ds.failures, ds.splitAt),
@@ -210,24 +224,42 @@ func buildDataset(cfg CaseStudyConfig) (*dataset, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	sys, err := simulateSCP(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return makeDataset(cfg, sys)
+}
+
+// simulateSCP runs the simulated platform over the configured horizon.
+func simulateSCP(cfg CaseStudyConfig) (*scp.System, error) {
 	sys, err := scp.New(scpConfigWithSeed(cfg.Seed))
 	if err != nil {
 		return nil, err
 	}
-	total := (cfg.TrainDays + cfg.TestDays) * 86400
-	if err := sys.Run(total); err != nil {
+	if err := sys.Run((cfg.TrainDays + cfg.TestDays) * 86400); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// makeDataset constructs the labeled grids over a finished simulation. The
+// system is only read, so several datasets (e.g. a lead-time sweep) can be
+// built concurrently over the same run.
+func makeDataset(cfg CaseStudyConfig, sys *scp.System) (*dataset, error) {
+	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	ds := &dataset{
 		cfg:      cfg,
 		sys:      sys,
 		splitAt:  cfg.TrainDays * 86400,
-		endAt:    total,
+		endAt:    (cfg.TrainDays + cfg.TestDays) * 86400,
 		failures: sys.FailureTimes(),
 	}
 	// Training log: events strictly before the split.
 	ds.trainLog = eventlog.NewLog()
-	for _, e := range sys.Log().Window(0, ds.splitAt) {
+	for _, e := range sys.Log().WindowView(0, ds.splitAt) {
 		if err := ds.trainLog.Append(e); err != nil {
 			return nil, err
 		}
@@ -418,14 +450,20 @@ type scoreSet struct {
 func (ds *dataset) baselineScoreSets() []scoreSet {
 	log := ds.sys.Log()
 	n := len(ds.testTimes)
+	// The grid points are independent and every scorer is read-only once
+	// trained, so each baseline shards its evaluation loop across the
+	// configured workers; slot-per-index writes and a fixed-order error
+	// scan keep the result identical to the serial run.
 	mk := func(name string, f func(i int, t float64) (float64, error)) scoreSet {
 		scores := make([]float64, n)
-		for i, t := range ds.testTimes {
-			s, err := f(i, t)
+		errs := make([]error, n)
+		par.ForN(ds.cfg.Workers, n, func(i int) {
+			scores[i], errs[i] = f(i, ds.testTimes[i])
+		})
+		for _, err := range errs {
 			if err != nil {
 				return scoreSet{name: name, err: err}
 			}
-			scores[i] = s
 		}
 		return scoreSet{name: name, scores: scores}
 	}
@@ -518,12 +556,14 @@ func (ds *dataset) msetScoreSet() scoreSet {
 		return scoreSet{name: "MSET", err: err}
 	}
 	scores := make([]float64, testX.Rows)
-	for r := 0; r < testX.Rows; r++ {
-		s, err := model.Score(testX.Row(r))
+	errs := make([]error, testX.Rows)
+	par.ForN(ds.cfg.Workers, testX.Rows, func(r int) {
+		scores[r], errs[r] = model.Score(testX.RowView(r))
+	})
+	for _, err := range errs {
 		if err != nil {
 			return scoreSet{name: "MSET", err: err}
 		}
-		scores[r] = s
 	}
 	return scoreSet{name: "MSET", scores: scores}
 }

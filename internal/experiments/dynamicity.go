@@ -90,7 +90,7 @@ func RunDynamicity(seed int64) (DynamicityResult, error) {
 
 	subLog := func(from, to float64) (*eventlog.Log, error) {
 		out := eventlog.NewLog()
-		for _, e := range log.Window(from, to) {
+		for _, e := range log.WindowView(from, to) {
 			if err := out.Append(e); err != nil {
 				return nil, err
 			}
@@ -119,16 +119,14 @@ func RunDynamicity(seed int64) (DynamicityResult, error) {
 		}
 		return times, labels
 	}
+	// Windows are scored in one batch so the classifier can fan the grid
+	// out across cores.
 	score := func(clf *hsmm.Classifier, times []float64) ([]float64, error) {
-		out := make([]float64, len(times))
+		windows := make([]eventlog.Sequence, len(times))
 		for i, t := range times {
-			s, err := clf.Score(eventlog.SlidingWindow(log, t, cfg.DataWindow))
-			if err != nil {
-				return nil, err
-			}
-			out[i] = s
+			windows[i] = eventlog.SlidingWindow(log, t, cfg.DataWindow)
 		}
-		return out, nil
+		return clf.ScoreAll(windows)
 	}
 
 	var result DynamicityResult

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/par"
 	"repro/internal/pfmmodel"
 )
 
@@ -52,8 +53,14 @@ func RunRejuvenationComparison() (RejuvenationComparison, error) {
 	if err != nil {
 		return RejuvenationComparison{}, fmt.Errorf("%w: %v", ErrExperiment, err)
 	}
-	var out RejuvenationComparison
-	for _, dwell := range []float64{300, 1700, 6250} {
+	// The regimes are independent closed-form evaluations (the optimal-rate
+	// search dominates), so they run in parallel and assemble in dwell
+	// order.
+	dwells := []float64{300, 1700, 6250}
+	regimes := make([]RejuvenationRegime, len(dwells))
+	errs := make([]error, len(dwells))
+	par.For(len(dwells), func(i int) {
+		dwell := dwells[i]
 		p := pfmmodel.RejuvenationParams{
 			DegradationRate:      1 / (12500 - dwell),
 			FailureRate:          1 / dwell,
@@ -62,13 +69,15 @@ func RunRejuvenationComparison() (RejuvenationComparison, error) {
 		}
 		none, err := p.Availability()
 		if err != nil {
-			return RejuvenationComparison{}, fmt.Errorf("%w: %v", ErrExperiment, err)
+			errs[i] = fmt.Errorf("%w: %v", ErrExperiment, err)
+			return
 		}
 		rate, opt, err := p.OptimalRejuvenationRate(1.0 / 60)
 		if err != nil {
-			return RejuvenationComparison{}, fmt.Errorf("%w: %v", ErrExperiment, err)
+			errs[i] = fmt.Errorf("%w: %v", ErrExperiment, err)
+			return
 		}
-		reg := RejuvenationRegime{
+		regimes[i] = RejuvenationRegime{
 			DegradedDwell: dwell,
 			NoAction:      none,
 			OptimalBlind:  opt,
@@ -76,9 +85,13 @@ func RunRejuvenationComparison() (RejuvenationComparison, error) {
 			OptimalPeriod: 1e18,
 		}
 		if rate > 0 {
-			reg.OptimalPeriod = 1 / rate
+			regimes[i].OptimalPeriod = 1 / rate
 		}
-		out.Regimes = append(out.Regimes, reg)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return RejuvenationComparison{}, err
+		}
 	}
-	return out, nil
+	return RejuvenationComparison{Regimes: regimes}, nil
 }

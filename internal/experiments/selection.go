@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/mat"
+	"repro/internal/par"
 	ts "repro/internal/timeseries"
 	"repro/internal/ubf"
 )
@@ -129,29 +130,42 @@ func RunSelectionComparison(cfg CaseStudyConfig) (SelectionResult, error) {
 		}},
 	}
 
-	var result SelectionResult
-	for _, s := range strategies {
+	// Each strategy is self-contained (own seed, read-only shared data), so
+	// the five searches run in parallel; results assemble in declaration
+	// order and the first error in that order is the one reported, exactly
+	// as the serial loop would.
+	rows := make([]StrategyResult, len(strategies))
+	errs := make([]error, len(strategies))
+	par.ForN(cfg.Workers, len(strategies), func(i int) {
+		s := strategies[i]
 		subset, cvErr, err := s.run()
 		if err != nil {
-			return SelectionResult{}, fmt.Errorf("%s: %w", s.name, err)
+			errs[i] = fmt.Errorf("%s: %w", s.name, err)
+			return
 		}
 		auc, err := ds.subsetAUC(trainX, testX, y, subset, cfg)
 		if err != nil {
-			return SelectionResult{}, fmt.Errorf("%s: %w", s.name, err)
+			errs[i] = fmt.Errorf("%s: %w", s.name, err)
+			return
 		}
 		selected := make([]string, 0, len(subset))
 		for _, c := range subset {
 			selected = append(selected, names[c])
 		}
-		result.Strategies = append(result.Strategies, StrategyResult{
+		rows[i] = StrategyResult{
 			Strategy: s.name,
 			CVError:  cvErr,
 			NumVars:  len(subset),
 			TestAUC:  auc,
 			Selected: selected,
-		})
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return SelectionResult{}, err
+		}
 	}
-	return result, nil
+	return SelectionResult{Strategies: rows}, nil
 }
 
 // subsetAUC trains a UBF net on the column subset and scores the test grid.

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// reducedCaseStudyConfig shortens the horizon so a full train/evaluate
+// cycle stays test-sized while still producing failures in both halves.
+func reducedCaseStudyConfig(seed int64) CaseStudyConfig {
+	cfg := DefaultCaseStudyConfig()
+	cfg.Seed = seed
+	cfg.TrainDays = 4
+	cfg.TestDays = 2
+	return cfg
+}
+
+// render flattens a result to a comparable string: predictor tables plus
+// thresholds, printed with full float formatting. Byte equality here means
+// the experiment's entire quantitative output is identical.
+func render(results []CaseStudyResult) string {
+	out := ""
+	for _, r := range results {
+		out += fmt.Sprintf("%d/%d/%d\n", r.TrainFailures, r.TestFailures, r.EvalPoints)
+		for _, p := range r.Predictors {
+			out += fmt.Sprintf("%s auc=%v th=%v tp=%d fp=%d fn=%d tn=%d roc=%d\n",
+				p.Name, p.AUC, p.Threshold,
+				p.Table.TP, p.Table.FP, p.Table.FN, p.Table.TN, len(p.ROC))
+		}
+	}
+	return out
+}
+
+// TestCaseStudyDeterministicAcrossWorkers pins the harness determinism
+// contract at the experiment level: with GOMAXPROCS fixed, the Workers
+// knob must not change a single byte of the results. (GOMAXPROCS itself is
+// held fixed because the HSMM E-step shards by it.)
+func TestCaseStudyDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full case study in -short mode")
+	}
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	runAt := func(workers int) string {
+		cfg := reducedCaseStudyConfig(7)
+		cfg.Workers = workers
+		res, err := RunCaseStudy(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return render([]CaseStudyResult{res})
+	}
+	serial := runAt(1)
+	if serial == "" {
+		t.Fatal("empty result")
+	}
+	for _, workers := range []int{2, 8} {
+		if got := runAt(workers); got != serial {
+			t.Fatalf("workers=%d diverges from serial:\n%s\nvs\n%s", workers, got, serial)
+		}
+	}
+}
+
+// TestCaseStudySweepMatchesSerialRuns verifies the whole-experiment sweep:
+// sharding complete experiments across workers returns exactly what the
+// one-at-a-time loop returns, in configuration order.
+func TestCaseStudySweepMatchesSerialRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full case studies in -short mode")
+	}
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	cfgs := ReplicateConfigs(reducedCaseStudyConfig(11), 3)
+	var want []CaseStudyResult
+	for _, cfg := range cfgs {
+		res, err := RunCaseStudy(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, res)
+	}
+	got, err := RunCaseStudySweep(cfgs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if render(got) != render(want) {
+		t.Fatalf("parallel sweep diverges from serial runs:\n%s\nvs\n%s", render(got), render(want))
+	}
+}
+
+// TestLeadTimeSweepDeterministic verifies the shared-simulation lead-time
+// sweep: grid points computed concurrently over one finished run match the
+// serial evaluation byte for byte, and longer lead times stay evaluable.
+func TestLeadTimeSweepDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full case studies in -short mode")
+	}
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	base := reducedCaseStudyConfig(7)
+	leads := []float64{150, 300, 600}
+	runAt := func(workers int) []LeadTimePoint {
+		points, err := RunLeadTimeSweep(base, leads, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return points
+	}
+	serial := runAt(1)
+	parallel := runAt(4)
+	for i := range serial {
+		if serial[i].LeadTime != leads[i] {
+			t.Fatalf("point %d: lead time %g, want %g", i, serial[i].LeadTime, leads[i])
+		}
+		s := render([]CaseStudyResult{serial[i].Result})
+		p := render([]CaseStudyResult{parallel[i].Result})
+		if s != p {
+			t.Fatalf("lead time %g diverges between worker counts:\n%s\nvs\n%s", leads[i], p, s)
+		}
+		if len(serial[i].Result.Predictors) == 0 {
+			t.Fatalf("lead time %g produced no predictors", leads[i])
+		}
+	}
+}
+
+// TestSweepValidation exercises the error paths.
+func TestSweepValidation(t *testing.T) {
+	if _, err := RunCaseStudySweep(nil, 0); err == nil {
+		t.Fatal("empty sweep accepted")
+	}
+	if _, err := RunLeadTimeSweep(DefaultCaseStudyConfig(), nil, 0); err == nil {
+		t.Fatal("empty lead-time grid accepted")
+	}
+	bad := DefaultCaseStudyConfig()
+	bad.TrainDays = -1
+	if _, err := RunLeadTimeSweep(bad, []float64{300}, 0); err == nil {
+		t.Fatal("invalid base config accepted")
+	}
+	cfgs := ReplicateConfigs(DefaultCaseStudyConfig(), 3)
+	for i, cfg := range cfgs {
+		if cfg.Seed != DefaultCaseStudyConfig().Seed+int64(i) {
+			t.Fatalf("replicate %d seed %d", i, cfg.Seed)
+		}
+	}
+}

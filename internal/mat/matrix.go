@@ -81,6 +81,13 @@ func (m *Matrix) Row(r int) []float64 {
 	return out
 }
 
+// RowView returns row r as a view into the backing store — no copy. The
+// returned slice must not be modified; it is the read path for hot loops
+// that scan every row and would otherwise allocate per row.
+func (m *Matrix) RowView(r int) []float64 {
+	return m.Data[r*m.Cols : (r+1)*m.Cols]
+}
+
 // Col returns a copy of column c.
 func (m *Matrix) Col(c int) []float64 {
 	out := make([]float64, m.Rows)

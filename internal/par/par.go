@@ -1,0 +1,77 @@
+// Package par provides the deterministic parallel fan-out primitive shared
+// by the offline pipeline (the experiments harness, UBF training,
+// cross-validation folds): n independent work units indexed 0..n-1 are
+// distributed over a bounded worker pool, each unit writes only to its own
+// index, and callers merge results in index order.
+//
+// Determinism contract (the same one established for hsmm.Fit): a unit's
+// output must depend only on its index and its inputs — never on which
+// worker ran it or in what order units completed. Callers that need
+// randomness pre-split one stats.RNG stream per unit before fanning out.
+// Under that contract a parallel run is bit-identical to the serial one at
+// any worker count, so experiment tables replay byte-for-byte.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers bounds a worker count by GOMAXPROCS and the number of tasks
+// (always ≥ 1).
+func Workers(tasks int) int {
+	w := runtime.GOMAXPROCS(0)
+	if tasks < w {
+		w = tasks
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// For runs fn(i) for every i in [0, n) on up to GOMAXPROCS workers and
+// returns when all units are done. Units are claimed from a shared atomic
+// counter, so scheduling is dynamic but the set of executed indices — and
+// anything written at dst[i] — is identical to the serial loop.
+func For(n int, fn func(i int)) {
+	ForN(0, n, fn)
+}
+
+// ForN is For with an explicit worker bound: workers ≤ 0 defaults to
+// GOMAXPROCS, workers == 1 runs the plain serial loop inline (the reference
+// path the determinism tests compare against).
+func ForN(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

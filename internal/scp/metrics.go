@@ -14,7 +14,8 @@ var _ act.Target = (*System)(nil)
 
 // SARVariables are the System Activity Reporter variables the simulator
 // records (Sect. 3.3: "System error logs and data of the System Activity
-// Reporter (SAR) have been used as input data").
+// Reporter (SAR) have been used as input data"). The order matches the
+// sar* index constants below.
 var SARVariables = []string{
 	"load",      // offered request rate [req/s]
 	"cpu",       // utilization ρ
@@ -26,7 +27,24 @@ var SARVariables = []string{
 	"frac_slow", // instantaneous slow-call fraction
 }
 
-// recordSAR appends one sample per SAR interval.
+// Indices into SARVariables / System.sarSeries. The sampling loop runs once
+// per SAR interval for the whole simulation, so it appends through these
+// rather than building a name→value map and hashing eight keys per sample.
+const (
+	sarLoad = iota
+	sarCPU
+	sarMemFree
+	sarSwap
+	sarQueue
+	sarSemops
+	sarErrRate
+	sarFracSlow
+)
+
+// recordSAR appends one sample per SAR interval. It is allocation-free:
+// values go straight to the pre-resolved series in fixed index order
+// (samples are strictly time-ordered by construction, so Append cannot
+// fail).
 func (s *System) recordSAR(now, load, rho, fracSlow float64) {
 	if now-s.sarLastAt < s.cfg.SARInterval {
 		return
@@ -43,19 +61,14 @@ func (s *System) recordSAR(now, load, rho, fracSlow float64) {
 	errRate := float64(s.log.Len()-s.sarErrSeen) / s.cfg.SARInterval
 	s.sarErrSeen = s.log.Len()
 	semops := load * 50 * (1 + 0.02*s.loadRNG.NormFloat64())
-	for name, v := range map[string]float64{
-		"load":      load,
-		"cpu":       rho,
-		"mem_free":  s.freeMem,
-		"swap":      swap,
-		"queue":     queue,
-		"semops":    semops,
-		"err_rate":  errRate,
-		"frac_slow": fracSlow,
-	} {
-		// Samples are strictly time-ordered by construction.
-		_ = s.sar[name].Append(now, v)
-	}
+	_ = s.sarSeries[sarLoad].Append(now, load)
+	_ = s.sarSeries[sarCPU].Append(now, rho)
+	_ = s.sarSeries[sarMemFree].Append(now, s.freeMem)
+	_ = s.sarSeries[sarSwap].Append(now, swap)
+	_ = s.sarSeries[sarQueue].Append(now, queue)
+	_ = s.sarSeries[sarSemops].Append(now, semops)
+	_ = s.sarSeries[sarErrRate].Append(now, errRate)
+	_ = s.sarSeries[sarFracSlow].Append(now, fracSlow)
 }
 
 // SAR returns the recorded series for a variable.
@@ -141,7 +154,7 @@ func (s *System) CleanupState() error {
 		}
 	}
 	s.freeMem = s.cfg.MemTotal
-	s.leakThresholds = make(map[int]bool)
+	s.leakEmitted = [len(leakThresholds)]bool{}
 	return nil
 }
 
@@ -158,7 +171,7 @@ func (s *System) Failover() error {
 		}
 	}
 	s.freeMem = s.cfg.MemTotal
-	s.leakThresholds = make(map[int]bool)
+	s.leakEmitted = [len(leakThresholds)]bool{}
 	return nil
 }
 

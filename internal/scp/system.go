@@ -33,13 +33,16 @@ type System struct {
 	faults []*fault
 
 	// service state
-	up             bool
-	downUntil      float64
-	prepared       bool // spare prewarmed by PrepareRepair
-	shedFraction   float64
-	freeMem        float64
-	lastTickAt     float64
-	leakThresholds map[int]bool // emitted leak threshold events
+	up           bool
+	downUntil    float64
+	prepared     bool // spare prewarmed by PrepareRepair
+	shedFraction float64
+	freeMem      float64
+	lastTickAt   float64
+	// leakEmitted[i] records whether leakThresholds[i] fired this episode —
+	// a fixed array rather than a map, so the tick loop stays lookup-free
+	// and episode resets are a plain zeroing.
+	leakEmitted [len(leakThresholds)]bool
 
 	// Eq. 2 interval accounting
 	intervalStart float64
@@ -48,8 +51,11 @@ type System struct {
 	skipEvalUntil float64
 	intervals     []IntervalStat
 
-	// SAR accounting
+	// SAR accounting. sarSeries is indexed by the sar* constants (aligned
+	// with SARVariables) so the sampling loop appends without map lookups;
+	// the name→series map only serves the SAR(name) accessor.
 	sar          map[string]*ts.Series
+	sarSeries    []*ts.Series
 	sarLastAt    float64
 	sarErrSeen   int // log length at the last SAR sample
 	lastRho      float64
@@ -89,18 +95,19 @@ func New(cfg Config) (*System, error) {
 	}
 	root := stats.NewRNG(cfg.Seed)
 	s := &System{
-		cfg:            cfg,
-		engine:         sim.NewEngine(),
-		faultRNG:       root.Split(1),
-		loadRNG:        root.Split(2),
-		log:            eventlog.NewLog(),
-		up:             true,
-		freeMem:        cfg.MemTotal,
-		leakThresholds: make(map[int]bool),
-		sar:            make(map[string]*ts.Series),
+		cfg:      cfg,
+		engine:   sim.NewEngine(),
+		faultRNG: root.Split(1),
+		loadRNG:  root.Split(2),
+		log:      eventlog.NewLog(),
+		up:       true,
+		freeMem:  cfg.MemTotal,
+		sar:      make(map[string]*ts.Series),
 	}
-	for _, name := range SARVariables {
-		s.sar[name] = ts.New(name)
+	s.sarSeries = make([]*ts.Series, len(SARVariables))
+	for i, name := range SARVariables {
+		s.sarSeries[i] = ts.New(name)
+		s.sar[name] = s.sarSeries[i]
 	}
 	s.scheduleInjections()
 	if err := s.engine.Every(cfg.Tick, func() bool {
@@ -158,6 +165,22 @@ func (s *System) tick() {
 	now := s.engine.Now()
 	dt := now - s.lastTickAt
 	s.lastTickAt = now
+
+	// Retire finished episodes. A fault that is no longer active can never
+	// become active again (cleared is final, spike windows only close), and
+	// every consumer skips inactive faults, so dropping them keeps the
+	// per-tick scans proportional to the handful of live episodes instead
+	// of the whole injection history of a year-long run.
+	live := s.faults[:0]
+	for _, f := range s.faults {
+		if f.active(now) {
+			live = append(live, f)
+		}
+	}
+	for i := len(live); i < len(s.faults); i++ {
+		s.faults[i] = nil
+	}
+	s.faults = live
 
 	if !s.up {
 		s.downtime += dt
@@ -296,7 +319,7 @@ func (s *System) fail(now float64, cause, component string) {
 func (s *System) completeRepair(now float64) {
 	s.up = true
 	s.freeMem = s.cfg.MemTotal
-	s.leakThresholds = make(map[int]bool)
+	s.leakEmitted = [len(leakThresholds)]bool{}
 	s.shedFraction = 0
 	for _, f := range s.faults {
 		if f.kind != faultSpike {
@@ -319,7 +342,7 @@ func (s *System) emit(typ int, component string, sev eventlog.Severity, msg stri
 
 // leak threshold events: emitted once per episode as free memory crosses
 // each level, plus stochastic pressure errors under the swap threshold.
-var leakThresholds = []struct {
+var leakThresholds = [...]struct {
 	level float64 // as a multiple of the swap threshold
 	typ   int
 	sev   eventlog.Severity
@@ -332,9 +355,9 @@ var leakThresholds = []struct {
 }
 
 func (s *System) emitLeakEvents(now float64) {
-	for _, th := range leakThresholds {
-		if s.freeMem < th.level*s.cfg.SwapThreshold && !s.leakThresholds[th.typ] {
-			s.leakThresholds[th.typ] = true
+	for i, th := range leakThresholds {
+		if s.freeMem < th.level*s.cfg.SwapThreshold && !s.leakEmitted[i] {
+			s.leakEmitted[i] = true
 			s.emit(th.typ, "mem", th.sev, "memory threshold crossed")
 		}
 	}

@@ -423,3 +423,25 @@ func TestSignatureShiftChangesEventTypes(t *testing.T) {
 		}
 	}
 }
+
+// TestFaultListStaysBounded pins the episode-retirement sweep: over a long
+// run the fault list must track the handful of live episodes, not the whole
+// injection history — the difference between linear and quadratic tick cost
+// in year-long simulations.
+func TestFaultListStaysBounded(t *testing.T) {
+	sys, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(30 * 86400); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(sys.faults); n > 50 {
+		t.Fatalf("%d faults retained after 30 days; retirement sweep not compacting", n)
+	}
+	for _, f := range sys.faults {
+		if !f.active(sys.engine.Now()) {
+			t.Fatal("inactive fault survived the retirement sweep")
+		}
+	}
+}

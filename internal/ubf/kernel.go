@@ -87,50 +87,67 @@ type Network struct {
 	Kernels []Kernel
 	Weights []float64 // len(Kernels)+1; Weights[0] is the bias
 	dim     int
+	// eval is the flattened kernel bank every evaluation path runs through.
+	// Training and deserialization build it eagerly; the lazy fallback in
+	// flat() only serves in-package literals and is not safe for concurrent
+	// first use.
+	eval *evalSet
 }
 
 // Dim returns the expected input dimension.
 func (n *Network) Dim() int { return n.dim }
+
+// flat returns the flattened kernel bank, building it on first use.
+func (n *Network) flat() *evalSet {
+	if n.eval == nil {
+		n.eval = newEvalSet(n.Kernels, n.dim)
+	}
+	return n.eval
+}
 
 // Predict evaluates the network at x.
 func (n *Network) Predict(x []float64) (float64, error) {
 	if len(x) != n.dim {
 		return 0, fmt.Errorf("%w: input dim %d, want %d", ErrUBF, len(x), n.dim)
 	}
-	y := n.Weights[0]
-	for i, k := range n.Kernels {
-		y += n.Weights[i+1] * k.Eval(x)
-	}
-	return y, nil
+	return n.flat().predict(x, n.Weights), nil
 }
 
 // PredictRows evaluates the network on every row of m.
 func (n *Network) PredictRows(m *mat.Matrix) ([]float64, error) {
-	if m.Cols != n.dim {
-		return nil, fmt.Errorf("%w: matrix has %d columns, want %d", ErrUBF, m.Cols, n.dim)
-	}
 	out := make([]float64, m.Rows)
-	for r := 0; r < m.Rows; r++ {
-		y, err := n.Predict(m.Row(r))
-		if err != nil {
-			return nil, err
-		}
-		out[r] = y
+	if err := n.PredictRowsInto(m, out); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-// designMatrix builds Φ: rows [1, k₁(x), …, k_K(x)].
-func designMatrix(kernels []Kernel, x *mat.Matrix) *mat.Matrix {
-	phi := mat.New(x.Rows, len(kernels)+1)
-	for r := 0; r < x.Rows; r++ {
-		row := x.Row(r)
-		phi.Set(r, 0, 1)
-		for i, k := range kernels {
-			phi.Set(r, i+1, k.Eval(row))
-		}
+// PredictRowsInto evaluates the network on every row of m into out
+// (len m.Rows) without allocating.
+func (n *Network) PredictRowsInto(m *mat.Matrix, out []float64) error {
+	if m.Cols != n.dim {
+		return fmt.Errorf("%w: matrix has %d columns, want %d", ErrUBF, m.Cols, n.dim)
 	}
-	return phi
+	if len(out) != m.Rows {
+		return fmt.Errorf("%w: out has %d slots for %d rows", ErrUBF, len(out), m.Rows)
+	}
+	n.flat().predictInto(m, n.Weights, out)
+	return nil
+}
+
+// EvalAll fills dst with the design-matrix rows [1, k₁(x_r), …, k_K(x_r)]
+// for every row r of m. dst must have length m.Rows·(len(Kernels)+1). This
+// is the batched kernel under training, cross-validation, and scoring; it
+// performs no allocation.
+func (n *Network) EvalAll(m *mat.Matrix, dst []float64) error {
+	if m.Cols != n.dim {
+		return fmt.Errorf("%w: matrix has %d columns, want %d", ErrUBF, m.Cols, n.dim)
+	}
+	if want := m.Rows * (len(n.Kernels) + 1); len(dst) != want {
+		return fmt.Errorf("%w: dst has %d slots, want %d", ErrUBF, len(dst), want)
+	}
+	n.flat().designInto(m, dst)
+	return nil
 }
 
 // mse returns the mean squared error of predictions vs targets.

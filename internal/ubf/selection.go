@@ -197,12 +197,24 @@ func LinearCVEvaluator(x *mat.Matrix, y []float64, folds int, ridge float64, see
 	if folds < 2 || folds > x.Rows {
 		return nil, fmt.Errorf("%w: %d folds for %d rows", ErrUBF, folds, x.Rows)
 	}
-	// Precompute fold assignments once so all subsets are scored on the
-	// same partition.
+	// Precompute the fold partition once: all subsets are scored on the
+	// same row split, and the wrapper search — which calls the evaluator
+	// hundreds of times — never rebuilds the index lists.
 	g := stats.NewRNG(seed)
 	assign := make([]int, x.Rows)
 	for i, p := range g.Perm(x.Rows) {
 		assign[p] = i % folds
+	}
+	trainRowsByFold := make([][]int, folds)
+	testRowsByFold := make([][]int, folds)
+	for r := 0; r < x.Rows; r++ {
+		f := assign[r]
+		testRowsByFold[f] = append(testRowsByFold[f], r)
+		for o := 0; o < folds; o++ {
+			if o != f {
+				trainRowsByFold[o] = append(trainRowsByFold[o], r)
+			}
+		}
 	}
 	return func(subset []int) (float64, error) {
 		sub, err := SubsetColumns(x, subset)
@@ -211,14 +223,7 @@ func LinearCVEvaluator(x *mat.Matrix, y []float64, folds int, ridge float64, see
 		}
 		totalSE, n := 0.0, 0
 		for f := 0; f < folds; f++ {
-			var trainRows, testRows []int
-			for r := 0; r < x.Rows; r++ {
-				if assign[r] == f {
-					testRows = append(testRows, r)
-				} else {
-					trainRows = append(trainRows, r)
-				}
-			}
+			trainRows, testRows := trainRowsByFold[f], testRowsByFold[f]
 			w, err := ridgeFit(sub, y, trainRows, ridge)
 			if err != nil {
 				return 0, err

@@ -35,7 +35,12 @@ func (n *Network) UnmarshalJSON(data []byte) error {
 			return fmt.Errorf("kernel %d: %w", i, err)
 		}
 	}
-	*n = Network{Kernels: dto.Kernels, Weights: dto.Weights, dim: dto.Dim}
+	*n = Network{
+		Kernels: dto.Kernels,
+		Weights: dto.Weights,
+		dim:     dto.Dim,
+		eval:    newEvalSet(dto.Kernels, dto.Dim),
+	}
 	return nil
 }
 

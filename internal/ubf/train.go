@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/mat"
+	"repro/internal/par"
 	"repro/internal/stats"
 )
 
@@ -73,41 +74,67 @@ func Train(x *mat.Matrix, y []float64, cfg TrainConfig) (*Network, error) {
 	g := stats.NewRNG(cfg.Seed)
 	scale := widthScale(x)
 
+	// Random candidates are independent, so they follow the repo's parallel
+	// determinism contract: one RNG stream per candidate, split in index
+	// order before the fan-out; each worker writes only its own slot; the
+	// best is chosen by a fixed-order scan. The result is bit-identical at
+	// any worker count.
+	streams := make([]*stats.RNG, cfg.Candidates)
+	for c := range streams {
+		streams[c] = g.Split(int64(c))
+	}
+	nets := make([]*Network, cfg.Candidates)
+	errs := make([]float64, cfg.Candidates)
+	par.For(cfg.Candidates, func(c int) {
+		nets[c], errs[c] = tryKernels(randomKernels(cfg, x, scale, streams[c]), x, y, cfg.Ridge)
+	})
 	var best *Network
 	bestErr := math.Inf(1)
-	try := func(kernels []Kernel) {
-		net, err := fitWeights(kernels, x, y, cfg.Ridge)
-		if err != nil {
-			return
+	for c := range nets {
+		if nets[c] != nil && errs[c] < bestErr {
+			best, bestErr = nets[c], errs[c]
 		}
-		pred, err := net.PredictRows(x)
-		if err != nil {
-			return
-		}
-		if e := mse(pred, y); e < bestErr {
-			bestErr, best = e, net
-		}
-	}
-	for c := 0; c < cfg.Candidates; c++ {
-		try(randomKernels(cfg, x, scale, g))
 	}
 	if best == nil {
 		return nil, fmt.Errorf("%w: no candidate configuration was solvable", ErrUBF)
 	}
+	// Refinement is inherently serial — each round perturbs the incumbent —
+	// but every round draws from its own pre-split stream.
 	for r := 0; r < cfg.Refinements; r++ {
-		try(perturbKernels(best.Kernels, scale, cfg, g))
+		rg := g.Split(int64(cfg.Candidates + r))
+		if net, e := tryKernels(perturbKernels(best.Kernels, scale, cfg, rg), x, y, cfg.Ridge); net != nil && e < bestErr {
+			best, bestErr = net, e
+		}
 	}
 	return best, nil
 }
 
-// fitWeights solves for output weights with the kernels fixed.
+// tryKernels fits output weights for a kernel configuration and returns the
+// network with its training MSE, or (nil, +Inf) if the fit is unsolvable.
+func tryKernels(kernels []Kernel, x *mat.Matrix, y []float64, ridge float64) (*Network, float64) {
+	net, err := fitWeights(kernels, x, y, ridge)
+	if err != nil {
+		return nil, math.Inf(1)
+	}
+	pred, err := net.PredictRows(x)
+	if err != nil {
+		return nil, math.Inf(1)
+	}
+	return net, mse(pred, y)
+}
+
+// fitWeights solves for output weights with the kernels fixed. The design
+// matrix is built through the flattened kernel bank, which the returned
+// network keeps for its own evaluation paths.
 func fitWeights(kernels []Kernel, x *mat.Matrix, y []float64, ridge float64) (*Network, error) {
-	phi := designMatrix(kernels, x)
+	es := newEvalSet(kernels, x.Cols)
+	phi := mat.New(x.Rows, len(kernels)+1)
+	es.designInto(x, phi.Data)
 	w, err := mat.SolveLeastSquares(phi, y, ridge)
 	if err != nil {
 		return nil, err
 	}
-	return &Network{Kernels: kernels, Weights: w, dim: x.Cols}, nil
+	return &Network{Kernels: kernels, Weights: w, dim: x.Cols, eval: es}, nil
 }
 
 // widthScale estimates a characteristic length scale of the data: the mean
