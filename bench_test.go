@@ -743,43 +743,56 @@ func benchRuntimeEngine(b *testing.B, layers []*Layer) *MEAEngine {
 }
 
 // BenchmarkRuntimeThroughput measures sustained ingest throughput of the
-// streaming pipeline (bounded queue → Apply) and reports events/sec.
+// streaming pipeline (bounded queue → Apply) and reports events/sec, with
+// end-to-end span tracing disabled vs enabled — the tracing-on/-off ratio
+// is the overhead budget the tracer must stay inside (<5%).
 func BenchmarkRuntimeThroughput(b *testing.B) {
-	layers := []*Layer{{
-		Name:      "quiet",
-		Evaluate:  func(float64) (float64, error) { return 0, nil },
-		Threshold: 1,
-	}}
-	var applied int64
-	rt, err := NewRuntime(RuntimeConfig{
-		Engine:        benchRuntimeEngine(b, layers),
-		Apply:         func(RuntimeEvent) error { applied++; return nil },
-		QueueCapacity: 4096,
-		Overflow:      OverflowBlock,
-	})
-	if err != nil {
-		b.Fatal(err)
+	for _, tc := range []struct {
+		name   string
+		tracer func() *Tracer
+	}{
+		{"tracing-off", func() *Tracer { return nil }},
+		{"tracing-on", func() *Tracer { return NewTracer(256) }},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			layers := []*Layer{{
+				Name:      "quiet",
+				Evaluate:  func(float64) (float64, error) { return 0, nil },
+				Threshold: 1,
+			}}
+			var applied int64
+			rt, err := NewRuntime(RuntimeConfig{
+				Engine:        benchRuntimeEngine(b, layers),
+				Apply:         func(RuntimeEvent) error { applied++; return nil },
+				QueueCapacity: 4096,
+				Overflow:      OverflowBlock,
+				Tracer:        tc.tracer(),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			if err := rt.Start(ctx); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				if err := rt.Ingest(ctx, RuntimeEvent{Kind: RuntimeEventSample, Time: float64(i), Variable: "x", Value: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := rt.Stop(ctx); err != nil {
+				b.Fatal(err)
+			}
+			elapsed := time.Since(start).Seconds()
+			b.StopTimer()
+			if applied != int64(b.N) {
+				b.Fatalf("applied %d of %d", applied, b.N)
+			}
+			b.ReportMetric(float64(b.N)/elapsed, "events/sec")
+		})
 	}
-	ctx := context.Background()
-	if err := rt.Start(ctx); err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	start := time.Now()
-	for i := 0; i < b.N; i++ {
-		if err := rt.Ingest(ctx, RuntimeEvent{Kind: RuntimeEventSample, Time: float64(i), Variable: "x", Value: 1}); err != nil {
-			b.Fatal(err)
-		}
-	}
-	if err := rt.Stop(ctx); err != nil {
-		b.Fatal(err)
-	}
-	elapsed := time.Since(start).Seconds()
-	b.StopTimer()
-	if applied != int64(b.N) {
-		b.Fatalf("applied %d of %d", applied, b.N)
-	}
-	b.ReportMetric(float64(b.N)/elapsed, "events/sec")
 }
 
 // BenchmarkRuntimeShardedIngest measures ingest throughput with the

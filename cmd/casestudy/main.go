@@ -7,17 +7,23 @@
 //
 //	casestudy [-seed 7] [-train 14] [-test 7] [-workers 0] [-replicates 1]
 //	          [-leadtimes 150,300,600] [-pwa] [-selection] [-meta]
+//	          [-log-format text|json]
 //
 // -pwa enables the Probabilistic Wrapper Approach for UBF variable
 // selection; -selection runs the E8 strategy comparison; -meta runs the E11
 // stacked-generalization experiment. -workers bounds the parallel stages
 // (0 = all cores); -replicates > 1 runs seed-replicated experiments in
 // parallel; -leadtimes sweeps the prediction horizon over one simulation.
+//
+// Progress goes to stderr as structured logs (-log-format selects the
+// handler); result tables and TSV stay on stdout, so piping output into
+// analysis tooling keeps working.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
@@ -45,7 +51,12 @@ func run() error {
 	workers := flag.Int("workers", 0, "worker bound for parallel stages (0 = all cores)")
 	replicates := flag.Int("replicates", 1, "seed replicates to run in parallel")
 	leadTimes := flag.String("leadtimes", "", "comma-separated lead times [s] to sweep over one simulation")
+	logFormat := flag.String("log-format", "text", "progress log format: text|json")
 	flag.Parse()
+	logger, err := newLogger(*logFormat)
+	if err != nil {
+		return err
+	}
 
 	cfg := defaults
 	cfg.Seed = *seed
@@ -59,6 +70,8 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("-leadtimes: %w", err)
 		}
+		logger.Info("lead-time sweep starting",
+			"lead_times", *leadTimes, "seed", cfg.Seed, "workers", *workers)
 		points, err := experiments.RunLeadTimeSweep(cfg, leads, *workers)
 		if err != nil {
 			return err
@@ -73,6 +86,8 @@ func run() error {
 		return nil
 	}
 	if *replicates > 1 {
+		logger.Info("replicated case study starting",
+			"replicates", *replicates, "base_seed", cfg.Seed, "workers", *workers)
 		results, err := experiments.RunCaseStudySweep(
 			experiments.ReplicateConfigs(cfg, *replicates), *workers)
 		if err != nil {
@@ -88,19 +103,23 @@ func run() error {
 		return nil
 	}
 
+	logger.Info("case study starting",
+		"seed", cfg.Seed, "train_days", cfg.TrainDays, "test_days", cfg.TestDays,
+		"pwa", cfg.UsePWA, "workers", cfg.Workers)
 	res, err := experiments.RunCaseStudy(cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("train failures: %d   test failures: %d   evaluation points: %d\n",
-		res.TrainFailures, res.TestFailures, res.EvalPoints)
+	logger.Info("case study complete",
+		"train_failures", res.TrainFailures, "test_failures", res.TestFailures,
+		"evaluation_points", res.EvalPoints)
 	rows := make([]experiments.Row, 0, len(res.Predictors))
 	for _, p := range res.Predictors {
 		rows = append(rows, p.Row())
 	}
 	experiments.Fprint(os.Stdout, "Sect. 3.3 results (paper: HSMM p=0.70 r=0.62 fpr=0.016 AUC=0.873; UBF AUC=0.846)", rows)
 	if len(res.SelectedVariables) > 0 {
-		fmt.Printf("PWA-selected variables: %v\n", res.SelectedVariables)
+		logger.Info("PWA variable selection", "selected", fmt.Sprint(res.SelectedVariables))
 	}
 
 	if *roc {
@@ -112,6 +131,7 @@ func run() error {
 		}
 	}
 	if *selection {
+		logger.Info("selection comparison starting")
 		sel, err := experiments.RunSelectionComparison(cfg)
 		if err != nil {
 			return err
@@ -122,6 +142,7 @@ func run() error {
 		}
 	}
 	if *metaExp {
+		logger.Info("meta-learning experiment starting")
 		m, err := experiments.RunMetaLearning(cfg)
 		if err != nil {
 			return err
@@ -130,6 +151,7 @@ func run() error {
 		fmt.Printf("combiner weights: %v\n", m.Weights)
 	}
 	if *diagnosis {
+		logger.Info("diagnosis experiment starting")
 		d, err := experiments.RunDiagnosis(cfg)
 		if err != nil {
 			return err
@@ -137,6 +159,18 @@ func run() error {
 		experiments.Fprint(os.Stdout, "E14: pre-failure root-cause diagnosis", d.Rows())
 	}
 	return nil
+}
+
+// newLogger builds the stderr progress logger for -log-format.
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q (want text|json)", format)
+	}
 }
 
 // parseFloats parses a comma-separated float list.

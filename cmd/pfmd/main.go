@@ -7,26 +7,39 @@
 // the serialized act stage steers the live simulator through a command
 // mailbox (applied on the simulation thread between replay slices).
 //
-// Observability: /metrics (Prometheus text) and /healthz on -addr while
-// the replay runs, e.g.
+// Observability: /metrics (Prometheus text), /healthz, /tracez (end-to-end
+// span traces) and /ledger (online Sect. 3.3 prediction quality) on -addr
+// while the replay runs, e.g.
 //
 //	pfmd -days 2 -compress 7200 &
 //	curl -s localhost:9600/metrics | grep pfm_
+//	curl -s localhost:9600/ledger | head
+//	curl -s "localhost:9600/tracez?n=10"
+//
+// Progress and decisions are structured logs on stderr (-log-format=json
+// for machine ingestion); result tables stay on stdout.
 //
 // Usage:
 //
 //	pfmd [-addr :9600] [-seed 11] [-days 1] [-compress 3600]
 //	     [-queue 4096] [-overflow block|drop-oldest|drop-newest]
 //	     [-workers 4] [-eval 250ms] [-shards 1] [-pprof]
+//	     [-log-format text|json] [-log-level info|debug]
+//	     [-trace-cap 256] [-trace-dump 0]
+//	     [-ledger-window 0] [-ledger-slack 300]
+//	     [-meta-weights w1,w2,w3,w4]
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"math"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -34,6 +47,9 @@ import (
 	"repro/internal/act"
 	"repro/internal/core"
 	"repro/internal/eventlog"
+	"repro/internal/meta"
+	"repro/internal/obs"
+	"repro/internal/pfmmodel"
 	"repro/internal/runtime"
 	"repro/internal/scp"
 	ts "repro/internal/timeseries"
@@ -142,6 +158,80 @@ func (m *mirror) layers(memFloor float64) []*core.Layer {
 	}
 }
 
+// newLogger builds the service logger from the -log-format/-log-level
+// flags. Logs go to stderr; result tables stay on stdout.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "info":
+		lv = slog.LevelInfo
+	case "debug":
+		lv = slog.LevelDebug
+	default:
+		return nil, fmt.Errorf("unknown log level %q (want info|debug)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q (want text|json)", format)
+	}
+}
+
+// parseMetaWeights builds the -meta-weights combiner: one logistic weight
+// per layer (in layer order), bias fixed at −Σ wᵢθᵢ so a system sitting
+// exactly at every layer threshold scores 0.5.
+func parseMetaWeights(spec string, layers []*core.Layer) (core.Combiner, error) {
+	parts := strings.Split(spec, ",")
+	if len(parts) != len(layers) {
+		return nil, fmt.Errorf("-meta-weights needs %d comma-separated weights, got %d", len(layers), len(parts))
+	}
+	names := make([]string, len(layers))
+	weights := make([]float64, len(layers))
+	bias := 0.0
+	for i, p := range parts {
+		w, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("-meta-weights[%d]: %w", i, err)
+		}
+		names[i] = layers[i].Name
+		weights[i] = w
+		bias -= w * layers[i].Threshold
+	}
+	st, err := meta.NewStacker(names, weights, bias)
+	if err != nil {
+		return nil, err
+	}
+	return st.Score, nil
+}
+
+// lastTraceID returns the newest completed end-to-end trace ID (0 when
+// none yet) — attached to decision logs to link them to /tracez spans.
+func lastTraceID(tr *obs.Tracer) uint64 {
+	var id uint64
+	for _, v := range tr.Snapshot() {
+		if v.Complete && v.ID > id {
+			id = v.ID
+		}
+	}
+	return id
+}
+
+// kindName labels event kinds in the -trace-dump rendering.
+func kindName(k uint8) string {
+	switch runtime.EventKind(k) {
+	case runtime.KindError:
+		return "error"
+	case runtime.KindSample:
+		return "sample"
+	default:
+		return strconv.Itoa(int(k))
+	}
+}
+
 func run() error {
 	addr := flag.String("addr", ":9600", "metrics/health listen address")
 	seed := flag.Int64("seed", 11, "simulation seed")
@@ -153,6 +243,14 @@ func run() error {
 	evalEvery := flag.Duration("eval", 250*time.Millisecond, "wall-clock MEA cadence")
 	shards := flag.Int("shards", 1, "parallel ingest shards (per-variable routing)")
 	pprofOn := flag.Bool("pprof", false, "expose /debug/pprof/ on the metrics address")
+	logFormat := flag.String("log-format", "text", "log output format: text|json")
+	logLevel := flag.String("log-level", "info", "log level: info|debug (debug logs every MEA cycle)")
+	traceCap := flag.Int("trace-cap", 256, "end-to-end trace ring capacity (0 disables tracing)")
+	traceDump := flag.Int("trace-dump", 0, "print the N slowest end-to-end traces at exit")
+	traceSample := flag.Int("trace-sample", obs.DefaultSampleInterval, "trace 1 in N ingested events (1 = every event)")
+	ledgerWindow := flag.Float64("ledger-window", 0, "rolling quality window [sim s]; 0 = cumulative")
+	ledgerSlack := flag.Float64("ledger-slack", 300, "prediction-period slack Δtp for TP matching [sim s]")
+	metaWeights := flag.String("meta-weights", "", "comma-separated logistic combiner weight per layer (errors,memory,load,swap); empty = threshold voting")
 	flag.Parse()
 	if *days <= 0 || *compress <= 0 {
 		return fmt.Errorf("days and compress must be positive")
@@ -160,6 +258,13 @@ func run() error {
 	policy, err := runtime.ParsePolicy(*overflow)
 	if err != nil {
 		return err
+	}
+	logger, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		return err
+	}
+	if *traceDump > *traceCap {
+		*traceCap = *traceDump
 	}
 
 	scpCfg := scp.DefaultConfig()
@@ -208,17 +313,45 @@ func run() error {
 	}
 
 	m := newMirror()
+	layers := m.layers(2 * scpCfg.SwapThreshold)
+	var combiner core.Combiner
+	if *metaWeights != "" {
+		if combiner, err = parseMetaWeights(*metaWeights, layers); err != nil {
+			return err
+		}
+		logger.Info("meta combiner", "weights", *metaWeights)
+	}
+	const leadTime = 300.0
 	// Externally clocked engine: the runtime drives it on replay time.
-	engine, err := core.New(nil, m.layers(2*scpCfg.SwapThreshold), nil, selector,
+	engine, err := core.New(nil, layers, combiner, selector,
 		[]*act.Action{action}, nil, core.Config{
 			EvalInterval:        *compress * evalEvery.Seconds(), // cadence in sim time
-			LeadTime:            300,
+			LeadTime:            leadTime,
 			WarnThreshold:       0.2, // any single layer suffices (4 layers)
 			OscillationWindow:   1800,
 			MaxActionsPerWindow: 6,
 		})
 	if err != nil {
 		return err
+	}
+
+	// Online prediction-quality ledger: journaled by the runtime's act
+	// stage, ground truth fed from the simulator's failure record, matched
+	// with the engine's lead time Δtl and the -ledger-slack Δtp.
+	layerNames := make([]string, len(layers))
+	for i, l := range layers {
+		layerNames[i] = l.Name
+	}
+	ledger, err := obs.NewLedger(obs.LedgerConfig{
+		LeadTime: leadTime, Slack: *ledgerSlack, Window: *ledgerWindow,
+	}, layerNames...)
+	if err != nil {
+		return err
+	}
+	var tracer *obs.Tracer
+	if *traceCap > 0 {
+		tracer = obs.NewTracer(*traceCap)
+		tracer.SetSampleInterval(*traceSample)
 	}
 
 	// The replay clock: sim-time high-water mark, advanced by the feeder.
@@ -233,10 +366,38 @@ func run() error {
 		Workers:       *workers,
 		Shards:        *shards,
 		Profiling:     *pprofOn,
+		Tracer:        tracer,
+		Ledger:        ledger,
 	})
 	if err != nil {
 		return err
 	}
+
+	// Structured decision log: every MEA cycle at debug, warnings at info,
+	// linked to the newest completed /tracez span.
+	engine.SetCycleObserver(func(now float64, scores []float64, d core.Decision) {
+		attrs := []any{
+			slog.Float64("sim_now", now),
+			slog.Float64("confidence", d.Confidence),
+			slog.Bool("warned", d.Warned),
+			slog.String("action", d.ActionName),
+			slog.Bool("executed", d.Executed),
+			slog.Bool("suppressed", d.Suppressed),
+		}
+		if tracer != nil {
+			attrs = append(attrs, slog.Uint64("trace_id", lastTraceID(tracer)))
+		}
+		for i, s := range scores {
+			if i < len(layerNames) && !math.IsNaN(s) {
+				attrs = append(attrs, slog.Float64("score_"+layerNames[i], s))
+			}
+		}
+		if d.Warned {
+			logger.Info("failure warning", attrs...)
+		} else {
+			logger.Debug("cycle", attrs...)
+		}
+	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -248,11 +409,13 @@ func run() error {
 		return err
 	}
 	defer srv.Close()
-	fmt.Printf("pfmd: serving /metrics and /healthz on %s\n", bound)
-	fmt.Printf("pfmd: replaying %.3g simulated days at %gx wall speed (policy %s, %d workers, %d shards)\n",
-		*days, *compress, policy, *workers, rt.Shards())
+	logger.Info("serving observability endpoints",
+		"addr", bound, "tracez", tracer != nil, "ledger", true, "pprof", *pprofOn)
+	logger.Info("replay starting",
+		"sim_days", *days, "compress", *compress, "policy", policy.String(),
+		"workers", *workers, "shards", rt.Shards())
 
-	if err := replay(ctx, sys, rt, cmds, *days*86400, *compress, &simNow); err != nil &&
+	if err := replay(ctx, sys, rt, ledger, cmds, *days*86400, *compress, &simNow); err != nil &&
 		ctx.Err() == nil {
 		return err
 	}
@@ -261,27 +424,94 @@ func run() error {
 	stopCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := rt.Stop(stopCtx); err != nil {
-		fmt.Fprintln(os.Stderr, "pfmd: drain:", err)
+		logger.Warn("drain incomplete", "err", err)
 	}
 
 	mm := rt.Metrics()
-	fmt.Printf("pfmd: ingested %d events (applied %d, dropped %d), %d evaluations\n",
-		mm.Ingested.Value(), mm.Applied.Value(), mm.Dropped(), mm.Evaluations.Value())
-	fmt.Printf("pfmd: warnings %d, actions %d, suppressed %d\n",
-		mm.Warnings.Value(), mm.Actions.Value(), mm.Suppressed.Value())
-	fmt.Printf("pfmd: system availability %.5f, %d failures, %d restarts\n",
-		sys.MeasuredAvailability(), len(sys.Failures()), len(sys.Restarts()))
+	logger.Info("pipeline summary",
+		"ingested", mm.Ingested.Value(), "applied", mm.Applied.Value(),
+		"dropped", mm.Dropped(), "evaluations", mm.Evaluations.Value(),
+		"warnings", mm.Warnings.Value(), "actions", mm.Actions.Value(),
+		"suppressed", mm.Suppressed.Value())
+	logger.Info("system summary",
+		"availability", sys.MeasuredAvailability(),
+		"failures", len(sys.Failures()), "restarts", len(sys.Restarts()))
+	logActionStats(logger, action)
+	logQuality(logger, ledger)
+	logModelAssessment(logger, ledger)
 	fmt.Print(engine.Report())
+	if *traceDump > 0 && tracer != nil {
+		fmt.Printf("\nslowest %d end-to-end traces:\n\n", *traceDump)
+		if err := obs.WriteText(os.Stdout, tracer.Slowest(*traceDump), kindName); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
+// logActionStats reports the countermeasure's execution record.
+func logActionStats(logger *slog.Logger, a *act.Action) {
+	s := a.Stats()
+	logger.Info("action stats", "action", a.Name(),
+		"executions", s.Executions, "failures", s.Failures,
+		"mean_duration", s.MeanDuration(), "last_duration", s.LastDuration)
+}
+
+// logQuality reports the ledger's per-layer online quality tables.
+func logQuality(logger *slog.Logger, led *obs.Ledger) {
+	for _, layer := range led.Layers() {
+		c := led.Cumulative(layer)
+		attrs := []any{
+			slog.String("layer", layer),
+			slog.Int("tp", c.TP), slog.Int("fp", c.FP),
+			slog.Int("tn", c.TN), slog.Int("fn", c.FN),
+		}
+		for _, m := range []struct {
+			name string
+			v    float64
+		}{
+			{"precision", c.Precision()}, {"recall", c.Recall()},
+			{"fpr", c.FPR()}, {"f1", c.FMeasure()},
+		} {
+			if !math.IsNaN(m.v) {
+				attrs = append(attrs, slog.Float64(m.name, m.v))
+			}
+		}
+		logger.Info("prediction quality", attrs...)
+	}
+}
+
+// logModelAssessment compares the Sect. 5 CTMC under the measured combined
+// quality against the paper's Table 2 reference parameterization.
+func logModelAssessment(logger *slog.Logger, led *obs.Ledger) {
+	a, err := obs.AssessModel(led.Cumulative(obs.CombinedLayer), pfmmodel.DefaultParams())
+	if err != nil {
+		logger.Debug("model assessment unavailable", "reason", err.Error())
+		return
+	}
+	logger.Info("model assessment",
+		"measured_precision", a.Measured.Precision,
+		"measured_recall", a.Measured.Recall,
+		"measured_fpr", a.Measured.FPR,
+		"measured_availability", a.Measured.Availability,
+		"reference_availability", a.Reference.Availability,
+		"availability_delta", a.AvailabilityDelta,
+		"unavailability_ratio", a.Measured.UnavailabilityRatio,
+		"reference_unavailability_ratio", a.Reference.UnavailabilityRatio,
+		"unavailability_ratio_delta", a.UnavailabilityRatioDelta,
+		"mttf_relative", a.MTTFRelative,
+		"hazard_at_mttf", a.Measured.HazardAtMTTF)
+}
+
 // replay advances the simulator in wall-paced slices, applying queued act
-// commands on the simulation thread and streaming new error events and
-// SAR samples into the runtime.
+// commands on the simulation thread, streaming new error events and SAR
+// samples into the runtime, and journaling ground-truth failures into the
+// prediction ledger.
 func replay(
 	ctx context.Context,
 	sys *scp.System,
 	rt *runtime.Runtime,
+	led *obs.Ledger,
 	cmds chan func(),
 	horizon, compress float64,
 	simNow *atomic.Uint64,
@@ -289,6 +519,7 @@ func replay(
 	const wallSlice = 100 * time.Millisecond
 	simSlice := compress * wallSlice.Seconds()
 	seenLog := 0
+	seenFail := 0
 	seenSAR := make(map[string]int, len(scp.SARVariables))
 	ticker := time.NewTicker(wallSlice)
 	defer ticker.Stop()
@@ -308,6 +539,10 @@ func replay(
 			return err
 		}
 		simNow.Store(math.Float64bits(sys.Now()))
+		// Ground truth for the ledger: failures the slice produced.
+		for times := sys.FailureTimes(); seenFail < len(times); seenFail++ {
+			led.RecordFailure(times[seenFail])
+		}
 		// Stream everything the slice produced.
 		for n := sys.Log().Len(); seenLog < n; seenLog++ {
 			e := sys.Log().At(seenLog)

@@ -2,6 +2,7 @@ package act
 
 import (
 	"errors"
+	"sync"
 	"testing"
 
 	"repro/internal/sim"
@@ -256,5 +257,53 @@ func TestSchedulerValidation(t *testing.T) {
 	s, _ := NewScheduler(e, ft, 0.5, 1, 0)
 	if err := s.Schedule(nil, 10, nil); err == nil {
 		t.Fatal("nil action accepted")
+	}
+}
+
+func TestActionStats(t *testing.T) {
+	calls := 0
+	a, err := New("flaky", StateCleanup, Params{SuccessProb: 0.9}, func() error {
+		calls++
+		if calls%2 == 0 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := a.Stats(); s.Executions != 0 || s.Failures != 0 || s.TotalDuration != 0 {
+		t.Fatalf("fresh action stats = %+v", s)
+	}
+	for i := 0; i < 4; i++ {
+		_ = a.Execute()
+	}
+	s := a.Stats()
+	if s.Executions != 4 || s.Failures != 2 {
+		t.Fatalf("stats = %+v, want 4 executions / 2 failures", s)
+	}
+	if s.TotalDuration < s.LastDuration || s.MeanDuration() > s.TotalDuration {
+		t.Fatalf("duration accounting inconsistent: %+v", s)
+	}
+}
+
+func TestActionStatsConcurrent(t *testing.T) {
+	a, err := New("par", StateCleanup, Params{SuccessProb: 1}, func() error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_ = a.Execute()
+			}
+		}()
+	}
+	wg.Wait()
+	if s := a.Stats(); s.Executions != 200 || s.Failures != 0 {
+		t.Fatalf("stats = %+v, want 200 clean executions", s)
 	}
 }

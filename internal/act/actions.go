@@ -13,6 +13,8 @@ package act
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
+	"time"
 )
 
 // ErrAct is wrapped by all package errors.
@@ -119,12 +121,37 @@ func (p Params) validate() error {
 	return nil
 }
 
+// ActionStats is a snapshot of one action's execution history.
+type ActionStats struct {
+	// Executions counts Execute calls; Failures counts those that
+	// returned an error.
+	Executions int64
+	Failures   int64
+	// TotalDuration sums all execution times; LastDuration is the most
+	// recent one.
+	TotalDuration time.Duration
+	LastDuration  time.Duration
+}
+
+// MeanDuration is the average execution time (0 before the first run).
+func (s ActionStats) MeanDuration() time.Duration {
+	if s.Executions == 0 {
+		return 0
+	}
+	return s.TotalDuration / time.Duration(s.Executions)
+}
+
 // Action is one executable countermeasure.
 type Action struct {
 	name     string
 	category Category
 	params   Params
 	execute  func() error
+
+	executions atomic.Int64
+	failures   atomic.Int64
+	totalNs    atomic.Int64
+	lastNs     atomic.Int64
 }
 
 // Name returns the action's display name.
@@ -136,8 +163,32 @@ func (a *Action) Category() Category { return a.category }
 // Params returns the objective-function parameters.
 func (a *Action) Params() Params { return a.params }
 
-// Execute runs the countermeasure.
-func (a *Action) Execute() error { return a.execute() }
+// Execute runs the countermeasure and records its outcome and duration in
+// the action's stats. Safe for concurrent use.
+func (a *Action) Execute() error {
+	start := time.Now()
+	err := a.execute()
+	d := time.Since(start)
+	a.executions.Add(1)
+	if err != nil {
+		a.failures.Add(1)
+	}
+	a.totalNs.Add(int64(d))
+	a.lastNs.Store(int64(d))
+	return err
+}
+
+// Stats snapshots the action's execution history. Counters are read
+// individually, so a snapshot taken during concurrent Executes may be off
+// by the in-flight call.
+func (a *Action) Stats() ActionStats {
+	return ActionStats{
+		Executions:    a.executions.Load(),
+		Failures:      a.failures.Load(),
+		TotalDuration: time.Duration(a.totalNs.Load()),
+		LastDuration:  time.Duration(a.lastNs.Load()),
+	}
+}
 
 // New wraps a custom countermeasure.
 func New(name string, category Category, params Params, execute func() error) (*Action, error) {

@@ -152,6 +152,7 @@ type Engine struct {
 	actionTimes []float64
 	suppressed  int
 	running     bool
+	observer    CycleObserver
 }
 
 // SetScheduler routes selected actions through a low-utilization scheduler
@@ -279,6 +280,23 @@ func (e *Engine) EvaluateLayers(now float64) []float64 {
 	return scores
 }
 
+// CycleObserver receives every completed Act round: the evaluation time,
+// the raw per-layer scores (indexed like the engine's layers, NaN for
+// abstaining layers), and the cross-layer decision. It is invoked OUTSIDE
+// the engine mutex, after the decision is committed — with concurrent ActOn
+// callers, observations may therefore arrive out of order. The scores slice
+// is borrowed from the caller; observers must not retain it.
+type CycleObserver func(now float64, scores []float64, d Decision)
+
+// SetCycleObserver installs the observer (nil disables). This is the hook
+// the observability layer uses to journal per-layer predictions into the
+// quality ledger without core depending on it.
+func (e *Engine) SetCycleObserver(fn CycleObserver) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.observer = fn
+}
+
 // Decision is the outcome of one Act round.
 type Decision struct {
 	Time       float64 // evaluation time
@@ -334,7 +352,6 @@ func (e *Engine) ActOn(now float64, scores []float64) Decision {
 	}
 
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	d := Decision{Time: now, Confidence: confidence, ActionName: "none"}
 	if positive {
 		d.Warned = true
@@ -366,6 +383,11 @@ func (e *Engine) ActOn(now float64, scores []float64) Decision {
 	}
 	if e.truth != nil {
 		e.outcomes.add(predict.Classify(positive, imminent), d.ActionName)
+	}
+	observer := e.observer
+	e.mu.Unlock()
+	if observer != nil {
+		observer(now, scores, d)
 	}
 	return d
 }

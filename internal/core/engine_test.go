@@ -499,3 +499,49 @@ func TestEngineConcurrentActOn(t *testing.T) {
 		t.Fatalf("TP = %d, want %d", n, warned)
 	}
 }
+
+// TestCycleObserver verifies that every Act round reaches the installed
+// observer with the raw scores and the committed decision, and that a nil
+// observer disables the hook.
+func TestCycleObserver(t *testing.T) {
+	tgt := &scriptedTarget{}
+	eng, err := New(nil, []*Layer{constLayer("app", 0.9), constLayer("os", 0.1)}, nil,
+		testSelector(t), testActions(t, tgt),
+		func(float64) bool { return true }, defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	type obs struct {
+		now    float64
+		scores []float64
+		d      Decision
+	}
+	var mu sync.Mutex
+	var seen []obs
+	eng.SetCycleObserver(func(now float64, scores []float64, d Decision) {
+		mu.Lock()
+		seen = append(seen, obs{now, append([]float64(nil), scores...), d})
+		mu.Unlock()
+	})
+
+	d1 := eng.ActOn(5, []float64{0.9, 0.1})
+	d2 := eng.ActOn(6, []float64{0.1, math.NaN()})
+	if len(seen) != 2 {
+		t.Fatalf("observer saw %d rounds, want 2", len(seen))
+	}
+	if seen[0].now != 5 || seen[0].d != d1 || !seen[0].d.Warned {
+		t.Fatalf("first observation = %+v, decision %+v", seen[0], d1)
+	}
+	if seen[0].scores[0] != 0.9 || seen[0].scores[1] != 0.1 {
+		t.Fatalf("observer scores = %v", seen[0].scores)
+	}
+	if seen[1].d != d2 || seen[1].d.Warned || !math.IsNaN(seen[1].scores[1]) {
+		t.Fatalf("second observation = %+v", seen[1])
+	}
+
+	eng.SetCycleObserver(nil)
+	eng.ActOn(7, []float64{0.9, 0.9})
+	if len(seen) != 2 {
+		t.Fatalf("nil observer still invoked (%d observations)", len(seen))
+	}
+}

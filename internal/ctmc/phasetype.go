@@ -164,6 +164,42 @@ func (p *PhaseType) Hazard(t float64) (float64, error) {
 	return mat.Dot(v, p.exit) / surv, nil
 }
 
+// Quantile returns the time t with F(t) = q, solved by bisection on the
+// monotone CDF (Eq. 11). q must lie in (0, 1).
+func (p *PhaseType) Quantile(q float64) (float64, error) {
+	if math.IsNaN(q) || q <= 0 || q >= 1 {
+		return 0, fmt.Errorf("%w: quantile %g outside (0,1)", ErrChain, q)
+	}
+	mean, err := p.Mean()
+	if err != nil {
+		return 0, err
+	}
+	lo, hi := 0.0, math.Max(mean, 1e-12)
+	for i := 0; i < 200; i++ {
+		f, err := p.CDF(hi)
+		if err != nil {
+			return 0, err
+		}
+		if f >= q {
+			break
+		}
+		lo, hi = hi, hi*2
+	}
+	for i := 0; i < 200 && hi-lo > 1e-12*math.Max(hi, 1); i++ {
+		mid := lo + (hi-lo)/2
+		f, err := p.CDF(mid)
+		if err != nil {
+			return 0, err
+		}
+		if f < q {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo + (hi-lo)/2, nil
+}
+
 // Mean returns E[T] = −α·T⁻¹·1, the mean time to absorption.
 func (p *PhaseType) Mean() (float64, error) {
 	// Solve Tᵀ y = alpha, then mean = -Σ y.

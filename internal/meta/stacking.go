@@ -127,6 +127,33 @@ func TrainStacker(scores *mat.Matrix, labels []bool, names []string, cfg Logisti
 	return &Stacker{combiner: l, names: append([]string(nil), names...)}, nil
 }
 
+// NewStacker builds a combiner directly from explicit logistic weights and
+// bias (one weight per base predictor, in names order) — for loading a
+// previously trained combiner or pinning hand-chosen layer weights (e.g. a
+// -meta-weights flag) without a training pass.
+func NewStacker(names []string, weights []float64, bias float64) (*Stacker, error) {
+	if len(names) == 0 || len(names) != len(weights) {
+		return nil, fmt.Errorf("%w: %d names for %d weights", ErrMeta, len(names), len(weights))
+	}
+	for i, w := range weights {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("%w: weight[%d]=%g for %q", ErrMeta, i, w, names[i])
+		}
+	}
+	if math.IsNaN(bias) || math.IsInf(bias, 0) {
+		return nil, fmt.Errorf("%w: bias %g", ErrMeta, bias)
+	}
+	return &Stacker{
+		combiner: &Logistic{W: append([]float64(nil), weights...), B: bias},
+		names:    append([]string(nil), names...),
+	}, nil
+}
+
+// Names returns the base-predictor names, one per combiner input column.
+func (s *Stacker) Names() []string {
+	return append([]string(nil), s.names...)
+}
+
 // Score combines one instance's base scores into the stacked probability.
 func (s *Stacker) Score(baseScores []float64) (float64, error) {
 	return s.combiner.Prob(baseScores)

@@ -1,6 +1,7 @@
 package meta
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/mat"
@@ -133,5 +134,43 @@ func TestTrainStackerValidation(t *testing.T) {
 	x, y := stackData(g, 50)
 	if _, err := TrainStacker(x, y, []string{"only-one"}, LogisticConfig{}); err == nil {
 		t.Fatal("wrong name count accepted")
+	}
+}
+
+func TestNewStackerExplicitWeights(t *testing.T) {
+	s, err := NewStacker([]string{"hw", "os"}, []float64{2, -1}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Names(); len(got) != 2 || got[0] != "hw" || got[1] != "os" {
+		t.Fatalf("names = %v", got)
+	}
+	// σ(2·0.8 − 1·0.2 + 0.5) = σ(1.9)
+	p, err := s.Score([]float64{0.8, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 / (1 + math.Exp(-1.9))
+	if math.Abs(p-want) > 1e-12 {
+		t.Fatalf("score = %g, want %g", p, want)
+	}
+	w := s.Weights()
+	if w["hw"] != 2 || w["os"] != -1 {
+		t.Fatalf("weights = %v", w)
+	}
+}
+
+func TestNewStackerValidation(t *testing.T) {
+	if _, err := NewStacker(nil, nil, 0); err == nil {
+		t.Fatal("empty stacker accepted")
+	}
+	if _, err := NewStacker([]string{"a"}, []float64{1, 2}, 0); err == nil {
+		t.Fatal("name/weight mismatch accepted")
+	}
+	if _, err := NewStacker([]string{"a"}, []float64{math.NaN()}, 0); err == nil {
+		t.Fatal("NaN weight accepted")
+	}
+	if _, err := NewStacker([]string{"a"}, []float64{1}, math.Inf(1)); err == nil {
+		t.Fatal("infinite bias accepted")
 	}
 }

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"fmt"
+
+	"repro/internal/pfmmodel"
+	"repro/internal/predict"
+)
+
+// ModelFigures are the Section 5 CTMC outputs for one parameterization.
+type ModelFigures struct {
+	Precision           float64 `json:"precision"`
+	Recall              float64 `json:"recall"`
+	FPR                 float64 `json:"fpr"`
+	Availability        float64 `json:"availability"`         // Eq. 8
+	UnavailabilityRatio float64 `json:"unavailability_ratio"` // Eq. 14
+	MTTF                float64 `json:"mttf_seconds"`
+	MedianTTF           float64 `json:"median_ttf_seconds"`
+	HazardAtMTTF        float64 `json:"hazard_at_mttf"` // h(MTTF), Eq. 10
+}
+
+// ModelAssessment compares the CTMC driven by measured prediction quality
+// against the paper's reference (Table 2) parameterization.
+type ModelAssessment struct {
+	Measured  ModelFigures `json:"measured"`
+	Reference ModelFigures `json:"reference"`
+	// Deltas, measured − reference (ratio fields: measured/reference − 1).
+	AvailabilityDelta        float64 `json:"availability_delta"`
+	UnavailabilityRatioDelta float64 `json:"unavailability_ratio_delta"`
+	MTTFRelative             float64 `json:"mttf_relative"` // measured/reference − 1
+}
+
+// figures evaluates the model at one parameter set.
+func figures(p pfmmodel.Params) (ModelFigures, error) {
+	f := ModelFigures{Precision: p.Precision, Recall: p.Recall, FPR: p.FPR}
+	var err error
+	if f.Availability, err = p.Availability(); err != nil {
+		return f, err
+	}
+	if f.UnavailabilityRatio, err = p.UnavailabilityRatio(); err != nil {
+		return f, err
+	}
+	m, err := p.ReliabilityModel()
+	if err != nil {
+		return f, err
+	}
+	if f.MTTF, err = m.Mean(); err != nil {
+		return f, err
+	}
+	if f.MedianTTF, err = m.Quantile(0.5); err != nil {
+		return f, err
+	}
+	if f.HazardAtMTTF, err = m.Hazard(f.MTTF); err != nil {
+		return f, err
+	}
+	return f, nil
+}
+
+// AssessModel substitutes the measured contingency table into the Section 5
+// CTMC via pfmmodel.FromMeasured and reports measured availability, hazard,
+// and time-to-failure next to the reference (base, normally Table 2 /
+// DefaultParams) predictions. It fails when the table cannot parameterize
+// the chain (no warnings, no failures, or fpr on a boundary).
+func AssessModel(c predict.ContingencyTable, base pfmmodel.Params) (ModelAssessment, error) {
+	measured, err := pfmmodel.FromMeasured(c, base)
+	if err != nil {
+		return ModelAssessment{}, err
+	}
+	var a ModelAssessment
+	if a.Measured, err = figures(measured); err != nil {
+		return ModelAssessment{}, fmt.Errorf("measured model: %w", err)
+	}
+	if a.Reference, err = figures(base); err != nil {
+		return ModelAssessment{}, fmt.Errorf("reference model: %w", err)
+	}
+	a.AvailabilityDelta = a.Measured.Availability - a.Reference.Availability
+	a.UnavailabilityRatioDelta = a.Measured.UnavailabilityRatio - a.Reference.UnavailabilityRatio
+	if a.Reference.MTTF != 0 {
+		a.MTTFRelative = a.Measured.MTTF/a.Reference.MTTF - 1
+	}
+	return a, nil
+}

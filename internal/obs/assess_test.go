@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/pfmmodel"
+	"repro/internal/predict"
+)
+
+// tableFor builds a contingency table realizing (approximately) the given
+// precision/recall/fpr with integer counts.
+func tableFor(tp, fp, tn, fn int) predict.ContingencyTable {
+	return predict.ContingencyTable{TP: tp, FP: fp, TN: tn, FN: fn}
+}
+
+func TestAssessModelMatchesReferenceOnTable2Quality(t *testing.T) {
+	// 70% precision, 62% recall, fpr = 30/(30+1845) = 0.016: the Table 2
+	// operating point expressed as raw counts.
+	c := tableFor(70, 30, 1845, 43)
+	base := pfmmodel.DefaultParams()
+	a, err := AssessModel(c, base)
+	if err != nil {
+		t.Fatalf("AssessModel: %v", err)
+	}
+	if math.Abs(a.Measured.Precision-0.70) > 1e-12 ||
+		math.Abs(a.Measured.Recall-70.0/113.0) > 1e-12 ||
+		math.Abs(a.Measured.FPR-0.016) > 1e-12 {
+		t.Fatalf("measured quality = %+v", a.Measured)
+	}
+	// Reference figures must reproduce the paper's Eq. 14 value ≈ 0.488.
+	if math.Abs(a.Reference.UnavailabilityRatio-0.488) > 1e-2 {
+		t.Fatalf("reference unavailability ratio = %g, want ≈0.488", a.Reference.UnavailabilityRatio)
+	}
+	// The measured table is essentially the reference operating point, so
+	// the deltas must be small.
+	if math.Abs(a.AvailabilityDelta) > 1e-3 || math.Abs(a.MTTFRelative) > 0.05 {
+		t.Fatalf("deltas too large for a near-reference table: %+v", a)
+	}
+	if a.Measured.MTTF <= 0 || a.Measured.MedianTTF <= 0 || a.Measured.HazardAtMTTF <= 0 {
+		t.Fatalf("non-positive model figures: %+v", a.Measured)
+	}
+}
+
+func TestAssessModelDetectsDrift(t *testing.T) {
+	base := pfmmodel.DefaultParams()
+	good, err := AssessModel(tableFor(70, 30, 1845, 43), base)
+	if err != nil {
+		t.Fatalf("good: %v", err)
+	}
+	// A drifted predictor: recall collapsed to ~0.2, precision to 0.4.
+	bad, err := AssessModel(tableFor(20, 30, 1845, 80), base)
+	if err != nil {
+		t.Fatalf("bad: %v", err)
+	}
+	if !(bad.Measured.Availability < good.Measured.Availability) {
+		t.Fatalf("drift did not lower availability: good=%g bad=%g",
+			good.Measured.Availability, bad.Measured.Availability)
+	}
+	if !(bad.Measured.UnavailabilityRatio > good.Measured.UnavailabilityRatio) {
+		t.Fatalf("drift did not raise unavailability ratio")
+	}
+}
+
+func TestAssessModelRejectsDegenerateTables(t *testing.T) {
+	base := pfmmodel.DefaultParams()
+	for _, c := range []predict.ContingencyTable{
+		{},                    // empty
+		{TN: 10, FN: 2},       // no warnings → precision undefined
+		{TP: 3, FP: 1},        // no negatives → fpr undefined
+		{TP: 3, TN: 10},       // fpr = 0: chain cannot derive r_TN
+		{FP: 3, TN: 1, FN: 2}, // precision = 0
+	} {
+		if _, err := AssessModel(c, base); err == nil {
+			t.Errorf("AssessModel(%+v) accepted degenerate table", c)
+		}
+	}
+}
+
+func TestPhaseTypeQuantile(t *testing.T) {
+	m, err := pfmmodel.DefaultParams().ReliabilityModel()
+	if err != nil {
+		t.Fatalf("ReliabilityModel: %v", err)
+	}
+	med, err := m.Quantile(0.5)
+	if err != nil {
+		t.Fatalf("Quantile: %v", err)
+	}
+	f, err := m.CDF(med)
+	if err != nil {
+		t.Fatalf("CDF: %v", err)
+	}
+	if math.Abs(f-0.5) > 1e-6 {
+		t.Fatalf("CDF(median) = %g, want 0.5", f)
+	}
+	for _, q := range []float64{0, 1, -0.1, math.NaN()} {
+		if _, err := m.Quantile(q); err == nil {
+			t.Errorf("Quantile(%g) accepted out-of-range argument", q)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/predict"
+)
+
+func mustLedger(t *testing.T, cfg LedgerConfig, names ...string) *Ledger {
+	t.Helper()
+	l, err := NewLedger(cfg, names...)
+	if err != nil {
+		t.Fatalf("NewLedger: %v", err)
+	}
+	return l
+}
+
+func TestLedgerConfigValidation(t *testing.T) {
+	bad := []LedgerConfig{
+		{LeadTime: -1}, {Slack: math.NaN()}, {Window: math.Inf(1)},
+	}
+	for _, cfg := range bad {
+		if _, err := NewLedger(cfg); err == nil {
+			t.Errorf("NewLedger(%+v) accepted invalid config", cfg)
+		}
+	}
+	if _, err := NewLedger(LedgerConfig{}); err != nil {
+		t.Fatalf("zero config rejected: %v", err)
+	}
+}
+
+// TestLedgerMatchingBoundaries pins the Sect. 3.3 interval rule: a failure
+// at exactly the prediction time is NOT a match (strict lower bound), one
+// at exactly t+Δtl+Δtp IS (inclusive upper bound).
+func TestLedgerMatchingBoundaries(t *testing.T) {
+	cases := []struct {
+		name    string
+		failAt  float64 // NaN = no failure
+		predict bool
+		want    predict.Outcome
+	}{
+		{"failure at t excluded", 100, true, predict.FalsePositive},
+		{"failure just after t", 100.001, true, predict.TruePositive},
+		{"failure at window end", 700, true, predict.TruePositive},
+		{"failure past window", 700.001, true, predict.FalsePositive},
+		{"no failure, no warning", math.NaN(), false, predict.TrueNegative},
+		{"missed failure", 400, false, predict.FalseNegative},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			l := mustLedger(t, LedgerConfig{LeadTime: 300, Slack: 300})
+			l.RecordPrediction("layer", 100, tc.predict, 0.9)
+			if !math.IsNaN(tc.failAt) {
+				l.RecordFailure(tc.failAt)
+			}
+			l.Advance(100 + 600) // window fully elapsed
+			got := l.Quality("layer")
+			var want predict.ContingencyTable
+			tableAdd(&want, tc.want, 1)
+			if got != want {
+				t.Fatalf("table = %+v, want %+v", got, want)
+			}
+		})
+	}
+}
+
+func TestLedgerPendingUntilWindowElapses(t *testing.T) {
+	l := mustLedger(t, LedgerConfig{LeadTime: 300, Slack: 300})
+	l.RecordPrediction("layer", 100, true, 1)
+	l.Advance(699.9) // 100+600 > 699.9: not resolvable yet
+	if got := l.Quality("layer"); got.Total() != 0 {
+		t.Fatalf("prediction resolved early: %+v", got)
+	}
+	snap := l.Snapshot()
+	if snap.Layers[layerIndex(snap, "layer")].Pending != 1 {
+		t.Fatalf("pending count wrong: %+v", snap)
+	}
+	l.RecordFailure(650) // late ground truth, still inside the window
+	l.Advance(700)
+	if got := l.Quality("layer"); got.TP != 1 || got.Total() != 1 {
+		t.Fatalf("after window elapsed: %+v, want one TP", got)
+	}
+}
+
+func layerIndex(s LedgerSnapshot, name string) int {
+	for i, lq := range s.Layers {
+		if lq.Layer == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestLedgerRollingWindowEviction(t *testing.T) {
+	l := mustLedger(t, LedgerConfig{LeadTime: 10, Slack: 0, Window: 100})
+	// Prediction at t=0 (FP), then at t=200 (TP with failure at 205).
+	l.RecordPrediction("layer", 0, true, 1)
+	l.RecordPrediction("layer", 200, true, 1)
+	l.RecordFailure(205)
+	l.Advance(210)
+	cum := l.Cumulative("layer")
+	if cum.FP != 1 || cum.TP != 1 {
+		t.Fatalf("cumulative = %+v, want 1 FP + 1 TP", cum)
+	}
+	// Watermark 210, window 100 → the t=0 entry (age 210) must be evicted
+	// from the rolling table but stay in the cumulative one.
+	roll := l.Quality("layer")
+	if roll.FP != 0 || roll.TP != 1 {
+		t.Fatalf("rolling = %+v, want the old FP evicted", roll)
+	}
+}
+
+func TestLedgerNoWindowRollingEqualsCumulative(t *testing.T) {
+	l := mustLedger(t, LedgerConfig{LeadTime: 10})
+	l.RecordPrediction("layer", 0, true, 1)
+	l.RecordPrediction("layer", 1000, false, 0)
+	l.Advance(5000)
+	if l.Quality("layer") != l.Cumulative("layer") {
+		t.Fatalf("window=0 rolling %+v != cumulative %+v", l.Quality("layer"), l.Cumulative("layer"))
+	}
+}
+
+func TestLedgerFailurePruning(t *testing.T) {
+	l := mustLedger(t, LedgerConfig{LeadTime: 10, Slack: 5})
+	for i := 0; i < 100; i++ {
+		l.RecordFailure(float64(i))
+	}
+	l.Advance(1000)
+	l.mu.Lock()
+	kept := len(l.failures)
+	l.mu.Unlock()
+	if kept != 0 {
+		t.Fatalf("%d stale failures kept past the pruning horizon", kept)
+	}
+	// Failures near the watermark survive one extra horizon.
+	l.RecordFailure(995)
+	l.Advance(1000)
+	l.mu.Lock()
+	kept = len(l.failures)
+	l.mu.Unlock()
+	if kept != 1 {
+		t.Fatalf("recent failure pruned (kept=%d)", kept)
+	}
+}
+
+func TestLedgerOutOfOrderFailures(t *testing.T) {
+	l := mustLedger(t, LedgerConfig{LeadTime: 50, Slack: 0})
+	l.RecordPrediction("layer", 100, true, 1)
+	l.RecordFailure(400)
+	l.RecordFailure(120) // arrives late, before the earlier record in time
+	l.Advance(150)
+	if got := l.Quality("layer"); got.TP != 1 {
+		t.Fatalf("out-of-order failure not matched: %+v", got)
+	}
+}
+
+func TestLedgerLayersAndSnapshot(t *testing.T) {
+	l := mustLedger(t, LedgerConfig{LeadTime: 1}, "errors", "memory")
+	want := []string{"errors", "memory", CombinedLayer}
+	got := l.Layers()
+	if len(got) != len(want) {
+		t.Fatalf("Layers() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Layers() = %v, want %v", got, want)
+		}
+	}
+	l.RecordPrediction("swap", 0, false, 0) // auto-created
+	l.RecordFailure(3)
+	l.Advance(10)
+	snap := l.Snapshot()
+	if snap.Predictions != 1 || snap.Failures != 1 || snap.Watermark != 10 {
+		t.Fatalf("snapshot counters: %+v", snap)
+	}
+	if idx := layerIndex(snap, "swap"); idx < 0 || snap.Layers[idx].Cumulative.TN != 1 {
+		t.Fatalf("auto-created layer missing or unresolved: %+v", snap.Layers)
+	}
+	if l.Quality("unknown").Total() != 0 {
+		t.Fatalf("unknown layer returned non-empty table")
+	}
+}
+
+func TestLedgerNilSafe(t *testing.T) {
+	var l *Ledger
+	l.RecordPrediction("x", 0, true, 1)
+	l.RecordFailure(1)
+	l.Advance(10)
+	if l.Quality("x").Total() != 0 || l.Cumulative("x").Total() != 0 {
+		t.Fatalf("nil ledger returned counts")
+	}
+	if s := l.Snapshot(); len(s.Layers) != 0 {
+		t.Fatalf("nil ledger snapshot non-empty")
+	}
+}
+
+func TestLedgerConcurrent(t *testing.T) {
+	l := mustLedger(t, LedgerConfig{LeadTime: 5, Slack: 1, Window: 50}, "a", "b")
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			layer := "a"
+			if g%2 == 1 {
+				layer = "b"
+			}
+			for i := 0; i < 300; i++ {
+				t := float64(i)
+				l.RecordPrediction(layer, t, i%3 == 0, 0.5)
+				if i%17 == 0 {
+					l.RecordFailure(t + 2)
+				}
+				if i%10 == 0 {
+					l.Advance(t)
+				}
+				l.Quality(layer)
+			}
+		}(g)
+	}
+	wg.Wait()
+	l.Advance(1e6)
+	snap := l.Snapshot()
+	if snap.Predictions != 4*300 {
+		t.Fatalf("journaled %d predictions, want %d", snap.Predictions, 4*300)
+	}
+	resolved := 0
+	for _, lq := range snap.Layers {
+		resolved += lq.Cumulative.Total() + lq.Pending
+	}
+	if resolved != 4*300 {
+		t.Fatalf("resolved+pending = %d, want %d", resolved, 4*300)
+	}
+}

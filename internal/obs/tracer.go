@@ -1,0 +1,331 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Pipeline stages of one end-to-end trace, in flow order.
+const (
+	// StageIngest is the Ingest() call up to the queue offer (admission
+	// bookkeeping: shard routing, counters).
+	StageIngest = iota
+	// StageQueue is queue residency: from the offer — including any
+	// backpressure wait under the Block policy — to the shard consumer's
+	// pickup.
+	StageQueue
+	// StageApply is the consumer's Apply callback (mirror-state update).
+	StageApply
+	// StageEvalWait is the time the applied event waits for the next MEA
+	// cycle to start.
+	StageEvalWait
+	// StageEvaluate is the covering cycle's layer scoring.
+	StageEvaluate
+	// StageAct is the covering cycle's serialized act decision.
+	StageAct
+	// NumStages is the stage count.
+	NumStages
+)
+
+// StageNames label the stages for rendering, indexed by the constants
+// above.
+var StageNames = [NumStages]string{"ingest", "queue", "apply", "evalwait", "evaluate", "act"}
+
+// Trace lifecycle states.
+const (
+	stateFree    = iota // slot never used (or wrapped and reclaimed)
+	stateApplied        // event applied, waiting for a covering MEA cycle
+	stateDone           // covering cycle recorded: trace is end-to-end
+	stateDropped        // event shed by the overflow policy or shutdown
+)
+
+// keyBytes bounds the routing-key prefix retained per trace (no heap
+// allocation for the common short monitoring-variable names).
+const keyBytes = 20
+
+// slot is one ring cell. All access is under mu; publishes take the lock
+// once per event, CompleteCycle and Snapshot take it briefly per slot.
+type slot struct {
+	mu     sync.Mutex
+	id     uint64
+	state  uint8
+	kind   uint8
+	shard  int16
+	keyLen uint8
+	key    [keyBytes]byte
+	// stamps: 0 ingest start, 1 queue offer, 2 dequeue, 3 apply end,
+	// 4 eval start, 5 eval end, 6 act start, 7 act end (or drop time).
+	stamps [8]int64
+}
+
+// Tracer records end-to-end pipeline traces into a fixed ring with
+// monotonic-clock spans. The zero-allocation contract of the publish path
+// is pinned by TestSpanHotPathZeroAllocs. All methods are safe on a nil
+// receiver (tracing disabled) and for concurrent use.
+type Tracer struct {
+	base      time.Time
+	mask      uint32
+	every     uint32 // sample 1 in every admissions (1 = every event)
+	sampleCtr atomic.Uint32
+	cursor    atomic.Uint32
+	ids       atomic.Uint64
+	slots     []slot
+}
+
+// DefaultTraceCapacity is the ring size used when NewTracer is given a
+// non-positive capacity.
+const DefaultTraceCapacity = 256
+
+// DefaultSampleInterval is the admission rate of a fresh tracer: 1 in 16
+// events carries span stamps. Even a single monotonic clock read per event
+// (~tens of ns) would exceed the tracer's overhead budget on a saturated
+// ingest path, so the full stamp sequence is paid only by sampled events;
+// the ring of recent traces stays representative. SetSampleInterval(1)
+// traces every event.
+const DefaultSampleInterval = 16
+
+// NewTracer returns a tracer retaining the most recent traces in a ring of
+// at least the given capacity (rounded up to a power of two).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &Tracer{base: time.Now(), mask: uint32(n - 1), every: DefaultSampleInterval, slots: make([]slot, n)}
+}
+
+// SetSampleInterval makes Sample admit one in every n calls (n ≤ 1 admits
+// every call). Set before the pipeline starts; it is not synchronized with
+// concurrent Sample calls.
+func (t *Tracer) SetSampleInterval(n int) {
+	if t == nil {
+		return
+	}
+	if n < 1 {
+		n = 1
+	}
+	t.every = uint32(n)
+}
+
+// Sample reports whether the caller should trace this unit of work. The
+// first call always samples, then one in every SetSampleInterval calls.
+// Nil-safe (false) and allocation-free.
+func (t *Tracer) Sample() bool {
+	if t == nil {
+		return false
+	}
+	if t.every <= 1 {
+		return true
+	}
+	return t.sampleCtr.Add(1)%t.every == 1
+}
+
+// Now returns the tracer's monotonic clock: nanoseconds since the tracer
+// was created. It never allocates.
+func (t *Tracer) Now() int64 {
+	if t == nil {
+		return 0
+	}
+	return int64(time.Since(t.base))
+}
+
+// Capacity returns the ring size (0 for a nil tracer).
+func (t *Tracer) Capacity() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.slots)
+}
+
+// claim takes the next ring cell and stamps the shared trace fields.
+// Callers must fill the stage stamps and state before unlocking.
+func (t *Tracer) claim(kind uint8, key string, shard int) (*slot, uint64) {
+	idx := (t.cursor.Add(1) - 1) & t.mask
+	id := t.ids.Add(1)
+	s := &t.slots[idx]
+	s.mu.Lock()
+	s.id = id
+	s.kind = kind
+	s.shard = int16(shard)
+	s.keyLen = uint8(copy(s.key[:], key))
+	s.stamps = [8]int64{}
+	return s, id
+}
+
+// PublishApplied records one event that made it through ingest → queue →
+// apply. The caller carries the raw stamps (taken with Now) through the
+// pipeline and publishes the whole record with a single lock acquisition —
+// the span hot path. Returns the trace id.
+func (t *Tracer) PublishApplied(kind uint8, key string, shard int, start, offered, dequeued, applied int64) uint64 {
+	if t == nil {
+		return 0
+	}
+	s, id := t.claim(kind, key, shard)
+	s.state = stateApplied
+	s.stamps[0], s.stamps[1], s.stamps[2], s.stamps[3] = start, offered, dequeued, applied
+	s.mu.Unlock()
+	return id
+}
+
+// PublishDropped records one event shed before apply (overflow policy,
+// canceled blocking push, or shutdown). end is the drop time.
+func (t *Tracer) PublishDropped(kind uint8, key string, shard int, start, offered, end int64) uint64 {
+	if t == nil {
+		return 0
+	}
+	s, id := t.claim(kind, key, shard)
+	s.state = stateDropped
+	s.stamps[0], s.stamps[1] = start, offered
+	s.stamps[7] = end
+	s.mu.Unlock()
+	return id
+}
+
+// CompleteCycle attaches one finished MEA cycle (evaluate + act spans) to
+// every applied trace the cycle covered — those whose apply finished
+// before the cycle's evaluation started — turning them into complete
+// end-to-end traces. Returns how many traces it completed.
+func (t *Tracer) CompleteCycle(evalStart, evalEnd, actStart, actEnd int64) int {
+	if t == nil {
+		return 0
+	}
+	done := 0
+	for i := range t.slots {
+		s := &t.slots[i]
+		s.mu.Lock()
+		if s.state == stateApplied && s.stamps[3] <= evalStart {
+			s.stamps[4], s.stamps[5], s.stamps[6], s.stamps[7] = evalStart, evalEnd, actStart, actEnd
+			s.state = stateDone
+			done++
+		}
+		s.mu.Unlock()
+	}
+	return done
+}
+
+// TraceView is one trace copied out of the ring for rendering.
+type TraceView struct {
+	ID    uint64
+	Kind  uint8  // caller-defined event kind (runtime maps it to a name)
+	Key   string // routing-key prefix (monitoring variable / component)
+	Shard int
+	Start int64 // ns on the tracer clock (Now scale)
+	// Dropped marks events shed before apply; Complete marks traces with a
+	// covering MEA cycle recorded. A trace that is neither is applied and
+	// still waiting for its cycle.
+	Dropped  bool
+	Complete bool
+	Total    time.Duration // end-to-end (or time until drop / so far)
+	Stages   [NumStages]time.Duration
+}
+
+// Snapshot copies every retained trace out of the ring, newest last.
+func (t *Tracer) Snapshot() []TraceView {
+	if t == nil {
+		return nil
+	}
+	out := make([]TraceView, 0, len(t.slots))
+	for i := range t.slots {
+		s := &t.slots[i]
+		s.mu.Lock()
+		if s.state != stateFree {
+			out = append(out, s.view())
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// view renders the slot; the caller holds s.mu.
+func (s *slot) view() TraceView {
+	v := TraceView{
+		ID:    s.id,
+		Kind:  s.kind,
+		Key:   string(s.key[:s.keyLen]),
+		Shard: int(s.shard),
+		Start: s.stamps[0],
+	}
+	st := &s.stamps
+	v.Stages[StageIngest] = time.Duration(st[1] - st[0])
+	switch s.state {
+	case stateDropped:
+		v.Dropped = true
+		v.Stages[StageQueue] = time.Duration(st[7] - st[1])
+		v.Total = time.Duration(st[7] - st[0])
+	case stateApplied:
+		v.Stages[StageQueue] = time.Duration(st[2] - st[1])
+		v.Stages[StageApply] = time.Duration(st[3] - st[2])
+		v.Total = time.Duration(st[3] - st[0])
+	case stateDone:
+		v.Complete = true
+		v.Stages[StageQueue] = time.Duration(st[2] - st[1])
+		v.Stages[StageApply] = time.Duration(st[3] - st[2])
+		v.Stages[StageEvalWait] = time.Duration(st[4] - st[3])
+		v.Stages[StageEvaluate] = time.Duration(st[5] - st[4])
+		v.Stages[StageAct] = time.Duration(st[7] - st[6])
+		v.Total = time.Duration(st[7] - st[0])
+	}
+	return v
+}
+
+// Slowest returns the n slowest retained traces (complete and dropped
+// traces by their final total, in-flight ones by time accrued so far),
+// slowest first.
+func (t *Tracer) Slowest(n int) []TraceView {
+	if t == nil || n <= 0 {
+		return nil
+	}
+	all := t.Snapshot()
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Total > all[j].Total })
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all
+}
+
+// WriteText renders traces as an aligned text table, one per line with
+// per-stage timings. kindName maps the caller-defined kind byte to a
+// label; nil prints the numeric kind.
+func WriteText(w io.Writer, traces []TraceView, kindName func(uint8) string) error {
+	if _, err := fmt.Fprintf(w, "%-8s %-8s %-12s %5s %-8s %10s  %s\n",
+		"TRACE", "KIND", "KEY", "SHARD", "STATE", "TOTAL", "STAGES"); err != nil {
+		return err
+	}
+	for _, tr := range traces {
+		kind := fmt.Sprintf("%d", tr.Kind)
+		if kindName != nil {
+			kind = kindName(tr.Kind)
+		}
+		state := "applied"
+		switch {
+		case tr.Dropped:
+			state = "dropped"
+		case tr.Complete:
+			state = "done"
+		}
+		if _, err := fmt.Fprintf(w, "%-8d %-8s %-12s %5d %-8s %10s ",
+			tr.ID, kind, tr.Key, tr.Shard, state, tr.Total.Round(time.Microsecond)); err != nil {
+			return err
+		}
+		for i, d := range tr.Stages {
+			if d == 0 && i > StageApply && !tr.Complete {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, " %s=%s", StageNames[i], d.Round(time.Microsecond)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

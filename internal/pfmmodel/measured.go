@@ -1,0 +1,28 @@
+package pfmmodel
+
+import (
+	"fmt"
+
+	"repro/internal/predict"
+)
+
+// FromMeasured substitutes a measured Sect. 3.3 contingency table — e.g. the
+// live ledger's rolling window — for the predictor-quality row of the
+// Section 5 model, keeping every other assumption (P_TP/P_FP/P_TN, k, rates)
+// from base. The table must support all three quality metrics: at least one
+// warning (precision), one failure (recall), and one non-failure (fpr), and
+// the resulting parameters must pass Validate (in particular fpr must be
+// strictly inside (0,1), since the chain derives r_TN from it).
+func FromMeasured(c predict.ContingencyTable, base Params) (Params, error) {
+	if c.TP+c.FP == 0 || c.TP+c.FN == 0 || c.FP+c.TN == 0 {
+		return Params{}, fmt.Errorf("%w: measured table %+v leaves precision, recall, or fpr undefined", ErrParams, c)
+	}
+	p := base
+	p.Precision = c.Precision()
+	p.Recall = c.Recall()
+	p.FPR = c.FPR()
+	if err := p.Validate(); err != nil {
+		return Params{}, fmt.Errorf("measured quality (precision=%.3f recall=%.3f fpr=%.4f): %w", p.Precision, p.Recall, p.FPR, err)
+	}
+	return p, nil
+}

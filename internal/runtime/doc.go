@@ -8,25 +8,25 @@
 // The pipeline has three stages, each context-driven with clean shutdown
 // and drain:
 //
-//	producers ──Ingest──▶ [bounded queue] ──▶ apply to predictor state
-//	                                             │ (serialized writes)
-//	     ticker / EvaluateNow ──▶ evaluate stage ─┤ (parallel Layer.Evaluate
-//	                                             │  in a worker pool)
-//	                              act stage ◀────┘ (serialized core.ActOn)
+//		producers ──Ingest──▶ [bounded queue] ──▶ apply to predictor state
+//		                                             │ (serialized writes)
+//		     ticker / EvaluateNow ──▶ evaluate stage ─┤ (parallel Layer.Evaluate
+//		                                             │  in a worker pool)
+//		                              act stage ◀────┘ (serialized core.ActOn)
 //
-//   - Ingest accepts error events and monitoring samples through a bounded
-//     queue with an explicit overflow policy — Block (backpressure),
-//     DropOldest (keep the freshest evidence), or DropNewest (protect the
-//     backlog) — with per-policy drop counters. A single consumer applies
-//     events to the user's predictor-visible state under the runtime's
-//     state lock.
-//   - Evaluate fires on a wall-clock ticker (and on demand via
-//     EvaluateNow); per-layer predictors score in parallel in a worker
-//     pool, under the state read-lock, so layers see a consistent snapshot
-//     while ingest keeps queueing behind them.
-//   - Act consumes score vectors serially and calls core.Engine.ActOn,
-//     preserving the single cross-layer decision and oscillation-guard
-//     semantics of the batch engine.
+//	  - Ingest accepts error events and monitoring samples through a bounded
+//	    queue with an explicit overflow policy — Block (backpressure),
+//	    DropOldest (keep the freshest evidence), or DropNewest (protect the
+//	    backlog) — with per-policy drop counters. A single consumer applies
+//	    events to the user's predictor-visible state under the runtime's
+//	    state lock.
+//	  - Evaluate fires on a wall-clock ticker (and on demand via
+//	    EvaluateNow); per-layer predictors score in parallel in a worker
+//	    pool, under the state read-lock, so layers see a consistent snapshot
+//	    while ingest keeps queueing behind them.
+//	  - Act consumes score vectors serially and calls core.Engine.ActOn,
+//	    preserving the single cross-layer decision and oscillation-guard
+//	    semantics of the batch engine.
 //
 // Observability is built in: every stage feeds an atomic-counter Metrics
 // registry (events ingested/applied/dropped, evaluations, warnings,

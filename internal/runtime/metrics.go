@@ -4,7 +4,10 @@ import (
 	"fmt"
 	"io"
 	"math"
+	stdruntime "runtime"
+	"runtime/debug"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -50,6 +53,44 @@ func (h *Histogram) Observe(v float64) {
 
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// inside the bucket where the cumulative count crosses the target rank —
+// the standard histogram_quantile estimate. Observations beyond the last
+// finite bound clamp to that bound. NaN while the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	counts := make([]int64, len(h.counts))
+	total := int64(0)
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	cum := int64(0)
+	for i, bound := range h.bounds {
+		if c := counts[i]; c > 0 && float64(cum+c) >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			return lower + (bound-lower)*(rank-float64(cum))/float64(c)
+		}
+		cum += counts[i]
+	}
+	return h.bounds[len(h.bounds)-1]
+}
 
 // Sum returns the sum of observations.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
@@ -169,6 +210,45 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				return err
 			}
 		}
+		if f.typ == "histogram" {
+			if err := writeQuantiles(w, f.name, series); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// exportQuantiles are the quantile gauges derived from every histogram
+// family in the exposition.
+var exportQuantiles = []struct {
+	q     float64
+	label string
+}{{0.5, "0.5"}, {0.95, "0.95"}, {0.99, "0.99"}}
+
+// writeQuantiles renders a derived gauge family `<name>_quantile` with
+// p50/p95/p99 estimates interpolated from each histogram's buckets.
+func writeQuantiles(w io.Writer, name string, series []*metric) error {
+	qname := name + "_quantile"
+	if _, err := fmt.Fprintf(w, "# HELP %s Quantiles interpolated from %s buckets.\n# TYPE %s gauge\n",
+		qname, name, qname); err != nil {
+		return err
+	}
+	for _, m := range series {
+		if m.h == nil {
+			continue
+		}
+		inner := strings.TrimSuffix(strings.TrimPrefix(m.labels, "{"), "}")
+		sep := ""
+		if inner != "" {
+			sep = ","
+		}
+		for _, eq := range exportQuantiles {
+			if _, err := fmt.Fprintf(w, "%s{%s%squantile=%q} %g\n",
+				qname, inner, sep, eq.label, m.h.Quantile(eq.q)); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }
@@ -217,6 +297,7 @@ type Metrics struct {
 	DroppedOldest   *Counter // evicted by DropOldest
 	DroppedNewest   *Counter // rejected at the door by DropNewest
 	DroppedCanceled *Counter // abandoned by context cancellation while blocked
+	DroppedShutdown *Counter // backlog shed unapplied by a hard stop
 
 	// Evaluate + act stages.
 	Evaluations *Counter // completed MEA cycles
@@ -242,6 +323,7 @@ func NewMetrics() *Metrics {
 		DroppedOldest:   reg.Counter("pfm_events_dropped_total", "Events dropped by overflow policy or cancellation.", "reason", "oldest"),
 		DroppedNewest:   reg.Counter("pfm_events_dropped_total", "", "reason", "newest"),
 		DroppedCanceled: reg.Counter("pfm_events_dropped_total", "", "reason", "canceled"),
+		DroppedShutdown: reg.Counter("pfm_events_dropped_total", "", "reason", "shutdown"),
 		Evaluations:     reg.Counter("pfm_evaluations_total", "Completed Monitor-Evaluate-Act cycles."),
 		Warnings:        reg.Counter("pfm_warnings_total", "Failure warnings raised."),
 		Actions:         reg.Counter("pfm_actions_total", "Countermeasures executed or scheduled."),
@@ -251,12 +333,28 @@ func NewMetrics() *Metrics {
 		EvalLatency:     reg.Histogram("pfm_stage_latency_seconds", "", nil, "stage", "evaluate"),
 		ActLatency:      reg.Histogram("pfm_stage_latency_seconds", "", nil, "stage", "act"),
 	}
+	reg.GaugeFunc("pfm_build_info",
+		"Build metadata carried in labels; the value is always 1.",
+		func() float64 { return 1 },
+		"version", buildVersion(),
+		"goversion", stdruntime.Version(),
+		"gomaxprocs", strconv.Itoa(stdruntime.GOMAXPROCS(0)))
 	return m
+}
+
+// buildVersion resolves the main-module version stamped into the binary
+// ("(devel)" for plain `go build` trees).
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		return bi.Main.Version
+	}
+	return "unknown"
 }
 
 // Dropped returns the total events dropped across all reasons.
 func (m *Metrics) Dropped() int64 {
-	return m.DroppedOldest.Value() + m.DroppedNewest.Value() + m.DroppedCanceled.Value()
+	return m.DroppedOldest.Value() + m.DroppedNewest.Value() +
+		m.DroppedCanceled.Value() + m.DroppedShutdown.Value()
 }
 
 // Registry exposes the underlying registry (to register app-level series

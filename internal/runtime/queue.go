@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"repro/internal/eventlog"
+	"repro/internal/obs"
 )
 
 // ErrRuntime is wrapped by all package errors.
@@ -81,6 +82,23 @@ type Event struct {
 	// Variable/Value are set for KindSample.
 	Variable string
 	Value    float64
+
+	// Trace stamps on the tracer's monotonic clock, carried through the
+	// pipeline so the whole span record is published with a single lock
+	// acquisition at apply (or drop) time. Only events admitted by the
+	// tracer's sampling gate carry stamps — unsampled events skip every
+	// clock read.
+	traceSampled bool
+	traceStart   int64 // Ingest entry
+	traceOffered int64 // queue offer (start of queue residency)
+}
+
+// traceKey is the routing-key label a trace retains for rendering.
+func traceKey(ev Event) string {
+	if ev.Kind == KindError {
+		return "errors"
+	}
+	return ev.Variable
 }
 
 // queue is the bounded ingest stage: a channel for the buffer (so blocked
@@ -89,15 +107,17 @@ type Event struct {
 type queue struct {
 	ch     chan Event
 	policy OverflowPolicy
-	drops  *Counter // per-shard drop counter (any reason); may be nil
+	drops  *Counter    // per-shard drop counter (any reason); may be nil
+	tracer *obs.Tracer // nil disables span tracing
+	shard  int
 
 	mu       sync.Mutex
 	closed   bool
 	inflight sync.WaitGroup
 }
 
-func newQueue(capacity int, policy OverflowPolicy, drops *Counter) *queue {
-	return &queue{ch: make(chan Event, capacity), policy: policy, drops: drops}
+func newQueue(capacity int, policy OverflowPolicy, drops *Counter, tracer *obs.Tracer, shard int) *queue {
+	return &queue{ch: make(chan Event, capacity), policy: policy, drops: drops, tracer: tracer, shard: shard}
 }
 
 // dropped counts one shed event on this shard alongside the global
@@ -105,6 +125,15 @@ func newQueue(capacity int, policy OverflowPolicy, drops *Counter) *queue {
 func (q *queue) dropped() {
 	if q.drops != nil {
 		q.drops.Inc()
+	}
+}
+
+// traceDrop publishes the shed event's partial trace (no-op for unsampled
+// events).
+func (q *queue) traceDrop(ev Event) {
+	if ev.traceSampled && q.tracer != nil {
+		q.tracer.PublishDropped(uint8(ev.Kind), traceKey(ev), q.shard,
+			ev.traceStart, ev.traceOffered, q.tracer.Now())
 	}
 }
 
@@ -128,6 +157,9 @@ func (q *queue) push(ctx context.Context, ev Event, m *Metrics) error {
 	defer q.inflight.Done()
 
 	m.Ingested.Inc()
+	if ev.traceSampled {
+		ev.traceOffered = q.tracer.Now()
+	}
 	switch q.policy {
 	case DropNewest:
 		select {
@@ -135,6 +167,7 @@ func (q *queue) push(ctx context.Context, ev Event, m *Metrics) error {
 		default:
 			m.DroppedNewest.Inc()
 			q.dropped()
+			q.traceDrop(ev)
 		}
 		return nil
 	case DropOldest:
@@ -147,9 +180,10 @@ func (q *queue) push(ctx context.Context, ev Event, m *Metrics) error {
 			// Full: evict one (the consumer may win the race — then the
 			// retry above succeeds without an eviction).
 			select {
-			case <-q.ch:
+			case old := <-q.ch:
 				m.DroppedOldest.Inc()
 				q.dropped()
+				q.traceDrop(old)
 			default:
 			}
 			stdruntime.Gosched()
@@ -161,6 +195,7 @@ func (q *queue) push(ctx context.Context, ev Event, m *Metrics) error {
 		case <-ctx.Done():
 			m.DroppedCanceled.Inc()
 			q.dropped()
+			q.traceDrop(ev)
 			return ctx.Err()
 		}
 	}

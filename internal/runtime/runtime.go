@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	stdruntime "runtime"
 	"strconv"
 	"sync"
@@ -11,6 +12,8 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/predict"
 )
 
 // Config parameterizes the streaming runtime.
@@ -58,12 +61,25 @@ type Config struct {
 	Workers int
 	// Metrics receives pipeline observability; nil allocates a fresh set.
 	Metrics *Metrics
+	// Tracer records end-to-end spans (ingest→queue→apply→evaluate→act)
+	// for every event into a ring of recent traces, rendered by /tracez.
+	// Nil disables tracing (the hot path then skips all stamping).
+	Tracer *obs.Tracer
+	// Ledger journals every per-layer prediction and combined decision the
+	// act stage emits, for online Sect. 3.3 quality accounting. The caller
+	// feeds ground-truth failures via Ledger.RecordFailure. Nil disables
+	// the ledger. When set, per-layer precision/recall/fpr/F1 gauges are
+	// registered on the metric registry and /ledger serves the journal.
+	Ledger *obs.Ledger
 }
 
-// cycleResult carries one score vector from the evaluate to the act stage.
+// cycleResult carries one score vector from the evaluate to the act stage,
+// with the cycle's evaluation span on the tracer clock.
 type cycleResult struct {
-	now    float64
-	scores []float64
+	now       float64
+	scores    []float64
+	evalStart int64
+	evalEnd   int64
 }
 
 // Runtime is the concurrent streaming MEA pipeline. Construct with New,
@@ -150,7 +166,7 @@ func New(cfg Config) (*Runtime, error) {
 			dropHelp = "Events dropped per ingest shard (all reasons)."
 		}
 		drops := reg.Counter("pfm_shard_dropped_total", dropHelp, "shard", strconv.Itoa(s))
-		r.queues[s] = newQueue(cfg.QueueCapacity, cfg.Overflow, drops)
+		r.queues[s] = newQueue(cfg.QueueCapacity, cfg.Overflow, drops, cfg.Tracer, s)
 		q := r.queues[s]
 		reg.GaugeFunc("pfm_shard_queue_depth", depthHelp,
 			func() float64 { return float64(q.depth()) }, "shard", strconv.Itoa(s))
@@ -159,8 +175,64 @@ func New(cfg Config) (*Runtime, error) {
 		"Events waiting across all ingest shard queues.", func() float64 { return float64(r.QueueDepth()) })
 	reg.GaugeFunc("pfm_queue_capacity",
 		"Total ingest queue capacity across shards.", func() float64 { return float64(r.queueCapacity()) })
+	if cfg.Ledger != nil {
+		registerLedgerGauges(reg, cfg.Ledger, layers)
+	}
 	return r, nil
 }
+
+// registerLedgerGauges exposes the ledger's rolling-window Sect. 3.3
+// quality metrics for every engine layer plus the combined decision.
+// Gauges render NaN while a metric's denominator is still empty.
+func registerLedgerGauges(reg *Registry, led *obs.Ledger, layers []*core.Layer) {
+	names := make([]string, 0, len(layers)+1)
+	for _, l := range layers {
+		names = append(names, l.Name)
+	}
+	names = append(names, obs.CombinedLayer)
+	quality := []struct {
+		metric, help string
+		f            func(predict.ContingencyTable) float64
+	}{
+		{"pfm_ledger_precision", "Rolling-window precision per prediction layer.", predict.ContingencyTable.Precision},
+		{"pfm_ledger_recall", "Rolling-window recall per prediction layer.", predict.ContingencyTable.Recall},
+		{"pfm_ledger_fpr", "Rolling-window false positive rate per prediction layer.", predict.ContingencyTable.FPR},
+		{"pfm_ledger_f1", "Rolling-window F-measure per prediction layer.", predict.ContingencyTable.FMeasure},
+	}
+	for _, qm := range quality {
+		help := qm.help
+		for _, name := range names {
+			f, layer := qm.f, name
+			reg.GaugeFunc(qm.metric, help, func() float64 { return f(led.Quality(layer)) }, "layer", layer)
+			help = "" // one HELP line per family
+		}
+	}
+	outcomeHelp := "Rolling-window contingency counts per layer and outcome."
+	for _, name := range names {
+		layer := name
+		for _, oc := range []struct {
+			outcome string
+			f       func(predict.ContingencyTable) int
+		}{
+			{"tp", func(c predict.ContingencyTable) int { return c.TP }},
+			{"fp", func(c predict.ContingencyTable) int { return c.FP }},
+			{"tn", func(c predict.ContingencyTable) int { return c.TN }},
+			{"fn", func(c predict.ContingencyTable) int { return c.FN }},
+		} {
+			f := oc.f
+			reg.GaugeFunc("pfm_ledger_outcomes", outcomeHelp,
+				func() float64 { return float64(f(led.Quality(layer))) },
+				"layer", layer, "outcome", oc.outcome)
+			outcomeHelp = ""
+		}
+	}
+}
+
+// Tracer returns the configured span tracer (nil when tracing is off).
+func (r *Runtime) Tracer() *obs.Tracer { return r.cfg.Tracer }
+
+// Ledger returns the configured prediction ledger (nil when disabled).
+func (r *Runtime) Ledger() *obs.Ledger { return r.cfg.Ledger }
 
 // Metrics returns the pipeline's metric set.
 func (r *Runtime) Metrics() *Metrics { return r.metrics }
@@ -240,6 +312,10 @@ func (r *Runtime) Start(ctx context.Context) error {
 // returns ErrClosed once shutdown has begun.
 func (r *Runtime) Ingest(ctx context.Context, ev Event) error {
 	start := time.Now()
+	if r.cfg.Tracer.Sample() {
+		ev.traceSampled = true
+		ev.traceStart = r.cfg.Tracer.Now()
+	}
 	err := r.shardFor(ev).push(ctx, ev, r.metrics)
 	if !errors.Is(err, ErrClosed) {
 		r.metrics.IngestLatency.Observe(time.Since(start).Seconds())
@@ -263,7 +339,21 @@ func (r *Runtime) EvaluateNow() {
 func (r *Runtime) consumeLoop(q *queue) {
 	defer r.wg.Done()
 	defer r.consumersWg.Done()
+	tr := r.cfg.Tracer
 	for ev := range q.ch {
+		// Hard stop: shed the remaining backlog instead of applying it, so
+		// shutdown is prompt and the depth gauges and drop counters settle
+		// on consistent final values (ingested = applied + dropped).
+		if r.hardCtx.Err() != nil {
+			r.metrics.DroppedShutdown.Inc()
+			q.dropped()
+			q.traceDrop(ev)
+			continue
+		}
+		var dequeued int64
+		if ev.traceSampled {
+			dequeued = tr.Now()
+		}
 		start := time.Now()
 		r.stateMu.RLock()
 		err := r.cfg.Apply(ev)
@@ -273,6 +363,10 @@ func (r *Runtime) consumeLoop(q *queue) {
 			r.metrics.ApplyErrors.Inc()
 		}
 		r.metrics.ApplyLatency.Observe(time.Since(start).Seconds())
+		if ev.traceSampled {
+			tr.PublishApplied(uint8(ev.Kind), traceKey(ev), q.shard,
+				ev.traceStart, ev.traceOffered, dequeued, tr.Now())
+		}
 	}
 }
 
@@ -308,6 +402,7 @@ func (r *Runtime) evaluateLoop() {
 // throttles evaluation rather than piling up unacted scores.
 func (r *Runtime) runCycle() {
 	start := time.Now()
+	evalStart := r.cfg.Tracer.Now()
 	now := r.cfg.Clock()
 	// Exclusive lock: evaluation sees a quiescent state snapshot even when
 	// several shard consumers apply concurrently under the shared lock.
@@ -321,7 +416,7 @@ func (r *Runtime) runCycle() {
 	r.stateMu.Unlock()
 	r.metrics.EvalLatency.Observe(time.Since(start).Seconds())
 	select {
-	case r.actCh <- cycleResult{now: now, scores: scores}:
+	case r.actCh <- cycleResult{now: now, scores: scores, evalStart: evalStart, evalEnd: r.cfg.Tracer.Now()}:
 	case <-r.hardCtx.Done():
 	}
 }
@@ -330,9 +425,12 @@ func (r *Runtime) runCycle() {
 // through core.Engine.ActOn.
 func (r *Runtime) actLoop() {
 	defer r.wg.Done()
+	tr := r.cfg.Tracer
 	for res := range r.actCh {
 		start := time.Now()
+		actStart := tr.Now()
 		d := r.engine.ActOn(res.now, res.scores)
+		actEnd := tr.Now()
 		r.metrics.Evaluations.Inc()
 		if d.Warned {
 			r.metrics.Warnings.Inc()
@@ -344,8 +442,31 @@ func (r *Runtime) actLoop() {
 			r.metrics.Suppressed.Inc()
 		}
 		r.metrics.ActLatency.Observe(time.Since(start).Seconds())
+		tr.CompleteCycle(res.evalStart, res.evalEnd, actStart, actEnd)
+		r.journalCycle(res, d)
 		r.lastCycle.Store(time.Now().UnixNano())
 	}
+}
+
+// journalCycle records the cycle's per-layer predictions and the combined
+// cross-layer decision into the quality ledger. A layer whose score is NaN
+// abstained and is not journaled. The ledger's ground-truth watermark
+// advances to the cycle's domain time: the caller of RecordFailure must
+// keep failures current up to the domain clock (pfmd records them from the
+// mirrored stream as they occur).
+func (r *Runtime) journalCycle(res cycleResult, d core.Decision) {
+	led := r.cfg.Ledger
+	if led == nil {
+		return
+	}
+	for i, l := range r.layers {
+		if i >= len(res.scores) || math.IsNaN(res.scores[i]) {
+			continue
+		}
+		led.RecordPrediction(l.Name, res.now, res.scores[i] >= l.Threshold, res.scores[i])
+	}
+	led.RecordPrediction(obs.CombinedLayer, res.now, d.Warned, d.Confidence)
+	led.Advance(res.now)
 }
 
 // Stop shuts the pipeline down gracefully: reject new ingest, drain the

@@ -2,10 +2,17 @@ package runtime
 
 import (
 	"encoding/json"
+	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
+
+	"repro/internal/obs"
+	"repro/internal/pfmmodel"
+	"repro/internal/predict"
 )
 
 // Health is the /healthz response body.
@@ -41,10 +48,159 @@ func (r *Runtime) health() Health {
 	return h
 }
 
+// kindLabel names an event kind byte for trace rendering.
+func kindLabel(k uint8) string {
+	switch EventKind(k) {
+	case KindError:
+		return "error"
+	case KindSample:
+		return "sample"
+	default:
+		return strconv.Itoa(int(k))
+	}
+}
+
+// traceJSON is one trace in /tracez?format=json.
+type traceJSON struct {
+	ID      uint64           `json:"id"`
+	Kind    string           `json:"kind"`
+	Key     string           `json:"key"`
+	Shard   int              `json:"shard"`
+	State   string           `json:"state"` // "done" | "applied" | "dropped"
+	TotalNs int64            `json:"total_ns"`
+	Stages  map[string]int64 `json:"stages_ns"`
+}
+
+func toTraceJSON(v obs.TraceView) traceJSON {
+	state := "applied"
+	switch {
+	case v.Dropped:
+		state = "dropped"
+	case v.Complete:
+		state = "done"
+	}
+	stages := make(map[string]int64, obs.NumStages)
+	for i, d := range v.Stages {
+		// Incomplete traces omit the cycle stages they never reached.
+		if d == 0 && i > obs.StageApply && !v.Complete {
+			continue
+		}
+		stages[obs.StageNames[i]] = int64(d)
+	}
+	return traceJSON{
+		ID: v.ID, Kind: kindLabel(v.Kind), Key: v.Key, Shard: v.Shard,
+		State: state, TotalNs: int64(v.Total), Stages: stages,
+	}
+}
+
+// serveTracez renders the slowest recent end-to-end traces: a human text
+// table by default, JSON with ?format=json, count via ?n= (default 20).
+func (r *Runtime) serveTracez(w http.ResponseWriter, req *http.Request) {
+	n := 20
+	if v, err := strconv.Atoi(req.URL.Query().Get("n")); err == nil && v > 0 {
+		n = v
+	}
+	traces := r.cfg.Tracer.Slowest(n)
+	if req.URL.Query().Get("format") == "json" {
+		out := make([]traceJSON, len(traces))
+		for i, v := range traces {
+			out[i] = toTraceJSON(v)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(out)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "tracez: %d slowest of the %d most recent traces\n\n",
+		len(traces), r.cfg.Tracer.Capacity())
+	_ = obs.WriteText(w, traces, kindLabel)
+}
+
+// tableJSON renders a contingency table with its derived metrics; metric
+// pointers are nil while their denominator is empty (JSON cannot carry NaN).
+type tableJSON struct {
+	TP        int      `json:"tp"`
+	FP        int      `json:"fp"`
+	TN        int      `json:"tn"`
+	FN        int      `json:"fn"`
+	Precision *float64 `json:"precision,omitempty"`
+	Recall    *float64 `json:"recall,omitempty"`
+	FPR       *float64 `json:"fpr,omitempty"`
+	F1        *float64 `json:"f1,omitempty"`
+}
+
+func toTableJSON(c predict.ContingencyTable) tableJSON {
+	finite := func(v float64) *float64 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil
+		}
+		return &v
+	}
+	f1 := c.FMeasure()
+	return tableJSON{
+		TP: c.TP, FP: c.FP, TN: c.TN, FN: c.FN,
+		Precision: finite(c.Precision()), Recall: finite(c.Recall()),
+		FPR: finite(c.FPR()), F1: finite(f1),
+	}
+}
+
+// ledgerLayerJSON is one layer in the /ledger response.
+type ledgerLayerJSON struct {
+	Layer      string    `json:"layer"`
+	Rolling    tableJSON `json:"rolling"`
+	Cumulative tableJSON `json:"cumulative"`
+	Pending    int       `json:"pending"`
+}
+
+// ledgerJSON is the /ledger response body.
+type ledgerJSON struct {
+	LeadTimeSeconds float64           `json:"leadTimeSeconds"`
+	SlackSeconds    float64           `json:"slackSeconds"`
+	WindowSeconds   float64           `json:"windowSeconds"`
+	Watermark       float64           `json:"watermark"`
+	Predictions     int64             `json:"predictions"`
+	Failures        int64             `json:"failures"`
+	Layers          []ledgerLayerJSON `json:"layers"`
+	// Model compares the Section 5 CTMC under the combined layer's
+	// measured cumulative quality against the paper's Table 2 reference;
+	// absent until the table can parameterize the chain.
+	Model *obs.ModelAssessment `json:"model,omitempty"`
+}
+
+// serveLedger renders the prediction-quality ledger as JSON.
+func (r *Runtime) serveLedger(w http.ResponseWriter, _ *http.Request) {
+	snap := r.cfg.Ledger.Snapshot()
+	out := ledgerJSON{
+		LeadTimeSeconds: snap.LeadTime,
+		SlackSeconds:    snap.Slack,
+		WindowSeconds:   snap.Window,
+		Watermark:       snap.Watermark,
+		Predictions:     snap.Predictions,
+		Failures:        snap.Failures,
+		Layers:          make([]ledgerLayerJSON, len(snap.Layers)),
+	}
+	for i, lq := range snap.Layers {
+		out.Layers[i] = ledgerLayerJSON{
+			Layer:      lq.Layer,
+			Rolling:    toTableJSON(lq.Rolling),
+			Cumulative: toTableJSON(lq.Cumulative),
+			Pending:    lq.Pending,
+		}
+	}
+	if a, err := obs.AssessModel(r.cfg.Ledger.Cumulative(obs.CombinedLayer), pfmmodel.DefaultParams()); err == nil {
+		out.Model = &a
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
+}
+
 // Handler serves the observability endpoints:
 //
 //	GET /metrics  — Prometheus text exposition of the pipeline metrics
 //	GET /healthz  — JSON liveness (200 while running, 503 once stopping)
+//	GET /tracez   — slowest recent end-to-end traces (with Config.Tracer;
+//	                text table, or JSON with ?format=json)
+//	GET /ledger   — prediction-quality ledger snapshot (with Config.Ledger)
 //
 // With Config.Profiling set, the standard net/http/pprof handlers are also
 // mounted under /debug/pprof/.
@@ -62,6 +218,12 @@ func (r *Runtime) Handler() http.Handler {
 		}
 		_ = json.NewEncoder(w).Encode(h)
 	})
+	if r.cfg.Tracer != nil {
+		mux.HandleFunc("/tracez", r.serveTracez)
+	}
+	if r.cfg.Ledger != nil {
+		mux.HandleFunc("/ledger", r.serveLedger)
+	}
 	if r.cfg.Profiling {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

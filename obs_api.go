@@ -1,0 +1,41 @@
+package pfm
+
+// Facade over internal/obs: end-to-end span tracing and the online
+// prediction-quality ledger for the streaming runtime. Pass a Tracer and/or
+// Ledger in RuntimeConfig to enable the /tracez and /ledger endpoints; see
+// cmd/pfmd for a complete deployment.
+
+import (
+	"repro/internal/obs"
+)
+
+// Tracer records end-to-end pipeline spans (ingest → queue → apply →
+// evaluate → act) into a fixed ring of recent traces with zero allocations
+// on the publish path. Construct with NewTracer.
+type Tracer = obs.Tracer
+
+// TraceView is one recorded trace with per-stage durations.
+type TraceView = obs.TraceView
+
+// Ledger journals per-layer failure predictions against ground-truth
+// failures and scores them online with the Sect. 3.3 contingency rule.
+// Construct with NewLedger; feed failures via Ledger.RecordFailure.
+type Ledger = obs.Ledger
+
+// LedgerConfig sets the Sect. 3.3 matching parameters: lead time Δtl,
+// prediction-period slack Δtp, and the rolling quality window.
+type LedgerConfig = obs.LedgerConfig
+
+// LedgerCombinedLayer keys the cross-layer (act-stage decision) table in
+// the ledger, alongside the per-layer tables.
+const LedgerCombinedLayer = obs.CombinedLayer
+
+// NewTracer builds a span tracer retaining the most recent capacity traces
+// (rounded up to a power of two).
+func NewTracer(capacity int) *Tracer { return obs.NewTracer(capacity) }
+
+// NewLedger builds a prediction-quality ledger for the given layer names
+// (the combined decision table is always present).
+func NewLedger(cfg LedgerConfig, layers ...string) (*Ledger, error) {
+	return obs.NewLedger(cfg, layers...)
+}
