@@ -8,13 +8,21 @@
 // mailbox (applied on the simulation thread between replay slices).
 //
 // Observability: /metrics (Prometheus text), /healthz, /tracez (end-to-end
-// span traces) and /ledger (online Sect. 3.3 prediction quality) on -addr
-// while the replay runs, e.g.
+// span traces), /ledger (online Sect. 3.3 prediction quality) and /layers
+// (predictor lifecycle state, with -hotswap) on -addr while the replay
+// runs, e.g.
 //
-//	pfmd -days 2 -compress 7200 &
+//	pfmd -days 2 -compress 7200 -hotswap &
 //	curl -s localhost:9600/metrics | grep pfm_
 //	curl -s localhost:9600/ledger | head
+//	curl -s localhost:9600/layers
 //	curl -s "localhost:9600/tracez?n=10"
+//
+// With -hotswap the predictor lifecycle watches every layer's score stream
+// (self-calibrating CUSUM) and ledger quality (Page–Hinkley) for drift,
+// recalibrates a candidate off the hot path, validates it in shadow against
+// the incumbent's live F-measure, and swaps it in without pausing the MEA
+// loop; swap decisions are logged with the newest trace ID.
 //
 // Progress and decisions are structured logs on stderr (-log-format=json
 // for machine ingestion); result tables stay on stdout.
@@ -28,6 +36,8 @@
 //	     [-trace-cap 256] [-trace-dump 0]
 //	     [-ledger-window 0] [-ledger-slack 300]
 //	     [-meta-weights w1,w2,w3,w4]
+//	     [-hotswap] [-drift-warmup 240] [-drift-threshold 8]
+//	     [-drift-shadow-min 20] [-drift-cooldown 200]
 package main
 
 import (
@@ -47,6 +57,7 @@ import (
 	"repro/internal/act"
 	"repro/internal/core"
 	"repro/internal/eventlog"
+	"repro/internal/lifecycle"
 	"repro/internal/meta"
 	"repro/internal/obs"
 	"repro/internal/pfmmodel"
@@ -99,62 +110,54 @@ func (m *mirror) apply(ev runtime.Event) error {
 }
 
 // layers builds the per-level predictors of the Fig. 11 blueprint over
-// the mirror state.
+// the mirror state. Each layer is a calibrated predictor — score =
+// raw/scale with the warning threshold at 1.0 — whose initial scale is the
+// blueprint's hand-tuned warning level, so the static behaviour is
+// unchanged while the lifecycle (with -hotswap) can refit a scale whose
+// signal regime drifted.
 func (m *mirror) layers(memFloor float64) []*core.Layer {
+	rawErrors := func(now float64) (float64, error) {
+		// Application level: detected-error rate over the data window.
+		w := m.log.Window(now-600, now+1e-9)
+		return float64(len(w)) / 600, nil
+	}
+	rawMemory := func(now float64) (float64, error) {
+		// OS/resource level: free-memory depletion trend.
+		w := m.sar["mem_free"].Window(now-1200, now+1e-9)
+		if w.Len() < 3 {
+			return 0, nil
+		}
+		slope, _, err := w.LinearTrend()
+		if err != nil {
+			return 0, nil
+		}
+		score := -slope
+		if v, ok := w.Last(); ok && v.V < memFloor {
+			score += 1
+		}
+		return score, nil
+	}
+	rawLoad := func(now float64) (float64, error) {
+		// Platform level: utilization headroom.
+		v, ok := m.sar["cpu"].Last()
+		if !ok {
+			return 0, nil
+		}
+		return v.V, nil
+	}
+	rawSwap := func(now float64) (float64, error) {
+		// Platform level: swap pressure (already degrading).
+		v, ok := m.sar["swap"].Last()
+		if !ok {
+			return 0, nil
+		}
+		return v.V, nil
+	}
 	return []*core.Layer{
-		{
-			// Application level: detected-error rate over the data window.
-			Name: "errors",
-			Evaluate: func(now float64) (float64, error) {
-				w := m.log.Window(now-600, now+1e-9)
-				return float64(len(w)) / 600, nil
-			},
-			Threshold: 0.05,
-		},
-		{
-			// OS/resource level: free-memory depletion trend.
-			Name: "memory",
-			Evaluate: func(now float64) (float64, error) {
-				w := m.sar["mem_free"].Window(now-1200, now+1e-9)
-				if w.Len() < 3 {
-					return 0, nil
-				}
-				slope, _, err := w.LinearTrend()
-				if err != nil {
-					return 0, nil
-				}
-				score := -slope
-				if v, ok := w.Last(); ok && v.V < memFloor {
-					score += 1
-				}
-				return score, nil
-			},
-			Threshold: 0.1,
-		},
-		{
-			// Platform level: utilization headroom.
-			Name: "load",
-			Evaluate: func(now float64) (float64, error) {
-				v, ok := m.sar["cpu"].Last()
-				if !ok {
-					return 0, nil
-				}
-				return v.V, nil
-			},
-			Threshold: 0.85,
-		},
-		{
-			// Platform level: swap pressure (already degrading).
-			Name: "swap",
-			Evaluate: func(now float64) (float64, error) {
-				v, ok := m.sar["swap"].Last()
-				if !ok {
-					return 0, nil
-				}
-				return v.V, nil
-			},
-			Threshold: 0.5,
-		},
+		{Name: "errors", Predictor: newCalibrated(rawErrors, 0.05), Threshold: 1},
+		{Name: "memory", Predictor: newCalibrated(rawMemory, 0.1), Threshold: 1},
+		{Name: "load", Predictor: newCalibrated(rawLoad, 0.85), Threshold: 1},
+		{Name: "swap", Predictor: newCalibrated(rawSwap, 0.5), Threshold: 1},
 	}
 }
 
@@ -181,10 +184,12 @@ func newLogger(format, level string) (*slog.Logger, error) {
 	}
 }
 
-// parseMetaWeights builds the -meta-weights combiner: one logistic weight
+// parseMetaWeights builds the -meta-weights stacker: one logistic weight
 // per layer (in layer order), bias fixed at −Σ wᵢθᵢ so a system sitting
-// exactly at every layer threshold scores 0.5.
-func parseMetaWeights(spec string, layers []*core.Layer) (core.Combiner, error) {
+// exactly at every layer threshold scores 0.5. The stacker itself is
+// returned (not just its Score closure) so the lifecycle can down-weight a
+// freshly swapped layer during probation.
+func parseMetaWeights(spec string, layers []*core.Layer) (*meta.Stacker, error) {
 	parts := strings.Split(spec, ",")
 	if len(parts) != len(layers) {
 		return nil, fmt.Errorf("-meta-weights needs %d comma-separated weights, got %d", len(layers), len(parts))
@@ -201,11 +206,7 @@ func parseMetaWeights(spec string, layers []*core.Layer) (core.Combiner, error) 
 		weights[i] = w
 		bias -= w * layers[i].Threshold
 	}
-	st, err := meta.NewStacker(names, weights, bias)
-	if err != nil {
-		return nil, err
-	}
-	return st.Score, nil
+	return meta.NewStacker(names, weights, bias)
 }
 
 // lastTraceID returns the newest completed end-to-end trace ID (0 when
@@ -251,6 +252,11 @@ func run() error {
 	ledgerWindow := flag.Float64("ledger-window", 0, "rolling quality window [sim s]; 0 = cumulative")
 	ledgerSlack := flag.Float64("ledger-slack", 300, "prediction-period slack Δtp for TP matching [sim s]")
 	metaWeights := flag.String("meta-weights", "", "comma-separated logistic combiner weight per layer (errors,memory,load,swap); empty = threshold voting")
+	hotswap := flag.Bool("hotswap", false, "enable the predictor lifecycle: drift-triggered recalibration with shadow validation and zero-downtime hot-swap")
+	driftWarmup := flag.Int("drift-warmup", 240, "score-drift detector self-calibration window [cycles]")
+	driftThreshold := flag.Float64("drift-threshold", 8, "score-drift CUSUM threshold [σ]")
+	driftShadowMin := flag.Int("drift-shadow-min", 20, "resolved shadow predictions before a promotion decision")
+	driftCooldown := flag.Int("drift-cooldown", 200, "cycles a layer is muted after a lifecycle episode")
 	flag.Parse()
 	if *days <= 0 || *compress <= 0 {
 		return fmt.Errorf("days and compress must be positive")
@@ -315,10 +321,12 @@ func run() error {
 	m := newMirror()
 	layers := m.layers(2 * scpCfg.SwapThreshold)
 	var combiner core.Combiner
+	var stacker *meta.Stacker
 	if *metaWeights != "" {
-		if combiner, err = parseMetaWeights(*metaWeights, layers); err != nil {
+		if stacker, err = parseMetaWeights(*metaWeights, layers); err != nil {
 			return err
 		}
+		combiner = stacker.Score
 		logger.Info("meta combiner", "weights", *metaWeights)
 	}
 	const leadTime = 300.0
@@ -354,6 +362,24 @@ func run() error {
 		tracer.SetSampleInterval(*traceSample)
 	}
 
+	// Predictor lifecycle (-hotswap): drift-triggered recalibration with
+	// shadow validation against the live ledger and zero-downtime swaps.
+	var lcm *lifecycle.Manager
+	if *hotswap {
+		lcm, err = lifecycle.NewManager(layers, ledger, lifecycle.Config{
+			ScoreWarmup:         *driftWarmup,
+			ScoreThresholdSigma: *driftThreshold,
+			ShadowMinResolved:   *driftShadowMin,
+			CooldownCycles:      *driftCooldown,
+		})
+		if err != nil {
+			return err
+		}
+		logger.Info("predictor lifecycle enabled",
+			"drift_warmup", *driftWarmup, "drift_threshold_sigma", *driftThreshold,
+			"shadow_min_resolved", *driftShadowMin, "cooldown_cycles", *driftCooldown)
+	}
+
 	// The replay clock: sim-time high-water mark, advanced by the feeder.
 	var simNow atomic.Uint64
 	rt, err := runtime.New(runtime.Config{
@@ -368,9 +394,13 @@ func run() error {
 		Profiling:     *pprofOn,
 		Tracer:        tracer,
 		Ledger:        ledger,
+		Lifecycle:     lcm,
 	})
 	if err != nil {
 		return err
+	}
+	if lcm != nil {
+		watchLifecycle(lcm, stacker, layers, tracer, logger)
 	}
 
 	// Structured decision log: every MEA cycle at debug, warnings at info,
@@ -437,6 +467,9 @@ func run() error {
 		"availability", sys.MeasuredAvailability(),
 		"failures", len(sys.Failures()), "restarts", len(sys.Restarts()))
 	logActionStats(logger, action)
+	if lcm != nil {
+		logLifecycle(logger, lcm)
+	}
 	logQuality(logger, ledger)
 	logModelAssessment(logger, ledger)
 	fmt.Print(engine.Report())
@@ -447,6 +480,90 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// watchLifecycle subscribes the service to predictor-lifecycle events: every
+// transition is logged (swap decisions at info, linked to the newest /tracez
+// span), and when a meta stacker combines the layers, a freshly swapped
+// layer is down-weighted during probation and restored on confirm/rollback.
+func watchLifecycle(
+	lcm *lifecycle.Manager,
+	stacker *meta.Stacker,
+	layers []*core.Layer,
+	tracer *obs.Tracer,
+	logger *slog.Logger,
+) {
+	lcm.Subscribe(func(e lifecycle.Event) {
+		attrs := []any{
+			slog.String("layer", e.Layer),
+			slog.String("event", string(e.Type)),
+			slog.Uint64("version", e.Version),
+			slog.Float64("sim_now", e.Time),
+		}
+		switch e.Type {
+		case lifecycle.EventSwapped, lifecycle.EventShadowDiscarded,
+			lifecycle.EventConfirmed, lifecycle.EventRolledBack:
+			attrs = append(attrs,
+				slog.Float64("candidate_f", e.CandidateF),
+				slog.Float64("incumbent_f", e.IncumbentF))
+		}
+		if e.Duration > 0 {
+			attrs = append(attrs, slog.Float64("retrain_seconds", e.Duration))
+		}
+		if e.Err != "" {
+			attrs = append(attrs, slog.String("err", e.Err))
+		}
+		if tracer != nil {
+			attrs = append(attrs, slog.Uint64("trace_id", lastTraceID(tracer)))
+		}
+		switch e.Type {
+		case lifecycle.EventSwapped, lifecycle.EventConfirmed, lifecycle.EventRolledBack:
+			logger.Info("predictor swap decision", attrs...)
+		default:
+			logger.Info("predictor lifecycle", attrs...)
+		}
+	})
+	if stacker == nil {
+		return
+	}
+	// Probation discount: trust a just-swapped predictor at half its
+	// configured weight until the swap is confirmed (or rolled back).
+	const probationDiscount = 0.5
+	initial := make(map[string]float64, len(layers))
+	for _, l := range layers {
+		if w, err := stacker.Weight(l.Name); err == nil {
+			initial[l.Name] = w
+		}
+	}
+	lcm.Subscribe(func(e lifecycle.Event) {
+		w0, ok := initial[e.Layer]
+		if !ok {
+			return
+		}
+		switch e.Type {
+		case lifecycle.EventSwapped:
+			if prev, err := stacker.Reweight(e.Layer, w0*probationDiscount); err == nil {
+				logger.Info("stacker reweighted for probation",
+					"layer", e.Layer, "weight", w0*probationDiscount, "previous", prev)
+			}
+		case lifecycle.EventConfirmed, lifecycle.EventRolledBack:
+			if _, err := stacker.Reweight(e.Layer, w0); err == nil {
+				logger.Info("stacker weight restored", "layer", e.Layer, "weight", w0)
+			}
+		}
+	})
+}
+
+// logLifecycle reports the per-layer predictor-lifecycle outcome.
+func logLifecycle(logger *slog.Logger, lcm *lifecycle.Manager) {
+	for _, st := range lcm.States() {
+		logger.Info("predictor lifecycle summary",
+			"layer", st.Layer, "state", st.State, "version", st.Version,
+			"drifts", st.Drifts, "retrains", st.Retrains,
+			"retrain_errors", st.RetrainErrors, "swaps", st.Swaps,
+			"rollbacks", st.Rollbacks, "confirms", st.Confirms,
+			"eval_errors", st.EvalErrors)
+	}
 }
 
 // logActionStats reports the countermeasure's execution record.

@@ -1,0 +1,110 @@
+package changepoint
+
+import (
+	"fmt"
+	"math"
+)
+
+// AutoCUSUM is a CUSUM detector that calibrates its own reference from the
+// stream: the first Warmup observations estimate μ0 and σ (Welford), after
+// which it behaves exactly like a fixed-reference CUSUM with allowance
+// k = DriftSigma·σ and threshold h = ThresholdSigma·σ. Warm-up observations
+// never fire. This removes the need to know the monitored signal's scale
+// up front — layer scores, rolling F-measures and raw sensor streams all
+// self-calibrate.
+type AutoCUSUM struct {
+	warmup         int     // observations used to estimate the reference
+	driftSigma     float64 // allowance in units of estimated σ
+	thresholdSigma float64 // decision boundary in units of estimated σ
+	minSigma       float64 // floor for σ when the warm-up window is flat
+
+	// Welford running statistics over the warm-up window.
+	n    int
+	mean float64
+	m2   float64
+
+	inner *CUSUM // nil until warm-up completes
+}
+
+var _ Detector = (*AutoCUSUM)(nil)
+
+// NewAutoCUSUM builds a self-calibrating CUSUM. warmup must be ≥ 2 (at
+// least two points are needed for a variance); driftSigma ≥ 0 and
+// thresholdSigma > 0 mirror the fixed CUSUM's constraints.
+func NewAutoCUSUM(warmup int, driftSigma, thresholdSigma float64) (*AutoCUSUM, error) {
+	if warmup < 2 {
+		return nil, fmt.Errorf("%w: warmup %d (need ≥ 2)", ErrDetector, warmup)
+	}
+	if driftSigma < 0 || math.IsNaN(driftSigma) {
+		return nil, fmt.Errorf("%w: drift sigma %g", ErrDetector, driftSigma)
+	}
+	if thresholdSigma <= 0 || math.IsNaN(thresholdSigma) {
+		return nil, fmt.Errorf("%w: threshold sigma %g", ErrDetector, thresholdSigma)
+	}
+	return &AutoCUSUM{
+		warmup:         warmup,
+		driftSigma:     driftSigma,
+		thresholdSigma: thresholdSigma,
+		minSigma:       1e-9,
+	}, nil
+}
+
+// Ready reports whether the warm-up has completed and detection is armed.
+func (a *AutoCUSUM) Ready() bool { return a.inner != nil }
+
+// Reference returns the calibrated (μ0, σ); zeros until Ready.
+func (a *AutoCUSUM) Reference() (mean, sigma float64) {
+	if a.inner == nil {
+		return 0, 0
+	}
+	return a.inner.ref, a.sigma()
+}
+
+func (a *AutoCUSUM) sigma() float64 {
+	s := math.Sqrt(a.m2 / float64(a.n-1))
+	if s < a.minSigma || math.IsNaN(s) {
+		s = a.minSigma
+	}
+	return s
+}
+
+// Update feeds one observation. NaN observations are ignored entirely (an
+// abstaining layer must not poison the reference). During warm-up it only
+// accumulates statistics and never fires; afterwards it delegates to the
+// calibrated fixed-reference CUSUM.
+func (a *AutoCUSUM) Update(x float64) bool {
+	if math.IsNaN(x) {
+		return false
+	}
+	if a.inner == nil {
+		a.n++
+		d := x - a.mean
+		a.mean += d / float64(a.n)
+		a.m2 += d * (x - a.mean)
+		if a.n >= a.warmup {
+			s := a.sigma()
+			// Construction cannot fail: thresholdSigma > 0 and s > 0.
+			a.inner, _ = NewCUSUM(a.mean, a.driftSigma*s, a.thresholdSigma*s)
+		}
+		return false
+	}
+	return a.inner.Update(x)
+}
+
+// Reset clears the accumulators but keeps the calibrated reference, same
+// contract as CUSUM.Reset. A detector still warming up restarts warm-up.
+func (a *AutoCUSUM) Reset() {
+	if a.inner != nil {
+		a.inner.Reset()
+		return
+	}
+	a.n, a.mean, a.m2 = 0, 0, 0
+}
+
+// Recalibrate discards the reference and re-enters warm-up — used after a
+// predictor hot-swap, when the old reference no longer describes the new
+// predictor's score distribution.
+func (a *AutoCUSUM) Recalibrate() {
+	a.inner = nil
+	a.n, a.mean, a.m2 = 0, 0, 0
+}

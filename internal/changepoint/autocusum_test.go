@@ -1,0 +1,179 @@
+package changepoint
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestAutoCUSUMValidation(t *testing.T) {
+	cases := []struct {
+		warmup    int
+		drift, th float64
+	}{
+		{1, 0.5, 4},
+		{10, -0.1, 4},
+		{10, 0.5, 0},
+		{10, math.NaN(), 4},
+		{10, 0.5, math.NaN()},
+	}
+	for _, c := range cases {
+		if _, err := NewAutoCUSUM(c.warmup, c.drift, c.th); err == nil {
+			t.Errorf("NewAutoCUSUM(%d, %g, %g) accepted invalid config", c.warmup, c.drift, c.th)
+		}
+	}
+}
+
+func TestAutoCUSUMWarmupNeverFires(t *testing.T) {
+	a, err := NewAutoCUSUM(50, 0.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := stats.NewRNG(7)
+	for i := 0; i < 50; i++ {
+		// Wild swings during warm-up must not fire — they only shape σ.
+		if a.Update(100 * g.NormFloat64()) {
+			t.Fatalf("fired during warm-up at sample %d", i)
+		}
+	}
+	if !a.Ready() {
+		t.Fatal("not ready after warmup observations")
+	}
+}
+
+// TestAutoCUSUMMatchesFixedCUSUM is the property test demanded by the
+// issue: after warm-up, AutoCUSUM must agree observation-for-observation
+// with a fixed-reference CUSUM built from the calibrated (μ0, σ) — across
+// many random streams, shift points and magnitudes.
+func TestAutoCUSUMMatchesFixedCUSUM(t *testing.T) {
+	const (
+		warmup  = 40
+		driftS  = 0.5
+		thS     = 5.0
+		samples = 400
+	)
+	g := stats.NewRNG(42)
+	for trial := 0; trial < 25; trial++ {
+		base := g.Float64()*20 - 10  // true mean in [-10, 10)
+		scale := 0.1 + g.Float64()*5 // true σ in [0.1, 5.1)
+		shiftAt := warmup + g.Intn(samples-warmup)
+		shift := (g.Float64()*8 - 4) * scale // shift in ±4σ
+
+		a, err := NewAutoCUSUM(warmup, driftS, thS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream := make([]float64, samples)
+		for i := range stream {
+			x := base + scale*g.NormFloat64()
+			if i >= shiftAt {
+				x += shift
+			}
+			stream[i] = x
+		}
+		// Warm up the auto detector, then mirror it with a fixed CUSUM.
+		for i := 0; i < warmup; i++ {
+			if a.Update(stream[i]) {
+				t.Fatalf("trial %d: fired during warm-up", trial)
+			}
+		}
+		mu, sigma := a.Reference()
+		fixed, err := NewCUSUM(mu, driftS*sigma, thS*sigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := warmup; i < samples; i++ {
+			got, want := a.Update(stream[i]), fixed.Update(stream[i])
+			if got != want {
+				t.Fatalf("trial %d sample %d: auto=%v fixed=%v (μ=%g σ=%g)",
+					trial, i, got, want, mu, sigma)
+			}
+		}
+	}
+}
+
+func TestAutoCUSUMDetectsShiftAfterWarmup(t *testing.T) {
+	a, err := NewAutoCUSUM(100, 0.5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := stats.NewRNG(3)
+	for i := 0; i < 300; i++ {
+		if a.Update(2 + 0.5*g.NormFloat64()) {
+			t.Fatalf("false alarm at in-control sample %d", i)
+		}
+	}
+	detected := -1
+	for i := 0; i < 50; i++ {
+		if a.Update(4 + 0.5*g.NormFloat64()) { // +4σ shift
+			detected = i
+			break
+		}
+	}
+	if detected < 0 || detected > 10 {
+		t.Fatalf("shift detected at %d, want quickly", detected)
+	}
+}
+
+func TestAutoCUSUMIgnoresNaN(t *testing.T) {
+	a, err := NewAutoCUSUM(3, 0.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{1, math.NaN(), 2, math.NaN(), 3} {
+		a.Update(x)
+	}
+	if !a.Ready() {
+		t.Fatal("NaNs should not count toward warm-up but reals should")
+	}
+	mu, _ := a.Reference()
+	if mu != 2 {
+		t.Fatalf("reference mean = %g, want 2 (NaNs excluded)", mu)
+	}
+	if a.Update(math.NaN()) {
+		t.Fatal("NaN fired after warm-up")
+	}
+}
+
+func TestAutoCUSUMFlatWarmupUsesSigmaFloor(t *testing.T) {
+	a, err := NewAutoCUSUM(10, 0.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		a.Update(1.0) // zero variance
+	}
+	_, sigma := a.Reference()
+	if sigma <= 0 {
+		t.Fatalf("sigma = %g, want positive floor on flat window", sigma)
+	}
+	// Any real deviation should now fire almost immediately.
+	if !a.Update(2.0) {
+		t.Fatal("deviation from a flat reference should fire")
+	}
+}
+
+func TestAutoCUSUMRecalibrate(t *testing.T) {
+	a, err := NewAutoCUSUM(5, 0.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		a.Update(float64(i))
+	}
+	if !a.Ready() {
+		t.Fatal("should be ready")
+	}
+	a.Recalibrate()
+	if a.Ready() {
+		t.Fatal("Recalibrate should re-enter warm-up")
+	}
+	for i := 0; i < 5; i++ {
+		a.Update(100 + float64(i))
+	}
+	mu, _ := a.Reference()
+	if mu != 102 {
+		t.Fatalf("recalibrated mean = %g, want 102", mu)
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/act"
 	"repro/internal/predict"
@@ -44,15 +45,31 @@ import (
 var ErrCore = errors.New("core: invalid configuration")
 
 // Layer is one level of the Fig. 11 architecture: a named predictor over
-// that layer's monitoring data.
+// that layer's monitoring data. The serving predictor lives behind an
+// atomically swappable, versioned handle (see LayerPredictor): construct
+// the layer with either an Evaluate closure (wrapped as the version-1
+// predictor) or an explicit Predictor, then score through Score and replace
+// through SwapPredictor.
 type Layer struct {
 	// Name identifies the layer ("hardware", "vmm", "os", "application").
 	Name string
 	// Evaluate returns the layer's failure-proneness score at time now.
+	// It is wrapped into the initial predictor when Predictor is nil; set
+	// at construction only — later changes are ignored once the handle is
+	// installed (use SwapPredictor instead).
 	Evaluate func(now float64) (float64, error)
+	// Predictor is the initial serving predictor (takes precedence over
+	// Evaluate). Set at construction only; replace via SwapPredictor.
+	Predictor LayerPredictor
 	// Threshold is the layer's decision boundary; the layer votes
 	// "failure-prone" when score ≥ Threshold.
 	Threshold float64
+
+	// handle holds the serving (predictor, version) pair; swaps are a
+	// single pointer exchange, so scoring is never blocked.
+	handle atomic.Pointer[versionedPredictor]
+	// evalErrors counts failed Score calls across predictor versions.
+	evalErrors atomic.Int64
 }
 
 // Combiner fuses per-layer scores into a single probability-like
@@ -144,6 +161,10 @@ type Engine struct {
 	// horizon (ground-truth oracle for outcome accounting).
 	truth func(horizon float64) bool
 
+	// combinerErrs counts Act rounds whose combiner failed (confidence
+	// forced to 0) — surfaced as pfm_combiner_errors_total.
+	combinerErrs atomic.Int64
+
 	// mu guards all mutable state below (see the package locking contract).
 	mu          sync.Mutex
 	scheduler   *act.Scheduler
@@ -185,9 +206,10 @@ func New(
 		return nil, fmt.Errorf("%w: at least one layer required", ErrCore)
 	}
 	for i, l := range layers {
-		if l == nil || l.Name == "" || l.Evaluate == nil {
-			return nil, fmt.Errorf("%w: layer %d must have a name and an evaluator", ErrCore, i)
+		if l == nil || l.Name == "" || (l.Evaluate == nil && l.Predictor == nil) {
+			return nil, fmt.Errorf("%w: layer %d must have a name and a predictor", ErrCore, i)
 		}
+		l.current() // install the version-1 predictor eagerly
 	}
 	if selector == nil {
 		return nil, fmt.Errorf("%w: nil selector", ErrCore)
@@ -262,15 +284,16 @@ func (e *Engine) Layers() []*Layer {
 	return append([]*Layer(nil), e.layers...)
 }
 
-// EvaluateLayers runs every layer predictor sequentially at time now and
-// returns the per-layer scores. A failing layer abstains, marked NaN —
-// ActOn treats NaN as "no evidence either way". The engine mutex is NOT
-// held: callers may instead score the layers themselves (e.g. in a worker
-// pool) and feed the result to ActOn.
+// EvaluateLayers runs every layer predictor sequentially at time now —
+// through each layer's versioned handle — and returns the per-layer
+// scores. A failing layer abstains, marked NaN (and counted on the layer's
+// EvalErrors) — ActOn treats NaN as "no evidence either way". The engine
+// mutex is NOT held: callers may instead score the layers themselves (e.g.
+// in a worker pool) and feed the result to ActOn.
 func (e *Engine) EvaluateLayers(now float64) []float64 {
 	scores := make([]float64, len(e.layers))
 	for i, l := range e.layers {
-		s, err := l.Evaluate(now)
+		s, err := l.Score(now)
 		if err != nil {
 			scores[i] = math.NaN()
 			continue
@@ -305,6 +328,15 @@ type Decision struct {
 	ActionName string  // executed/scheduled action, "none" otherwise
 	Executed   bool    // an action was executed or scheduled
 	Suppressed bool    // the oscillation guard vetoed the action
+	// CombinerErr reports that the combiner failed on this round and the
+	// confidence was forced to 0 (counted on Engine.CombinerErrors).
+	CombinerErr bool
+	// LayerVersions is each layer's serving predictor version at decision
+	// time, indexed like the engine's layers. With a concurrent hot-swap
+	// the scores may have been produced by the version just replaced; the
+	// versions recorded here are the ones the decision was committed
+	// against.
+	LayerVersions []uint64
 }
 
 // ActOn performs the serialized cross-layer Act stage on externally
@@ -336,13 +368,21 @@ func (e *Engine) ActOn(now float64, scores []float64) Decision {
 		}
 	}
 	confidence := 0.0
+	combinerErr := false
 	if e.combiner != nil {
 		c, err := e.combiner(input)
 		if err == nil {
 			confidence = clamp01(c)
+		} else {
+			combinerErr = true
+			e.combinerErrs.Add(1)
 		}
 	} else if usable > 0 {
 		confidence = float64(votes) / float64(len(e.layers))
+	}
+	versions := make([]uint64, len(e.layers))
+	for i, l := range e.layers {
+		versions[i] = l.Version()
 	}
 
 	positive := confidence >= e.cfg.WarnThreshold
@@ -352,7 +392,10 @@ func (e *Engine) ActOn(now float64, scores []float64) Decision {
 	}
 
 	e.mu.Lock()
-	d := Decision{Time: now, Confidence: confidence, ActionName: "none"}
+	d := Decision{
+		Time: now, Confidence: confidence, ActionName: "none",
+		CombinerErr: combinerErr, LayerVersions: versions,
+	}
 	if positive {
 		d.Warned = true
 		e.warnings = append(e.warnings, predict.Warning{
@@ -432,6 +475,10 @@ func (e *Engine) Outcomes() OutcomeMatrix {
 	}
 	return snap
 }
+
+// CombinerErrors returns how many Act rounds failed in the combiner (the
+// confidence was silently forced to 0 before this counter existed).
+func (e *Engine) CombinerErrors() int64 { return e.combinerErrs.Load() }
 
 // SuppressedActions returns how many actions the oscillation guard vetoed.
 func (e *Engine) SuppressedActions() int {

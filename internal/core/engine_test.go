@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"math"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -529,13 +530,13 @@ func TestCycleObserver(t *testing.T) {
 	if len(seen) != 2 {
 		t.Fatalf("observer saw %d rounds, want 2", len(seen))
 	}
-	if seen[0].now != 5 || seen[0].d != d1 || !seen[0].d.Warned {
+	if seen[0].now != 5 || !reflect.DeepEqual(seen[0].d, d1) || !seen[0].d.Warned {
 		t.Fatalf("first observation = %+v, decision %+v", seen[0], d1)
 	}
 	if seen[0].scores[0] != 0.9 || seen[0].scores[1] != 0.1 {
 		t.Fatalf("observer scores = %v", seen[0].scores)
 	}
-	if seen[1].d != d2 || seen[1].d.Warned || !math.IsNaN(seen[1].scores[1]) {
+	if !reflect.DeepEqual(seen[1].d, d2) || seen[1].d.Warned || !math.IsNaN(seen[1].scores[1]) {
 		t.Fatalf("second observation = %+v", seen[1])
 	}
 

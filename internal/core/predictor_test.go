@@ -1,0 +1,190 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+// constPredictor is a fixed-score LayerPredictor for handle tests.
+type constPredictor struct {
+	score float64
+	err   error
+}
+
+func (p *constPredictor) Evaluate(float64) (float64, error) { return p.score, p.err }
+
+// TestLayerHandleVersioning pins the versioned-handle contract: the
+// initial predictor serves as version 1, every swap bumps the version and
+// redirects Score, and the previous predictor comes back for rollback.
+func TestLayerHandleVersioning(t *testing.T) {
+	l := &Layer{Name: "app", Evaluate: func(float64) (float64, error) { return 0.25, nil }}
+	if v := l.Version(); v != 1 {
+		t.Fatalf("initial version = %d, want 1", v)
+	}
+	if s, err := l.Score(0); err != nil || s != 0.25 {
+		t.Fatalf("Score through wrapped closure = %v, %v", s, err)
+	}
+
+	repl := &constPredictor{score: 0.75}
+	prev, v := l.SwapPredictor(repl)
+	if v != 2 {
+		t.Fatalf("version after swap = %d, want 2", v)
+	}
+	if s, _ := l.Score(0); s != 0.75 {
+		t.Fatalf("Score after swap = %g, want 0.75", s)
+	}
+	if s, err := prev.Evaluate(0); err != nil || s != 0.25 {
+		t.Fatalf("previous predictor = %v, %v; want the original closure", s, err)
+	}
+
+	// Rollback is just another swap: the version keeps rising.
+	if _, v := l.SwapPredictor(prev); v != 3 {
+		t.Fatalf("version after rollback = %d, want 3", v)
+	}
+	if s, _ := l.Score(0); s != 0.25 {
+		t.Fatalf("Score after rollback = %g, want 0.25", s)
+	}
+	if p, v := l.Current(); v != 3 {
+		t.Fatalf("Current version = %d, want 3", v)
+	} else if s, _ := p.Evaluate(0); s != 0.25 {
+		t.Fatalf("Current predictor scores %g, want the original 0.25", s)
+	}
+}
+
+// TestLayerPredictorFieldPrecedence: an explicit Predictor wins over the
+// legacy Evaluate closure.
+func TestLayerPredictorFieldPrecedence(t *testing.T) {
+	l := &Layer{
+		Name:      "app",
+		Evaluate:  func(float64) (float64, error) { return 0.1, nil },
+		Predictor: &constPredictor{score: 0.9},
+	}
+	if s, _ := l.Score(0); s != 0.9 {
+		t.Fatalf("Score = %g, want the explicit predictor's 0.9", s)
+	}
+}
+
+// TestLayerEvalErrorsCounted: failed evaluations are counted per layer —
+// through EvaluateLayers (engine path) and direct Score calls alike.
+func TestLayerEvalErrorsCounted(t *testing.T) {
+	boom := errors.New("sensor offline")
+	bad := &Layer{Name: "bad", Predictor: &constPredictor{err: boom}, Threshold: 0.5}
+	good := constLayer("good", 0.9)
+	eng, err := New(nil, []*Layer{bad, good}, nil, testSelector(t),
+		testActions(t, &scriptedTarget{}), nil, defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := eng.EvaluateLayers(1)
+	if !math.IsNaN(scores[0]) || scores[1] != 0.9 {
+		t.Fatalf("scores = %v, want [NaN 0.9]", scores)
+	}
+	if n := bad.EvalErrors(); n != 1 {
+		t.Fatalf("bad.EvalErrors = %d, want 1", n)
+	}
+	if n := good.EvalErrors(); n != 0 {
+		t.Fatalf("good.EvalErrors = %d, want 0", n)
+	}
+	if _, err := bad.Score(2); err == nil {
+		t.Fatal("Score should surface the evaluation error")
+	}
+	if n := bad.EvalErrors(); n != 2 {
+		t.Fatalf("bad.EvalErrors = %d, want 2", n)
+	}
+}
+
+// TestActOnCombinerErrorCounted: a failing combiner no longer disappears —
+// the decision is flagged and the engine counts it.
+func TestActOnCombinerErrorCounted(t *testing.T) {
+	combiner := func([]float64) (float64, error) { return 0, errors.New("degenerate weights") }
+	eng, err := New(nil, []*Layer{constLayer("app", 0.9)}, combiner, testSelector(t),
+		testActions(t, &scriptedTarget{}), nil, defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := eng.ActOn(1, []float64{0.9})
+	if !d.CombinerErr || d.Confidence != 0 || d.Warned {
+		t.Fatalf("decision = %+v, want CombinerErr with zero confidence", d)
+	}
+	if n := eng.CombinerErrors(); n != 1 {
+		t.Fatalf("CombinerErrors = %d, want 1", n)
+	}
+}
+
+// TestDecisionLayerVersions: decisions carry the serving version of every
+// layer, and they track hot swaps.
+func TestDecisionLayerVersions(t *testing.T) {
+	l1 := constLayer("a", 0.9)
+	l2 := constLayer("b", 0.1)
+	eng, err := New(nil, []*Layer{l1, l2}, nil, testSelector(t),
+		testActions(t, &scriptedTarget{}), nil, defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := eng.ActOn(1, eng.EvaluateLayers(1))
+	if len(d.LayerVersions) != 2 || d.LayerVersions[0] != 1 || d.LayerVersions[1] != 1 {
+		t.Fatalf("versions = %v, want [1 1]", d.LayerVersions)
+	}
+	l2.SwapPredictor(&constPredictor{score: 0.2})
+	d = eng.ActOn(2, eng.EvaluateLayers(2))
+	if d.LayerVersions[0] != 1 || d.LayerVersions[1] != 2 {
+		t.Fatalf("versions after swap = %v, want [1 2]", d.LayerVersions)
+	}
+}
+
+// TestConcurrentSwapAndScore hammers SwapPredictor against Score from many
+// goroutines (run with -race): every Score must observe a coherent
+// predictor and the version must end exactly at 1 + swaps.
+func TestConcurrentSwapAndScore(t *testing.T) {
+	l := &Layer{Name: "hot", Predictor: &constPredictor{score: 0.5}}
+	const (
+		swappers = 4
+		swapsPer = 250
+		scorers  = 4
+	)
+	var wg sync.WaitGroup
+	for s := 0; s < swappers; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < swapsPer; i++ {
+				l.SwapPredictor(&constPredictor{score: float64(s)})
+			}
+		}(s)
+	}
+	for s := 0; s < scorers; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if _, err := l.Score(float64(i)); err != nil {
+					t.Errorf("Score: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if v := l.Version(); v != 1+swappers*swapsPer {
+		t.Fatalf("final version = %d, want %d", v, 1+swappers*swapsPer)
+	}
+}
+
+// TestPredictorFuncAdapter keeps the adapter honest.
+func TestPredictorFuncAdapter(t *testing.T) {
+	p := PredictorFunc(func(now float64) (float64, error) {
+		if now < 0 {
+			return 0, fmt.Errorf("negative time")
+		}
+		return now * 2, nil
+	})
+	if s, err := p.Evaluate(3); err != nil || s != 6 {
+		t.Fatalf("Evaluate = %v, %v", s, err)
+	}
+	if _, err := p.Evaluate(-1); err == nil {
+		t.Fatal("error should pass through")
+	}
+}

@@ -1,0 +1,149 @@
+package hsmm
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/eventlog"
+)
+
+// retrainGolden mirrors stats.RNG.Split's stream-derivation constant; see
+// ubf.RetrainSeed for the shared scheme.
+const retrainGolden = int64(0x9E3779B97F4A7C15 & 0x7FFFFFFFFFFFFFFF)
+
+// RetrainSeed derives the deterministic training seed for a retrain
+// generation (generation 0 is the initial fit).
+func RetrainSeed(base int64, generation uint64) int64 {
+	return base ^ retrainGolden*int64(generation)
+}
+
+// Window is the labeled sequence window captured for a classifier refit.
+// The slices are owned by the window (CaptureWindow copies the headers;
+// the capture source hands over sequences it will not mutate).
+type Window struct {
+	Failure    []eventlog.Sequence
+	NonFailure []eventlog.Sequence
+}
+
+// Predictor adapts a two-model HSMM Classifier to the core predictor
+// lifecycle: Evaluate scores the monitored error window's current
+// sequence, CaptureWindow snapshots recent labeled sequences, and Retrain
+// refits both models under a generation-derived seed. Immutable: Retrain
+// returns a new Predictor at generation+1.
+type Predictor struct {
+	clf      *Classifier
+	sequence func(now float64) (eventlog.Sequence, error)
+	window   func(now float64) (failure, nonFailure []eventlog.Sequence, err error)
+	cfg      Config
+	gen      uint64
+}
+
+var (
+	_ core.LayerPredictor = (*Predictor)(nil)
+	_ core.Retrainer      = (*Predictor)(nil)
+	_ core.Snapshotter    = (*Predictor)(nil)
+)
+
+// NewPredictor wraps a trained classifier. sequence maps evaluation time
+// to the event window to score. window (optional — without it the
+// predictor is not retrainable) returns recent labeled sequences at
+// capture time; it runs under the runtime's evaluation exclusion and must
+// return sequences the predictor may retain. cfg.Seed anchors the
+// generation seed chain.
+func NewPredictor(
+	clf *Classifier,
+	sequence func(now float64) (eventlog.Sequence, error),
+	window func(now float64) ([]eventlog.Sequence, []eventlog.Sequence, error),
+	cfg Config,
+) (*Predictor, error) {
+	if clf == nil || clf.Failure == nil || clf.NonFailure == nil {
+		return nil, fmt.Errorf("%w: nil classifier", ErrModel)
+	}
+	if sequence == nil {
+		return nil, fmt.Errorf("%w: nil sequence source", ErrModel)
+	}
+	return &Predictor{clf: clf, sequence: sequence, window: window, cfg: cfg}, nil
+}
+
+// Classifier exposes the wrapped classifier (read-only by convention).
+func (p *Predictor) Classifier() *Classifier { return p.clf }
+
+// Generation returns the retrain generation (0 = initial fit).
+func (p *Predictor) Generation() uint64 { return p.gen }
+
+// Evaluate scores the current event sequence: the log-likelihood ratio
+// log P(seq|failure) − log P(seq|non-failure).
+func (p *Predictor) Evaluate(now float64) (float64, error) {
+	seq, err := p.sequence(now)
+	if err != nil {
+		return 0, err
+	}
+	return p.clf.Score(seq)
+}
+
+// CaptureWindow snapshots the recent labeled sequences for a refit.
+func (p *Predictor) CaptureWindow(now float64) (any, error) {
+	if p.window == nil {
+		return nil, fmt.Errorf("%w: predictor has no window source", ErrModel)
+	}
+	failure, nonFailure, err := p.window(now)
+	if err != nil {
+		return nil, err
+	}
+	if len(failure) == 0 || len(nonFailure) == 0 {
+		return nil, fmt.Errorf("%w: window needs both classes (failure %d, non-failure %d)",
+			ErrModel, len(failure), len(nonFailure))
+	}
+	w := &Window{
+		Failure:    make([]eventlog.Sequence, len(failure)),
+		NonFailure: make([]eventlog.Sequence, len(nonFailure)),
+	}
+	copy(w.Failure, failure)
+	copy(w.NonFailure, nonFailure)
+	return w, nil
+}
+
+// Retrain fits a fresh classifier on the captured window with the next
+// generation's derived seed, preserving the decision threshold. The
+// receiver keeps serving until the caller swaps.
+func (p *Predictor) Retrain(window any) (core.LayerPredictor, error) {
+	w, ok := window.(*Window)
+	if !ok {
+		return nil, fmt.Errorf("%w: retrain window is %T, want *hsmm.Window", ErrModel, window)
+	}
+	cfg := p.cfg
+	cfg.Seed = RetrainSeed(p.cfg.Seed, p.gen+1)
+	clf, err := TrainClassifier(w.Failure, w.NonFailure, cfg)
+	if err != nil {
+		return nil, err
+	}
+	clf.Threshold = p.clf.Threshold
+	return &Predictor{
+		clf:      clf,
+		sequence: p.sequence,
+		window:   p.window,
+		cfg:      p.cfg,
+		gen:      p.gen + 1,
+	}, nil
+}
+
+// predictorSnapshot is the stable JSON shape of a predictor snapshot.
+type predictorSnapshot struct {
+	Kind       string  `json:"kind"`
+	Generation uint64  `json:"generation"`
+	Threshold  float64 `json:"threshold"`
+	Failure    *Model  `json:"failure"`
+	NonFailure *Model  `json:"nonFailure"`
+}
+
+// Snapshot serializes both models, the threshold and the generation.
+func (p *Predictor) Snapshot() ([]byte, error) {
+	return json.Marshal(predictorSnapshot{
+		Kind:       "hsmm",
+		Generation: p.gen,
+		Threshold:  p.clf.Threshold,
+		Failure:    p.clf.Failure,
+		NonFailure: p.clf.NonFailure,
+	})
+}

@@ -1,0 +1,142 @@
+package hsmm
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"repro/internal/eventlog"
+	"repro/internal/stats"
+)
+
+// labeledWindow synthesizes failure (dense, bursty) and non-failure
+// (sparse) sequences with distinct event-type mixes.
+func labeledWindow(seed int64, n int) (failure, nonFailure []eventlog.Sequence) {
+	g := stats.NewRNG(seed)
+	for i := 0; i < n; i++ {
+		f := eventlog.Sequence{Label: true}
+		t := 0.0
+		for j := 0; j < 8; j++ {
+			t += 0.1 + 0.2*g.Float64()
+			f.Times = append(f.Times, t)
+			f.Types = append(f.Types, g.Intn(2)) // types {0,1}
+		}
+		failure = append(failure, f)
+
+		nf := eventlog.Sequence{}
+		t = 0.0
+		for j := 0; j < 4; j++ {
+			t += 1 + 2*g.Float64()
+			nf.Times = append(nf.Times, t)
+			nf.Types = append(nf.Types, 1+g.Intn(2)) // types {1,2}
+		}
+		nonFailure = append(nonFailure, nf)
+	}
+	return failure, nonFailure
+}
+
+func testHSMMPredictor(t *testing.T) *Predictor {
+	t.Helper()
+	failure, nonFailure := labeledWindow(1, 10)
+	cfg := Config{States: 2, MaxIter: 10, Seed: 3}
+	clf, err := TrainClassifier(failure, nonFailure, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := failure[0]
+	winF, winNF := labeledWindow(2, 10)
+	p, err := NewPredictor(clf,
+		func(now float64) (eventlog.Sequence, error) { return seq, nil },
+		func(now float64) ([]eventlog.Sequence, []eventlog.Sequence, error) {
+			return winF, winNF, nil
+		}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestHSMMPredictorEvaluate(t *testing.T) {
+	p := testHSMMPredictor(t)
+	s, err := p.Evaluate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s <= 0 {
+		t.Fatalf("failure-like sequence scored %g, want positive log-likelihood ratio", s)
+	}
+}
+
+// TestHSMMPredictorRetrainDeterministic: capture→retrain is bit-identical
+// across repetitions at a fixed GOMAXPROCS, per the package's determinism
+// contract (E-step reductions may only regroup when GOMAXPROCS changes).
+func TestHSMMPredictorRetrainDeterministic(t *testing.T) {
+	prev := runtime.GOMAXPROCS(2)
+	defer runtime.GOMAXPROCS(prev)
+	p := testHSMMPredictor(t)
+	retrainOnce := func() []byte {
+		w, err := p.CaptureWindow(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cand, err := p.Retrain(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap, err := cand.(*Predictor).Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return snap
+	}
+	ref := retrainOnce()
+	for i := 0; i < 2; i++ {
+		if got := retrainOnce(); !bytes.Equal(ref, got) {
+			t.Fatalf("retrain %d not bit-identical", i)
+		}
+	}
+}
+
+func TestHSMMPredictorRetrainPreservesThreshold(t *testing.T) {
+	p := testHSMMPredictor(t)
+	p.Classifier().Threshold = 2.5
+	w, err := p.CaptureWindow(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cand, err := p.Retrain(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1 := cand.(*Predictor)
+	if g1.Classifier().Threshold != 2.5 {
+		t.Fatalf("threshold after retrain = %g, want 2.5", g1.Classifier().Threshold)
+	}
+	if g1.Generation() != 1 || p.Generation() != 0 {
+		t.Fatalf("generations = (%d, %d), want candidate 1 / incumbent 0",
+			g1.Generation(), p.Generation())
+	}
+}
+
+func TestHSMMPredictorWindowValidation(t *testing.T) {
+	failure, nonFailure := labeledWindow(1, 5)
+	clf, err := TrainClassifier(failure, nonFailure, Config{States: 2, MaxIter: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := func(now float64) ([]eventlog.Sequence, []eventlog.Sequence, error) {
+		return nil, nonFailure, nil
+	}
+	p, err := NewPredictor(clf,
+		func(float64) (eventlog.Sequence, error) { return failure[0], nil }, empty,
+		Config{States: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.CaptureWindow(0); err == nil {
+		t.Fatal("capture should reject a one-class window")
+	}
+	if _, err := p.Retrain(42); err == nil {
+		t.Fatal("Retrain should reject a foreign window type")
+	}
+}

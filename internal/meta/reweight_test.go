@@ -1,0 +1,63 @@
+package meta
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestStackerReweight(t *testing.T) {
+	s, err := NewStacker([]string{"a", "b"}, []float64{1.5, -0.5}, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev, err := s.Reweight("a", 0.3)
+	if err != nil || prev != 1.5 {
+		t.Fatalf("Reweight = (%g, %v), want previous weight 1.5", prev, err)
+	}
+	if w, _ := s.Weight("a"); w != 0.3 {
+		t.Fatalf("Weight(a) = %g, want 0.3", w)
+	}
+	if _, err := s.Reweight("missing", 1); err == nil {
+		t.Fatal("Reweight should reject unknown names")
+	}
+	if _, err := s.Weight("missing"); err == nil {
+		t.Fatal("Weight should reject unknown names")
+	}
+}
+
+// TestStackerConcurrentReweightAndScore hammers Score against Reweight
+// (run with -race): scoring must always see a coherent weight vector.
+func TestStackerConcurrentReweightAndScore(t *testing.T) {
+	s, err := NewStacker([]string{"a", "b", "c"}, []float64{1, 1, 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if _, err := s.Score([]float64{0.1, 0.2, 0.3}); err != nil {
+					t.Errorf("Score: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := []string{"a", "b"}[g]
+			for i := 0; i < 500; i++ {
+				if _, err := s.Reweight(name, float64(i%7)); err != nil {
+					t.Errorf("Reweight: %v", err)
+					return
+				}
+				s.Weights()
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/mat"
 )
@@ -107,8 +108,12 @@ func (l *Logistic) Prob(x []float64) (float64, error) {
 	return l.prob(x), nil
 }
 
-// Stacker combines base-predictor scores into one meta-score.
+// Stacker combines base-predictor scores into one meta-score. It is safe
+// for concurrent use: Score takes a read lock, Reweight a write lock, so
+// the predictor lifecycle can adjust a layer's weight at hot-swap time
+// while act cycles keep scoring.
 type Stacker struct {
+	mu       sync.RWMutex
 	combiner *Logistic
 	names    []string
 }
@@ -156,15 +161,51 @@ func (s *Stacker) Names() []string {
 
 // Score combines one instance's base scores into the stacked probability.
 func (s *Stacker) Score(baseScores []float64) (float64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.combiner.Prob(baseScores)
 }
 
 // Weights returns the combiner weight per base predictor, keyed by name —
 // the "translucency" view of which layer contributes most.
 func (s *Stacker) Weights() map[string]float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make(map[string]float64, len(s.names))
 	for i, n := range s.names {
 		out[n] = s.combiner.W[i]
 	}
 	return out
+}
+
+// Weight returns one base predictor's combiner weight.
+func (s *Stacker) Weight(name string) (float64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for i, n := range s.names {
+		if n == name {
+			return s.combiner.W[i], nil
+		}
+	}
+	return 0, fmt.Errorf("%w: unknown base predictor %q", ErrMeta, name)
+}
+
+// Reweight replaces one base predictor's combiner weight and returns the
+// previous value. The lifecycle manager uses it to discount a layer whose
+// predictor was just swapped (its calibration is unproven) and to restore
+// the weight once shadow-quality evidence confirms the candidate.
+func (s *Stacker) Reweight(name string, w float64) (prev float64, err error) {
+	if math.IsNaN(w) || math.IsInf(w, 0) {
+		return 0, fmt.Errorf("%w: weight %g for %q", ErrMeta, w, name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, n := range s.names {
+		if n == name {
+			prev = s.combiner.W[i]
+			s.combiner.W[i] = w
+			return prev, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: unknown base predictor %q", ErrMeta, name)
 }

@@ -172,6 +172,13 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...str
 	r.register(name, help, "gauge", &metric{labels: renderLabels(labels), g: fn})
 }
 
+// CounterFunc registers a counter series whose value is read at scrape
+// time — for monotone counts owned by another subsystem (layer handles,
+// the lifecycle manager) that the registry must not double-track.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...string) {
+	r.register(name, help, "counter", &metric{labels: renderLabels(labels), g: fn})
+}
+
 // Histogram registers a histogram series with the given bucket bounds.
 func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
 	if len(bounds) == 0 {

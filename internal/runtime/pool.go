@@ -35,7 +35,7 @@ func NewPool(workers int) *Pool {
 		go func() {
 			defer p.wg.Done()
 			for t := range p.tasks {
-				s, err := t.layer.Evaluate(t.now)
+				s, err := t.layer.Score(t.now)
 				if err != nil {
 					s = math.NaN() // abstain, same convention as core.EvaluateLayers
 				}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/lifecycle"
 	"repro/internal/obs"
 	"repro/internal/predict"
 )
@@ -71,6 +72,16 @@ type Config struct {
 	// the ledger. When set, per-layer precision/recall/fpr/F1 gauges are
 	// registered on the metric registry and /ledger serves the journal.
 	Ledger *obs.Ledger
+	// Lifecycle drives drift-triggered retraining and zero-downtime
+	// predictor hot-swaps for the engine's layers: candidate windows are
+	// captured and shadow candidates scored inside each cycle's evaluation
+	// exclusion (Manager.Collect), shadow predictions are journaled to the
+	// Ledger under "<layer>#candidate", and promotion/rollback decisions
+	// run on the act stage (Manager.ObserveCycle). Requires Ledger. Nil
+	// disables the lifecycle. When set, layer-version gauges, swap/retrain
+	// counters, a retrain-duration histogram and the /layers endpoint are
+	// registered.
+	Lifecycle *lifecycle.Manager
 }
 
 // cycleResult carries one score vector from the evaluate to the act stage,
@@ -78,6 +89,7 @@ type Config struct {
 type cycleResult struct {
 	now       float64
 	scores    []float64
+	cands     []lifecycle.CandidateScore // shadow-candidate scores this cycle
 	evalStart int64
 	evalEnd   int64
 }
@@ -178,7 +190,61 @@ func New(cfg Config) (*Runtime, error) {
 	if cfg.Ledger != nil {
 		registerLedgerGauges(reg, cfg.Ledger, layers)
 	}
+	// Layer evaluation failures were previously swallowed as silent NaN
+	// abstentions; surface them per layer, and combiner failures engine-wide.
+	evalErrHelp := "Layer evaluations that returned an error (scored as abstain)."
+	for _, l := range layers {
+		layer := l
+		reg.CounterFunc("pfm_layer_eval_errors_total", evalErrHelp,
+			func() float64 { return float64(layer.EvalErrors()) }, "layer", layer.Name)
+		evalErrHelp = ""
+	}
+	reg.CounterFunc("pfm_combiner_errors_total",
+		"Act rounds whose combiner failed (confidence forced to 0).",
+		func() float64 { return float64(cfg.Engine.CombinerErrors()) })
+	if cfg.Lifecycle != nil {
+		if cfg.Ledger == nil {
+			return nil, fmt.Errorf("%w: Lifecycle requires Ledger (shadow validation reads live quality)", ErrRuntime)
+		}
+		registerLifecycleMetrics(reg, cfg.Lifecycle, layers)
+	}
 	return r, nil
+}
+
+// registerLifecycleMetrics exposes the predictor-lifecycle observability:
+// serving version per layer, episode counters, and the retrain-duration
+// histogram (fed by lifecycle events).
+func registerLifecycleMetrics(reg *Registry, mgr *lifecycle.Manager, layers []*core.Layer) {
+	versionHelp := "Serving predictor version per layer (bumped by hot-swap and rollback)."
+	for _, l := range layers {
+		layer := l
+		reg.GaugeFunc("pfm_layer_version", versionHelp,
+			func() float64 { return float64(layer.Version()) }, "layer", layer.Name)
+		versionHelp = ""
+	}
+	counters := []struct {
+		name, help string
+		f          func(lifecycle.Totals) int
+	}{
+		{"pfm_drift_detected_total", "Drift detections across layers.", func(t lifecycle.Totals) int { return t.Drifts }},
+		{"pfm_retrains_total", "Candidate retrains started.", func(t lifecycle.Totals) int { return t.Retrains }},
+		{"pfm_retrain_errors_total", "Retrains that failed (capture or fit).", func(t lifecycle.Totals) int { return t.RetrainErrors }},
+		{"pfm_swaps_total", "Predictor hot-swaps (candidate promoted).", func(t lifecycle.Totals) int { return t.Swaps }},
+		{"pfm_swap_rollbacks_total", "Swaps rolled back after probation regression.", func(t lifecycle.Totals) int { return t.Rollbacks }},
+		{"pfm_swap_confirms_total", "Swaps confirmed after probation.", func(t lifecycle.Totals) int { return t.Confirms }},
+	}
+	for _, c := range counters {
+		f := c.f
+		reg.CounterFunc(c.name, c.help, func() float64 { return float64(f(mgr.Totals())) })
+	}
+	retrainDur := reg.Histogram("pfm_retrain_duration_seconds",
+		"Wall time of candidate retrains (succeeded or failed).",
+		[]float64{1e-3, 1e-2, 1e-1, 1, 10, 60, 600})
+	mgr.Subscribe(func(e lifecycle.Event) {
+		if e.Type == lifecycle.EventRetrainDone || e.Type == lifecycle.EventRetrainFailed {
+			retrainDur.Observe(e.Duration)
+		}
+	})
 }
 
 // registerLedgerGauges exposes the ledger's rolling-window Sect. 3.3
@@ -233,6 +299,10 @@ func (r *Runtime) Tracer() *obs.Tracer { return r.cfg.Tracer }
 
 // Ledger returns the configured prediction ledger (nil when disabled).
 func (r *Runtime) Ledger() *obs.Ledger { return r.cfg.Ledger }
+
+// Lifecycle returns the configured predictor-lifecycle manager (nil when
+// disabled).
+func (r *Runtime) Lifecycle() *lifecycle.Manager { return r.cfg.Lifecycle }
 
 // Metrics returns the pipeline's metric set.
 func (r *Runtime) Metrics() *Metrics { return r.metrics }
@@ -413,10 +483,18 @@ func (r *Runtime) runCycle() {
 	} else {
 		scores = r.engine.EvaluateLayers(now)
 	}
+	// Lifecycle steps that must not overlap Apply: retrain-window capture
+	// and shadow-candidate scoring run under the same exclusion the layer
+	// evaluations just used. Swaps themselves are pointer CASes elsewhere
+	// and never extend this critical section.
+	var cands []lifecycle.CandidateScore
+	if r.cfg.Lifecycle != nil {
+		cands = r.cfg.Lifecycle.Collect(now)
+	}
 	r.stateMu.Unlock()
 	r.metrics.EvalLatency.Observe(time.Since(start).Seconds())
 	select {
-	case r.actCh <- cycleResult{now: now, scores: scores, evalStart: evalStart, evalEnd: r.cfg.Tracer.Now()}:
+	case r.actCh <- cycleResult{now: now, scores: scores, cands: cands, evalStart: evalStart, evalEnd: r.cfg.Tracer.Now()}:
 	case <-r.hardCtx.Done():
 	}
 }
@@ -444,6 +522,9 @@ func (r *Runtime) actLoop() {
 		r.metrics.ActLatency.Observe(time.Since(start).Seconds())
 		tr.CompleteCycle(res.evalStart, res.evalEnd, actStart, actEnd)
 		r.journalCycle(res, d)
+		if r.cfg.Lifecycle != nil {
+			r.cfg.Lifecycle.ObserveCycle(res.now, res.scores)
+		}
 		r.lastCycle.Store(time.Now().UnixNano())
 	}
 }
@@ -464,6 +545,14 @@ func (r *Runtime) journalCycle(res cycleResult, d core.Decision) {
 			continue
 		}
 		led.RecordPrediction(l.Name, res.now, res.scores[i] >= l.Threshold, res.scores[i])
+	}
+	// Shadow candidates journal under their "<layer>#candidate" rows so the
+	// lifecycle can compare their quality to the incumbents'; a candidate
+	// whose evaluation errored abstains, like a NaN layer score.
+	for _, c := range res.cands {
+		if c.Err == nil {
+			led.RecordPrediction(c.Name, res.now, c.Score >= c.Threshold, c.Score)
+		}
 	}
 	led.RecordPrediction(obs.CombinedLayer, res.now, d.Warned, d.Confidence)
 	led.Advance(res.now)
@@ -497,6 +586,9 @@ func (r *Runtime) Stop(ctx context.Context) error {
 		r.hardStop()
 		if r.pool != nil {
 			r.pool.Close()
+		}
+		if r.cfg.Lifecycle != nil {
+			r.cfg.Lifecycle.Wait() // let in-flight background retrains land
 		}
 	})
 	return r.stopErr

@@ -201,6 +201,9 @@ func (r *Runtime) serveLedger(w http.ResponseWriter, _ *http.Request) {
 //	GET /tracez   — slowest recent end-to-end traces (with Config.Tracer;
 //	                text table, or JSON with ?format=json)
 //	GET /ledger   — prediction-quality ledger snapshot (with Config.Ledger)
+//	GET /layers   — per-layer predictor lifecycle status: state, serving
+//	                version, drift/retrain/swap counters (with
+//	                Config.Lifecycle)
 //
 // With Config.Profiling set, the standard net/http/pprof handlers are also
 // mounted under /debug/pprof/.
@@ -223,6 +226,12 @@ func (r *Runtime) Handler() http.Handler {
 	}
 	if r.cfg.Ledger != nil {
 		mux.HandleFunc("/ledger", r.serveLedger)
+	}
+	if r.cfg.Lifecycle != nil {
+		mux.HandleFunc("/layers", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(r.cfg.Lifecycle.States())
+		})
 	}
 	if r.cfg.Profiling {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)

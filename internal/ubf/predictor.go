@@ -1,0 +1,147 @@
+package ubf
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mat"
+)
+
+// retrainGolden mirrors stats.RNG.Split's stream-derivation constant: the
+// retrain seed for generation g is Seed ^ (retrainGolden · g), so every
+// generation trains from an independent, reproducible stream with no wall
+// clock involved.
+const retrainGolden = int64(0x9E3779B97F4A7C15 & 0x7FFFFFFFFFFFFFFF)
+
+// RetrainSeed derives the deterministic training seed for a retrain
+// generation (generation 0 is the initial fit).
+func RetrainSeed(base int64, generation uint64) int64 {
+	return base ^ retrainGolden*int64(generation)
+}
+
+// Window is the training window captured for a UBF refit: a design matrix
+// of feature rows and their regression targets. Both are owned by the
+// window (CaptureWindow copies), so a background Retrain can read them
+// while the live system keeps moving.
+type Window struct {
+	X *mat.Matrix
+	Y []float64
+}
+
+// Predictor adapts a trained Network to the core predictor lifecycle:
+// it evaluates the network on live features and can refit itself from a
+// captured window under a generation-derived seed. Predictors are
+// immutable — Retrain returns a new Predictor at generation+1 — which is
+// exactly the shape core.Layer's versioned handle wants.
+type Predictor struct {
+	net      *Network
+	features func(now float64) ([]float64, error)
+	window   func(now float64) (*mat.Matrix, []float64, error)
+	cfg      TrainConfig
+	gen      uint64
+}
+
+var (
+	_ core.LayerPredictor = (*Predictor)(nil)
+	_ core.Retrainer      = (*Predictor)(nil)
+	_ core.Snapshotter    = (*Predictor)(nil)
+)
+
+// NewPredictor wraps a trained network. features maps evaluation time to
+// the network's input vector. window (optional — without it the predictor
+// is not retrainable and CaptureWindow errors) returns the recent training
+// set at capture time; it is called under the runtime's evaluation
+// exclusion and must return data the predictor may retain. cfg.Seed is the
+// base of the generation seed chain.
+func NewPredictor(
+	net *Network,
+	features func(now float64) ([]float64, error),
+	window func(now float64) (*mat.Matrix, []float64, error),
+	cfg TrainConfig,
+) (*Predictor, error) {
+	if net == nil {
+		return nil, fmt.Errorf("%w: nil network", ErrUBF)
+	}
+	if features == nil {
+		return nil, fmt.Errorf("%w: nil feature source", ErrUBF)
+	}
+	return &Predictor{net: net, features: features, window: window, cfg: cfg}, nil
+}
+
+// Network exposes the wrapped network (read-only by convention).
+func (p *Predictor) Network() *Network { return p.net }
+
+// Generation returns the retrain generation (0 = initial fit).
+func (p *Predictor) Generation() uint64 { return p.gen }
+
+// Evaluate computes the failure-probability score at time now.
+func (p *Predictor) Evaluate(now float64) (float64, error) {
+	x, err := p.features(now)
+	if err != nil {
+		return 0, err
+	}
+	return p.net.Predict(x)
+}
+
+// CaptureWindow snapshots the current training window. It copies the
+// returned design matrix and targets so the background refit shares
+// nothing with the caller.
+func (p *Predictor) CaptureWindow(now float64) (any, error) {
+	if p.window == nil {
+		return nil, fmt.Errorf("%w: predictor has no window source", ErrUBF)
+	}
+	x, y, err := p.window(now)
+	if err != nil {
+		return nil, err
+	}
+	if x == nil || x.Rows == 0 || x.Rows != len(y) {
+		return nil, fmt.Errorf("%w: window %dx? vs %d targets", ErrUBF, rowsOf(x), len(y))
+	}
+	yc := make([]float64, len(y))
+	copy(yc, y)
+	return &Window{X: x.Clone(), Y: yc}, nil
+}
+
+func rowsOf(x *mat.Matrix) int {
+	if x == nil {
+		return 0
+	}
+	return x.Rows
+}
+
+// Retrain fits a fresh network on the captured window with the next
+// generation's derived seed and returns the candidate predictor. The
+// receiver is untouched — it keeps serving until the caller swaps.
+func (p *Predictor) Retrain(window any) (core.LayerPredictor, error) {
+	w, ok := window.(*Window)
+	if !ok {
+		return nil, fmt.Errorf("%w: retrain window is %T, want *ubf.Window", ErrUBF, window)
+	}
+	cfg := p.cfg
+	cfg.Seed = RetrainSeed(p.cfg.Seed, p.gen+1)
+	net, err := Train(w.X, w.Y, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Predictor{
+		net:      net,
+		features: p.features,
+		window:   p.window,
+		cfg:      p.cfg, // keep the base seed so the chain stays anchored
+		gen:      p.gen + 1,
+	}, nil
+}
+
+// predictorSnapshot is the stable JSON shape of a predictor snapshot.
+type predictorSnapshot struct {
+	Kind       string   `json:"kind"`
+	Generation uint64   `json:"generation"`
+	Network    *Network `json:"network"`
+}
+
+// Snapshot serializes the serving network and generation for audit trails
+// and the /layers endpoint.
+func (p *Predictor) Snapshot() ([]byte, error) {
+	return json.Marshal(predictorSnapshot{Kind: "ubf", Generation: p.gen, Network: p.net})
+}

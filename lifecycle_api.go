@@ -1,0 +1,47 @@
+package pfm
+
+// Facade over internal/lifecycle and the core predictor handle: versioned
+// layer predictors with drift-triggered retraining, shadow validation and
+// zero-downtime hot-swap. Wire a LifecycleManager into RuntimeConfig
+// (field Lifecycle, requires Ledger) and the runtime captures retrain
+// windows inside each cycle's evaluation exclusion, journals shadow
+// candidates under "<layer>#candidate", and promotes or rolls back from
+// the live F-measure. See cmd/pfmd's -hotswap flag for a deployment.
+
+import (
+	"repro/internal/core"
+	"repro/internal/lifecycle"
+)
+
+// LayerPredictor is a layer's failure predictor as a first-class value
+// behind the layer's atomically swappable, versioned handle.
+type LayerPredictor = core.LayerPredictor
+
+// PredictorFunc adapts a bare evaluate closure to LayerPredictor.
+type PredictorFunc = core.PredictorFunc
+
+// Retrainer is the optional retraining capability of a LayerPredictor:
+// CaptureWindow under the evaluation exclusion, Retrain off the hot path.
+type Retrainer = core.Retrainer
+
+// LifecycleManager drives drift detection, background retraining, shadow
+// validation and hot-swaps for a set of layers. Construct with
+// NewLifecycleManager and pass via RuntimeConfig.Lifecycle.
+type LifecycleManager = lifecycle.Manager
+
+// LifecycleConfig tunes the lifecycle manager (zero values = defaults).
+type LifecycleConfig = lifecycle.Config
+
+// LifecycleEvent is one lifecycle transition (drift, retrain, shadow,
+// swap, confirm, rollback), delivered to Subscribe observers in order.
+type LifecycleEvent = lifecycle.Event
+
+// LifecycleLayerStatus is one layer's lifecycle view (state, serving
+// version, episode counters), as served by the runtime's /layers endpoint.
+type LifecycleLayerStatus = lifecycle.LayerStatus
+
+// NewLifecycleManager builds a lifecycle manager for the given layers
+// against the live prediction ledger the runtime journals to.
+func NewLifecycleManager(layers []*Layer, led *Ledger, cfg LifecycleConfig) (*LifecycleManager, error) {
+	return lifecycle.NewManager(layers, led, cfg)
+}
