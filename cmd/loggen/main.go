@@ -6,9 +6,16 @@
 // Usage:
 //
 //	loggen [-seed 7] [-days 7] [-out data]
+//	loggen -tenants 100 [-skew 1] [-seed 7] [-days 7] [-out data]
 //
-// writes data.log (pipe-separated error events), data.sar.tsv (one column
-// per SAR variable) and data.failures.tsv.
+// Single-tenant mode writes data.log (pipe-separated error events),
+// data.sar.tsv (one column per SAR variable) and data.failures.tsv.
+//
+// With -tenants N > 1 it instead runs N independently seeded simulators
+// with a Zipf(-skew)-shaped load profile and writes the time-interleaved
+// multi-tenant trace in both fleet ingest formats: data.trace (text line
+// protocol, one record per line) and data.wire (compact binary wire
+// format) — the replay fixtures of internal/fleet and pfmd -fleet.
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/fleet"
 	"repro/internal/scp"
 )
 
@@ -28,10 +36,16 @@ func main() {
 }
 
 func run() error {
-	seed := flag.Int64("seed", 7, "simulation seed")
+	seed := flag.Int64("seed", 7, "simulation seed (base seed with -tenants)")
 	days := flag.Float64("days", 7, "simulated horizon [days]")
 	out := flag.String("out", "data", "output file prefix")
+	tenants := flag.Int("tenants", 1, "fleet size; > 1 writes an interleaved multi-tenant trace")
+	skew := flag.Float64("skew", 1, "Zipf exponent of the per-tenant load profile (0 = uniform)")
 	flag.Parse()
+
+	if *tenants > 1 {
+		return runMulti(*tenants, *skew, *seed, *days, *out)
+	}
 
 	cfg := scp.DefaultConfig()
 	cfg.Seed = *seed
@@ -55,6 +69,58 @@ func run() error {
 	fmt.Printf("wrote %s.log (%d events), %s.sar.tsv, %s.failures.tsv (%d failures)\n",
 		*out, sys.Log().Len(), *out, *out, len(sys.Failures()))
 	return nil
+}
+
+// runMulti generates the interleaved multi-tenant trace in both fleet
+// ingest formats.
+func runMulti(tenants int, skew float64, seed int64, days float64, out string) error {
+	m, err := scp.NewMulti(scp.MultiConfig{Tenants: tenants, BaseSeed: seed, Skew: skew})
+	if err != nil {
+		return err
+	}
+	if err := m.Run(days * 86400); err != nil {
+		return err
+	}
+	recs := fleet.SCPRecords(m.Drain())
+	failures := 0
+	for _, r := range recs {
+		if r.Failure {
+			failures++
+		}
+	}
+	if err := writeTextTrace(recs, out+".trace"); err != nil {
+		return err
+	}
+	if err := writeWireTrace(recs, out+".wire"); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s.trace and %s.wire: %d tenants (zipf skew %g), %d records, %d failures\n",
+		out, out, tenants, skew, len(recs), failures)
+	return nil
+}
+
+func writeTextTrace(recs []fleet.Record, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := fleet.WriteTrace(f, recs); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func writeWireTrace(recs []fleet.Record, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := fleet.WriteWire(f, recs); err != nil {
+		return err
+	}
+	return f.Close()
 }
 
 func writeLog(sys *scp.System, path string) error {

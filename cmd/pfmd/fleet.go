@@ -1,0 +1,312 @@
+// pfmd -fleet: the multi-tenant fleet runtime. N simulated tenants (or a
+// recorded trace from loggen -tenants) stream through internal/fleet's
+// shared substrate — consistent-hash ingest shards, one evaluation pool,
+// batched cross-tenant scoring — with the aggregate /fleet plane on the
+// metrics address.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"math"
+	"os"
+	"os/signal"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/obs"
+	"repro/internal/runtime"
+	"repro/internal/scp"
+)
+
+// fleetOptions carries the -fleet flag set.
+type fleetOptions struct {
+	addr         string
+	tenants      int
+	skew         float64
+	seed         int64
+	days         float64
+	compress     float64
+	queueCap     int
+	policy       runtime.OverflowPolicy
+	workers      int
+	shards       int
+	evalEvery    time.Duration
+	scopes       int
+	traceCap     int
+	traceSample  int
+	ledgerWindow float64
+	ledgerSlack  float64
+	traceFile    string
+	logger       *slog.Logger
+}
+
+// fleetState is one tenant's monitoring mirror: EWMA utilization over the
+// load samples plus a decaying error-pressure signal — small enough to
+// keep thousands of tenants resident.
+type fleetState struct {
+	capacity float64
+	util     float64 // EWMA of load/capacity
+	errs     float64 // decaying error pressure
+}
+
+func (s *fleetState) apply(ev fleet.Event) error {
+	if ev.Kind == runtime.KindError {
+		if ev.Error.Severity >= 2 {
+			s.errs += 1
+		} else {
+			s.errs += 0.25
+		}
+		return nil
+	}
+	if ev.Variable == "load" {
+		s.util = 0.8*s.util + 0.2*ev.Value/s.capacity
+		s.errs *= 0.9 // samples arrive on a fixed grid: decay per tick
+	}
+	return nil
+}
+
+// fleetLayers builds the two shared layer templates: utilization (batched
+// scorer, exercising the cross-tenant batch path) and error pressure.
+func fleetLayers() []fleet.LayerTemplate {
+	return []fleet.LayerTemplate{
+		{
+			Name: "load", Threshold: 0.85,
+			ScoreBatch: func(states []fleet.TenantState, _ float64, out []float64) error {
+				for i, st := range states {
+					out[i] = st.(*fleetState).util
+				}
+				return nil
+			},
+		},
+		{
+			Name: "errors", Threshold: 0.6,
+			Score: func(st fleet.TenantState, _ float64) (float64, error) {
+				return 1 - math.Exp(-st.(*fleetState).errs/3), nil
+			},
+		},
+	}
+}
+
+func runFleet(o fleetOptions) error {
+	if o.tenants < 1 {
+		return fmt.Errorf("-tenants must be >= 1")
+	}
+	logger := o.logger
+
+	// Tenant membership and load shape come from the simulator config even
+	// when replaying a file (loggen uses the same naming scheme).
+	multi, err := scp.NewMulti(scp.MultiConfig{
+		Tenants: o.tenants, BaseSeed: o.seed, Skew: o.skew,
+	})
+	if err != nil {
+		return err
+	}
+	ids := multi.IDs()
+	weights := multi.Weights()
+	specs := make([]fleet.TenantSpec, len(ids))
+	for i, id := range ids {
+		// Hot tenants are also the critical ones: criticality follows the
+		// Zipf weight, so the availability rollup reflects service impact.
+		specs[i] = fleet.TenantSpec{ID: id, Criticality: weights[i]}
+	}
+
+	var simNow atomic.Uint64 // Float64bits of the replay's domain time
+	simNow.Store(math.Float64bits(0))
+
+	scpCfg := scp.DefaultConfig()
+	const leadTime = 300.0
+	led, err := obs.NewScopedLedger(obs.LedgerConfig{
+		LeadTime: leadTime, Slack: o.ledgerSlack, Window: o.ledgerWindow,
+	}, o.scopes, "load", "errors")
+	if err != nil {
+		return err
+	}
+	var tracer *obs.Tracer
+	if o.traceCap > 0 {
+		tracer = obs.NewTracer(o.traceCap)
+		tracer.SetSampleInterval(o.traceSample)
+	}
+	f, err := fleet.New(fleet.Config{
+		Tenants: specs,
+		Layers:  fleetLayers(),
+		NewState: func(fleet.TenantSpec) (fleet.TenantState, error) {
+			return &fleetState{capacity: scpCfg.Capacity}, nil
+		},
+		Apply: func(st fleet.TenantState, ev fleet.Event) error {
+			return st.(*fleetState).apply(ev)
+		},
+		Engine: core.Config{
+			EvalInterval:        o.compress * o.evalEvery.Seconds(),
+			LeadTime:            leadTime,
+			WarnThreshold:       0.5,
+			OscillationWindow:   1800,
+			MaxActionsPerWindow: 6,
+		},
+		Shards:        o.shards,
+		QueueCapacity: o.queueCap,
+		Overflow:      o.policy,
+		Workers:       o.workers,
+		EvalInterval:  o.evalEvery,
+		Clock:         func() float64 { return math.Float64frombits(simNow.Load()) },
+		Tracer:        tracer,
+		Ledger:        led,
+		JournalLayers: true,
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := f.Start(ctx); err != nil {
+		return err
+	}
+	srv, bound, err := f.Serve(o.addr)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	logger.Info("fleet started",
+		"tenants", o.tenants, "skew", o.skew, "shards", f.Shards(),
+		"workers", o.workers, "addr", bound, "source", sourceName(o.traceFile))
+
+	horizon := o.days * 86400
+	if o.traceFile != "" {
+		err = replayFleetFile(ctx, f, o.traceFile, o.compress, &simNow)
+	} else {
+		err = replayFleetSim(ctx, f, multi, horizon, o.compress, &simNow)
+	}
+	if err != nil && ctx.Err() == nil {
+		_ = f.Stop(context.Background())
+		return err
+	}
+
+	stopCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := f.Stop(stopCtx); err != nil {
+		logger.Warn("fleet stop", "err", err)
+	}
+	logFleetSummary(logger, f, led, math.Float64frombits(simNow.Load()))
+	return nil
+}
+
+func sourceName(traceFile string) string {
+	if traceFile == "" {
+		return "simulator"
+	}
+	return traceFile
+}
+
+// replayFleetSim advances the multi-tenant simulator in wall-paced slices,
+// pumping each slice's merged trace into the fleet.
+func replayFleetSim(ctx context.Context, f *fleet.Fleet, m *scp.MultiSystem, horizon, compress float64, simNow *atomic.Uint64) error {
+	const wallSlice = 100 * time.Millisecond
+	simSlice := compress * wallSlice.Seconds()
+	ticker := time.NewTicker(wallSlice)
+	defer ticker.Stop()
+	for elapsed := 0.0; elapsed < horizon; elapsed += simSlice {
+		step := math.Min(simSlice, horizon-elapsed)
+		if err := m.Run(step); err != nil {
+			return err
+		}
+		simNow.Store(math.Float64bits(elapsed + step))
+		recs := fleet.SCPRecords(m.Drain())
+		if _, err := fleet.Pump(ctx, f, fleet.NewSliceSource(recs)); err != nil {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+		}
+	}
+	return nil
+}
+
+// replayFleetFile streams a recorded trace (text or wire format by
+// extension), pacing domain time against the wall clock via compress.
+func replayFleetFile(ctx context.Context, f *fleet.Fleet, path string, compress float64, simNow *atomic.Uint64) error {
+	var src fleet.Source
+	if strings.HasSuffix(path, ".wire") {
+		fh, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer fh.Close()
+		src = fleet.NewReader(fh)
+	} else {
+		ts, err := fleet.OpenTail(path)
+		if err != nil {
+			return err
+		}
+		defer ts.Close()
+		src = ts
+	}
+	start := time.Now()
+	paced := pacedSource{src: src, compress: compress, start: start, ctx: ctx, simNow: simNow}
+	_, err := fleet.Pump(ctx, f, &paced)
+	return err
+}
+
+// pacedSource wraps a Source, sleeping until each record's domain time is
+// due under the compression factor and advancing the fleet's clock.
+type pacedSource struct {
+	src      fleet.Source
+	compress float64
+	start    time.Time
+	ctx      context.Context
+	simNow   *atomic.Uint64
+}
+
+func (p *pacedSource) Next() (fleet.Record, error) {
+	rec, err := p.src.Next()
+	if err != nil {
+		return rec, err
+	}
+	due := p.start.Add(time.Duration(rec.Event.Time / p.compress * float64(time.Second)))
+	if wait := time.Until(due); wait > 0 {
+		select {
+		case <-p.ctx.Done():
+			return fleet.Record{}, p.ctx.Err()
+		case <-time.After(wait):
+		}
+	}
+	for {
+		old := p.simNow.Load()
+		if math.Float64frombits(old) >= rec.Event.Time {
+			break
+		}
+		if p.simNow.CompareAndSwap(old, math.Float64bits(rec.Event.Time)) {
+			break
+		}
+	}
+	return rec, nil
+}
+
+// logFleetSummary prints the exit rollup: status histogram, availability,
+// and aggregate quality.
+func logFleetSummary(logger *slog.Logger, f *fleet.Fleet, led *obs.ScopedLedger, now float64) {
+	r := f.Rollup(now)
+	preds, fails := led.Totals()
+	attrs := []any{
+		"tenants", r.Tenants,
+		"cycles", r.Cycles,
+		"weightedAvailability", fmt.Sprintf("%.4f", r.WeightedAvailability),
+		"predictions", preds,
+		"failures", fails,
+		"foldedTenants", r.FoldedTenants,
+	}
+	if r.WeightedF1 != nil {
+		attrs = append(attrs, "weightedF1", fmt.Sprintf("%.3f", *r.WeightedF1))
+	}
+	for status, n := range r.ByStatus {
+		attrs = append(attrs, "status."+status, n)
+	}
+	logger.Info("fleet summary", attrs...)
+}

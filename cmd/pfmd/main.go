@@ -257,6 +257,11 @@ func run() error {
 	driftThreshold := flag.Float64("drift-threshold", 8, "score-drift CUSUM threshold [σ]")
 	driftShadowMin := flag.Int("drift-shadow-min", 20, "resolved shadow predictions before a promotion decision")
 	driftCooldown := flag.Int("drift-cooldown", 200, "cycles a layer is muted after a lifecycle episode")
+	fleetMode := flag.Bool("fleet", false, "run the multi-tenant fleet runtime instead of the single-instance pipeline")
+	tenants := flag.Int("tenants", 100, "fleet size (with -fleet)")
+	skew := flag.Float64("skew", 1, "Zipf exponent of the tenant load profile (with -fleet)")
+	fleetScopes := flag.Int("fleet-scopes", 64, "dedicated per-tenant quality-ledger scopes before folding (with -fleet)")
+	fleetTrace := flag.String("fleet-trace", "", "replay a recorded trace file instead of simulating (.trace text or .wire binary, see loggen -tenants)")
 	flag.Parse()
 	if *days <= 0 || *compress <= 0 {
 		return fmt.Errorf("days and compress must be positive")
@@ -271,6 +276,17 @@ func run() error {
 	}
 	if *traceDump > *traceCap {
 		*traceCap = *traceDump
+	}
+	if *fleetMode {
+		return runFleet(fleetOptions{
+			addr: *addr, tenants: *tenants, skew: *skew, seed: *seed,
+			days: *days, compress: *compress, queueCap: *queueCap,
+			policy: policy, workers: *workers, shards: *shards,
+			evalEvery: *evalEvery, scopes: *fleetScopes,
+			traceCap: *traceCap, traceSample: *traceSample,
+			ledgerWindow: *ledgerWindow, ledgerSlack: *ledgerSlack,
+			traceFile: *fleetTrace, logger: logger,
+		})
 	}
 
 	scpCfg := scp.DefaultConfig()

@@ -1,0 +1,97 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/mat"
+)
+
+// LayerTemplate describes one prediction layer shared by every tenant.
+// Each tenant gets its own core.Layer instance (own version, error
+// counters, and — when Predictor is supplied — own retrainable predictor),
+// but the scoring function is fleet-wide so a batch scorer can amortize
+// model overhead across tenants.
+type LayerTemplate struct {
+	// Name is the layer's ledger/journal identity ("os", "application", …).
+	Name string
+	// Threshold is the per-layer decision boundary (score ≥ Threshold
+	// votes failure-prone).
+	Threshold float64
+	// Score evaluates one tenant. Optional when ScoreBatch is set (a
+	// single-tenant fallback is synthesized for the per-tenant engines).
+	Score func(st TenantState, now float64) (float64, error)
+	// ScoreBatch evaluates a chunk of tenants in one call — e.g. gather
+	// each tenant's feature row and run ubf's PredictRowsInto once per
+	// chunk (see NewRowScorer). out is index-aligned with states; a
+	// returned error abstains the whole chunk (every score NaN).
+	ScoreBatch func(states []TenantState, now float64, out []float64) error
+	// NewPredictor optionally builds a per-tenant retrainable predictor
+	// installed as the layer's serving handle (enables lifecycle
+	// retrain/hot-swap for that tenant). Nil wraps Score.
+	NewPredictor func(st TenantState) core.LayerPredictor
+}
+
+// instantiate builds one tenant's core.Layer from the template.
+func (tmpl LayerTemplate) instantiate(st TenantState) *core.Layer {
+	l := &core.Layer{Name: tmpl.Name, Threshold: tmpl.Threshold}
+	if tmpl.NewPredictor != nil {
+		l.Predictor = tmpl.NewPredictor(st)
+	}
+	score := tmpl.Score
+	if score == nil {
+		batch := tmpl.ScoreBatch
+		score = func(st TenantState, now float64) (float64, error) {
+			var out [1]float64
+			if err := batch([]TenantState{st}, now, out[:]); err != nil {
+				return math.NaN(), err
+			}
+			return out[0], nil
+		}
+	}
+	l.Evaluate = func(now float64) (float64, error) { return score(st, now) }
+	return l
+}
+
+// RowModel scores a matrix of feature rows in one call. *ubf.Network
+// satisfies it.
+type RowModel interface {
+	PredictRowsInto(m *mat.Matrix, out []float64) error
+}
+
+// NewRowScorer adapts a shared row model into a ScoreBatch: features
+// extracts one tenant's feature row (length must equal cols), the chunk's
+// rows are packed into one matrix, and the model scores them in a single
+// pass — the cross-tenant batching that keeps per-event fleet cost close
+// to the single-tenant runtime's.
+//
+// A tenant whose features returns an error abstains alone (NaN) without
+// failing the chunk; rows excluded this way are scored as zero vectors
+// internally but their outputs are overwritten with NaN.
+func NewRowScorer(model RowModel, cols int, features func(st TenantState, now float64, row []float64) error) (func([]TenantState, float64, []float64) error, error) {
+	if model == nil || cols < 1 || features == nil {
+		return nil, fmt.Errorf("%w: row scorer needs a model, cols >= 1, and a feature extractor", ErrFleet)
+	}
+	return func(states []TenantState, now float64, out []float64) error {
+		if len(states) == 0 {
+			return nil
+		}
+		m := mat.New(len(states), cols)
+		bad := make([]bool, len(states))
+		for i, st := range states {
+			if err := features(st, now, m.Data[i*cols:(i+1)*cols]); err != nil {
+				bad[i] = true
+			}
+		}
+		if err := model.PredictRowsInto(m, out[:len(states)]); err != nil {
+			return err
+		}
+		for i := range states {
+			if bad[i] {
+				out[i] = math.NaN()
+			}
+		}
+		return nil
+	}, nil
+}

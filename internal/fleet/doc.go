@@ -1,0 +1,41 @@
+// Package fleet multiplexes thousands of monitored tenants — each a
+// logical MEA runtime with its own core.Engine, layer set, and
+// prediction-quality ledger view — over one shared substrate, the step
+// from the paper's single-instance architecture (Sect. 6) to a
+// production-scale service monitoring a whole fleet.
+//
+// Shared infrastructure, per-tenant semantics:
+//
+//   - Ingest: tenant events are routed onto a fixed set of shard consumers
+//     by a consistent-hash ring (tenant → shard), so each tenant's stream
+//     applies in order on exactly one consumer while shards drain in
+//     parallel. Consumers drain their queue in chunks, amortizing the
+//     state-lock acquisition across a whole batch of events.
+//   - Evaluate: one worker pool (runtime.Pool) scores every tenant's
+//     layers per cycle. A layer template with a batch scorer
+//     (LayerTemplate.ScoreBatch, e.g. over ubf.PredictRowsInto or
+//     hsmm.ScoreAll) scores a chunk of tenants in one call, amortizing
+//     per-predictor overhead across the fleet.
+//   - Act: each tenant's core.Engine makes its own serialized cross-layer
+//     decision; decisions of different tenants run concurrently on the
+//     pool (their state is disjoint).
+//   - Observability: one metrics registry, one span tracer, one
+//     obs.ScopedLedger (per-tenant journals under a cardinality cap), and
+//     one /fleet HTTP plane with per-tenant health, quality, versions, and
+//     a criticality-weighted fleet availability rollup.
+//   - Lifecycle: optional per-tenant drift/retrain managers sharing one
+//     global lifecycle.Budget, so a fleet-wide drift storm cannot fork
+//     unbounded concurrent refits.
+//
+// Ingest is pluggable (Source): an in-process feeder (SliceSource, or
+// SCPRecords over internal/scp's multi-tenant simulator), a file-tail
+// reader of the pipe-separated text line protocol (tail.go), and a compact
+// binary wire format with a line-rate replay reader (wire.go). Pump drives
+// any Source into a Fleet.
+//
+// Determinism: with evaluation driven explicitly (EvaluateCycle after
+// Barrier), per-tenant decisions, counters, and ledger tables are
+// bit-identical across shard counts, worker counts, batch sizes, and
+// GOMAXPROCS — the internal/par contract extended to the fleet. See
+// determinism_test.go.
+package fleet

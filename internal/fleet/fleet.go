@@ -1,0 +1,777 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	stdruntime "runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/act"
+	"repro/internal/core"
+	"repro/internal/eventlog"
+	"repro/internal/lifecycle"
+	"repro/internal/obs"
+	"repro/internal/runtime"
+)
+
+// ErrFleet is wrapped by all package errors.
+var ErrFleet = errors.New("fleet: invalid operation")
+
+// ErrUnknownTenant is returned by Ingest/RecordFailure for an unregistered
+// tenant ID.
+var ErrUnknownTenant = fmt.Errorf("%w: unknown tenant", ErrFleet)
+
+// Event is one unit of fleet ingest: a tenant-labeled error-log event or
+// monitoring-variable sample, the same two inputs as the single-runtime
+// pipeline.
+type Event struct {
+	Tenant string
+	Kind   runtime.EventKind
+	// Time is the domain timestamp [s].
+	Time float64
+	// Error is set for KindError.
+	Error eventlog.Event
+	// Variable/Value are set for KindSample.
+	Variable string
+	Value    float64
+}
+
+// TenantState is a tenant's predictor-visible monitoring state (e.g. its
+// mirrored error log and SAR series), owned by the fleet's locking: Apply
+// runs under the shared side of the state lock on the tenant's shard,
+// evaluation under the exclusive side.
+type TenantState any
+
+// TenantSpec registers one tenant.
+type TenantSpec struct {
+	// ID must be unique, non-empty, and free of '|', newline, and 0x1f
+	// (the trace formats use them as separators).
+	ID string
+	// Criticality weights the tenant in the fleet availability rollup
+	// (the Noisy-OR paper's service-criticality idea: losing a critical
+	// service hurts more). Zero defaults to 1.
+	Criticality float64
+}
+
+// Config parameterizes a fleet.
+type Config struct {
+	// Tenants is the fleet membership, fixed at construction. The
+	// consistent-hash ring makes later membership changes cheap to add
+	// (only ~1/Shards of tenants move per shard-count change), but this
+	// implementation keeps registration static for determinism.
+	Tenants []TenantSpec
+	// Layers are the shared layer templates instantiated per tenant.
+	Layers []LayerTemplate
+	// NewState builds a tenant's monitoring state.
+	NewState func(t TenantSpec) (TenantState, error)
+	// Apply integrates one event into its tenant's state. Events of one
+	// tenant apply serialized and in order; different tenants may apply
+	// concurrently (on different shards). Apply never overlaps layer
+	// scoring — same locking contract as runtime.Config.Apply.
+	Apply func(st TenantState, ev Event) error
+	// Engine is the per-tenant MEA configuration (EvalInterval here is
+	// the domain-clock cadence recorded in decisions; the wall-clock
+	// cycle cadence is EvalInterval below).
+	Engine core.Config
+	// NewCombiner optionally builds a per-tenant score combiner
+	// (stacker). Nil uses the engine's voting default.
+	NewCombiner func(t TenantSpec) core.Combiner
+	// NewActions optionally supplies a tenant's countermeasure set. Nil
+	// installs a no-op "observe" action — the fleet plane is then a pure
+	// monitoring/prediction tier.
+	NewActions func(t TenantSpec) (*act.Selector, []*act.Action, error)
+	// NewLifecycle optionally builds a per-tenant drift/retrain manager
+	// over the tenant's layers and scoped ledger. Only tenants with a
+	// dedicated ledger scope get one (folded tenants share quality rows,
+	// which would corrupt promotion decisions). Share one
+	// lifecycle.Budget across tenants via the Config you capture here.
+	NewLifecycle func(t TenantSpec, layers []*core.Layer, led *obs.Ledger) (*lifecycle.Manager, error)
+
+	// Shards is the number of ingest shard queues/consumers (default
+	// min(GOMAXPROCS, 8)). QueueCapacity bounds each shard's queue
+	// (default 1024); Overflow is the full-queue policy (default Block).
+	Shards        int
+	QueueCapacity int
+	Overflow      runtime.OverflowPolicy
+	// Vnodes is the consistent-hash ring's per-shard virtual node count
+	// (default 64).
+	Vnodes int
+	// Workers sizes the shared evaluation pool (default GOMAXPROCS; 1
+	// runs inline).
+	Workers int
+	// BatchSize is the cross-tenant amortization unit: shard consumers
+	// drain up to BatchSize events per lock acquisition, and batch layer
+	// scoring chunks tenants into BatchSize groups (default 64).
+	BatchSize int
+	// EvalInterval is the wall-clock cycle cadence; zero disables the
+	// ticker (cycles then run via EvaluateNow/EvaluateCycle only).
+	EvalInterval time.Duration
+	// Clock maps wall time to domain time (default: seconds since Start).
+	Clock func() float64
+
+	// Metrics receives fleet observability (nil allocates a fresh set);
+	// Tracer samples end-to-end event spans (nil disables); Ledger keeps
+	// per-tenant prediction quality under its cardinality cap (nil
+	// disables journaling).
+	Metrics *runtime.Metrics
+	Tracer  *obs.Tracer
+	Ledger  *obs.ScopedLedger
+	// JournalLayers journals per-layer rows for every tenant with a
+	// dedicated ledger scope (combined decisions are always journaled).
+	// Tenants with a lifecycle manager journal per-layer regardless —
+	// promotion decisions need the incumbent rows.
+	JournalLayers bool
+
+	// StaleAfter marks a tenant "stale" when no event arrived for this
+	// many domain seconds (default 900). FailureHold keeps a tenant
+	// "failed" for this many domain seconds after a recorded failure
+	// (default max(LeadTime, 300)).
+	StaleAfter  float64
+	FailureHold float64
+}
+
+// tenant is one registered tenant's runtime slice.
+type tenant struct {
+	spec      TenantSpec
+	index     int
+	shard     int
+	state     TenantState
+	layers    []*core.Layer
+	engine    *core.Engine
+	led       *obs.Ledger // scoped journal; nil without Config.Ledger
+	dedicated bool
+	journal   bool // journal per-layer rows
+	lcm       *lifecycle.Manager
+	cands     []lifecycle.CandidateScore // this cycle's shadow scores
+	row       []float64                  // per-cycle score row scratch
+
+	events      atomic.Int64
+	warnings    atomic.Int64
+	actions     atomic.Int64
+	failures    atomic.Int64
+	lastEvent   atomic.Uint64 // Float64bits; NaN until the first event
+	lastFailure atomic.Uint64 // Float64bits; NaN until the first failure
+	lastWarned  atomic.Bool
+	lastConf    atomic.Uint64 // Float64bits of the last combined confidence
+}
+
+func storeTime(a *atomic.Uint64, t float64) { a.Store(math.Float64bits(t)) }
+func loadTime(a *atomic.Uint64) float64     { return math.Float64frombits(a.Load()) }
+
+// Fleet is the multi-tenant MEA runtime. Construct with New, drive with
+// Start/Ingest (or Pump), observe via Handler, finish with Stop.
+type Fleet struct {
+	cfg     Config
+	tenants []*tenant
+	byID    map[string]*tenant
+	ring    *ring
+	queues  []*shardQueue
+	pool    *runtime.Pool
+	metrics *runtime.Metrics
+
+	// stateMu guards every tenant's state: shard consumers apply chunks
+	// under the shared side, cycle evaluation under the exclusive side.
+	stateMu sync.RWMutex
+
+	// layerScores is the cross-tenant score matrix, laid out layer-major:
+	// layerScores[l*len(tenants)+t]. Written by pool workers at disjoint
+	// indices during evaluation, read during the act fan-out.
+	layerScores []float64
+	// states is the index-aligned state slice handed to batch scorers.
+	states []TenantState
+
+	consumersWg sync.WaitGroup
+	wg          sync.WaitGroup
+	evalReq     chan struct{}
+	evalStop    chan struct{}
+	cycleMu     sync.Mutex // serializes ticker cycles with EvaluateCycle
+	hardCtx     context.Context
+	hardStop    context.CancelFunc
+
+	unknown *runtime.Counter // ingest for unregistered tenants
+
+	started   atomic.Bool
+	stopping  atomic.Bool
+	stopOnce  sync.Once
+	stopErr   error
+	startWall time.Time
+	cycles    atomic.Int64
+	lastCycle atomic.Int64 // unix nanos of the last completed cycle
+}
+
+// New validates the configuration and assembles the fleet (not yet
+// running; call Start).
+func New(cfg Config) (*Fleet, error) {
+	if len(cfg.Tenants) == 0 {
+		return nil, fmt.Errorf("%w: no tenants", ErrFleet)
+	}
+	if len(cfg.Layers) == 0 {
+		return nil, fmt.Errorf("%w: no layer templates", ErrFleet)
+	}
+	if cfg.NewState == nil || cfg.Apply == nil {
+		return nil, fmt.Errorf("%w: nil NewState/Apply", ErrFleet)
+	}
+	if cfg.QueueCapacity < 0 || cfg.Shards < 0 || cfg.Workers < 0 || cfg.BatchSize < 0 || cfg.EvalInterval < 0 {
+		return nil, fmt.Errorf("%w: negative sizing", ErrFleet)
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = stdruntime.GOMAXPROCS(0)
+		if cfg.Shards > 8 {
+			cfg.Shards = 8
+		}
+	}
+	if cfg.QueueCapacity == 0 {
+		cfg.QueueCapacity = 1024
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = stdruntime.GOMAXPROCS(0)
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 64
+	}
+	if cfg.StaleAfter == 0 {
+		cfg.StaleAfter = 900
+	}
+	if cfg.FailureHold == 0 {
+		cfg.FailureHold = cfg.Engine.LeadTime
+		if cfg.FailureHold < 300 {
+			cfg.FailureHold = 300
+		}
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = runtime.NewMetrics()
+	}
+	for i, tmpl := range cfg.Layers {
+		if tmpl.Name == "" || (tmpl.Score == nil && tmpl.ScoreBatch == nil) {
+			return nil, fmt.Errorf("%w: layer template %d needs a name and a scorer", ErrFleet, i)
+		}
+	}
+	f := &Fleet{
+		cfg:     cfg,
+		tenants: make([]*tenant, 0, len(cfg.Tenants)),
+		byID:    make(map[string]*tenant, len(cfg.Tenants)),
+		ring:    newRing(cfg.Shards, cfg.Vnodes),
+		queues:  make([]*shardQueue, cfg.Shards),
+		metrics: cfg.Metrics,
+		evalReq: make(chan struct{}, 1),
+	}
+	reg := f.metrics.Registry()
+	// Shard gauges are registered eagerly for every shard — including the
+	// ones no tenant hashes to — so dashboards see an explicit 0 instead
+	// of a gap (same guarantee the single runtime gives its shards).
+	depthHelp := "Events waiting per fleet ingest shard."
+	dropHelp := "Events dropped per fleet ingest shard (all reasons)."
+	for s := range f.queues {
+		drops := reg.Counter("pfm_fleet_shard_dropped_total", dropHelp, "shard", strconv.Itoa(s))
+		f.queues[s] = newShardQueue(cfg.QueueCapacity, cfg.Overflow, drops, cfg.Tracer, s)
+		q := f.queues[s]
+		reg.GaugeFunc("pfm_fleet_shard_queue_depth", depthHelp,
+			func() float64 { return float64(q.depth()) }, "shard", strconv.Itoa(s))
+		depthHelp, dropHelp = "", ""
+	}
+	f.unknown = reg.Counter("pfm_fleet_unknown_tenant_total",
+		"Events rejected because their tenant is not registered.")
+	for i, spec := range cfg.Tenants {
+		tn, err := f.buildTenant(i, spec)
+		if err != nil {
+			return nil, err
+		}
+		f.tenants = append(f.tenants, tn)
+		f.byID[spec.ID] = tn
+	}
+	f.layerScores = make([]float64, len(cfg.Layers)*len(f.tenants))
+	f.states = make([]TenantState, len(f.tenants))
+	for i, tn := range f.tenants {
+		f.states[i] = tn.state
+	}
+	reg.GaugeFunc("pfm_fleet_tenants", "Registered tenants.",
+		func() float64 { return float64(len(f.tenants)) })
+	reg.GaugeFunc("pfm_fleet_weighted_availability",
+		"Criticality-weighted fraction of tenants not currently failed.",
+		func() float64 { return f.Rollup(f.now()).WeightedAvailability })
+	if cfg.Ledger != nil {
+		reg.GaugeFunc("pfm_fleet_ledger_folded",
+			"Tenants sharing the overflow ledger scope (cardinality cap).",
+			func() float64 { return float64(cfg.Ledger.Folded()) })
+	}
+	return f, nil
+}
+
+// buildTenant assembles one tenant's state, layers, engine, journal scope,
+// and (optionally) lifecycle manager.
+func (f *Fleet) buildTenant(i int, spec TenantSpec) (*tenant, error) {
+	if spec.ID == "" || strings.ContainsAny(spec.ID, "|\n\x1f") {
+		return nil, fmt.Errorf("%w: tenant %d has invalid ID %q", ErrFleet, i, spec.ID)
+	}
+	if _, dup := f.byID[spec.ID]; dup {
+		return nil, fmt.Errorf("%w: duplicate tenant %q", ErrFleet, spec.ID)
+	}
+	if spec.Criticality < 0 || math.IsNaN(spec.Criticality) || math.IsInf(spec.Criticality, 0) {
+		return nil, fmt.Errorf("%w: tenant %q criticality %g", ErrFleet, spec.ID, spec.Criticality)
+	}
+	if spec.Criticality == 0 {
+		spec.Criticality = 1
+	}
+	st, err := f.cfg.NewState(spec)
+	if err != nil {
+		return nil, fmt.Errorf("tenant %q state: %w", spec.ID, err)
+	}
+	tn := &tenant{
+		spec:  spec,
+		index: i,
+		shard: f.ring.shardOf(spec.ID),
+		state: st,
+		row:   make([]float64, len(f.cfg.Layers)),
+	}
+	storeTime(&tn.lastEvent, math.NaN())
+	storeTime(&tn.lastFailure, math.NaN())
+	tn.layers = make([]*core.Layer, len(f.cfg.Layers))
+	for li, tmpl := range f.cfg.Layers {
+		tn.layers[li] = tmpl.instantiate(st)
+	}
+	var combiner core.Combiner
+	if f.cfg.NewCombiner != nil {
+		combiner = f.cfg.NewCombiner(spec)
+	}
+	selector, actions, err := f.tenantActions(spec)
+	if err != nil {
+		return nil, fmt.Errorf("tenant %q actions: %w", spec.ID, err)
+	}
+	tn.engine, err = core.New(nil, tn.layers, combiner, selector, actions, nil, f.cfg.Engine)
+	if err != nil {
+		return nil, fmt.Errorf("tenant %q engine: %w", spec.ID, err)
+	}
+	if f.cfg.Ledger != nil {
+		tn.led = f.cfg.Ledger.Scope(spec.ID)
+		tn.dedicated = f.cfg.Ledger.Dedicated(spec.ID)
+		tn.journal = f.cfg.JournalLayers && tn.dedicated
+		if f.cfg.NewLifecycle != nil && tn.dedicated {
+			tn.lcm, err = f.cfg.NewLifecycle(spec, tn.layers, tn.led)
+			if err != nil {
+				return nil, fmt.Errorf("tenant %q lifecycle: %w", spec.ID, err)
+			}
+			if tn.lcm != nil {
+				tn.journal = true
+			}
+		}
+	}
+	return tn, nil
+}
+
+// tenantActions resolves a tenant's countermeasure set (default: one no-op
+// observe action, making the fleet a pure prediction plane).
+func (f *Fleet) tenantActions(spec TenantSpec) (*act.Selector, []*act.Action, error) {
+	if f.cfg.NewActions != nil {
+		return f.cfg.NewActions(spec)
+	}
+	sel, err := act.NewSelector(act.DefaultWeights())
+	if err != nil {
+		return nil, nil, err
+	}
+	observe, err := act.New("observe", act.StateCleanup,
+		act.Params{SuccessProb: 1}, func() error { return nil })
+	if err != nil {
+		return nil, nil, err
+	}
+	return sel, []*act.Action{observe}, nil
+}
+
+// now returns the fleet's domain time (0 before Start installs the clock).
+func (f *Fleet) now() float64 {
+	if f.cfg.Clock == nil {
+		return 0
+	}
+	return f.cfg.Clock()
+}
+
+// Metrics returns the fleet's metric set.
+func (f *Fleet) Metrics() *runtime.Metrics { return f.metrics }
+
+// Ledger returns the scoped prediction ledger (nil when disabled).
+func (f *Fleet) Ledger() *obs.ScopedLedger { return f.cfg.Ledger }
+
+// Tenants returns the number of registered tenants.
+func (f *Fleet) Tenants() int { return len(f.tenants) }
+
+// Shards returns the number of ingest shards.
+func (f *Fleet) Shards() int { return len(f.queues) }
+
+// ShardOf returns the shard the tenant's events are routed to, and whether
+// the tenant is registered.
+func (f *Fleet) ShardOf(tenantID string) (int, bool) {
+	tn, ok := f.byID[tenantID]
+	if !ok {
+		return 0, false
+	}
+	return tn.shard, true
+}
+
+// QueueDepth returns the ingest backlog summed across shards.
+func (f *Fleet) QueueDepth() int {
+	total := 0
+	for _, q := range f.queues {
+		total += q.depth()
+	}
+	return total
+}
+
+// Cycles returns the number of completed evaluation cycles.
+func (f *Fleet) Cycles() int64 { return f.cycles.Load() }
+
+// Start launches the shard consumers and the cycle loop. ctx cancellation
+// hard-stops the fleet; use Stop for graceful shutdown.
+func (f *Fleet) Start(ctx context.Context) error {
+	if !f.started.CompareAndSwap(false, true) {
+		return fmt.Errorf("%w: already started", ErrFleet)
+	}
+	f.startWall = time.Now()
+	if f.cfg.Clock == nil {
+		start := f.startWall
+		f.cfg.Clock = func() float64 { return time.Since(start).Seconds() }
+	}
+	f.hardCtx, f.hardStop = context.WithCancel(ctx)
+	f.evalStop = make(chan struct{})
+	if f.cfg.Workers > 1 {
+		f.pool = runtime.NewPool(f.cfg.Workers)
+	}
+	f.wg.Add(len(f.queues) + 2)
+	f.consumersWg.Add(len(f.queues))
+	for s := range f.queues {
+		go f.consumeLoop(f.queues[s])
+	}
+	go func() {
+		defer f.wg.Done()
+		f.consumersWg.Wait()
+		close(f.evalStop)
+	}()
+	go f.evaluateLoop()
+	go func() {
+		<-f.hardCtx.Done()
+		f.stopping.Store(true)
+		for _, q := range f.queues {
+			q.close()
+		}
+	}()
+	return nil
+}
+
+// Ingest offers one tenant event under the configured overflow policy.
+func (f *Fleet) Ingest(ctx context.Context, ev Event) error {
+	tn, ok := f.byID[ev.Tenant]
+	if !ok {
+		f.unknown.Inc()
+		return fmt.Errorf("%w: %q", ErrUnknownTenant, ev.Tenant)
+	}
+	it := item{ev: ev, tn: tn}
+	if f.cfg.Tracer.Sample() {
+		it.traceSampled = true
+		it.traceStart = f.cfg.Tracer.Now()
+	}
+	return f.queues[tn.shard].push(ctx, it, f.metrics)
+}
+
+// RecordFailure journals one observed ground-truth failure of a tenant at
+// domain time t (ledger input and health signal, not monitoring input).
+func (f *Fleet) RecordFailure(tenantID string, t float64) error {
+	tn, ok := f.byID[tenantID]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownTenant, tenantID)
+	}
+	tn.failures.Add(1)
+	for {
+		old := tn.lastFailure.Load()
+		prev := math.Float64frombits(old)
+		if !math.IsNaN(prev) && prev >= t {
+			break
+		}
+		if tn.lastFailure.CompareAndSwap(old, math.Float64bits(t)) {
+			break
+		}
+	}
+	tn.led.RecordFailure(t)
+	return nil
+}
+
+// consumeLoop drains one shard in chunks: each chunk applies under a
+// single shared-lock acquisition, amortizing synchronization across up to
+// BatchSize events — the fleet's per-event overhead win.
+func (f *Fleet) consumeLoop(q *shardQueue) {
+	defer f.wg.Done()
+	defer f.consumersWg.Done()
+	tr := f.cfg.Tracer
+	buf := make([]item, f.cfg.BatchSize)
+	for {
+		n := q.drainInto(buf)
+		if n == 0 {
+			return
+		}
+		if f.hardCtx.Err() != nil {
+			// Hard stop: shed the chunk unapplied so shutdown is prompt.
+			for i := 0; i < n; i++ {
+				f.metrics.DroppedShutdown.Inc()
+				q.dropped()
+				q.traceDrop(buf[i])
+				q.settled()
+			}
+			continue
+		}
+		var dequeued int64
+		if tr != nil {
+			dequeued = tr.Now()
+		}
+		start := time.Now()
+		f.stateMu.RLock()
+		for i := 0; i < n; i++ {
+			it := buf[i]
+			if err := f.cfg.Apply(it.tn.state, it.ev); err != nil {
+				f.metrics.ApplyErrors.Inc()
+			}
+			it.tn.events.Add(1)
+			storeTime(&it.tn.lastEvent, it.ev.Time)
+		}
+		f.stateMu.RUnlock()
+		f.metrics.Applied.Add(int64(n))
+		// One latency observation per chunk: the amortized unit of work.
+		f.metrics.ApplyLatency.Observe(time.Since(start).Seconds())
+		for i := 0; i < n; i++ {
+			if buf[i].traceSampled {
+				tr.PublishApplied(uint8(buf[i].ev.Kind), buf[i].ev.Tenant, q.shard,
+					buf[i].traceStart, buf[i].traceOffered, dequeued, tr.Now())
+			}
+			q.settled()
+		}
+	}
+}
+
+// EvaluateNow requests an asynchronous cycle (coalesces if one is pending).
+func (f *Fleet) EvaluateNow() {
+	select {
+	case f.evalReq <- struct{}{}:
+	default:
+	}
+}
+
+// evaluateLoop runs cycles on the ticker and on demand, plus one final
+// cycle after ingest drains on shutdown.
+func (f *Fleet) evaluateLoop() {
+	defer f.wg.Done()
+	var tick <-chan time.Time
+	if f.cfg.EvalInterval > 0 {
+		t := time.NewTicker(f.cfg.EvalInterval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-f.hardCtx.Done():
+			return
+		case <-f.evalStop:
+			f.EvaluateCycle()
+			return
+		case <-tick:
+		case <-f.evalReq:
+		}
+		f.EvaluateCycle()
+	}
+}
+
+// EvaluateCycle runs one full synchronous MEA cycle over every tenant:
+// batched cross-tenant layer scoring and lifecycle collection under the
+// exclusive state lock, then the per-tenant act fan-out and the ledger
+// watermark advance. Concurrent calls (ticker vs. caller) serialize.
+//
+// Determinism: scoring writes disjoint matrix slots, the act fan-out
+// touches disjoint tenant state, and journaling goes to per-tenant scoped
+// ledgers — so for a fixed ingested prefix (see Barrier) the cycle's
+// observable outcome is independent of Shards, Workers, BatchSize, and
+// GOMAXPROCS.
+func (f *Fleet) EvaluateCycle() {
+	f.cycleMu.Lock()
+	defer f.cycleMu.Unlock()
+	tr := f.cfg.Tracer
+	evalStart := tr.Now()
+	now := f.now()
+	nT := len(f.tenants)
+	start := time.Now()
+	f.stateMu.Lock()
+	for li := range f.cfg.Layers {
+		f.scoreLayer(li, now)
+	}
+	// Lifecycle capture/shadow scoring needs the same exclusion the layer
+	// scores just used (it reads predictor state).
+	f.pool.Do(nT, func(i int) {
+		tn := f.tenants[i]
+		if tn.lcm != nil {
+			tn.cands = tn.lcm.Collect(now)
+		}
+	})
+	f.stateMu.Unlock()
+	f.metrics.EvalLatency.Observe(time.Since(start).Seconds())
+	evalEnd := tr.Now()
+
+	actWall := time.Now()
+	actStart := tr.Now()
+	f.pool.Do(nT, func(i int) {
+		f.actTenant(f.tenants[i], now)
+	})
+	f.cfg.Ledger.Advance(now)
+	f.metrics.Evaluations.Inc()
+	f.metrics.ActLatency.Observe(time.Since(actWall).Seconds())
+	tr.CompleteCycle(evalStart, evalEnd, actStart, tr.Now())
+	f.cycles.Add(1)
+	f.lastCycle.Store(time.Now().UnixNano())
+}
+
+// scoreLayer fills layer li's row of the score matrix across all tenants:
+// batch scorers run once per BatchSize chunk of tenants, per-tenant
+// scorers once per tenant — both fanned across the shared pool with
+// index-addressed writes.
+func (f *Fleet) scoreLayer(li int, now float64) {
+	tmpl := f.cfg.Layers[li]
+	nT := len(f.tenants)
+	out := f.layerScores[li*nT : (li+1)*nT]
+	if tmpl.ScoreBatch != nil {
+		b := f.cfg.BatchSize
+		chunks := (nT + b - 1) / b
+		f.pool.Do(chunks, func(c int) {
+			lo := c * b
+			hi := lo + b
+			if hi > nT {
+				hi = nT
+			}
+			if err := tmpl.ScoreBatch(f.states[lo:hi], now, out[lo:hi]); err != nil {
+				for i := lo; i < hi; i++ {
+					out[i] = math.NaN() // whole chunk abstains
+				}
+			}
+		})
+		return
+	}
+	f.pool.Do(nT, func(i int) {
+		s, err := tmpl.Score(f.states[i], now)
+		if err != nil {
+			s = math.NaN()
+		}
+		out[i] = s
+	})
+}
+
+// actTenant runs one tenant's serialized act stage for this cycle:
+// cross-layer decision, counters, and scoped-ledger journaling.
+func (f *Fleet) actTenant(tn *tenant, now float64) {
+	nT := len(f.tenants)
+	for li := range f.cfg.Layers {
+		tn.row[li] = f.layerScores[li*nT+tn.index]
+	}
+	d := tn.engine.ActOn(now, tn.row)
+	if d.Warned {
+		tn.warnings.Add(1)
+		f.metrics.Warnings.Inc()
+	}
+	if d.Executed {
+		tn.actions.Add(1)
+		f.metrics.Actions.Inc()
+	}
+	if d.Suppressed {
+		f.metrics.Suppressed.Inc()
+	}
+	tn.lastWarned.Store(d.Warned)
+	tn.lastConf.Store(math.Float64bits(d.Confidence))
+	if tn.led != nil {
+		if tn.journal {
+			for li, l := range tn.layers {
+				if !math.IsNaN(tn.row[li]) {
+					tn.led.RecordPrediction(l.Name, now, tn.row[li] >= l.Threshold, tn.row[li])
+				}
+			}
+			for _, c := range tn.cands {
+				if c.Err == nil {
+					tn.led.RecordPrediction(c.Name, now, c.Score >= c.Threshold, c.Score)
+				}
+			}
+		}
+		tn.led.RecordPrediction(obs.CombinedLayer, now, d.Warned, d.Confidence)
+	}
+	if tn.lcm != nil {
+		tn.lcm.ObserveCycle(now, tn.row)
+	}
+	tn.cands = nil
+}
+
+// Barrier blocks until every event admitted before the call has been fully
+// processed (applied or shed) — the quiescence point deterministic replay
+// evaluates at. The caller must pause ingest for the guarantee to be
+// meaningful.
+func (f *Fleet) Barrier(ctx context.Context) error {
+	for {
+		quiet := true
+		for _, q := range f.queues {
+			if q.pending.Load() != 0 {
+				quiet = false
+				break
+			}
+		}
+		if quiet {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(50 * time.Microsecond):
+		}
+	}
+}
+
+// Stop shuts the fleet down gracefully: reject new ingest, drain every
+// shard through Apply, run one final cycle, then release the pool. If ctx
+// expires first the fleet is hard-stopped and ctx's error returned.
+func (f *Fleet) Stop(ctx context.Context) error {
+	if !f.started.Load() {
+		return fmt.Errorf("%w: not started", ErrFleet)
+	}
+	f.stopOnce.Do(func() {
+		f.stopping.Store(true)
+		for _, q := range f.queues {
+			q.close()
+		}
+		done := make(chan struct{})
+		go func() {
+			f.wg.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			f.hardStop()
+			<-done
+			f.stopErr = ctx.Err()
+		}
+		f.hardStop()
+		if f.pool != nil {
+			f.pool.Close()
+		}
+		for _, tn := range f.tenants {
+			if tn.lcm != nil {
+				tn.lcm.Wait()
+			}
+		}
+	})
+	return f.stopErr
+}
+
+// Running reports whether the fleet is started and not yet stopping.
+func (f *Fleet) Running() bool { return f.started.Load() && !f.stopping.Load() }
+
+// Uptime returns the wall-clock time since Start.
+func (f *Fleet) Uptime() time.Duration {
+	if !f.started.Load() {
+		return 0
+	}
+	return time.Since(f.startWall)
+}

@@ -1,0 +1,104 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/runtime"
+)
+
+// BenchmarkFleetThroughput measures sustained multi-tenant ingest through
+// the shared substrate — consistent-hash routing, chunked shard draining,
+// one Apply per event — with end-to-end span tracing ON (matching the
+// tracing-on arm of BenchmarkRuntimeThroughput). The acceptance target:
+// per-event cost with 1000 tenants < 2× the single-tenant runtime's.
+func BenchmarkFleetThroughput(b *testing.B) {
+	for _, tenants := range []int{1, 1000} {
+		b.Run(fmt.Sprintf("tenants-%d", tenants), func(b *testing.B) {
+			clock := newTestClock(0)
+			sp := make([]TenantSpec, tenants)
+			ids := make([]string, tenants)
+			for i := range sp {
+				ids[i] = fmt.Sprintf("t%04d", i)
+				sp[i] = TenantSpec{ID: ids[i]}
+			}
+			var applied atomic.Int64
+			cfg := testFleetConfig(sp, clock)
+			cfg.Apply = func(TenantState, Event) error {
+				applied.Add(1)
+				return nil
+			}
+			cfg.QueueCapacity = 4096
+			cfg.Overflow = runtime.Block
+			cfg.Tracer = obs.NewTracer(256)
+			f, err := New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			if err := f.Start(ctx); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				ev := Event{
+					Tenant: ids[i%tenants], Kind: runtime.KindSample,
+					Time: float64(i), Variable: "x", Value: 1,
+				}
+				if err := f.Ingest(ctx, ev); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := f.Stop(ctx); err != nil {
+				b.Fatal(err)
+			}
+			elapsed := time.Since(start).Seconds()
+			b.StopTimer()
+			if applied.Load() != int64(b.N) {
+				b.Fatalf("applied %d of %d", applied.Load(), b.N)
+			}
+			b.ReportMetric(float64(b.N)/elapsed, "events/sec")
+			b.ReportMetric(float64(tenants), "tenants")
+		})
+	}
+}
+
+// BenchmarkFleetCycle measures one full batched evaluation cycle across
+// 1000 tenants (layer scoring + lifecycle + act fan-out).
+func BenchmarkFleetCycle(b *testing.B) {
+	const tenants = 1000
+	clock := newTestClock(0)
+	sp := make([]TenantSpec, tenants)
+	for i := range sp {
+		sp[i] = TenantSpec{ID: fmt.Sprintf("t%04d", i)}
+	}
+	cfg := testFleetConfig(sp, clock)
+	cfg.Layers = []LayerTemplate{{
+		Name: "load", Threshold: 2, // never warns; measures the machinery
+		ScoreBatch: func(states []TenantState, now float64, out []float64) error {
+			for i := range states {
+				out[i] = 0.1
+			}
+			return nil
+		},
+	}}
+	f, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := f.Start(ctx); err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = f.Stop(context.Background()) }()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clock.Set(float64(i))
+		f.EvaluateCycle()
+	}
+}

@@ -1,0 +1,454 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/runtime"
+)
+
+// tstate is the test tenant state: a running mean of sample values plus an
+// error count — enough for a deterministic layer score.
+type tstate struct {
+	id   string
+	n    int64
+	sum  float64
+	errs int64
+}
+
+// meanScore scores a tenant by its running sample mean (NaN-abstains
+// before any sample).
+func meanScore(st TenantState, _ float64) (float64, error) {
+	s := st.(*tstate)
+	if s.n == 0 {
+		return math.NaN(), nil
+	}
+	return s.sum / float64(s.n), nil
+}
+
+// testClock is a settable domain clock safe for concurrent reads.
+type testClock struct{ bits atomic.Uint64 }
+
+func newTestClock(t float64) *testClock {
+	c := &testClock{}
+	c.Set(t)
+	return c
+}
+func (c *testClock) Set(t float64) { c.bits.Store(math.Float64bits(t)) }
+func (c *testClock) Now() float64  { return math.Float64frombits(c.bits.Load()) }
+
+// testFleetConfig builds a baseline single-layer config over tstate;
+// callers override fields before New.
+func testFleetConfig(specs []TenantSpec, clock *testClock) Config {
+	return Config{
+		Tenants: specs,
+		Layers: []LayerTemplate{{
+			Name: "load", Threshold: 0.5, Score: meanScore,
+		}},
+		NewState: func(t TenantSpec) (TenantState, error) {
+			return &tstate{id: t.ID}, nil
+		},
+		Apply: func(st TenantState, ev Event) error {
+			s := st.(*tstate)
+			if ev.Kind == runtime.KindError {
+				s.errs++
+				return nil
+			}
+			s.n++
+			s.sum += ev.Value
+			return nil
+		},
+		Engine: core.Config{EvalInterval: 1, LeadTime: 300, WarnThreshold: 0.5},
+		Clock:  clock.Now,
+	}
+}
+
+func specs(ids ...string) []TenantSpec {
+	out := make([]TenantSpec, len(ids))
+	for i, id := range ids {
+		out[i] = TenantSpec{ID: id}
+	}
+	return out
+}
+
+// sample builds one sample event.
+func sample(tenant string, t, v float64) Event {
+	return Event{Tenant: tenant, Kind: runtime.KindSample, Time: t, Variable: "x", Value: v}
+}
+
+// TestFleetEndToEnd drives three tenants through ingest → barrier → cycle
+// and checks routing, statuses, quality journaling, the criticality
+// rollup, and the /fleet endpoint.
+func TestFleetEndToEnd(t *testing.T) {
+	clock := newTestClock(0)
+	led, err := obs.NewScopedLedger(obs.LedgerConfig{LeadTime: 300, Slack: 60}, 2, "load")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testFleetConfig([]TenantSpec{
+		{ID: "a", Criticality: 3}, {ID: "b"}, {ID: "c"},
+	}, clock)
+	cfg.Shards = 2
+	cfg.Workers = 2
+	cfg.BatchSize = 4
+	cfg.Ledger = led
+	cfg.JournalLayers = true
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := f.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// a runs hot (mean 1 ≥ threshold), b and c stay quiet.
+	for i := 0; i < 10; i++ {
+		ti := float64(i)
+		for _, ev := range []Event{
+			sample("a", ti, 1), sample("b", ti, 0), sample("c", ti, 0),
+		} {
+			if err := f.Ingest(ctx, ev); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := f.Barrier(ctx); err != nil {
+		t.Fatal(err)
+	}
+	clock.Set(10)
+	f.EvaluateCycle()
+
+	if got := f.Cycles(); got != 1 {
+		t.Fatalf("cycles = %d, want 1", got)
+	}
+	for id, wantStatus := range map[string]string{"a": StatusWarning, "b": StatusOK, "c": StatusOK} {
+		v, ok := f.TenantStatus(id)
+		if !ok {
+			t.Fatalf("tenant %q missing", id)
+		}
+		if v.Status != wantStatus {
+			t.Errorf("tenant %q status = %q, want %q", id, v.Status, wantStatus)
+		}
+		if v.Events != 10 {
+			t.Errorf("tenant %q events = %d, want 10", id, v.Events)
+		}
+		shard, ok := f.ShardOf(id)
+		if !ok || shard != v.Shard {
+			t.Errorf("tenant %q shard mismatch: ShardOf=%d view=%d", id, shard, v.Shard)
+		}
+	}
+	// The scope cap is 2: a and b get dedicated journals, c folds.
+	if va, _ := f.TenantStatus("a"); !va.DedicatedLedger {
+		t.Error("tenant a should have a dedicated ledger scope")
+	}
+	if vc, _ := f.TenantStatus("c"); vc.DedicatedLedger {
+		t.Error("tenant c should be folded into the overflow scope")
+	}
+	if led.Folded() != 1 {
+		t.Errorf("folded = %d, want 1", led.Folded())
+	}
+	// Per cycle: combined journaled for all 3; per-layer (load scored,
+	// not NaN) for the 2 dedicated tenants.
+	if preds, _ := led.Totals(); preds != 5 {
+		t.Errorf("journaled predictions = %d, want 5", preds)
+	}
+
+	// A failure on the most critical tenant drops weighted availability
+	// to (1+1)/(3+1+1).
+	if err := f.RecordFailure("a", 11); err != nil {
+		t.Fatal(err)
+	}
+	clock.Set(20)
+	if v, _ := f.TenantStatus("a"); v.Status != StatusFailed {
+		t.Errorf("tenant a status after failure = %q, want failed", v.Status)
+	}
+	r := f.Rollup(clock.Now())
+	if want := 0.4; math.Abs(r.WeightedAvailability-want) > 1e-12 {
+		t.Errorf("weighted availability = %g, want %g", r.WeightedAvailability, want)
+	}
+	if r.ByStatus[StatusFailed] != 1 {
+		t.Errorf("byStatus[failed] = %d, want 1", r.ByStatus[StatusFailed])
+	}
+
+	// /fleet endpoint: full listing, single-tenant view, status filter.
+	h := f.Handler()
+	var body fleetJSON
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/fleet", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/fleet status %d", rec.Code)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Tenants) != 3 || body.Rollup.Tenants != 3 {
+		t.Fatalf("/fleet listed %d tenants, rollup %d, want 3", len(body.Tenants), body.Rollup.Tenants)
+	}
+	for _, v := range body.Tenants {
+		if len(v.Versions) != 1 {
+			t.Errorf("tenant %q versions = %v, want one layer", v.ID, v.Versions)
+		}
+		if v.Quality == nil {
+			t.Errorf("tenant %q missing quality table", v.ID)
+		}
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/fleet?tenant=b", nil))
+	body = fleetJSON{}
+	_ = json.Unmarshal(rec.Body.Bytes(), &body)
+	if len(body.Tenants) != 1 || body.Tenants[0].ID != "b" {
+		t.Fatalf("/fleet?tenant=b returned %+v", body.Tenants)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/fleet?tenant=zzz", nil))
+	if rec.Code != 404 {
+		t.Fatalf("/fleet?tenant=zzz status %d, want 404", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/fleet?status=failed", nil))
+	body = fleetJSON{}
+	_ = json.Unmarshal(rec.Body.Bytes(), &body)
+	if len(body.Tenants) != 1 || body.Tenants[0].ID != "a" {
+		t.Fatalf("/fleet?status=failed returned %+v", body.Tenants)
+	}
+	// /metrics carries the fleet plane, including eagerly-registered
+	// per-shard series.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	for _, want := range []string{
+		"pfm_fleet_tenants 3",
+		`pfm_fleet_shard_queue_depth{shard="0"} 0`,
+		`pfm_fleet_shard_queue_depth{shard="1"} 0`,
+		"pfm_fleet_weighted_availability 0.4",
+	} {
+		if !strings.Contains(rec.Body.String(), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	if err := f.Stop(ctx); err != nil {
+		t.Fatal(err)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 503 {
+		t.Fatalf("/healthz after Stop = %d, want 503", rec.Code)
+	}
+}
+
+// TestFleetStatusTransitions: idle → ok → stale as the clock advances.
+func TestFleetStatusTransitions(t *testing.T) {
+	clock := newTestClock(0)
+	cfg := testFleetConfig(specs("a"), clock)
+	cfg.StaleAfter = 100
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := f.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = f.Stop(context.Background()) }()
+
+	if v, _ := f.TenantStatus("a"); v.Status != StatusIdle {
+		t.Errorf("before events: status = %q, want idle", v.Status)
+	}
+	if err := f.Ingest(ctx, sample("a", 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Barrier(ctx); err != nil {
+		t.Fatal(err)
+	}
+	clock.Set(50)
+	if v, _ := f.TenantStatus("a"); v.Status != StatusOK {
+		t.Errorf("fresh events: status = %q, want ok", v.Status)
+	}
+	clock.Set(200)
+	if v, _ := f.TenantStatus("a"); v.Status != StatusStale {
+		t.Errorf("silent stream: status = %q, want stale", v.Status)
+	}
+}
+
+// TestFleetValidation rejects malformed configurations.
+func TestFleetValidation(t *testing.T) {
+	clock := newTestClock(0)
+	base := func() Config { return testFleetConfig(specs("a", "b"), clock) }
+	cases := []struct {
+		name string
+		mod  func(*Config)
+	}{
+		{"no tenants", func(c *Config) { c.Tenants = nil }},
+		{"no layers", func(c *Config) { c.Layers = nil }},
+		{"nil apply", func(c *Config) { c.Apply = nil }},
+		{"nil state", func(c *Config) { c.NewState = nil }},
+		{"duplicate tenant", func(c *Config) { c.Tenants = specs("a", "a") }},
+		{"empty tenant id", func(c *Config) { c.Tenants = specs("") }},
+		{"pipe in tenant id", func(c *Config) { c.Tenants = specs("a|b") }},
+		{"negative criticality", func(c *Config) { c.Tenants[0].Criticality = -1 }},
+		{"scorerless layer", func(c *Config) { c.Layers = []LayerTemplate{{Name: "x"}} }},
+		{"negative shards", func(c *Config) { c.Shards = -1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base()
+			tc.mod(&cfg)
+			if _, err := New(cfg); err == nil {
+				t.Fatalf("New accepted %s", tc.name)
+			}
+		})
+	}
+}
+
+// TestFleetUnknownTenant: direct Ingest errors; Pump counts and skips.
+func TestFleetUnknownTenant(t *testing.T) {
+	clock := newTestClock(0)
+	f, err := New(testFleetConfig(specs("a"), clock))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := f.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Ingest(ctx, sample("ghost", 1, 0)); err == nil {
+		t.Fatal("Ingest accepted an unknown tenant")
+	}
+	n, err := Pump(ctx, f, NewSliceSource([]Record{
+		{Event: sample("a", 1, 0)},
+		{Event: sample("ghost", 2, 0)}, // skipped, not fatal
+		{Event: sample("a", 3, 0)},
+	}))
+	if err != nil || n != 3 {
+		t.Fatalf("Pump = (%d, %v), want (3, nil)", n, err)
+	}
+	if err := f.Barrier(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := f.TenantStatus("a"); v.Events != 2 {
+		t.Errorf("tenant a events = %d, want 2", v.Events)
+	}
+	if err := f.Stop(ctx); err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	f.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if !strings.Contains(rec.Body.String(), "pfm_fleet_unknown_tenant_total 2") {
+		t.Error("/metrics missing unknown-tenant count 2")
+	}
+}
+
+// TestFleetPerTenantOrdering: one tenant's events apply in ingest order
+// even with many shards and concurrent producers for other tenants.
+func TestFleetPerTenantOrdering(t *testing.T) {
+	clock := newTestClock(0)
+	const perTenant = 200
+	ids := []string{"t0", "t1", "t2", "t3", "t4"}
+	type ordered struct {
+		mu   sync.Mutex
+		seen []float64
+	}
+	orders := make(map[string]*ordered, len(ids))
+	for _, id := range ids {
+		orders[id] = &ordered{}
+	}
+	cfg := testFleetConfig(specs(ids...), clock)
+	cfg.Shards = 4
+	cfg.Apply = func(st TenantState, ev Event) error {
+		o := orders[ev.Tenant]
+		o.mu.Lock()
+		o.seen = append(o.seen, ev.Time)
+		o.mu.Unlock()
+		return nil
+	}
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := f.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			for i := 0; i < perTenant; i++ {
+				if err := f.Ingest(ctx, sample(id, float64(i), 0)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	if err := f.Stop(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		o := orders[id]
+		if len(o.seen) != perTenant {
+			t.Fatalf("tenant %s applied %d of %d", id, len(o.seen), perTenant)
+		}
+		for i, ts := range o.seen {
+			if ts != float64(i) {
+				t.Fatalf("tenant %s out of order at %d: got %g", id, i, ts)
+			}
+		}
+	}
+}
+
+// TestFleetStopDrains: Stop applies the full backlog before returning.
+func TestFleetStopDrains(t *testing.T) {
+	clock := newTestClock(0)
+	cfg := testFleetConfig(specs("a", "b"), clock)
+	cfg.QueueCapacity = 4096
+	var applied atomic.Int64
+	cfg.Apply = func(TenantState, Event) error {
+		applied.Add(1)
+		return nil
+	}
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := f.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	const total = 2000
+	for i := 0; i < total; i++ {
+		id := "a"
+		if i%2 == 1 {
+			id = "b"
+		}
+		if err := f.Ingest(ctx, sample(id, float64(i), 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stopCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := f.Stop(stopCtx); err != nil {
+		t.Fatal(err)
+	}
+	if applied.Load() != total {
+		t.Fatalf("applied %d of %d after Stop", applied.Load(), total)
+	}
+	if err := f.Ingest(ctx, sample("a", 0, 0)); err == nil {
+		t.Fatal("Ingest accepted after Stop")
+	}
+	if f.Cycles() == 0 {
+		t.Error("no final evaluation cycle ran on shutdown")
+	}
+}

@@ -1,0 +1,170 @@
+package fleet
+
+import (
+	"context"
+	stdruntime "runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+	"repro/internal/runtime"
+)
+
+// item is one queued event with its routing target resolved (so the
+// consumer never repeats the tenant lookup) and its trace stamps.
+type item struct {
+	ev           Event
+	tn           *tenant
+	traceSampled bool
+	traceStart   int64
+	traceOffered int64
+}
+
+// shardQueue is one shard's bounded ingest buffer: a channel (blocked
+// producers stay context-cancelable) plus a close gate, like the
+// single-runtime queue, with two additions for the fleet — the consumer
+// drains it in chunks, and a pending count supports Barrier (quiescence
+// detection for deterministic replay).
+type shardQueue struct {
+	ch     chan item
+	policy runtime.OverflowPolicy
+	drops  *runtime.Counter
+	tracer *obs.Tracer
+	shard  int
+
+	// pending counts events admitted to the channel but not yet fully
+	// processed (applied, shed, or evicted). Incremented before the send
+	// so Barrier can never observe a spurious zero.
+	pending atomic.Int64
+
+	mu       sync.Mutex
+	closed   bool
+	inflight sync.WaitGroup
+}
+
+func newShardQueue(capacity int, policy runtime.OverflowPolicy, drops *runtime.Counter, tracer *obs.Tracer, shard int) *shardQueue {
+	return &shardQueue{ch: make(chan item, capacity), policy: policy, drops: drops, tracer: tracer, shard: shard}
+}
+
+func (q *shardQueue) depth() int    { return len(q.ch) }
+func (q *shardQueue) capacity() int { return cap(q.ch) }
+
+// settled marks one admitted event fully processed.
+func (q *shardQueue) settled() { q.pending.Add(-1) }
+
+// dropped counts one shed event on this shard.
+func (q *shardQueue) dropped() {
+	if q.drops != nil {
+		q.drops.Inc()
+	}
+}
+
+// traceDrop publishes the shed event's partial trace.
+func (q *shardQueue) traceDrop(it item) {
+	if it.traceSampled && q.tracer != nil {
+		q.tracer.PublishDropped(uint8(it.ev.Kind), it.ev.Tenant, q.shard,
+			it.traceStart, it.traceOffered, q.tracer.Now())
+	}
+}
+
+// push offers one event under the overflow policy; the semantics mirror
+// the single-runtime queue (ErrClosed after shutdown; ctx.Err() when a
+// blocked push is canceled).
+func (q *shardQueue) push(ctx context.Context, it item, m *runtime.Metrics) error {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return runtime.ErrClosed
+	}
+	q.inflight.Add(1)
+	q.mu.Unlock()
+	defer q.inflight.Done()
+
+	m.Ingested.Inc()
+	if it.traceSampled {
+		it.traceOffered = q.tracer.Now()
+	}
+	switch q.policy {
+	case runtime.DropNewest:
+		q.pending.Add(1)
+		select {
+		case q.ch <- it:
+		default:
+			q.pending.Add(-1)
+			m.DroppedNewest.Inc()
+			q.dropped()
+			q.traceDrop(it)
+		}
+		return nil
+	case runtime.DropOldest:
+		q.pending.Add(1)
+		for {
+			select {
+			case q.ch <- it:
+				return nil
+			default:
+			}
+			select {
+			case old := <-q.ch:
+				q.pending.Add(-1)
+				m.DroppedOldest.Inc()
+				q.dropped()
+				q.traceDrop(old)
+			default:
+			}
+			stdruntime.Gosched()
+		}
+	default: // Block
+		q.pending.Add(1)
+		select {
+		case q.ch <- it:
+			return nil
+		case <-ctx.Done():
+			q.pending.Add(-1)
+			m.DroppedCanceled.Inc()
+			q.dropped()
+			q.traceDrop(it)
+			return ctx.Err()
+		}
+	}
+}
+
+// drainInto fills buf with queued items: it blocks for the first one, then
+// takes whatever else is immediately available up to len(buf) — the chunk
+// the consumer applies under a single state-lock acquisition. It returns
+// n == 0 only once the queue is closed and empty.
+func (q *shardQueue) drainInto(buf []item) int {
+	it, ok := <-q.ch
+	if !ok {
+		return 0
+	}
+	buf[0] = it
+	n := 1
+	for n < len(buf) {
+		select {
+		case it, ok := <-q.ch:
+			if !ok {
+				return n
+			}
+			buf[n] = it
+			n++
+		default:
+			return n
+		}
+	}
+	return n
+}
+
+// close begins shutdown: new pushes are rejected, in-flight pushes are
+// waited out, then the channel is closed so drainInto returns 0.
+func (q *shardQueue) close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.closed = true
+	q.mu.Unlock()
+	q.inflight.Wait()
+	close(q.ch)
+}

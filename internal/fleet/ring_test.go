@@ -1,0 +1,74 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingDeterministic: placement depends only on (tenant, shards,
+// vnodes) — two independently built rings agree on every tenant.
+func TestRingDeterministic(t *testing.T) {
+	a := newRing(8, 64)
+	b := newRing(8, 64)
+	for i := 0; i < 5000; i++ {
+		id := fmt.Sprintf("tenant-%d", i)
+		if a.shardOf(id) != b.shardOf(id) {
+			t.Fatalf("tenant %q: ring disagreement %d vs %d", id, a.shardOf(id), b.shardOf(id))
+		}
+	}
+}
+
+// TestRingBalance: with 64 vnodes no shard is starved or overloaded by
+// more than ~2x at realistic fleet scale.
+func TestRingBalance(t *testing.T) {
+	const shards, tenants = 8, 10000
+	r := newRing(shards, 64)
+	counts := make([]int, shards)
+	for i := 0; i < tenants; i++ {
+		s := r.shardOf(fmt.Sprintf("t%04d", i))
+		if s < 0 || s >= shards {
+			t.Fatalf("tenant %d routed to invalid shard %d", i, s)
+		}
+		counts[s]++
+	}
+	mean := tenants / shards
+	for s, c := range counts {
+		if c < mean/2 || c > mean*2 {
+			t.Errorf("shard %d holds %d tenants (mean %d): ring badly unbalanced %v", s, c, mean, counts)
+		}
+	}
+}
+
+// TestRingMinimalMovement: growing the shard count relocates only a small
+// fraction of tenants (the consistent-hashing property; modulo hashing
+// would move ~8/9 of them here).
+func TestRingMinimalMovement(t *testing.T) {
+	const tenants = 10000
+	r8 := newRing(8, 64)
+	r9 := newRing(9, 64)
+	moved := 0
+	for i := 0; i < tenants; i++ {
+		id := fmt.Sprintf("t%04d", i)
+		if r8.shardOf(id) != r9.shardOf(id) {
+			moved++
+		}
+	}
+	// Expected movement is ~1/9 ≈ 11%; fail well above that.
+	if moved > tenants/3 {
+		t.Fatalf("8→9 shards moved %d/%d tenants; consistent hashing should move ~%d",
+			moved, tenants, tenants/9)
+	}
+	if moved == 0 {
+		t.Fatal("no tenant moved when adding a shard; new shard gets no load")
+	}
+}
+
+// TestRingSingleShard: everything lands on shard 0.
+func TestRingSingleShard(t *testing.T) {
+	r := newRing(1, 64)
+	for i := 0; i < 100; i++ {
+		if s := r.shardOf(fmt.Sprintf("x%d", i)); s != 0 {
+			t.Fatalf("single-shard ring routed to %d", s)
+		}
+	}
+}

@@ -1,0 +1,318 @@
+package fleet
+
+import (
+	"encoding/json"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/predict"
+	"repro/internal/runtime"
+)
+
+// Tenant health states, ordered roughly by how much attention they need.
+const (
+	StatusIdle    = "idle"    // never saw an event or a failure
+	StatusOK      = "ok"      // receiving events, no active warning
+	StatusWarning = "warning" // last cycle warned of an impending failure
+	StatusStale   = "stale"   // event stream silent past StaleAfter
+	StatusFailed  = "failed"  // failure recorded within FailureHold
+)
+
+// statusOf derives a tenant's health state at domain time now.
+func (f *Fleet) statusOf(tn *tenant, now float64) string {
+	if lf := loadTime(&tn.lastFailure); !math.IsNaN(lf) && now-lf <= f.cfg.FailureHold {
+		return StatusFailed
+	}
+	le := loadTime(&tn.lastEvent)
+	if tn.events.Load() == 0 {
+		return StatusIdle
+	}
+	if now-le > f.cfg.StaleAfter {
+		return StatusStale
+	}
+	if tn.lastWarned.Load() {
+		return StatusWarning
+	}
+	return StatusOK
+}
+
+// TenantView is one tenant's row in the /fleet listing.
+type TenantView struct {
+	ID          string  `json:"id"`
+	Criticality float64 `json:"criticality"`
+	Shard       int     `json:"shard"`
+	Status      string  `json:"status"`
+	Events      int64   `json:"events"`
+	Failures    int64   `json:"failures"`
+	Warnings    int64   `json:"warnings"`
+	Actions     int64   `json:"actions"`
+	// LastEventAge is domain seconds since the tenant's newest event; nil
+	// while idle.
+	LastEventAge *float64 `json:"lastEventAge,omitempty"`
+	// Confidence is the last combined-layer confidence; nil before the
+	// first cycle (or while abstaining).
+	Confidence *float64 `json:"confidence,omitempty"`
+	// Versions lists the serving predictor version per layer, in template
+	// order.
+	Versions []uint64 `json:"versions"`
+	// DedicatedLedger is false when the tenant's quality rows are folded
+	// into the overflow scope by the cardinality cap.
+	DedicatedLedger bool `json:"dedicatedLedger"`
+	// Quality is the tenant's rolling combined-layer contingency table
+	// (from its own scope, or the shared overflow scope when folded);
+	// omitted when the fleet runs without a ledger.
+	Quality *tableJSON `json:"quality,omitempty"`
+}
+
+// tableJSON mirrors the runtime server's contingency rendering: metric
+// pointers are nil while their denominator is empty (JSON cannot carry NaN).
+type tableJSON struct {
+	TP        int      `json:"tp"`
+	FP        int      `json:"fp"`
+	TN        int      `json:"tn"`
+	FN        int      `json:"fn"`
+	Precision *float64 `json:"precision,omitempty"`
+	Recall    *float64 `json:"recall,omitempty"`
+	FPR       *float64 `json:"fpr,omitempty"`
+	F1        *float64 `json:"f1,omitempty"`
+}
+
+func toTableJSON(c predict.ContingencyTable) tableJSON {
+	finite := func(v float64) *float64 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil
+		}
+		return &v
+	}
+	return tableJSON{
+		TP: c.TP, FP: c.FP, TN: c.TN, FN: c.FN,
+		Precision: finite(c.Precision()), Recall: finite(c.Recall()),
+		FPR: finite(c.FPR()), F1: finite(c.FMeasure()),
+	}
+}
+
+// RollupView is the fleet-wide aggregate in the /fleet response.
+type RollupView struct {
+	Tenants  int            `json:"tenants"`
+	Shards   int            `json:"shards"`
+	ByStatus map[string]int `json:"byStatus"`
+	// WeightedAvailability is Σ criticality·[tenant not failed] / Σ
+	// criticality — the service-criticality availability rollup: losing
+	// one critical tenant moves it more than losing several minor ones.
+	WeightedAvailability float64 `json:"weightedAvailability"`
+	// WeightedF1 is the criticality-weighted mean rolling combined-layer
+	// F-measure over tenants whose table has one; nil before any tenant
+	// accumulates quality.
+	WeightedF1 *float64 `json:"weightedF1,omitempty"`
+	// FoldedTenants counts tenants sharing the overflow ledger scope.
+	FoldedTenants int64 `json:"foldedTenants"`
+	Cycles        int64 `json:"cycles"`
+	QueueDepth    int   `json:"queueDepth"`
+}
+
+// Rollup aggregates fleet health at domain time now.
+func (f *Fleet) Rollup(now float64) RollupView {
+	r := RollupView{
+		Tenants:    len(f.tenants),
+		Shards:     len(f.queues),
+		ByStatus:   make(map[string]int, 5),
+		Cycles:     f.cycles.Load(),
+		QueueDepth: f.QueueDepth(),
+	}
+	if f.cfg.Ledger != nil {
+		r.FoldedTenants = f.cfg.Ledger.Folded()
+	}
+	var critSum, critUp, f1Sum, f1Crit float64
+	for _, tn := range f.tenants {
+		st := f.statusOf(tn, now)
+		r.ByStatus[st]++
+		critSum += tn.spec.Criticality
+		if st != StatusFailed {
+			critUp += tn.spec.Criticality
+		}
+		if tn.led != nil {
+			if fm := rollingCombined(tn.led).FMeasure(); !math.IsNaN(fm) {
+				f1Sum += fm * tn.spec.Criticality
+				f1Crit += tn.spec.Criticality
+			}
+		}
+	}
+	if critSum > 0 {
+		r.WeightedAvailability = critUp / critSum
+	} else {
+		r.WeightedAvailability = 1
+	}
+	if f1Crit > 0 {
+		v := f1Sum / f1Crit
+		r.WeightedF1 = &v
+	}
+	return r
+}
+
+// rollingCombined extracts the combined layer's rolling table.
+func rollingCombined(led *obs.Ledger) predict.ContingencyTable {
+	for _, lq := range led.Snapshot().Layers {
+		if lq.Layer == obs.CombinedLayer {
+			return lq.Rolling
+		}
+	}
+	return predict.ContingencyTable{}
+}
+
+// fleetJSON is the /fleet response body.
+type fleetJSON struct {
+	Rollup  RollupView   `json:"rollup"`
+	Tenants []TenantView `json:"tenants"`
+}
+
+// view renders one tenant's row.
+func (f *Fleet) view(tn *tenant, now float64) TenantView {
+	v := TenantView{
+		ID:              tn.spec.ID,
+		Criticality:     tn.spec.Criticality,
+		Shard:           tn.shard,
+		Status:          f.statusOf(tn, now),
+		Events:          tn.events.Load(),
+		Failures:        tn.failures.Load(),
+		Warnings:        tn.warnings.Load(),
+		Actions:         tn.actions.Load(),
+		Versions:        make([]uint64, len(tn.layers)),
+		DedicatedLedger: tn.dedicated,
+	}
+	if le := loadTime(&tn.lastEvent); !math.IsNaN(le) {
+		age := now - le
+		v.LastEventAge = &age
+	}
+	if c := math.Float64frombits(tn.lastConf.Load()); !math.IsNaN(c) && f.cycles.Load() > 0 {
+		v.Confidence = &c
+	}
+	for i, l := range tn.layers {
+		v.Versions[i] = l.Version()
+	}
+	if tn.led != nil {
+		t := toTableJSON(rollingCombined(tn.led))
+		v.Quality = &t
+	}
+	return v
+}
+
+// TenantStatus returns one tenant's current row (ok == false for an
+// unknown ID).
+func (f *Fleet) TenantStatus(tenantID string) (TenantView, bool) {
+	tn, ok := f.byID[tenantID]
+	if !ok {
+		return TenantView{}, false
+	}
+	return f.view(tn, f.now()), true
+}
+
+// serveFleet renders the aggregate fleet plane: the rollup plus every
+// tenant row (?tenant=ID narrows to one tenant, ?status=failed filters).
+func (f *Fleet) serveFleet(w http.ResponseWriter, req *http.Request) {
+	now := f.now()
+	out := fleetJSON{Rollup: f.Rollup(now)}
+	if id := req.URL.Query().Get("tenant"); id != "" {
+		tn, ok := f.byID[id]
+		if !ok {
+			http.Error(w, "unknown tenant", http.StatusNotFound)
+			return
+		}
+		out.Tenants = []TenantView{f.view(tn, now)}
+	} else {
+		want := req.URL.Query().Get("status")
+		out.Tenants = make([]TenantView, 0, len(f.tenants))
+		for _, tn := range f.tenants {
+			v := f.view(tn, now)
+			if want == "" || v.Status == want {
+				out.Tenants = append(out.Tenants, v)
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
+}
+
+// health is the /healthz body (same shape as the single runtime's).
+type health struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	Tenants       int     `json:"tenants"`
+	Shards        int     `json:"shards"`
+	QueueDepth    int     `json:"queueDepth"`
+	Cycles        int64   `json:"cycles"`
+	// LastCycleAgoSeconds is -1 before the first cycle completes.
+	LastCycleAgoSeconds float64 `json:"lastCycleAgoSeconds"`
+}
+
+// Handler serves the fleet observability plane:
+//
+//	GET /fleet    — rollup + per-tenant health/quality/versions
+//	                (?tenant=ID for one row, ?status=S to filter)
+//	GET /metrics  — Prometheus text exposition (shared metric plane)
+//	GET /healthz  — JSON liveness (503 once stopping)
+//	GET /tracez   — slowest end-to-end spans (with Config.Tracer)
+func (f *Fleet) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/fleet", f.serveFleet)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = f.metrics.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		h := health{
+			Status:              "ok",
+			UptimeSeconds:       f.Uptime().Seconds(),
+			Tenants:             len(f.tenants),
+			Shards:              len(f.queues),
+			QueueDepth:          f.QueueDepth(),
+			Cycles:              f.cycles.Load(),
+			LastCycleAgoSeconds: -1,
+		}
+		if last := f.lastCycle.Load(); last != 0 {
+			h.LastCycleAgoSeconds = time.Since(time.Unix(0, last)).Seconds()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if !f.Running() {
+			h.Status = "stopping"
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		_ = json.NewEncoder(w).Encode(h)
+	})
+	if f.cfg.Tracer != nil {
+		mux.HandleFunc("/tracez", func(w http.ResponseWriter, req *http.Request) {
+			n := 20
+			if v, err := strconv.Atoi(req.URL.Query().Get("n")); err == nil && v > 0 {
+				n = v
+			}
+			traces := f.cfg.Tracer.Slowest(n)
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = obs.WriteText(w, traces, func(k uint8) string {
+				switch runtime.EventKind(k) {
+				case runtime.KindError:
+					return "error"
+				case runtime.KindSample:
+					return "sample"
+				default:
+					return strconv.Itoa(int(k))
+				}
+			})
+		})
+	}
+	return mux
+}
+
+// Serve starts the fleet observability server on addr (":0" picks a free
+// port); shut it down with srv.Shutdown or srv.Close.
+func (f *Fleet) Serve(addr string) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: f.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr().String(), nil
+}

@@ -1,0 +1,347 @@
+package fleet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+	"math"
+
+	"repro/internal/eventlog"
+	"repro/internal/runtime"
+)
+
+// Compact binary wire format for multi-tenant traces — the line-rate
+// replay path. Layout:
+//
+//	magic "PFW1" (4 bytes), then a frame stream. Every frame starts with a
+//	one-byte type; integers are unsigned varints, floats are 8-byte
+//	little-endian IEEE 754.
+//
+//	0x01 defTenant: id, len, bytes     — dictionary: tenant id → string
+//	0x02 defVar:    id, len, bytes     — dictionary: variable id → string
+//	0x03 sample:    tenantID, varID, time f64, value f64
+//	0x04 error:     tenantID, time f64, type, severity u8, complen,
+//	                component bytes, msglen, message bytes
+//	0x05 failure:   tenantID, time f64
+//
+// Writers emit a def frame the first time a tenant or variable appears, so
+// hot tenants cost two varints + two floats per sample instead of repeating
+// their name. Readers reject unknown frame types, undefined dictionary ids,
+// truncation, and absurd lengths — and never panic on malformed input
+// (fuzz-verified, see FuzzWireDecode).
+
+// WireMagic prefixes every wire-format trace.
+const WireMagic = "PFW1"
+
+const (
+	frameDefTenant = 0x01
+	frameDefVar    = 0x02
+	frameSample    = 0x03
+	frameError     = 0x04
+	frameFailure   = 0x05
+)
+
+// maxWireString caps dictionary/message lengths — far above any real
+// payload, low enough that a corrupt length cannot drive a huge allocation.
+const maxWireString = 1 << 20
+
+// Writer encodes records into the wire format.
+type Writer struct {
+	w       *bufio.Writer
+	tenants map[string]uint64
+	vars    map[string]uint64
+	scratch [binary.MaxVarintLen64]byte
+	err     error
+}
+
+// NewWriter starts a wire-format stream on w (the magic is written
+// immediately; check Flush for the final error).
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriter(w)
+	wr := &Writer{w: bw, tenants: make(map[string]uint64), vars: make(map[string]uint64)}
+	_, wr.err = bw.WriteString(WireMagic)
+	return wr
+}
+
+func (w *Writer) uvarint(v uint64) {
+	if w.err != nil {
+		return
+	}
+	n := binary.PutUvarint(w.scratch[:], v)
+	_, w.err = w.w.Write(w.scratch[:n])
+}
+
+func (w *Writer) f64(v float64) {
+	if w.err != nil {
+		return
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+	_, w.err = w.w.Write(buf[:])
+}
+
+func (w *Writer) byte1(b byte) {
+	if w.err != nil {
+		return
+	}
+	w.err = w.w.WriteByte(b)
+}
+
+func (w *Writer) str(s string) {
+	w.uvarint(uint64(len(s)))
+	if w.err != nil {
+		return
+	}
+	_, w.err = w.w.WriteString(s)
+}
+
+// internID returns the dictionary id for name, emitting a def frame on
+// first use.
+func (w *Writer) internID(dict map[string]uint64, frame byte, name string) uint64 {
+	if id, ok := dict[name]; ok {
+		return id
+	}
+	id := uint64(len(dict))
+	dict[name] = id
+	w.byte1(frame)
+	w.uvarint(id)
+	w.str(name)
+	return id
+}
+
+// Write encodes one record.
+func (w *Writer) Write(rec Record) error {
+	ev := rec.Event
+	tid := w.internID(w.tenants, frameDefTenant, ev.Tenant)
+	switch {
+	case rec.Failure:
+		w.byte1(frameFailure)
+		w.uvarint(tid)
+		w.f64(ev.Time)
+	case ev.Kind == runtime.KindError:
+		w.byte1(frameError)
+		w.uvarint(tid)
+		w.f64(ev.Time)
+		w.uvarint(uint64(ev.Error.Type))
+		w.byte1(byte(ev.Error.Severity))
+		w.str(ev.Error.Component)
+		w.str(ev.Error.Message)
+	default:
+		vid := w.internID(w.vars, frameDefVar, ev.Variable)
+		w.byte1(frameSample)
+		w.uvarint(tid)
+		w.uvarint(vid)
+		w.f64(ev.Time)
+		w.f64(ev.Value)
+	}
+	return w.err
+}
+
+// Flush drains the buffer and returns the first write error.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+// WriteWire encodes a whole trace.
+func WriteWire(w io.Writer, recs []Record) error {
+	wr := NewWriter(w)
+	for _, r := range recs {
+		if err := wr.Write(r); err != nil {
+			return err
+		}
+	}
+	return wr.Flush()
+}
+
+// Reader decodes a wire-format trace as a Source.
+type Reader struct {
+	r       *bufio.Reader
+	tenants []string
+	vars    []string
+	started bool
+}
+
+// NewReader decodes the stream (the magic is checked on the first Next).
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+func (r *Reader) uvarint() (uint64, error) {
+	v, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return 0, badRecord("wire: truncated varint: %v", err)
+	}
+	return v, nil
+}
+
+func (r *Reader) f64() (float64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r.r, buf[:]); err != nil {
+		return 0, badRecord("wire: truncated float: %v", err)
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
+}
+
+func (r *Reader) str() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > maxWireString {
+		return "", badRecord("wire: string length %d exceeds cap", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r.r, buf); err != nil {
+		return "", badRecord("wire: truncated string: %v", err)
+	}
+	return string(buf), nil
+}
+
+// lookup resolves a dictionary id.
+func lookup(dict []string, id uint64, what string) (string, error) {
+	if id >= uint64(len(dict)) {
+		return "", badRecord("wire: undefined %s id %d", what, id)
+	}
+	return dict[id], nil
+}
+
+// define appends a dictionary entry; ids must arrive densely in order (the
+// writer's allocation scheme), which makes corrupt streams fail fast.
+func (r *Reader) define(dict *[]string, what string) error {
+	id, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	if id != uint64(len(*dict)) {
+		return badRecord("wire: %s id %d out of order (want %d)", what, id, len(*dict))
+	}
+	s, err := r.str()
+	if err != nil {
+		return err
+	}
+	*dict = append(*dict, s)
+	return nil
+}
+
+// Next decodes the next record (io.EOF cleanly at end of stream).
+func (r *Reader) Next() (Record, error) {
+	if !r.started {
+		var magic [4]byte
+		if _, err := io.ReadFull(r.r, magic[:]); err != nil {
+			return Record{}, badRecord("wire: missing magic: %v", err)
+		}
+		if string(magic[:]) != WireMagic {
+			return Record{}, badRecord("wire: bad magic %q", magic[:])
+		}
+		r.started = true
+	}
+	for {
+		frame, err := r.r.ReadByte()
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		if err != nil {
+			return Record{}, err
+		}
+		switch frame {
+		case frameDefTenant:
+			if err := r.define(&r.tenants, "tenant"); err != nil {
+				return Record{}, err
+			}
+		case frameDefVar:
+			if err := r.define(&r.vars, "variable"); err != nil {
+				return Record{}, err
+			}
+		case frameSample:
+			tid, err := r.uvarint()
+			if err != nil {
+				return Record{}, err
+			}
+			vid, err := r.uvarint()
+			if err != nil {
+				return Record{}, err
+			}
+			tenant, err := lookup(r.tenants, tid, "tenant")
+			if err != nil {
+				return Record{}, err
+			}
+			variable, err := lookup(r.vars, vid, "variable")
+			if err != nil {
+				return Record{}, err
+			}
+			t, err := r.f64()
+			if err != nil {
+				return Record{}, err
+			}
+			v, err := r.f64()
+			if err != nil {
+				return Record{}, err
+			}
+			return Record{Event: Event{
+				Tenant: tenant, Kind: runtime.KindSample, Time: t, Variable: variable, Value: v,
+			}}, nil
+		case frameError:
+			tid, err := r.uvarint()
+			if err != nil {
+				return Record{}, err
+			}
+			tenant, err := lookup(r.tenants, tid, "tenant")
+			if err != nil {
+				return Record{}, err
+			}
+			t, err := r.f64()
+			if err != nil {
+				return Record{}, err
+			}
+			typ, err := r.uvarint()
+			if err != nil {
+				return Record{}, err
+			}
+			if typ > math.MaxInt32 {
+				return Record{}, badRecord("wire: error type %d out of range", typ)
+			}
+			sev, err := r.r.ReadByte()
+			if err != nil {
+				return Record{}, badRecord("wire: truncated severity: %v", err)
+			}
+			comp, err := r.str()
+			if err != nil {
+				return Record{}, err
+			}
+			msg, err := r.str()
+			if err != nil {
+				return Record{}, err
+			}
+			return Record{Event: Event{
+				Tenant: tenant, Kind: runtime.KindError, Time: t,
+				Error: eventlog.Event{
+					Time: t, Component: comp, Type: int(typ),
+					Severity: eventlog.Severity(sev), Message: msg,
+				},
+			}}, nil
+		case frameFailure:
+			tid, err := r.uvarint()
+			if err != nil {
+				return Record{}, err
+			}
+			tenant, err := lookup(r.tenants, tid, "tenant")
+			if err != nil {
+				return Record{}, err
+			}
+			t, err := r.f64()
+			if err != nil {
+				return Record{}, err
+			}
+			return Record{Failure: true, Event: Event{Tenant: tenant, Time: t}}, nil
+		default:
+			return Record{}, badRecord("wire: unknown frame type 0x%02x", frame)
+		}
+	}
+}
+
+var _ Source = (*Reader)(nil)
+var _ Source = (*TailSource)(nil)
+var _ Source = (*SliceSource)(nil)

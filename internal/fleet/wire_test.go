@@ -1,0 +1,167 @@
+package fleet
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"testing"
+
+	"repro/internal/eventlog"
+	"repro/internal/runtime"
+)
+
+// decodeAll drains a wire stream, returning the records up to the first
+// error (io.EOF counts as clean).
+func decodeAll(data []byte) ([]Record, error) {
+	r := NewReader(bytes.NewReader(data))
+	var out []Record
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// wireSampleTrace exercises every frame type, dictionary reuse, unicode,
+// empty strings, and non-finite floats.
+func wireSampleTrace() []Record {
+	return []Record{
+		{Event: Event{Tenant: "t0000", Kind: runtime.KindSample, Time: 1.5, Variable: "cpu", Value: 0.25}},
+		{Event: Event{Tenant: "t0001", Kind: runtime.KindSample, Time: 2, Variable: "cpu", Value: math.Inf(1)}},
+		{Event: Event{Tenant: "t0000", Kind: runtime.KindSample, Time: 2.5, Variable: "mem_free", Value: -1e308}},
+		{Event: Event{Tenant: "t0000", Kind: runtime.KindError, Time: 3,
+			Error: eventlog.Event{Time: 3, Component: "db", Type: 7, Severity: 2, Message: "läuft nicht"}}},
+		{Event: Event{Tenant: "t0001", Kind: runtime.KindError, Time: 4,
+			Error: eventlog.Event{Time: 4, Component: "", Type: 0, Severity: 0, Message: ""}}},
+		{Failure: true, Event: Event{Tenant: "t0001", Time: 5}},
+		{Event: Event{Tenant: "t0000", Kind: runtime.KindSample, Time: 6, Variable: "cpu", Value: math.NaN()}},
+	}
+}
+
+// recordEqual compares records with NaN-tolerant float equality.
+func recordEqual(a, b Record) bool {
+	feq := func(x, y float64) bool {
+		return x == y || (math.IsNaN(x) && math.IsNaN(y))
+	}
+	return a.Failure == b.Failure &&
+		a.Event.Tenant == b.Event.Tenant &&
+		a.Event.Kind == b.Event.Kind &&
+		feq(a.Event.Time, b.Event.Time) &&
+		a.Event.Variable == b.Event.Variable &&
+		feq(a.Event.Value, b.Event.Value) &&
+		a.Event.Error.Component == b.Event.Error.Component &&
+		a.Event.Error.Type == b.Event.Error.Type &&
+		a.Event.Error.Severity == b.Event.Error.Severity &&
+		a.Event.Error.Message == b.Event.Error.Message &&
+		feq(a.Event.Error.Time, b.Event.Error.Time)
+}
+
+// TestWireRoundTrip: encode → decode is the identity, and the dictionary
+// makes repeats cheap.
+func TestWireRoundTrip(t *testing.T) {
+	trace := wireSampleTrace()
+	var buf bytes.Buffer
+	if err := WriteWire(&buf, trace); err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeAll(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(trace) {
+		t.Fatalf("decoded %d of %d records", len(got), len(trace))
+	}
+	for i := range trace {
+		if !recordEqual(got[i], trace[i]) {
+			t.Errorf("record %d: got %+v, want %+v", i, got[i], trace[i])
+		}
+	}
+	// Dictionary amortization: a second sample of a known tenant+variable
+	// costs two varints + two floats + the frame byte.
+	small := []Record{
+		{Event: Event{Tenant: "t", Kind: runtime.KindSample, Time: 1, Variable: "v", Value: 1}},
+		{Event: Event{Tenant: "t", Kind: runtime.KindSample, Time: 2, Variable: "v", Value: 2}},
+	}
+	var b2 bytes.Buffer
+	if err := WriteWire(&b2, small); err != nil {
+		t.Fatal(err)
+	}
+	// magic(4) + defs(2×4) + 2 sample frames (1+1+1+16 each).
+	if want := 4 + 8 + 2*19; b2.Len() != want {
+		t.Errorf("encoded size %d, want %d (dictionary not amortizing?)", b2.Len(), want)
+	}
+}
+
+// TestWireMalformed: corrupt streams error without panicking and without
+// huge allocations.
+func TestWireMalformed(t *testing.T) {
+	valid := func() []byte {
+		var buf bytes.Buffer
+		if err := WriteWire(&buf, wireSampleTrace()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}()
+	cases := map[string][]byte{
+		"empty":              {},
+		"short magic":        []byte("PFW"),
+		"bad magic":          []byte("XXXX\x03\x00\x00"),
+		"unknown frame":      []byte("PFW1\xff"),
+		"undefined tenant":   []byte("PFW1\x05\x09\x00\x00\x00\x00\x00\x00\x00\x00"),
+		"undefined variable": []byte("PFW1\x01\x00\x02t0\x03\x00\x07"),
+		"out-of-order def":   []byte("PFW1\x01\x05\x02t0"),
+		"truncated def":      []byte("PFW1\x01\x00\x10abc"),
+		"huge string length": append([]byte("PFW1\x01\x00"), 0xff, 0xff, 0xff, 0xff, 0x7f),
+		"truncated float":    []byte("PFW1\x01\x00\x02t0\x05\x00\x01\x02"),
+		"truncated mid":      valid[:len(valid)-3],
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := decodeAll(data); err == nil {
+				t.Fatalf("decodeAll accepted %q", name)
+			}
+		})
+	}
+	// A valid prefix still yields its records before the error.
+	recs, err := decodeAll(valid[:len(valid)-3])
+	if err == nil || len(recs) == 0 {
+		t.Fatalf("truncated stream: records=%d err=%v; want partial decode + error", len(recs), err)
+	}
+}
+
+// FuzzWireDecode: the decoder must never panic, hang, or over-allocate on
+// arbitrary input — it either yields records or returns an error. Run
+// long-form with: go test -fuzz FuzzWireDecode ./internal/fleet/
+func FuzzWireDecode(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteWire(&buf, wireSampleTrace()); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("PFW1"))
+	f.Add([]byte("PFW1\x01\x00\x02t0\x05\x00\x00\x00\x00\x00\x00\x00\x00\x00"))
+	f.Add([]byte("PFW1\xff\xff\xff\xff"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := decodeAll(data)
+		if err != nil {
+			return
+		}
+		// Clean decodes must carry dictionary-resolved strings within the
+		// length cap (anything bigger means the cap check is broken).
+		for _, r := range recs {
+			if len(r.Event.Tenant) > maxWireString ||
+				len(r.Event.Variable) > maxWireString ||
+				len(r.Event.Error.Message) > maxWireString {
+				t.Fatalf("decoded string exceeds cap: %+v", r)
+			}
+		}
+	})
+}

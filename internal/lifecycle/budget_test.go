@@ -1,0 +1,98 @@
+package lifecycle
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// gaugedPredictor records how many Retrains run concurrently.
+type gaugedPredictor struct {
+	score func(now float64) float64
+	cur   *atomic.Int32
+	peak  *atomic.Int32
+	hold  time.Duration
+}
+
+func (p *gaugedPredictor) Evaluate(now float64) (float64, error) { return p.score(now), nil }
+func (p *gaugedPredictor) CaptureWindow(now float64) (any, error) {
+	return now, nil
+}
+func (p *gaugedPredictor) Retrain(any) (core.LayerPredictor, error) {
+	n := p.cur.Add(1)
+	for {
+		old := p.peak.Load()
+		if n <= old || p.peak.CompareAndSwap(old, n) {
+			break
+		}
+	}
+	time.Sleep(p.hold)
+	p.cur.Add(-1)
+	return &gaugedPredictor{score: p.score, cur: p.cur, peak: p.peak}, nil
+}
+
+// TestRetrainBudgetCapsConcurrency shares one single-slot Budget across
+// several managers (the fleet arrangement), forces all their layers into
+// retrain at once, and verifies the refits were serialized while all of
+// them still completed.
+func TestRetrainBudgetCapsConcurrency(t *testing.T) {
+	const managers = 4
+	var cur, peak atomic.Int32
+	budget := NewBudget(1)
+	if budget.Cap() != 1 {
+		t.Fatalf("Cap() = %d, want 1", budget.Cap())
+	}
+	ms := make([]*Manager, managers)
+	for i := range ms {
+		p := &gaugedPredictor{score: func(float64) float64 { return 0 }, cur: &cur, peak: &peak, hold: 20 * time.Millisecond}
+		layer := &core.Layer{Name: "app", Predictor: p, Threshold: 0.5}
+		led, err := obs.NewLedger(obs.LedgerConfig{LeadTime: 1}, "app")
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := NewManager([]*core.Layer{layer}, led, Config{Budget: budget})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms[i] = m
+	}
+	// Force every manager's layer into the drifted state and let Collect
+	// kick off the (budgeted) background retrains together.
+	for _, m := range ms {
+		m.mu.Lock()
+		m.layers[0].state = StateDrifted
+		m.mu.Unlock()
+		m.Collect(0)
+	}
+	for _, m := range ms {
+		m.Wait()
+	}
+	if got := peak.Load(); got != 1 {
+		t.Fatalf("peak concurrent retrains = %d, want 1 (budget)", got)
+	}
+	if got := budget.InUse(); got != 0 {
+		t.Fatalf("budget slots still held after Wait: %d", got)
+	}
+	for i, m := range ms {
+		if st := m.States(); st[0].State != "shadow" {
+			t.Fatalf("manager %d: state %q after retrain, want shadow", i, st[0].State)
+		}
+		if tot := m.Totals(); tot.Retrains != 1 || tot.RetrainErrors != 0 {
+			t.Fatalf("manager %d: totals %+v", i, tot)
+		}
+	}
+}
+
+// TestRetrainBudgetUnsetIsUnbounded pins the nil-budget default: parallel
+// retrains may overlap freely.
+func TestRetrainBudgetUnsetIsUnbounded(t *testing.T) {
+	var b *Budget
+	if b.InUse() != 0 {
+		t.Fatal("nil budget reports slots in use")
+	}
+	b.acquire() // must not block or panic
+	b.release()
+}

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+)
+
+// OverflowScope is the shared journal that absorbs every scope beyond the
+// cardinality cap. Its quality figures are an aggregate approximation:
+// predictions and failures of all folded scopes match against each other.
+const OverflowScope = "~overflow"
+
+// ScopedLedger multiplexes per-scope prediction-quality Ledgers — one per
+// tenant in a fleet — under a single configuration, with a cardinality cap:
+// the first MaxScopes scopes each get a dedicated journal (own failure
+// stream, own per-layer rows), later scopes share the OverflowScope
+// journal. The cap bounds memory and metric cardinality no matter how many
+// tenants register; the paper's per-instance Sect. 3.3 accounting stays
+// exact for every dedicated scope.
+type ScopedLedger struct {
+	mu        sync.Mutex
+	cfg       LedgerConfig
+	max       int
+	layers    []string
+	order     []string // dedicated scopes, registration order
+	scopes    map[string]*Ledger
+	overflow  *Ledger
+	folded    int64 // scopes routed to the overflow journal
+	watermark float64
+}
+
+// NewScopedLedger builds a scoped ledger. maxScopes caps the number of
+// dedicated per-scope journals (minimum 1); layerNames are pre-declared on
+// every scope so quality rows exist before the first prediction.
+func NewScopedLedger(cfg LedgerConfig, maxScopes int, layerNames ...string) (*ScopedLedger, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if maxScopes < 1 {
+		return nil, fmt.Errorf("%w: scope cap %d (need >= 1)", ErrObs, maxScopes)
+	}
+	return &ScopedLedger{
+		cfg:    cfg,
+		max:    maxScopes,
+		layers: append([]string(nil), layerNames...),
+		scopes: make(map[string]*Ledger),
+	}, nil
+}
+
+// Config returns the matching configuration shared by every scope.
+func (s *ScopedLedger) Config() LedgerConfig { return s.cfg }
+
+// MaxScopes returns the dedicated-journal cap.
+func (s *ScopedLedger) MaxScopes() int { return s.max }
+
+// Scope returns the named scope's journal, creating it on first use. Once
+// the cap is reached, every new scope returns the shared overflow journal.
+// The returned Ledger is safe for concurrent use like any other.
+func (s *ScopedLedger) Scope(name string) *Ledger {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.scopeLocked(name)
+}
+
+func (s *ScopedLedger) scopeLocked(name string) *Ledger {
+	if led, ok := s.scopes[name]; ok {
+		return led
+	}
+	if name != OverflowScope && len(s.order) < s.max {
+		led, _ := NewLedger(s.cfg, s.layers...) // cfg already validated
+		s.scopes[name] = led
+		s.order = append(s.order, name)
+		return led
+	}
+	if s.overflow == nil {
+		s.overflow, _ = NewLedger(s.cfg, s.layers...)
+		s.scopes[OverflowScope] = s.overflow
+	}
+	if name != OverflowScope {
+		s.folded++
+		s.scopes[name] = s.overflow
+	}
+	return s.overflow
+}
+
+// Dedicated reports whether the named scope owns its journal (false when it
+// was folded into the overflow scope, or never seen).
+func (s *ScopedLedger) Dedicated(name string) bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	led, ok := s.scopes[name]
+	return ok && led != s.overflow
+}
+
+// Scopes returns the dedicated scope names in registration order, plus the
+// OverflowScope last if any scope was folded.
+func (s *ScopedLedger) Scopes() []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := append([]string(nil), s.order...)
+	if s.overflow != nil {
+		out = append(out, OverflowScope)
+	}
+	return out
+}
+
+// Folded returns how many distinct scopes share the overflow journal.
+func (s *ScopedLedger) Folded() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.folded
+}
+
+// Advance declares ground truth complete up to now on every scope. Call
+// once per evaluation cycle; it fans out to each journal in registration
+// order (plus the overflow journal).
+func (s *ScopedLedger) Advance(now float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if now > s.watermark {
+		s.watermark = now
+	}
+	leds := make([]*Ledger, 0, len(s.order)+1)
+	for _, name := range s.order {
+		leds = append(leds, s.scopes[name])
+	}
+	if s.overflow != nil {
+		leds = append(leds, s.overflow)
+	}
+	s.mu.Unlock()
+	for _, led := range leds {
+		led.Advance(now)
+	}
+}
+
+// Watermark returns the newest Advance time seen.
+func (s *ScopedLedger) Watermark() float64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.watermark
+}
+
+// Totals sums journaled predictions and failures across every journal.
+func (s *ScopedLedger) Totals() (predictions, failures int64) {
+	if s == nil {
+		return 0, 0
+	}
+	s.mu.Lock()
+	leds := make([]*Ledger, 0, len(s.order)+1)
+	for _, name := range s.order {
+		leds = append(leds, s.scopes[name])
+	}
+	if s.overflow != nil {
+		leds = append(leds, s.overflow)
+	}
+	s.mu.Unlock()
+	for _, led := range leds {
+		snap := led.Snapshot()
+		predictions += snap.Predictions
+		failures += snap.Failures
+	}
+	return predictions, failures
+}

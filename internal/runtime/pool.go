@@ -3,25 +3,41 @@ package runtime
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 )
 
-// Pool is a fixed worker pool that scores MEA layers in parallel — the
-// sharded evaluate stage. Workers are long-lived; each Evaluate call fans
-// its layers across them and waits for the full score vector, so one slow
-// layer no longer serializes the whole cycle behind it.
+// Pool is a fixed pool of long-lived workers for index-addressed fan-out —
+// the shared evaluate stage. A single-runtime pipeline fans its layers
+// across the workers (Evaluate); the fleet runtime reuses the same pool for
+// cross-tenant batches (Do), so thousands of tenants share one set of
+// evaluation goroutines instead of spawning per-tenant ones.
 type Pool struct {
-	tasks chan poolTask
-	wg    sync.WaitGroup
+	tasks   chan poolJob
+	workers int
+	wg      sync.WaitGroup
 }
 
-type poolTask struct {
-	layer *core.Layer
-	now   float64
-	out   []float64
-	i     int
-	done  *sync.WaitGroup
+// poolJob is one Do call: workers claim indices [0,n) via the shared atomic
+// cursor and mark each completed index on done. Every worker that receives
+// a copy participates until the cursor is exhausted.
+type poolJob struct {
+	fn   func(i int)
+	n    int
+	next *atomic.Int64
+	done *sync.WaitGroup
+}
+
+func (j poolJob) run() {
+	for {
+		i := int(j.next.Add(1)) - 1
+		if i >= j.n {
+			return
+		}
+		j.fn(i)
+		j.done.Done()
+	}
 }
 
 // NewPool starts workers goroutines (minimum 1). Close releases them.
@@ -29,22 +45,49 @@ func NewPool(workers int) *Pool {
 	if workers < 1 {
 		workers = 1
 	}
-	p := &Pool{tasks: make(chan poolTask)}
+	p := &Pool{tasks: make(chan poolJob, workers), workers: workers}
 	p.wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer p.wg.Done()
-			for t := range p.tasks {
-				s, err := t.layer.Score(t.now)
-				if err != nil {
-					s = math.NaN() // abstain, same convention as core.EvaluateLayers
-				}
-				t.out[t.i] = s
-				t.done.Done()
+			for j := range p.tasks {
+				j.run()
 			}
 		}()
 	}
 	return p
+}
+
+// Do runs fn(i) for every i in [0,n) across the pool's workers and returns
+// once all n calls finished. The submitting goroutine participates too, so
+// progress is guaranteed even when every worker is busy with another job.
+// Output must be index-addressed (fn(i) writes only slot i of its result):
+// then the result is independent of worker count and scheduling — the same
+// determinism contract as internal/par. A nil pool runs inline and serial.
+func (p *Pool) Do(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if p == nil {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var done sync.WaitGroup
+	done.Add(n)
+	j := poolJob{fn: fn, n: n, next: &next, done: &done}
+	for w := 0; w < p.workers; w++ {
+		select {
+		case p.tasks <- j:
+		default:
+			// Buffer full: enough copies are queued; the submitter and the
+			// workers already holding a copy will drain the cursor.
+		}
+	}
+	j.run()
+	done.Wait()
 }
 
 // Evaluate scores every layer at time now and returns the per-layer score
@@ -53,16 +96,17 @@ func NewPool(workers int) *Pool {
 // time per result (the runtime's evaluate stage is that goroutine).
 func (p *Pool) Evaluate(layers []*core.Layer, now float64) []float64 {
 	out := make([]float64, len(layers))
-	var done sync.WaitGroup
-	done.Add(len(layers))
-	for i, l := range layers {
-		p.tasks <- poolTask{layer: l, now: now, out: out, i: i, done: &done}
-	}
-	done.Wait()
+	p.Do(len(layers), func(i int) {
+		s, err := layers[i].Score(now)
+		if err != nil {
+			s = math.NaN() // abstain, same convention as core.EvaluateLayers
+		}
+		out[i] = s
+	})
 	return out
 }
 
-// Close stops the workers after in-flight tasks finish.
+// Close stops the workers after in-flight jobs finish.
 func (p *Pool) Close() {
 	close(p.tasks)
 	p.wg.Wait()

@@ -74,6 +74,12 @@ const (
 // Event is one unit of monitoring ingest.
 type Event struct {
 	Kind EventKind
+	// Tenant optionally labels the monitored instance the event came from
+	// in multi-tenant deployments (internal/fleet). DefaultShardKey
+	// prefixes the routing key with it, so each tenant's error stream and
+	// per-variable sample streams stay independently ordered. Empty for
+	// single-tenant pipelines — routing is then unchanged.
+	Tenant string
 	// Time is the domain timestamp [s] (simulation or epoch seconds —
 	// whatever clock the runtime's layers evaluate against).
 	Time float64
@@ -95,10 +101,14 @@ type Event struct {
 
 // traceKey is the routing-key label a trace retains for rendering.
 func traceKey(ev Event) string {
+	key := ev.Variable
 	if ev.Kind == KindError {
-		return "errors"
+		key = "errors"
 	}
-	return ev.Variable
+	if ev.Tenant != "" {
+		return ev.Tenant + "/" + key
+	}
+	return key
 }
 
 // queue is the bounded ingest stage: a channel for the buffer (so blocked

@@ -9,12 +9,21 @@ package runtime
 // shard by monitoring variable (independent SAR streams apply in parallel),
 // while all detected-error events share one key — the error log is a single
 // time-ordered stream (eventlog.Log.Append enforces monotonic timestamps),
-// so its appends must stay serialized on one shard.
+// so its appends must stay serialized on one shard. Tenant-labeled events
+// prefix the key with the tenant ID (unit separator 0x1f cannot appear in
+// variable names in practice), so every tenant's streams are ordered
+// independently of every other tenant's — the routing contract the fleet
+// runtime's consistent-hash ring refines. Events without a tenant keep the
+// exact single-tenant keys.
 func DefaultShardKey(ev Event) string {
+	key := "\x00errors"
 	if ev.Kind == KindSample {
-		return ev.Variable
+		key = ev.Variable
 	}
-	return "\x00errors"
+	if ev.Tenant != "" {
+		return ev.Tenant + "\x1f" + key
+	}
+	return key
 }
 
 // fnv1a is the 32-bit FNV-1a hash, inlined so routing never allocates.

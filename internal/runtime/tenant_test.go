@@ -1,0 +1,93 @@
+package runtime
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// TestTenantShardKey checks the tenant-aware refinements of DefaultShardKey:
+// untagged events keep their exact single-tenant keys, tenant-tagged streams
+// are keyed per tenant, and tenant/variable concatenation cannot collide
+// with a different split of the same bytes.
+func TestTenantShardKey(t *testing.T) {
+	plain := Event{Kind: KindSample, Variable: "cpu"}
+	if got := DefaultShardKey(plain); got != "cpu" {
+		t.Fatalf("untagged sample key = %q, want %q", got, "cpu")
+	}
+	a := Event{Kind: KindSample, Tenant: "t1", Variable: "cpu"}
+	b := Event{Kind: KindSample, Tenant: "t2", Variable: "cpu"}
+	if DefaultShardKey(a) == DefaultShardKey(b) {
+		t.Fatal("same variable of different tenants shares a shard key")
+	}
+	if DefaultShardKey(a) == DefaultShardKey(plain) {
+		t.Fatal("tenant-tagged key collides with the untagged key")
+	}
+	// Error streams are serialized per tenant, not globally.
+	e1 := Event{Kind: KindError, Tenant: "t1"}
+	e2 := Event{Kind: KindError, Tenant: "t2"}
+	if DefaultShardKey(e1) == DefaultShardKey(e2) {
+		t.Fatal("different tenants' error logs share a shard key")
+	}
+	if DefaultShardKey(e1) != DefaultShardKey(Event{Kind: KindError, Tenant: "t1"}) {
+		t.Fatal("tenant error key is not stable")
+	}
+	// Ambiguous concatenations must not alias: tenant "ab" + variable "c"
+	// vs tenant "a" + variable "bc".
+	x := Event{Kind: KindSample, Tenant: "ab", Variable: "c"}
+	y := Event{Kind: KindSample, Tenant: "a", Variable: "bc"}
+	if DefaultShardKey(x) == DefaultShardKey(y) {
+		t.Fatal("tenant/variable concatenation is ambiguous")
+	}
+}
+
+// TestTenantPerStreamOrdering ingests interleaved tenant streams through a
+// sharded runtime and verifies each (tenant, variable) stream applies in
+// ingest order while tenants proceed independently.
+func TestTenantPerStreamOrdering(t *testing.T) {
+	var mu sync.Mutex
+	perStream := make(map[string][]float64)
+	rt, err := New(Config{
+		Engine: testEngine(t, defaultCoreCfg(), quietLayer()),
+		Apply: func(ev Event) error {
+			mu.Lock()
+			k := ev.Tenant + "/" + ev.Variable
+			perStream[k] = append(perStream[k], ev.Value)
+			mu.Unlock()
+			return nil
+		},
+		QueueCapacity: 64,
+		Overflow:      Block,
+		Shards:        4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	tenants := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	const perStreamEvents = 100
+	for i := 0; i < perStreamEvents; i++ {
+		for _, tn := range tenants {
+			ev := Event{Kind: KindSample, Tenant: tn, Time: float64(i), Variable: "cpu", Value: float64(i)}
+			if err := rt.Ingest(context.Background(), ev); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := rt.Stop(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for _, tn := range tenants {
+		got := perStream[tn+"/cpu"]
+		if len(got) != perStreamEvents {
+			t.Fatalf("tenant %q: applied %d events, want %d", tn, len(got), perStreamEvents)
+		}
+		for i, v := range got {
+			if v != float64(i) {
+				t.Fatalf("tenant %q: event %d applied out of order (value %g)", tn, i, v)
+			}
+		}
+	}
+}

