@@ -1,0 +1,168 @@
+// Command benchguard compares a fresh benchjson artifact against a
+// committed baseline and exits non-zero when a benchmark regresses past
+// the tolerance or has disappeared — the CI tripwire that keeps the
+// batch-first hot path from quietly losing its throughput.
+//
+// Usage:
+//
+//	benchguard -baseline bench/BENCH_runtime.baseline.json -current BENCH_runtime.json
+//
+// Matching strips the trailing -N GOMAXPROCS suffix go test appends to
+// benchmark names, so baselines recorded on one core count compare
+// against runs on another. Only ns/op is guarded: absolute numbers vary
+// across machines, but a >25% slowdown between two runs on the SAME
+// runner is a regression signal, and the committed baseline doubles as
+// the reference table in DESIGN.md. Benchmarks present only in the
+// current artifact are reported but do not fail the run (new benchmarks
+// need a baseline refresh, not a red build).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Result mirrors the benchjson schema (cmd/benchjson).
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "committed baseline benchjson artifact")
+	currentPath := flag.String("current", "", "freshly produced benchjson artifact")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional ns/op slowdown before failing")
+	flag.Parse()
+	if *baselinePath == "" || *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -baseline and -current are required")
+		os.Exit(2)
+	}
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	current, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	report, failures := compare(baseline, current, *tolerance)
+	for _, line := range report {
+		fmt.Println(line)
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: %d regression(s) past %.0f%% tolerance:\n", len(failures), *tolerance*100)
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "  "+f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchguard: %d benchmark(s) within %.0f%% of baseline\n", len(baseline), *tolerance*100)
+}
+
+func load(path string) ([]Result, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var results []Result
+	if err := json.Unmarshal(raw, &results); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results", path)
+	}
+	return results, nil
+}
+
+// trimProcs strips the trailing -N GOMAXPROCS suffix from a benchmark
+// name ("BenchmarkX/sub-8" → "BenchmarkX/sub").
+func trimProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	suffix := name[i+1:]
+	if suffix == "" {
+		return name
+	}
+	for _, c := range suffix {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	return name[:i]
+}
+
+// match finds the current result for a baseline name. Exact match wins;
+// otherwise one side's -N procs suffix is trimmed at a time. Trimming is
+// one-sided and ordered because a trailing number can be a real
+// sub-benchmark parameter (…/tenants-1000): blindly trimming both sides
+// would collide tenants-1 with tenants-1000 whenever GOMAXPROCS is 1 and
+// go test appends no suffix.
+func match(base string, current []Result) (Result, bool) {
+	for _, r := range current {
+		if r.Name == base {
+			return r, true
+		}
+	}
+	for _, r := range current {
+		if trimProcs(r.Name) == base {
+			return r, true
+		}
+	}
+	if trimmed := trimProcs(base); trimmed != base {
+		for _, r := range current {
+			if r.Name == trimmed || trimProcs(r.Name) == trimmed {
+				return r, true
+			}
+		}
+	}
+	return Result{}, false
+}
+
+// compare checks every baseline benchmark against the current run. It
+// returns human-readable report lines for all benchmarks and the subset
+// of failure descriptions (missing from current, or ns/op slower than
+// baseline*(1+tolerance)).
+func compare(baseline, current []Result, tolerance float64) (report, failures []string) {
+	matched := make(map[string]bool, len(current))
+	for _, base := range baseline {
+		name := base.Name
+		got, ok := match(base.Name, current)
+		if ok {
+			matched[got.Name] = true
+		} else {
+			failures = append(failures, fmt.Sprintf("%s: missing from current run", name))
+			report = append(report, fmt.Sprintf("MISSING %-48s baseline %.1f ns/op", name, base.NsPerOp))
+			continue
+		}
+		limit := base.NsPerOp * (1 + tolerance)
+		delta := 0.0
+		if base.NsPerOp > 0 {
+			delta = (got.NsPerOp - base.NsPerOp) / base.NsPerOp * 100
+		}
+		status := "OK     "
+		if got.NsPerOp > limit {
+			status = "REGRESS"
+			failures = append(failures, fmt.Sprintf("%s: %.1f ns/op vs baseline %.1f (%+.1f%%)",
+				name, got.NsPerOp, base.NsPerOp, delta))
+		}
+		report = append(report, fmt.Sprintf("%s %-48s %10.1f ns/op  baseline %10.1f  (%+.1f%%)",
+			status, name, got.NsPerOp, base.NsPerOp, delta))
+	}
+	for _, r := range current {
+		if !matched[r.Name] {
+			report = append(report, fmt.Sprintf("NEW     %-48s %10.1f ns/op  (no baseline — refresh bench/)", trimProcs(r.Name), r.NsPerOp))
+		}
+	}
+	return report, failures
+}

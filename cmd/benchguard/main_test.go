@@ -1,0 +1,90 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTrimProcs(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkRuntimeThroughput/tracing-on-8":  "BenchmarkRuntimeThroughput/tracing-on",
+		"BenchmarkRuntimeThroughput/tracing-on-64": "BenchmarkRuntimeThroughput/tracing-on",
+		"BenchmarkFleetCycle-4":                    "BenchmarkFleetCycle",
+		"BenchmarkNoSuffix":                        "BenchmarkNoSuffix",
+		"BenchmarkX/drop-oldest":                   "BenchmarkX/drop-oldest", // non-numeric suffix stays
+		"BenchmarkX/n-":                            "BenchmarkX/n-",
+	}
+	for in, want := range cases {
+		if got := trimProcs(in); got != want {
+			t.Errorf("trimProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	baseline := []Result{
+		{Name: "BenchmarkA/fast-8", NsPerOp: 100},
+		{Name: "BenchmarkA/slow-8", NsPerOp: 100},
+		{Name: "BenchmarkGone-8", NsPerOp: 50},
+	}
+	current := []Result{
+		{Name: "BenchmarkA/fast-4", NsPerOp: 110},  // +10% — within 25%
+		{Name: "BenchmarkA/slow-4", NsPerOp: 130},  // +30% — regression
+		{Name: "BenchmarkBrandNew-4", NsPerOp: 10}, // no baseline — reported, not fatal
+	}
+	report, failures := compare(baseline, current, 0.25)
+	if len(failures) != 2 {
+		t.Fatalf("failures = %v, want slow regression + missing", failures)
+	}
+	joined := strings.Join(failures, "\n")
+	if !strings.Contains(joined, "BenchmarkA/slow") || !strings.Contains(joined, "BenchmarkGone") {
+		t.Fatalf("failures = %v", failures)
+	}
+	if strings.Contains(joined, "BrandNew") {
+		t.Fatalf("new benchmark must not fail the run: %v", failures)
+	}
+	if len(report) != 4 {
+		t.Fatalf("report lines = %d, want 4 (ok, regress, missing, new):\n%s",
+			len(report), strings.Join(report, "\n"))
+	}
+}
+
+func TestCompareExactTolerance(t *testing.T) {
+	baseline := []Result{{Name: "BenchmarkEdge", NsPerOp: 100}}
+	// Exactly at the limit passes; just over fails.
+	if _, failures := compare(baseline, []Result{{Name: "BenchmarkEdge", NsPerOp: 125}}, 0.25); len(failures) != 0 {
+		t.Fatalf("exactly at tolerance should pass: %v", failures)
+	}
+	if _, failures := compare(baseline, []Result{{Name: "BenchmarkEdge", NsPerOp: 126}}, 0.25); len(failures) != 1 {
+		t.Fatalf("past tolerance should fail: %v", failures)
+	}
+}
+
+// TestCompareSuffixAsymmetry: baselines recorded on a single-core machine
+// carry no -N procs suffix while CI runs do — and a trailing number can be
+// a real sub-benchmark parameter, so tenants-1 must not swallow
+// tenants-1000 when matching across the two shapes.
+func TestCompareSuffixAsymmetry(t *testing.T) {
+	baseline := []Result{
+		{Name: "BenchmarkFleetThroughput/tenants-1", NsPerOp: 146},
+		{Name: "BenchmarkFleetThroughput/tenants-1000", NsPerOp: 155},
+	}
+	current := []Result{
+		{Name: "BenchmarkFleetThroughput/tenants-1-4", NsPerOp: 150},
+		{Name: "BenchmarkFleetThroughput/tenants-1000-4", NsPerOp: 300}, // +94%
+	}
+	report, failures := compare(baseline, current, 0.25)
+	if len(failures) != 1 || !strings.Contains(failures[0], "tenants-1000") {
+		t.Fatalf("failures = %v, want exactly the tenants-1000 regression", failures)
+	}
+	for _, line := range report {
+		if strings.Contains(line, "MISSING") || strings.Contains(line, "NEW") {
+			t.Fatalf("suffix asymmetry broke matching:\n%s", strings.Join(report, "\n"))
+		}
+	}
+	// And the same-shape direction (suffixed baseline, bare current).
+	_, failures = compare(current, baseline, 0.25)
+	if len(failures) != 0 {
+		t.Fatalf("reverse direction failures = %v (current faster than baseline everywhere)", failures)
+	}
+}

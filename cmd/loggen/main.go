@@ -5,11 +5,15 @@
 //
 // Usage:
 //
-//	loggen [-seed 7] [-days 7] [-out data]
+//	loggen [-seed 7] [-days 7] [-out data] [-columnar]
+//	loggen -convert data
 //	loggen -tenants 100 [-skew 1] [-seed 7] [-days 7] [-out data]
 //
 // Single-tenant mode writes data.log (pipe-separated error events),
 // data.sar.tsv (one column per SAR variable) and data.failures.tsv.
+// -columnar additionally writes data.cols, the PFC1 struct-of-arrays
+// trace that pfmd -replay-columnar replays at full speed; -convert
+// builds the same .cols from previously written text artifacts.
 //
 // With -tenants N > 1 it instead runs N independently seeded simulators
 // with a Zipf(-skew)-shaped load profile and writes the time-interleaved
@@ -23,8 +27,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
+	"repro/internal/eventlog"
 	"repro/internal/fleet"
+	"repro/internal/runtime"
 	"repro/internal/scp"
 )
 
@@ -41,8 +49,13 @@ func run() error {
 	out := flag.String("out", "data", "output file prefix")
 	tenants := flag.Int("tenants", 1, "fleet size; > 1 writes an interleaved multi-tenant trace")
 	skew := flag.Float64("skew", 1, "Zipf exponent of the per-tenant load profile (0 = uniform)")
+	columnar := flag.Bool("columnar", false, "also write <out>.cols, the PFC1 columnar trace pfmd -replay-columnar consumes")
+	convert := flag.String("convert", "", "convert existing <prefix>.log/.sar.tsv/.failures.tsv artifacts into <prefix>.cols and exit")
 	flag.Parse()
 
+	if *convert != "" {
+		return runConvert(*convert)
+	}
 	if *tenants > 1 {
 		return runMulti(*tenants, *skew, *seed, *days, *out)
 	}
@@ -68,7 +81,199 @@ func run() error {
 	}
 	fmt.Printf("wrote %s.log (%d events), %s.sar.tsv, %s.failures.tsv (%d failures)\n",
 		*out, sys.Log().Len(), *out, *out, len(sys.Failures()))
+	if *columnar {
+		rows, err := simSARRows(sys)
+		if err != nil {
+			return err
+		}
+		trace, err := buildColumnar(sys.Log(), scp.SARVariables, rows, sys.FailureTimes())
+		if err != nil {
+			return err
+		}
+		n, err := writeColumnar(trace, *out+".cols")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s.cols: %d events (%d errors), %d failures, %d bytes\n",
+			*out, trace.Len(), sys.Log().Len(), len(trace.Failures), n)
+	}
 	return nil
+}
+
+// sarRow is one SAR sampling instant: a timestamp plus one value per
+// variable, in the caller's variable order.
+type sarRow struct {
+	t    float64
+	vals []float64
+}
+
+// simSARRows collects the simulator's SAR series as aligned rows (the
+// sampler records every variable at the same instants).
+func simSARRows(sys *scp.System) ([]sarRow, error) {
+	first, err := sys.SAR(scp.SARVariables[0])
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]sarRow, 0, first.Len())
+	for i := 0; i < first.Len(); i++ {
+		t := first.At(i).T
+		row := sarRow{t: t, vals: make([]float64, len(scp.SARVariables))}
+		for j, name := range scp.SARVariables {
+			series, err := sys.SAR(name)
+			if err != nil {
+				return nil, err
+			}
+			v, _ := series.ValueAt(t)
+			row.vals[j] = v
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// buildColumnar merges the error log and the SAR rows into one
+// time-ordered columnar trace. At equal timestamps errors sort before
+// samples — the same order the live replay feeder emits them in.
+func buildColumnar(log *eventlog.Log, vars []string, rows []sarRow, failures []float64) (*runtime.ColumnarTrace, error) {
+	b := runtime.NewColumnarBuilder()
+	b.Grow(log.Len() + len(rows)*len(vars))
+	ei := 0
+	for _, row := range rows {
+		for ei < log.Len() && log.At(ei).Time <= row.t {
+			if err := b.AddError(log.At(ei)); err != nil {
+				return nil, err
+			}
+			ei++
+		}
+		for j, name := range vars {
+			if err := b.AddSample(row.t, name, row.vals[j]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for ; ei < log.Len(); ei++ {
+		if err := b.AddError(log.At(ei)); err != nil {
+			return nil, err
+		}
+	}
+	for _, f := range failures {
+		if err := b.AddFailure(f); err != nil {
+			return nil, err
+		}
+	}
+	return b.Trace(), nil
+}
+
+func writeColumnar(trace *runtime.ColumnarTrace, path string) (int64, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	n, err := trace.WriteTo(f)
+	if err != nil {
+		return n, err
+	}
+	return n, f.Close()
+}
+
+// runConvert rebuilds <prefix>.cols from the on-disk text artifacts — the
+// upgrade path for traces generated before the columnar format existed.
+func runConvert(prefix string) error {
+	lf, err := os.Open(prefix + ".log")
+	if err != nil {
+		return err
+	}
+	log, err := eventlog.Parse(lf)
+	lf.Close()
+	if err != nil {
+		return fmt.Errorf("%s.log: %w", prefix, err)
+	}
+	vars, rows, err := readSARTSV(prefix + ".sar.tsv")
+	if err != nil {
+		return err
+	}
+	failures, err := readFailuresTSV(prefix + ".failures.tsv")
+	if err != nil {
+		return err
+	}
+	trace, err := buildColumnar(log, vars, rows, failures)
+	if err != nil {
+		return err
+	}
+	n, err := writeColumnar(trace, prefix+".cols")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("converted %s.{log,sar.tsv,failures.tsv} -> %s.cols: %d events (%d errors), %d failures, %d bytes\n",
+		prefix, prefix, trace.Len(), log.Len(), len(failures), n)
+	return nil
+}
+
+// readSARTSV parses the writeSAR format: a "t<TAB>var..." header, then
+// one row of samples per line.
+func readSARTSV(path string) ([]string, []sarRow, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	if !sc.Scan() {
+		return nil, nil, fmt.Errorf("%s: missing header: %v", path, sc.Err())
+	}
+	header := strings.Split(sc.Text(), "\t")
+	if len(header) < 2 || header[0] != "t" {
+		return nil, nil, fmt.Errorf("%s: malformed header %q", path, sc.Text())
+	}
+	vars := header[1:]
+	var rows []sarRow
+	line := 1
+	for sc.Scan() {
+		line++
+		fields := strings.Split(sc.Text(), "\t")
+		if len(fields) != len(header) {
+			return nil, nil, fmt.Errorf("%s:%d: want %d fields, got %d", path, line, len(header), len(fields))
+		}
+		row := sarRow{vals: make([]float64, len(vars))}
+		if row.t, err = strconv.ParseFloat(fields[0], 64); err != nil {
+			return nil, nil, fmt.Errorf("%s:%d: time: %v", path, line, err)
+		}
+		for j, fv := range fields[1:] {
+			if row.vals[j], err = strconv.ParseFloat(fv, 64); err != nil {
+				return nil, nil, fmt.Errorf("%s:%d: %s: %v", path, line, vars[j], err)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return vars, rows, sc.Err()
+}
+
+// readFailuresTSV parses the writeFailures format, keeping only the
+// failure times (the other columns are diagnostics).
+func readFailuresTSV(path string) ([]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("%s: missing header: %v", path, sc.Err())
+	}
+	var times []float64
+	line := 1
+	for sc.Scan() {
+		line++
+		fields := strings.SplitN(sc.Text(), "\t", 2)
+		t, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: time: %v", path, line, err)
+		}
+		times = append(times, t)
+	}
+	return times, sc.Err()
 }
 
 // runMulti generates the interleaved multi-tenant trace in both fleet

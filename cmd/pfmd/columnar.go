@@ -1,0 +1,247 @@
+// Columnar replay mode (-replay-columnar): drive the single-tenant
+// runtime from a recorded PFC1 struct-of-arrays trace (loggen -columnar)
+// instead of a live simulator. There is no wall-clock pacing — events
+// stream through the batched ingest path as fast as the pipeline applies
+// them, and MEA cycles that fall due between events are stacked and run
+// through Runtime.CycleBatch, so a simulated year replays in seconds and
+// the run reports its sustained events/sec.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"math"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/act"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/runtime"
+	"repro/internal/scp"
+)
+
+// columnarOptions carries the -replay-columnar flag set.
+type columnarOptions struct {
+	addr        string
+	path        string  // PFC1 trace file
+	cadence     float64 // MEA cadence [sim s]
+	batch       int
+	queueCap    int
+	policy      runtime.OverflowPolicy
+	workers     int
+	shards      int
+	pprofOn     bool
+	traceCap    int
+	traceSample int
+	traceDump   int
+	ledgerWin   float64
+	ledgerSlack float64
+	metaWeights string
+	logger      *slog.Logger
+}
+
+// runColumnar replays a columnar trace through the full online pipeline:
+// mirror state, layered predictors, act stage, quality ledger and
+// observability endpoints — identical wiring to the live service, minus
+// the simulator (a recorded trace cannot be steered, so the
+// countermeasure is a no-op and only its decision record matters).
+func runColumnar(o columnarOptions) error {
+	if o.cadence <= 0 {
+		return fmt.Errorf("replay-eval cadence must be positive, got %g", o.cadence)
+	}
+	f, err := os.Open(o.path)
+	if err != nil {
+		return err
+	}
+	trace, err := runtime.ReadColumnar(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	m := newMirror()
+	nErrors, nSamples := trace.CountKinds()
+	m.log.Grow(nErrors)
+	scpCfg := scp.DefaultConfig()
+	layers := m.layers(2 * scpCfg.SwapThreshold)
+	var combiner core.Combiner
+	if o.metaWeights != "" {
+		stacker, err := parseMetaWeights(o.metaWeights, layers)
+		if err != nil {
+			return err
+		}
+		combiner = stacker.Score
+		o.logger.Info("meta combiner", "weights", o.metaWeights)
+	}
+	action, err := act.New("mitigate+prepare", act.PreparedRepair,
+		act.Params{Cost: 0.5, SuccessProb: 0.85, Complexity: 0.3},
+		func() error { return nil })
+	if err != nil {
+		return err
+	}
+	selector, err := act.NewSelector(act.DefaultWeights())
+	if err != nil {
+		return err
+	}
+	const leadTime = 300.0
+	engine, err := core.New(nil, layers, combiner, selector,
+		[]*act.Action{action}, nil, core.Config{
+			EvalInterval:        o.cadence,
+			LeadTime:            leadTime,
+			WarnThreshold:       0.2,
+			OscillationWindow:   1800,
+			MaxActionsPerWindow: 6,
+		})
+	if err != nil {
+		return err
+	}
+	layerNames := make([]string, len(layers))
+	for i, l := range layers {
+		layerNames[i] = l.Name
+	}
+	ledger, err := obs.NewLedger(obs.LedgerConfig{
+		LeadTime: leadTime, Slack: o.ledgerSlack, Window: o.ledgerWin,
+	}, layerNames...)
+	if err != nil {
+		return err
+	}
+	var tracer *obs.Tracer
+	if o.traceCap > 0 {
+		tracer = obs.NewTracer(o.traceCap)
+		tracer.SetSampleInterval(o.traceSample)
+	}
+
+	// Replay clock: the trace-time high-water mark. The runtime's own
+	// evaluate ticker stays off (EvalInterval 0) — cycles are driven
+	// synchronously below, which is what lets them stack into batches.
+	var simNow atomic.Uint64
+	rt, err := runtime.New(runtime.Config{
+		Engine:        engine,
+		Apply:         m.apply,
+		Clock:         func() float64 { return math.Float64frombits(simNow.Load()) },
+		QueueCapacity: o.queueCap,
+		Overflow:      o.policy,
+		Workers:       o.workers,
+		Shards:        o.shards,
+		BatchSize:     o.batch,
+		Profiling:     o.pprofOn,
+		Tracer:        tracer,
+		Ledger:        ledger,
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := rt.Start(ctx); err != nil {
+		return err
+	}
+	srv, bound, err := rt.Serve(o.addr)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	o.logger.Info("columnar replay starting",
+		"trace", o.path, "events", trace.Len(),
+		"errors", nErrors, "samples", nSamples, "failures", len(trace.Failures),
+		"cadence_sim_s", o.cadence, "batch", o.batch, "shards", rt.Shards(),
+		"policy", o.policy.String(), "addr", bound)
+
+	start := time.Now()
+	n := trace.Len()
+	var span float64
+	if n > 0 {
+		span = trace.Times[n-1] - trace.Times[0]
+	}
+	// Cycle times are stacked while no event falls between them, then run
+	// as one CycleBatch once an event (or ground-truth failure) intervenes
+	// — serial-equivalent because the mirror state a stacked cycle reads
+	// cannot have changed since the previous one.
+	cycles := make([]float64, 0, 1024)
+	fi := 0
+	flush := func() error {
+		if len(cycles) == 0 {
+			return nil
+		}
+		if err := rt.Barrier(ctx); err != nil {
+			return err
+		}
+		simNow.Store(math.Float64bits(cycles[len(cycles)-1]))
+		rt.CycleBatch(cycles)
+		cycles = cycles[:0]
+		return nil
+	}
+	next := math.Inf(1)
+	if n > 0 {
+		next = trace.Times[0] + o.cadence
+	}
+	for i := 0; i < n; i++ {
+		t := trace.Times[i]
+		for next <= t {
+			for fi < len(trace.Failures) && trace.Failures[fi] <= next {
+				if err := flush(); err != nil {
+					return err
+				}
+				ledger.RecordFailure(trace.Failures[fi])
+				fi++
+			}
+			cycles = append(cycles, next)
+			next += o.cadence
+		}
+		if err := flush(); err != nil {
+			return err
+		}
+		for fi < len(trace.Failures) && trace.Failures[fi] <= t {
+			ledger.RecordFailure(trace.Failures[fi])
+			fi++
+		}
+		simNow.Store(math.Float64bits(t))
+		if err := rt.Ingest(ctx, trace.Event(i)); err != nil {
+			return err
+		}
+	}
+	for fi < len(trace.Failures) {
+		ledger.RecordFailure(trace.Failures[fi])
+		fi++
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+
+	stopCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := rt.Stop(stopCtx); err != nil {
+		o.logger.Warn("drain incomplete", "err", err)
+	}
+	elapsed := time.Since(start)
+	rate := float64(n) / elapsed.Seconds()
+	o.logger.Info("columnar replay complete",
+		"events", n, "wall_seconds", elapsed.Seconds(),
+		"events_per_sec", int64(rate),
+		"sim_days", span/86400, "cycles", rt.Cycles(),
+		"speedup", span/elapsed.Seconds())
+
+	mm := rt.Metrics()
+	o.logger.Info("pipeline summary",
+		"ingested", mm.Ingested.Value(), "applied", mm.Applied.Value(),
+		"dropped", mm.Dropped(), "evaluations", mm.Evaluations.Value(),
+		"warnings", mm.Warnings.Value(), "actions", mm.Actions.Value(),
+		"suppressed", mm.Suppressed.Value())
+	logActionStats(o.logger, action)
+	logQuality(o.logger, ledger)
+	logModelAssessment(o.logger, ledger)
+	fmt.Print(engine.Report())
+	if o.traceDump > 0 && tracer != nil {
+		fmt.Printf("\nslowest %d end-to-end traces:\n\n", o.traceDump)
+		if err := obs.WriteText(os.Stdout, tracer.Slowest(o.traceDump), kindName); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -38,6 +38,7 @@
 //	     [-meta-weights w1,w2,w3,w4]
 //	     [-hotswap] [-drift-warmup 240] [-drift-threshold 8]
 //	     [-drift-shadow-min 20] [-drift-cooldown 200]
+//	     [-batch 0] [-replay-columnar trace.cols] [-replay-eval 900]
 package main
 
 import (
@@ -262,6 +263,9 @@ func run() error {
 	skew := flag.Float64("skew", 1, "Zipf exponent of the tenant load profile (with -fleet)")
 	fleetScopes := flag.Int("fleet-scopes", 64, "dedicated per-tenant quality-ledger scopes before folding (with -fleet)")
 	fleetTrace := flag.String("fleet-trace", "", "replay a recorded trace file instead of simulating (.trace text or .wire binary, see loggen -tenants)")
+	batch := flag.Int("batch", 0, "ingest drain chunk size per shard (0 = runtime default)")
+	replayColumnar := flag.String("replay-columnar", "", "replay a PFC1 columnar trace (see loggen -columnar) at full speed instead of simulating")
+	replayEval := flag.Float64("replay-eval", 900, "MEA cadence in simulated seconds (with -replay-columnar)")
 	flag.Parse()
 	if *days <= 0 || *compress <= 0 {
 		return fmt.Errorf("days and compress must be positive")
@@ -276,6 +280,16 @@ func run() error {
 	}
 	if *traceDump > *traceCap {
 		*traceCap = *traceDump
+	}
+	if *replayColumnar != "" {
+		return runColumnar(columnarOptions{
+			addr: *addr, path: *replayColumnar, cadence: *replayEval,
+			batch: *batch, queueCap: *queueCap, policy: policy,
+			workers: *workers, shards: *shards, pprofOn: *pprofOn,
+			traceCap: *traceCap, traceSample: *traceSample, traceDump: *traceDump,
+			ledgerWin: *ledgerWindow, ledgerSlack: *ledgerSlack,
+			metaWeights: *metaWeights, logger: logger,
+		})
 	}
 	if *fleetMode {
 		return runFleet(fleetOptions{
@@ -407,6 +421,7 @@ func run() error {
 		EvalInterval:  *evalEvery,
 		Workers:       *workers,
 		Shards:        *shards,
+		BatchSize:     *batch,
 		Profiling:     *pprofOn,
 		Tracer:        tracer,
 		Ledger:        ledger,

@@ -303,6 +303,25 @@ func (e *Engine) EvaluateLayers(now float64) []float64 {
 	return scores
 }
 
+// EvaluateLayersBatch scores every layer at each time in nows into the
+// layer-major flat score matrix out: out[j*len(nows)+i] is layer j at
+// nows[i], so each layer's whole batch is one contiguous segment a batch
+// kernel writes in place (no per-layer scratch). len(out) must be
+// len(Layers())*len(nows) — anything else panics, like a mis-sized copy.
+// Like EvaluateLayers the engine mutex is NOT held; each layer loads its
+// versioned predictor handle once per batch (ScoreBatch), and scores are
+// bit-identical to len(nows) EvaluateLayers calls. Feed each time's row
+// (the i-strided column of out) to ActOn.
+func (e *Engine) EvaluateLayersBatch(nows []float64, out []float64) {
+	if len(out) != len(e.layers)*len(nows) {
+		panic(fmt.Sprintf("core: EvaluateLayersBatch out has len %d, want %d layers x %d times",
+			len(out), len(e.layers), len(nows)))
+	}
+	for j, l := range e.layers {
+		l.ScoreBatch(nows, out[j*len(nows):(j+1)*len(nows)])
+	}
+}
+
 // CycleObserver receives every completed Act round: the evaluation time,
 // the raw per-layer scores (indexed like the engine's layers, NaN for
 // abstaining layers), and the cross-layer decision. It is invoked OUTSIDE

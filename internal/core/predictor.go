@@ -1,5 +1,7 @@
 package core
 
+import "math"
+
 // LayerPredictor is a layer's failure predictor as a first-class value with
 // a lifecycle, replacing the bare Evaluate closure: the serving predictor
 // lives behind the layer's atomically swappable, versioned handle, so a
@@ -18,6 +20,22 @@ type PredictorFunc func(now float64) (float64, error)
 
 // Evaluate implements LayerPredictor.
 func (f PredictorFunc) Evaluate(now float64) (float64, error) { return f(now) }
+
+// BatchPredictor is the optional batched-evaluation capability of a
+// LayerPredictor: one call scores a whole slice of times, letting
+// table-driven predictors amortize feature extraction and score through
+// the allocation-free batch kernels (hsmm.Classifier.ScoreAllInto,
+// ubf.Network.PredictRowsInto) on the online path. The contract is
+// strict: a successful EvaluateBatch(nows, out) must write bit-identical
+// scores to len(nows) successive Evaluate calls — that is what keeps
+// batch boundaries observationally invisible. On error the whole batch
+// abstains (see Layer.ScoreBatch for the accounting).
+type BatchPredictor interface {
+	LayerPredictor
+	// EvaluateBatch scores the layer at every time in nows into
+	// out[:len(nows)].
+	EvaluateBatch(nows []float64, out []float64) error
+}
 
 // Retrainer is the optional retraining capability of a LayerPredictor. The
 // two phases split along the runtime's locking contract:
@@ -87,6 +105,37 @@ func (l *Layer) Score(now float64) (float64, error) {
 		return 0, err
 	}
 	return s, nil
+}
+
+// ScoreBatch evaluates the layer at every time in nows into out[i]
+// (NaN = abstain), loading the versioned predictor handle once for the
+// whole batch — every score in a batch comes from one predictor version,
+// exactly as a serial scan that raced no swap would produce. A predictor
+// implementing BatchPredictor scores the batch in one kernel call; a
+// batch failure abstains every time in the batch and counts len(nows)
+// evaluation errors, the accounting of a uniformly failing serial scan.
+// Other predictors fall back to a per-time scan with accounting identical
+// to Score.
+func (l *Layer) ScoreBatch(nows []float64, out []float64) {
+	out = out[:len(nows)]
+	vp := l.current()
+	if bp, ok := vp.p.(BatchPredictor); ok {
+		if err := bp.EvaluateBatch(nows, out); err != nil {
+			l.evalErrors.Add(int64(len(nows)))
+			for i := range out {
+				out[i] = math.NaN()
+			}
+		}
+		return
+	}
+	for i, now := range nows {
+		s, err := vp.p.Evaluate(now)
+		if err != nil {
+			l.evalErrors.Add(1)
+			s = math.NaN()
+		}
+		out[i] = s
+	}
 }
 
 // Current returns the serving predictor and its version.

@@ -97,6 +97,45 @@ func (l *Log) Append(e Event) error {
 	return nil
 }
 
+// Grow preallocates capacity for at least n more events, so a replay
+// that knows its trace size up front (e.g. a columnar trace header)
+// appends without intermediate reallocation-and-copy cycles.
+func (l *Log) Grow(n int) {
+	if n <= 0 || cap(l.events)-len(l.events) >= n {
+		return
+	}
+	grown := make([]Event, len(l.events), len(l.events)+n)
+	copy(grown, l.events)
+	l.events = grown
+}
+
+// AppendBatch appends events in order, atomically: the whole batch is
+// validated against the Append rules first, and on any error the log is
+// left unchanged.
+func (l *Log) AppendBatch(events []Event) error {
+	last := math.Inf(-1)
+	if n := len(l.events); n > 0 {
+		last = l.events[n-1].Time
+	}
+	for i, e := range events {
+		if math.IsNaN(e.Time) || math.IsInf(e.Time, 0) {
+			return fmt.Errorf("%w: batch[%d]: event time %g", ErrLog, i, e.Time)
+		}
+		if e.Time < last {
+			return fmt.Errorf("%w: batch[%d]: event time %g before log tail %g", ErrLog, i, e.Time, last)
+		}
+		if strings.ContainsAny(e.Message, "\n|") {
+			return fmt.Errorf("%w: batch[%d]: message contains reserved characters", ErrLog, i)
+		}
+		if e.Severity < SeverityInfo || e.Severity > SeverityCritical {
+			return fmt.Errorf("%w: batch[%d]: severity %d", ErrLog, i, e.Severity)
+		}
+		last = e.Time
+	}
+	l.events = append(l.events, events...)
+	return nil
+}
+
 // Len returns the number of events.
 func (l *Log) Len() int { return len(l.events) }
 

@@ -172,3 +172,61 @@ func TestWindowViewMatchesWindow(t *testing.T) {
 		t.Fatal("WindowView does not alias the backing store")
 	}
 }
+
+// TestGrow pins the preallocation contract: one Grow, no further
+// reallocation for n appends, existing events intact.
+func TestGrow(t *testing.T) {
+	l := NewLog()
+	if err := l.Append(Event{Time: 1, Component: "c", Type: 1, Severity: SeverityInfo}); err != nil {
+		t.Fatal(err)
+	}
+	l.Grow(100)
+	if free := cap(l.events) - len(l.events); free < 100 {
+		t.Fatalf("free capacity after Grow(100) = %d, want >= 100", free)
+	}
+	base := &l.events[0]
+	for i := 0; i < 100; i++ {
+		if err := l.Append(Event{Time: float64(2 + i), Component: "c", Type: i, Severity: SeverityInfo}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if &l.events[0] != base {
+		t.Fatal("appends within grown capacity reallocated the backing store")
+	}
+	if l.Len() != 101 || l.At(0).Time != 1 {
+		t.Fatalf("log corrupted by Grow: len=%d first=%+v", l.Len(), l.At(0))
+	}
+	l.Grow(-1) // no-op, must not panic
+}
+
+// TestAppendBatch pins atomicity: a batch with any invalid event leaves
+// the log untouched.
+func TestAppendBatch(t *testing.T) {
+	l := NewLog()
+	if err := l.Append(Event{Time: 5, Component: "c", Type: 1, Severity: SeverityInfo}); err != nil {
+		t.Fatal(err)
+	}
+	ok := []Event{
+		{Time: 5, Component: "a", Type: 1, Severity: SeverityWarning},
+		{Time: 6, Component: "b", Type: 2, Severity: SeverityError},
+	}
+	if err := l.AppendBatch(ok); err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 3 || l.At(2).Component != "b" {
+		t.Fatalf("batch not appended: len=%d", l.Len())
+	}
+	for _, bad := range [][]Event{
+		{{Time: 7, Component: "x", Type: 1, Severity: SeverityInfo}, {Time: 4, Component: "y", Type: 1, Severity: SeverityInfo}}, // regression inside batch
+		{{Time: 3, Component: "x", Type: 1, Severity: SeverityInfo}},                                                             // before tail
+		{{Time: 8, Component: "x", Type: 1, Severity: 0}},                                                                        // bad severity
+		{{Time: 8, Component: "x", Type: 1, Severity: SeverityInfo, Message: "a|b"}},                                             // reserved char
+	} {
+		if err := l.AppendBatch(bad); err == nil {
+			t.Fatalf("AppendBatch(%+v) accepted invalid batch", bad)
+		}
+		if l.Len() != 3 {
+			t.Fatalf("failed batch mutated the log: len=%d", l.Len())
+		}
+	}
+}

@@ -269,7 +269,7 @@ func New(cfg Config) (*Fleet, error) {
 	dropHelp := "Events dropped per fleet ingest shard (all reasons)."
 	for s := range f.queues {
 		drops := reg.Counter("pfm_fleet_shard_dropped_total", dropHelp, "shard", strconv.Itoa(s))
-		f.queues[s] = newShardQueue(cfg.QueueCapacity, cfg.Overflow, drops, cfg.Tracer, s)
+		f.queues[s] = newShardQueue(cfg.QueueCapacity, cfg.Overflow, f.metrics, drops, cfg.Tracer, s)
 		q := f.queues[s]
 		reg.GaugeFunc("pfm_fleet_shard_queue_depth", depthHelp,
 			func() float64 { return float64(q.depth()) }, "shard", strconv.Itoa(s))
@@ -471,9 +471,12 @@ func (f *Fleet) Ingest(ctx context.Context, ev Event) error {
 	it := item{ev: ev, tn: tn}
 	if f.cfg.Tracer.Sample() {
 		it.traceSampled = true
-		it.traceStart = f.cfg.Tracer.Now()
+		// The offer follows within nanoseconds; one stamp covers both.
+		now := f.cfg.Tracer.Now()
+		it.traceStart = now
+		it.traceOffered = now
 	}
-	return f.queues[tn.shard].push(ctx, it, f.metrics)
+	return f.queues[tn.shard].push(ctx, it)
 }
 
 // RecordFailure journals one observed ground-truth failure of a tenant at
@@ -517,8 +520,8 @@ func (f *Fleet) consumeLoop(q *shardQueue) {
 				f.metrics.DroppedShutdown.Inc()
 				q.dropped()
 				q.traceDrop(buf[i])
-				q.settled()
 			}
+			q.settled(n)
 			continue
 		}
 		var dequeued int64
@@ -544,8 +547,8 @@ func (f *Fleet) consumeLoop(q *shardQueue) {
 				tr.PublishApplied(uint8(buf[i].ev.Kind), buf[i].ev.Tenant, q.shard,
 					buf[i].traceStart, buf[i].traceOffered, dequeued, tr.Now())
 			}
-			q.settled()
 		}
+		q.settled(n)
 	}
 }
 
@@ -712,7 +715,7 @@ func (f *Fleet) Barrier(ctx context.Context) error {
 	for {
 		quiet := true
 		for _, q := range f.queues {
-			if q.pending.Load() != 0 {
+			if q.pending() != 0 {
 				quiet = false
 				break
 			}

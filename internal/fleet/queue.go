@@ -2,9 +2,7 @@ package fleet
 
 import (
 	"context"
-	stdruntime "runtime"
-	"sync"
-	"sync/atomic"
+	"errors"
 
 	"repro/internal/obs"
 	"repro/internal/runtime"
@@ -20,37 +18,38 @@ type item struct {
 	traceOffered int64
 }
 
-// shardQueue is one shard's bounded ingest buffer: a channel (blocked
-// producers stay context-cancelable) plus a close gate, like the
-// single-runtime queue, with two additions for the fleet — the consumer
-// drains it in chunks, and a pending count supports Barrier (quiescence
-// detection for deterministic replay).
+// shardQueue is one shard's bounded ingest buffer: the chunk Ring shared
+// with the single-tenant runtime (runtime.Ring — one lock acquisition per
+// consumer chunk, built-in pending accounting for Barrier) plus this
+// package's drop and trace bookkeeping. Trace sampling and stamping
+// happen on the producer side (Fleet.Ingest), so every item the ring
+// rejects or evicts already carries the stamps its drop record needs.
 type shardQueue struct {
-	ch     chan item
-	policy runtime.OverflowPolicy
-	drops  *runtime.Counter
-	tracer *obs.Tracer
-	shard  int
-
-	// pending counts events admitted to the channel but not yet fully
-	// processed (applied, shed, or evicted). Incremented before the send
-	// so Barrier can never observe a spurious zero.
-	pending atomic.Int64
-
-	mu       sync.Mutex
-	closed   bool
-	inflight sync.WaitGroup
+	ring    *runtime.Ring[item]
+	metrics *runtime.Metrics
+	drops   *runtime.Counter
+	tracer  *obs.Tracer
+	shard   int
 }
 
-func newShardQueue(capacity int, policy runtime.OverflowPolicy, drops *runtime.Counter, tracer *obs.Tracer, shard int) *shardQueue {
-	return &shardQueue{ch: make(chan item, capacity), policy: policy, drops: drops, tracer: tracer, shard: shard}
+func newShardQueue(capacity int, policy runtime.OverflowPolicy, m *runtime.Metrics, drops *runtime.Counter, tracer *obs.Tracer, shard int) *shardQueue {
+	q := &shardQueue{ring: runtime.NewRing[item](capacity, policy), metrics: m, drops: drops, tracer: tracer, shard: shard}
+	q.ring.OnEvict = func(old item) {
+		m.DroppedOldest.Inc()
+		q.dropped()
+		q.traceDrop(old)
+	}
+	return q
 }
 
-func (q *shardQueue) depth() int    { return len(q.ch) }
-func (q *shardQueue) capacity() int { return cap(q.ch) }
+func (q *shardQueue) depth() int    { return q.ring.Depth() }
+func (q *shardQueue) capacity() int { return q.ring.Capacity() }
 
-// settled marks one admitted event fully processed.
-func (q *shardQueue) settled() { q.pending.Add(-1) }
+// settled marks n drained events fully processed (Barrier accounting).
+func (q *shardQueue) settled(n int) { q.ring.Settle(n) }
+
+// pending reports events admitted but not yet settled.
+func (q *shardQueue) pending() int64 { return q.ring.Pending() }
 
 // dropped counts one shed event on this shard.
 func (q *shardQueue) dropped() {
@@ -68,103 +67,38 @@ func (q *shardQueue) traceDrop(it item) {
 }
 
 // push offers one event under the overflow policy; the semantics mirror
-// the single-runtime queue (ErrClosed after shutdown; ctx.Err() when a
-// blocked push is canceled).
-func (q *shardQueue) push(ctx context.Context, it item, m *runtime.Metrics) error {
-	q.mu.Lock()
-	if q.closed {
-		q.mu.Unlock()
-		return runtime.ErrClosed
-	}
-	q.inflight.Add(1)
-	q.mu.Unlock()
-	defer q.inflight.Done()
-
-	m.Ingested.Inc()
-	if it.traceSampled {
-		it.traceOffered = q.tracer.Now()
-	}
-	switch q.policy {
-	case runtime.DropNewest:
-		q.pending.Add(1)
-		select {
-		case q.ch <- it:
-		default:
-			q.pending.Add(-1)
-			m.DroppedNewest.Inc()
-			q.dropped()
-			q.traceDrop(it)
-		}
+// the single-runtime queue (ErrClosed after shutdown, the event not
+// counted; ctx.Err() when a blocked push is canceled, counted ingested +
+// dropped; DropNewest rejections counted but not surfaced).
+func (q *shardQueue) push(ctx context.Context, it item) error {
+	err := q.ring.Push(ctx, it)
+	switch {
+	case err == nil:
+		q.metrics.Ingested.Inc()
 		return nil
-	case runtime.DropOldest:
-		q.pending.Add(1)
-		for {
-			select {
-			case q.ch <- it:
-				return nil
-			default:
-			}
-			select {
-			case old := <-q.ch:
-				q.pending.Add(-1)
-				m.DroppedOldest.Inc()
-				q.dropped()
-				q.traceDrop(old)
-			default:
-			}
-			stdruntime.Gosched()
-		}
-	default: // Block
-		q.pending.Add(1)
-		select {
-		case q.ch <- it:
-			return nil
-		case <-ctx.Done():
-			q.pending.Add(-1)
-			m.DroppedCanceled.Inc()
-			q.dropped()
-			q.traceDrop(it)
-			return ctx.Err()
-		}
+	case errors.Is(err, runtime.ErrClosed):
+		return runtime.ErrClosed
+	case errors.Is(err, runtime.ErrRejected):
+		q.metrics.Ingested.Inc()
+		q.metrics.DroppedNewest.Inc()
+		q.dropped()
+		q.traceDrop(it)
+		return nil
+	default: // canceled Block wait
+		q.metrics.Ingested.Inc()
+		q.metrics.DroppedCanceled.Inc()
+		q.dropped()
+		q.traceDrop(it)
+		return err
 	}
 }
 
-// drainInto fills buf with queued items: it blocks for the first one, then
-// takes whatever else is immediately available up to len(buf) — the chunk
-// the consumer applies under a single state-lock acquisition. It returns
-// n == 0 only once the queue is closed and empty.
-func (q *shardQueue) drainInto(buf []item) int {
-	it, ok := <-q.ch
-	if !ok {
-		return 0
-	}
-	buf[0] = it
-	n := 1
-	for n < len(buf) {
-		select {
-		case it, ok := <-q.ch:
-			if !ok {
-				return n
-			}
-			buf[n] = it
-			n++
-		default:
-			return n
-		}
-	}
-	return n
-}
+// drainInto fills buf with up to len(buf) queued items — the chunk the
+// consumer applies under a single state-lock acquisition. It blocks while
+// the queue is empty and returns 0 only once the queue is closed, empty,
+// and free of parked pushers.
+func (q *shardQueue) drainInto(buf []item) int { return q.ring.Drain(buf) }
 
-// close begins shutdown: new pushes are rejected, in-flight pushes are
-// waited out, then the channel is closed so drainInto returns 0.
-func (q *shardQueue) close() {
-	q.mu.Lock()
-	if q.closed {
-		q.mu.Unlock()
-		return
-	}
-	q.closed = true
-	q.mu.Unlock()
-	q.inflight.Wait()
-	close(q.ch)
-}
+// close begins shutdown: new pushes are rejected, parked pushes complete
+// as the consumer drains, then drainInto returns 0.
+func (q *shardQueue) close() { q.ring.Close() }

@@ -121,6 +121,25 @@ func (c *Classifier) ScoreAll(seqs []eventlog.Sequence) ([]float64, error) {
 	return scores, nil
 }
 
+// ScoreAllInto scores seqs into out (len(seqs)) without allocating — the
+// online batch path. It runs sequentially: online chunks are small and the
+// runtime already parallelizes across layers, and a sequential scan is
+// trivially bit-identical to per-sequence Score calls (the batch-kernel
+// contract of core.BatchPredictor).
+func (c *Classifier) ScoreAllInto(seqs []eventlog.Sequence, out []float64) error {
+	if len(out) < len(seqs) {
+		return fmt.Errorf("%w: out has len %d, want %d", ErrModel, len(out), len(seqs))
+	}
+	for i, s := range seqs {
+		sc, err := c.Score(s)
+		if err != nil {
+			return err
+		}
+		out[i] = sc
+	}
+	return nil
+}
+
 // Classify reports whether the sequence is failure-prone at the configured
 // threshold.
 func (c *Classifier) Classify(seq eventlog.Sequence) (bool, error) {

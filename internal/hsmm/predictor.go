@@ -41,6 +41,7 @@ type Predictor struct {
 
 var (
 	_ core.LayerPredictor = (*Predictor)(nil)
+	_ core.BatchPredictor = (*Predictor)(nil)
 	_ core.Retrainer      = (*Predictor)(nil)
 	_ core.Snapshotter    = (*Predictor)(nil)
 )
@@ -80,6 +81,24 @@ func (p *Predictor) Evaluate(now float64) (float64, error) {
 		return 0, err
 	}
 	return p.clf.Score(seq)
+}
+
+// EvaluateBatch implements core.BatchPredictor: it gathers the event
+// window for every evaluation time, then scores them all through the
+// classifier's allocation-free batch kernel (ScoreAllInto) — one
+// versioned-handle load and one sequence-source sweep per batch,
+// bit-identical to per-time Evaluate. A failing sequence source or score
+// fails the whole batch (the layer then abstains for every time in it).
+func (p *Predictor) EvaluateBatch(nows []float64, out []float64) error {
+	seqs := make([]eventlog.Sequence, len(nows))
+	for i, now := range nows {
+		seq, err := p.sequence(now)
+		if err != nil {
+			return err
+		}
+		seqs[i] = seq
+	}
+	return p.clf.ScoreAllInto(seqs, out)
 }
 
 // CaptureWindow snapshots the recent labeled sequences for a refit.

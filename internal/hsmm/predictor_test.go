@@ -2,6 +2,7 @@ package hsmm
 
 import (
 	"bytes"
+	"math"
 	"runtime"
 	"testing"
 
@@ -138,5 +139,85 @@ func TestHSMMPredictorWindowValidation(t *testing.T) {
 	}
 	if _, err := p.Retrain(42); err == nil {
 		t.Fatal("Retrain should reject a foreign window type")
+	}
+}
+
+// TestHSMMPredictorEvaluateBatch: the allocation-free batch kernel
+// (ScoreAllInto) must score every gathered window bit-identically to
+// per-time Evaluate — the core.BatchPredictor contract.
+func TestHSMMPredictorEvaluateBatch(t *testing.T) {
+	failure, nonFailure := labeledWindow(1, 10)
+	cfg := Config{States: 2, MaxIter: 10, Seed: 3}
+	clf, err := TrainClassifier(failure, nonFailure, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sequence source varies with now: each time selects a different
+	// window, so the batch really exercises distinct scores.
+	all := append(append([]eventlog.Sequence{}, failure[:3]...), nonFailure[:3]...)
+	p, err := NewPredictor(clf,
+		func(now float64) (eventlog.Sequence, error) { return all[int(now)%len(all)], nil },
+		func(now float64) ([]eventlog.Sequence, []eventlog.Sequence, error) {
+			return failure, nonFailure, nil
+		}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nows := []float64{0, 1, 2, 3, 4, 5}
+	out := make([]float64, len(nows))
+	if err := p.EvaluateBatch(nows, out); err != nil {
+		t.Fatal(err)
+	}
+	distinct := false
+	for i, now := range nows {
+		want, err := p.Evaluate(now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(out[i]) != math.Float64bits(want) {
+			t.Fatalf("EvaluateBatch[%d] = %g, Evaluate(%g) = %g — want bit-identical", i, out[i], now, want)
+		}
+		if i > 0 && out[i] != out[0] {
+			distinct = true
+		}
+	}
+	if !distinct {
+		t.Fatal("all batch scores identical — sequence source did not vary, test is vacuous")
+	}
+}
+
+// TestHSMMPredictorEvaluateBatchSourceError: a failing sequence source
+// fails the whole batch (full-chunk abstain at the layer above).
+func TestHSMMPredictorEvaluateBatchSourceError(t *testing.T) {
+	p := testHSMMPredictor(t)
+	bad, err := NewPredictor(p.Classifier(),
+		func(now float64) (eventlog.Sequence, error) {
+			if now > 1 {
+				return eventlog.Sequence{}, ErrModel
+			}
+			return eventlog.Sequence{Times: []float64{0.1}, Types: []int{0}}, nil
+		},
+		func(now float64) ([]eventlog.Sequence, []eventlog.Sequence, error) {
+			return nil, nil, ErrModel
+		}, Config{States: 2, MaxIter: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, 3)
+	if err := bad.EvaluateBatch([]float64{0, 1, 2}, out); err == nil {
+		t.Fatal("batch with a failing sequence source did not error")
+	}
+}
+
+// TestScoreAllIntoShortOut: the batch kernel rejects an undersized out
+// instead of truncating silently.
+func TestScoreAllIntoShortOut(t *testing.T) {
+	failure, nonFailure := labeledWindow(1, 4)
+	clf, err := TrainClassifier(failure, nonFailure, Config{States: 2, MaxIter: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clf.ScoreAllInto(failure, make([]float64, len(failure)-1)); err == nil {
+		t.Fatal("undersized out accepted")
 	}
 }

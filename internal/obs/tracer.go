@@ -127,6 +127,19 @@ func (t *Tracer) Sample() bool {
 	return t.sampleCtr.Add(1)%t.every == 1
 }
 
+// Interval returns the sampling interval Sample admits at (1 = every
+// call, 0 for a nil tracer). Pipelines that gate sampling themselves —
+// the runtime's ingest rings stamp one in every Interval admissions under
+// a lock they already hold, instead of paying Sample's shared atomic per
+// event — read it once at construction, so set the interval before the
+// pipeline starts.
+func (t *Tracer) Interval() int {
+	if t == nil {
+		return 0
+	}
+	return int(t.every)
+}
+
 // Now returns the tracer's monotonic clock: nanoseconds since the tracer
 // was created. It never allocates.
 func (t *Tracer) Now() int64 {

@@ -13,9 +13,14 @@ import (
 	"sync/atomic"
 )
 
-// Counter is a monotonically increasing atomic counter.
+// Counter is a monotonically increasing atomic counter. It is padded to
+// a cache line: hot-path counters are allocated back to back (Ingested is
+// bumped by producers while Applied is bumped by shard consumers), and
+// without the padding those adjacent atomics false-share a line, which
+// shows up as several ns per event on the ingest fast path.
 type Counter struct {
 	v atomic.Int64
+	_ [56]byte
 }
 
 // Inc adds one.

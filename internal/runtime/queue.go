@@ -4,8 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	stdruntime "runtime"
-	"sync"
 
 	"repro/internal/eventlog"
 	"repro/internal/obs"
@@ -111,23 +109,30 @@ func traceKey(ev Event) string {
 	return key
 }
 
-// queue is the bounded ingest stage: a channel for the buffer (so blocked
-// producers stay context-cancelable) plus a close gate that lets shutdown
-// wait out in-flight producers before closing the channel.
+// queue is the bounded ingest stage: a shared chunk Ring (the same helper
+// internal/fleet drains) plus this runtime's drop/trace accounting. Trace
+// sampling and stamping happen on the producer side (Runtime.Ingest), so
+// every event — admitted, rejected or evicted — already carries the
+// stamps its drop record needs when it reaches the ring.
 type queue struct {
-	ch     chan Event
-	policy OverflowPolicy
-	drops  *Counter    // per-shard drop counter (any reason); may be nil
-	tracer *obs.Tracer // nil disables span tracing
-	shard  int
-
-	mu       sync.Mutex
-	closed   bool
-	inflight sync.WaitGroup
+	ring    *Ring[Event]
+	metrics *Metrics
+	drops   *Counter    // per-shard drop counter (any reason); may be nil
+	tracer  *obs.Tracer // nil disables span tracing
+	shard   int
 }
 
-func newQueue(capacity int, policy OverflowPolicy, drops *Counter, tracer *obs.Tracer, shard int) *queue {
-	return &queue{ch: make(chan Event, capacity), policy: policy, drops: drops, tracer: tracer, shard: shard}
+func newQueue(capacity int, policy OverflowPolicy, m *Metrics, drops *Counter, tracer *obs.Tracer, shard int) *queue {
+	q := &queue{ring: NewRing[Event](capacity, policy), metrics: m, drops: drops, tracer: tracer, shard: shard}
+	q.ring.OnEvict = q.evicted
+	return q
+}
+
+// evicted accounts one DropOldest eviction. Runs under the ring lock.
+func (q *queue) evicted(old Event) {
+	q.metrics.DroppedOldest.Inc()
+	q.dropped()
+	q.traceDrop(old)
 }
 
 // dropped counts one shed event on this shard alongside the global
@@ -148,80 +153,42 @@ func (q *queue) traceDrop(ev Event) {
 }
 
 // depth returns the number of queued events.
-func (q *queue) depth() int { return len(q.ch) }
+func (q *queue) depth() int { return q.ring.Depth() }
 
 // capacity returns the buffer size.
-func (q *queue) capacity() int { return cap(q.ch) }
+func (q *queue) capacity() int { return q.ring.Capacity() }
 
 // push offers one event under the queue's overflow policy. It returns
 // ErrClosed if shutdown has begun (the event is NOT counted ingested) and
 // ctx.Err() if a blocked push was canceled (counted ingested + dropped).
-func (q *queue) push(ctx context.Context, ev Event, m *Metrics) error {
-	q.mu.Lock()
-	if q.closed {
-		q.mu.Unlock()
-		return ErrClosed
-	}
-	q.inflight.Add(1)
-	q.mu.Unlock()
-	defer q.inflight.Done()
-
-	m.Ingested.Inc()
-	if ev.traceSampled {
-		ev.traceOffered = q.tracer.Now()
-	}
-	switch q.policy {
-	case DropNewest:
-		select {
-		case q.ch <- ev:
-		default:
-			m.DroppedNewest.Inc()
-			q.dropped()
-			q.traceDrop(ev)
-		}
+// DropNewest rejections are counted but not surfaced as errors, matching
+// the policy's contract.
+// The event travels by pointer to avoid one more 136-byte copy per call;
+// push never retains it, so the caller's copy stays on its stack.
+func (q *queue) push(ctx context.Context, ev *Event) error {
+	err := q.ring.Push(ctx, *ev)
+	switch {
+	case err == nil:
+		q.metrics.Ingested.Inc()
 		return nil
-	case DropOldest:
-		for {
-			select {
-			case q.ch <- ev:
-				return nil
-			default:
-			}
-			// Full: evict one (the consumer may win the race — then the
-			// retry above succeeds without an eviction).
-			select {
-			case old := <-q.ch:
-				m.DroppedOldest.Inc()
-				q.dropped()
-				q.traceDrop(old)
-			default:
-			}
-			stdruntime.Gosched()
-		}
-	default: // Block
-		select {
-		case q.ch <- ev:
-			return nil
-		case <-ctx.Done():
-			m.DroppedCanceled.Inc()
-			q.dropped()
-			q.traceDrop(ev)
-			return ctx.Err()
-		}
+	case errors.Is(err, ErrClosed):
+		return ErrClosed
+	case errors.Is(err, ErrRejected):
+		q.metrics.Ingested.Inc()
+		q.metrics.DroppedNewest.Inc()
+		q.dropped()
+		q.traceDrop(*ev)
+		return nil
+	default: // canceled Block wait
+		q.metrics.Ingested.Inc()
+		q.metrics.DroppedCanceled.Inc()
+		q.dropped()
+		q.traceDrop(*ev)
+		return err
 	}
 }
 
-// close begins shutdown: new pushes are rejected, in-flight pushes are
-// waited out (the consumer must keep draining meanwhile), then the channel
-// is closed so the consumer's range loop terminates after the drain.
-func (q *queue) close() {
-	q.mu.Lock()
-	if q.closed {
-		q.mu.Unlock()
-		return
-	}
-	q.closed = true
-	q.mu.Unlock()
-	q.inflight.Wait()
-	close(q.ch)
-}
+// close begins shutdown: new pushes are rejected, parked pushes complete
+// as the consumer keeps draining, then Drain returns 0 and the consumer
+// exits.
+func (q *queue) close() { q.ring.Close() }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	stdruntime "runtime"
+	"runtime/pprof"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -41,6 +42,14 @@ type Config struct {
 	QueueCapacity int
 	// Overflow is the full-queue policy (default Block).
 	Overflow OverflowPolicy
+	// BatchSize is the drain-amortization unit: each shard consumer takes
+	// up to BatchSize events per queue drain and applies them under one
+	// state-lock acquisition with one latency observation (default 64).
+	// 1 reproduces the event-at-a-time path — batching is observationally
+	// invisible either way (ledger state, counters and act decisions are
+	// byte-identical across batch sizes; only the histograms' observation
+	// granularity changes).
+	BatchSize int
 	// Shards is the number of parallel ingest shards (default 1). Each
 	// shard owns a bounded queue and one consumer goroutine; events are
 	// routed by FNV-1a hash of their shard key, so per-key ordering is
@@ -127,7 +136,33 @@ type Runtime struct {
 	stopErr   error
 	startWall time.Time
 	lastCycle atomic.Int64 // unix nanos of the last completed act round
+	cycles    atomic.Int64 // completed act rounds since Start
+
+	// ingestGate drives both producer-side sampling decisions from one
+	// shared atomic per Ingest call: the ingest-latency histogram observes
+	// 1 in ingestLatencyEvery calls (two clock reads per event would
+	// dominate the batched hot path), and trace sampling admits 1 in
+	// sampleEvery calls (the tracer's interval, cached at construction).
+	ingestGate  atomic.Uint64
+	sampleEvery uint64 // 0 = tracing off
+	sampleMask  uint64 // sampleEvery-1 when it is a power of two, else 0
+
+	// scoreFree recycles cycle score vectors between the evaluate and act
+	// stages (cap > 1: the evaluator may start the next cycle while the
+	// act stage still holds the previous vector).
+	scoreFree chan []float64
+
+	// cycleMu serializes CycleBatch callers; batchScores/batchRow are its
+	// reused layer-major score matrix and per-cycle row view.
+	cycleMu     sync.Mutex
+	batchScores []float64
+	batchRow    []float64
 }
+
+// ingestLatencyEvery is the ingest-latency sampling interval (power of
+// two). Symmetric across tracing on/off, so the tracing-overhead budget
+// comparison stays apples-to-apples.
+const ingestLatencyEvery = 16
 
 // New validates the configuration and assembles a runtime (not yet
 // running; call Start).
@@ -138,11 +173,14 @@ func New(cfg Config) (*Runtime, error) {
 	if cfg.Apply == nil {
 		return nil, fmt.Errorf("%w: nil Apply", ErrRuntime)
 	}
-	if cfg.QueueCapacity < 0 || cfg.EvalInterval < 0 || cfg.Workers < 0 || cfg.Shards < 0 {
-		return nil, fmt.Errorf("%w: negative capacity/interval/workers/shards", ErrRuntime)
+	if cfg.QueueCapacity < 0 || cfg.EvalInterval < 0 || cfg.Workers < 0 || cfg.Shards < 0 || cfg.BatchSize < 0 {
+		return nil, fmt.Errorf("%w: negative capacity/interval/workers/shards/batch", ErrRuntime)
 	}
 	if cfg.QueueCapacity == 0 {
 		cfg.QueueCapacity = 1024
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 64
 	}
 	if cfg.Shards == 0 {
 		cfg.Shards = 1
@@ -161,13 +199,22 @@ func New(cfg Config) (*Runtime, error) {
 		cfg.Metrics = NewMetrics()
 	}
 	r := &Runtime{
-		cfg:     cfg,
-		engine:  cfg.Engine,
-		layers:  layers,
-		queues:  make([]*queue, cfg.Shards),
-		metrics: cfg.Metrics,
-		evalReq: make(chan struct{}, 1),
-		actCh:   make(chan cycleResult, 1),
+		cfg:       cfg,
+		engine:    cfg.Engine,
+		layers:    layers,
+		queues:    make([]*queue, cfg.Shards),
+		metrics:   cfg.Metrics,
+		evalReq:   make(chan struct{}, 1),
+		actCh:     make(chan cycleResult, 1),
+		scoreFree: make(chan []float64, 4),
+	}
+	if cfg.Tracer != nil {
+		r.sampleEvery = uint64(cfg.Tracer.Interval())
+		if r.sampleEvery > 1 && r.sampleEvery&(r.sampleEvery-1) == 0 {
+			// Power-of-two interval (the default is 16): a mask beats the
+			// hardware division n%every would cost on every single event.
+			r.sampleMask = r.sampleEvery - 1
+		}
 	}
 	reg := r.metrics.Registry()
 	for s := range r.queues {
@@ -178,7 +225,7 @@ func New(cfg Config) (*Runtime, error) {
 			dropHelp = "Events dropped per ingest shard (all reasons)."
 		}
 		drops := reg.Counter("pfm_shard_dropped_total", dropHelp, "shard", strconv.Itoa(s))
-		r.queues[s] = newQueue(cfg.QueueCapacity, cfg.Overflow, drops, cfg.Tracer, s)
+		r.queues[s] = newQueue(cfg.QueueCapacity, cfg.Overflow, r.metrics, drops, cfg.Tracer, s)
 		q := r.queues[s]
 		reg.GaugeFunc("pfm_shard_queue_depth", depthHelp,
 			func() float64 { return float64(q.depth()) }, "shard", strconv.Itoa(s))
@@ -380,18 +427,76 @@ func (r *Runtime) Start(ctx context.Context) error {
 // Ingest offers one event to the pipeline under the configured overflow
 // policy. Under Block it waits for queue space until ctx is canceled. It
 // returns ErrClosed once shutdown has begun.
+//
+// One shared atomic per call drives both producer-side samplers: trace
+// sampling admits one in tracer-interval events (the first call always
+// samples, like Tracer.Sample) and the ingest-latency histogram observes
+// one in ingestLatencyEvery calls — the unsampled hot path pays no clock
+// read and no further tracer bookkeeping.
 func (r *Runtime) Ingest(ctx context.Context, ev Event) error {
-	start := time.Now()
-	if r.cfg.Tracer.Sample() {
-		ev.traceSampled = true
-		ev.traceStart = r.cfg.Tracer.Now()
+	n := r.ingestGate.Add(1)
+	var start time.Time
+	timed := n&(ingestLatencyEvery-1) == 1
+	if timed {
+		start = time.Now()
 	}
-	err := r.shardFor(ev).push(ctx, ev, r.metrics)
-	if !errors.Is(err, ErrClosed) {
+	sampled := false
+	if r.sampleMask != 0 {
+		sampled = n&r.sampleMask == 1
+	} else if r.sampleEvery != 0 {
+		sampled = r.sampleEvery == 1 || n%r.sampleEvery == 1
+	}
+	if sampled {
+		ev.traceSampled = true
+		// The offer follows the ingest bookkeeping by nanoseconds, so the
+		// ingest span collapses into one stamp for both.
+		now := r.cfg.Tracer.Now()
+		ev.traceStart = now
+		ev.traceOffered = now
+	}
+	err := r.shardFor(ev).push(ctx, &ev)
+	if timed && !errors.Is(err, ErrClosed) {
 		r.metrics.IngestLatency.Observe(time.Since(start).Seconds())
 	}
 	return err
 }
+
+// Barrier blocks until every event admitted to the ingest queues before
+// the call has been fully processed (applied, or shed by a drop policy or
+// shutdown). Replay drivers use it to line ingest windows up with
+// synchronous evaluation (CycleBatch) without sleeping.
+func (r *Runtime) Barrier(ctx context.Context) error {
+	for spin := 0; ; spin++ {
+		settled := true
+		for _, q := range r.queues {
+			if q.ring.Pending() != 0 {
+				settled = false
+				break
+			}
+		}
+		if settled {
+			return nil
+		}
+		// The consumers are usually a few events from settling, so yield
+		// first: a timer sleep here costs the timer's wake-up granularity
+		// (around a millisecond on a loaded box) per barrier, which would
+		// dominate a replay that barriers at every evaluation cadence.
+		if spin < 1000 {
+			stdruntime.Gosched()
+			continue
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(50 * time.Microsecond):
+		}
+	}
+}
+
+// Cycles returns how many act rounds have completed since Start — a
+// deterministic synchronization point for tests and replay drivers
+// (LastCycle is wall-clock-based and can collide across fast cycles).
+func (r *Runtime) Cycles() int64 { return r.cycles.Load() }
 
 // EvaluateNow requests an immediate MEA cycle (event-driven evaluation).
 // Coalesces if a request is already pending.
@@ -402,41 +507,68 @@ func (r *Runtime) EvaluateNow() {
 	}
 }
 
-// consumeLoop is one shard's ingest consumer: it applies the shard's
-// queued events to the predictor state under the shared state lock, so
-// consumers of different shards apply concurrently while evaluation (which
-// takes the exclusive lock) still never overlaps an Apply.
+// consumeLoop is one shard's ingest consumer: it drains the shard ring in
+// chunks of up to Config.BatchSize and applies each chunk to the predictor
+// state under one shared state-lock acquisition, so consumers of different
+// shards apply concurrently while evaluation (which takes the exclusive
+// lock) still never overlaps an Apply. The goroutine carries pprof labels
+// so -pprof CPU profiles attribute time to drain per shard vs the
+// evaluate and act stages.
 func (r *Runtime) consumeLoop(q *queue) {
 	defer r.wg.Done()
 	defer r.consumersWg.Done()
+	pprof.Do(context.Background(),
+		pprof.Labels("shard", strconv.Itoa(q.shard), "stage", "drain"),
+		func(context.Context) { r.drainLoop(q) })
+}
+
+// drainLoop is the chunked drain body: one ring drain, one lock, one
+// apply-latency observation and one settle per chunk; per-event work is
+// the Apply call plus (for sampled events) the span publish.
+func (r *Runtime) drainLoop(q *queue) {
 	tr := r.cfg.Tracer
-	for ev := range q.ch {
+	buf := make([]Event, r.cfg.BatchSize)
+	for {
+		n := q.ring.Drain(buf)
+		if n == 0 {
+			return
+		}
+		chunk := buf[:n]
 		// Hard stop: shed the remaining backlog instead of applying it, so
 		// shutdown is prompt and the depth gauges and drop counters settle
 		// on consistent final values (ingested = applied + dropped).
 		if r.hardCtx.Err() != nil {
-			r.metrics.DroppedShutdown.Inc()
-			q.dropped()
-			q.traceDrop(ev)
+			for i := range chunk {
+				r.metrics.DroppedShutdown.Inc()
+				q.dropped()
+				q.traceDrop(chunk[i])
+			}
+			q.ring.Settle(n)
 			continue
 		}
 		var dequeued int64
-		if ev.traceSampled {
+		if tr != nil {
 			dequeued = tr.Now()
 		}
 		start := time.Now()
 		r.stateMu.RLock()
-		err := r.cfg.Apply(ev)
+		for i := range chunk {
+			if err := r.cfg.Apply(chunk[i]); err != nil {
+				r.metrics.ApplyErrors.Inc()
+			}
+		}
 		r.stateMu.RUnlock()
-		r.metrics.Applied.Inc()
-		if err != nil {
-			r.metrics.ApplyErrors.Inc()
-		}
+		r.metrics.Applied.Add(int64(n))
 		r.metrics.ApplyLatency.Observe(time.Since(start).Seconds())
-		if ev.traceSampled {
-			tr.PublishApplied(uint8(ev.Kind), traceKey(ev), q.shard,
-				ev.traceStart, ev.traceOffered, dequeued, tr.Now())
+		if tr != nil {
+			for i := range chunk {
+				if chunk[i].traceSampled {
+					tr.PublishApplied(uint8(chunk[i].Kind), traceKey(chunk[i]), q.shard,
+						chunk[i].traceStart, chunk[i].traceOffered, dequeued, tr.Now())
+				}
+			}
 		}
+		q.ring.Settle(n)
 	}
 }
 
@@ -477,12 +609,8 @@ func (r *Runtime) runCycle() {
 	// Exclusive lock: evaluation sees a quiescent state snapshot even when
 	// several shard consumers apply concurrently under the shared lock.
 	r.stateMu.Lock()
-	var scores []float64
-	if r.pool != nil {
-		scores = r.pool.Evaluate(r.layers, now)
-	} else {
-		scores = r.engine.EvaluateLayers(now)
-	}
+	scores := r.getScores()
+	r.scoreInto(now, scores)
 	// Lifecycle steps that must not overlap Apply: retrain-window capture
 	// and shadow-candidate scoring run under the same exclusion the layer
 	// evaluations just used. Swaps themselves are pointer CASes elsewhere
@@ -499,33 +627,148 @@ func (r *Runtime) runCycle() {
 	}
 }
 
+// scoreInto scores every layer at now into out (len(r.layers)), NaN for
+// errored evaluations — core.Engine.EvaluateLayers semantics without the
+// per-cycle allocation (out comes from the scoreFree freelist or the
+// CycleBatch scratch matrix).
+func (r *Runtime) scoreInto(now float64, out []float64) {
+	if r.pool != nil {
+		r.pool.Do(len(r.layers), func(i int) {
+			s, err := r.layers[i].Score(now)
+			if err != nil {
+				s = math.NaN()
+			}
+			out[i] = s
+		})
+		return
+	}
+	for i, l := range r.layers {
+		s, err := l.Score(now)
+		if err != nil {
+			s = math.NaN()
+		}
+		out[i] = s
+	}
+}
+
+// getScores takes a cycle score vector from the freelist (or allocates).
+func (r *Runtime) getScores() []float64 {
+	select {
+	case s := <-r.scoreFree:
+		return s
+	default:
+		return make([]float64, len(r.layers))
+	}
+}
+
+// putScores returns a vector to the freelist once the act stage is done
+// with it. Cycle observers must not retain the slice (documented on
+// core.Engine.SetCycleObserver).
+func (r *Runtime) putScores(s []float64) {
+	select {
+	case r.scoreFree <- s:
+	default:
+	}
+}
+
 // actLoop is the serialized act stage: one cross-layer decision at a time
 // through core.Engine.ActOn.
 func (r *Runtime) actLoop() {
 	defer r.wg.Done()
-	tr := r.cfg.Tracer
 	for res := range r.actCh {
-		start := time.Now()
-		actStart := tr.Now()
-		d := r.engine.ActOn(res.now, res.scores)
-		actEnd := tr.Now()
-		r.metrics.Evaluations.Inc()
-		if d.Warned {
-			r.metrics.Warnings.Inc()
+		r.actOne(res)
+		r.putScores(res.scores)
+	}
+}
+
+// actOne runs the act stage for one completed evaluation: the cross-layer
+// decision, act metrics, trace completion, ledger journaling, lifecycle
+// observation and cycle accounting. Both the streaming act stage and
+// CycleBatch go through this one path, which is what keeps batched cycles
+// byte-identical to streamed ones.
+func (r *Runtime) actOne(res cycleResult) {
+	tr := r.cfg.Tracer
+	start := time.Now()
+	actStart := tr.Now()
+	d := r.engine.ActOn(res.now, res.scores)
+	actEnd := tr.Now()
+	r.metrics.Evaluations.Inc()
+	if d.Warned {
+		r.metrics.Warnings.Inc()
+	}
+	if d.Executed {
+		r.metrics.Actions.Inc()
+	}
+	if d.Suppressed {
+		r.metrics.Suppressed.Inc()
+	}
+	r.metrics.ActLatency.Observe(time.Since(start).Seconds())
+	tr.CompleteCycle(res.evalStart, res.evalEnd, actStart, actEnd)
+	r.journalCycle(res, d)
+	if r.cfg.Lifecycle != nil {
+		r.cfg.Lifecycle.ObserveCycle(res.now, res.scores)
+	}
+	r.lastCycle.Store(time.Now().UnixNano())
+	r.cycles.Add(1)
+}
+
+// CycleBatch runs one synchronous MEA cycle per time in nows (ascending),
+// scoring every layer over the whole batch under a single evaluation
+// exclusion through the engine's batched entry point, then acting on each
+// cycle in order through the same actOne path the streaming act stage
+// uses — so ledger state, monotone counters and act decisions are
+// byte-identical to len(nows) event-driven cycles at the same times.
+//
+// Callers must quiesce the streaming evaluate stage first (EvalInterval
+// == 0 and no concurrent EvaluateNow) and call before Stop; CycleBatch
+// calls themselves serialize. Typical use: a columnar replay ingests a
+// window of events, Barriers, then stacks the cycle times that fell due
+// in the gap — amortizing the exclusive lock and the versioned-predictor
+// handle loads across the whole stack.
+func (r *Runtime) CycleBatch(nows []float64) {
+	if len(nows) == 0 {
+		return
+	}
+	r.cycleMu.Lock()
+	defer r.cycleMu.Unlock()
+	k := len(r.layers)
+	if cap(r.batchScores) < k*len(nows) {
+		r.batchScores = make([]float64, k*len(nows))
+	}
+	if r.batchRow == nil {
+		r.batchRow = make([]float64, k)
+	}
+	scores := r.batchScores[:k*len(nows)]
+	start := time.Now()
+	evalStart := r.cfg.Tracer.Now()
+	r.stateMu.Lock()
+	if r.pool != nil && k > 1 {
+		nr := len(nows)
+		r.pool.Do(k, func(j int) {
+			r.layers[j].ScoreBatch(nows, scores[j*nr:(j+1)*nr])
+		})
+	} else {
+		r.engine.EvaluateLayersBatch(nows, scores)
+	}
+	var cands [][]lifecycle.CandidateScore
+	if r.cfg.Lifecycle != nil {
+		cands = make([][]lifecycle.CandidateScore, len(nows))
+		for i, now := range nows {
+			cands[i] = r.cfg.Lifecycle.Collect(now)
 		}
-		if d.Executed {
-			r.metrics.Actions.Inc()
+	}
+	r.stateMu.Unlock()
+	r.metrics.EvalLatency.Observe(time.Since(start).Seconds())
+	evalEnd := r.cfg.Tracer.Now()
+	for i, now := range nows {
+		for j := 0; j < k; j++ {
+			r.batchRow[j] = scores[j*len(nows)+i]
 		}
-		if d.Suppressed {
-			r.metrics.Suppressed.Inc()
+		res := cycleResult{now: now, scores: r.batchRow, evalStart: evalStart, evalEnd: evalEnd}
+		if cands != nil {
+			res.cands = cands[i]
 		}
-		r.metrics.ActLatency.Observe(time.Since(start).Seconds())
-		tr.CompleteCycle(res.evalStart, res.evalEnd, actStart, actEnd)
-		r.journalCycle(res, d)
-		if r.cfg.Lifecycle != nil {
-			r.cfg.Lifecycle.ObserveCycle(res.now, res.scores)
-		}
-		r.lastCycle.Store(time.Now().UnixNano())
+		r.actOne(res)
 	}
 }
 

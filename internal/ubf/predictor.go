@@ -44,6 +44,7 @@ type Predictor struct {
 
 var (
 	_ core.LayerPredictor = (*Predictor)(nil)
+	_ core.BatchPredictor = (*Predictor)(nil)
 	_ core.Retrainer      = (*Predictor)(nil)
 	_ core.Snapshotter    = (*Predictor)(nil)
 )
@@ -82,6 +83,31 @@ func (p *Predictor) Evaluate(now float64) (float64, error) {
 		return 0, err
 	}
 	return p.net.Predict(x)
+}
+
+// EvaluateBatch implements core.BatchPredictor: it packs the feature rows
+// for every evaluation time into one flat row-major design matrix and
+// scores it through the fused batch kernel (PredictRowsInto), which runs
+// the same scalar kernel per row as Predict — bit-identical to per-time
+// Evaluate, with one versioned-handle load and one kernel sweep per
+// batch. A failing feature source or a dimension mismatch fails the whole
+// batch (the layer then abstains for every time in it).
+func (p *Predictor) EvaluateBatch(nows []float64, out []float64) error {
+	if len(nows) == 0 {
+		return nil
+	}
+	m := mat.New(len(nows), p.net.Dim())
+	for i, now := range nows {
+		x, err := p.features(now)
+		if err != nil {
+			return err
+		}
+		if len(x) != p.net.Dim() {
+			return fmt.Errorf("%w: feature dim %d at t=%g, want %d", ErrUBF, len(x), now, p.net.Dim())
+		}
+		copy(m.RowView(i), x)
+	}
+	return p.net.PredictRowsInto(m, out[:len(nows)])
 }
 
 // CaptureWindow snapshots the current training window. It copies the

@@ -173,3 +173,63 @@ func TestPredictorWithoutWindowSource(t *testing.T) {
 	}
 	var _ core.LayerPredictor = p
 }
+
+// TestPredictorEvaluateBatch: the fused batch kernel must score every
+// time bit-identically to per-time Evaluate — this is the core.BatchPredictor
+// contract the runtime's chunk-parity guarantee rests on.
+func TestPredictorEvaluateBatch(t *testing.T) {
+	x, y := trainWindow(t, 11, 60, 0)
+	cfg := TrainConfig{NumKernels: 4, Candidates: 6, Refinements: 3, Seed: 5}
+	net, err := Train(x, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPredictor(net,
+		func(now float64) ([]float64, error) {
+			return []float64{0.3 + 0.01*now, 0.7 - 0.02*now}, nil
+		},
+		func(now float64) (*mat.Matrix, []float64, error) { return x, y, nil },
+		cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nows := []float64{0, 1.5, 3, 7.25, 12}
+	out := make([]float64, len(nows))
+	if err := p.EvaluateBatch(nows, out); err != nil {
+		t.Fatal(err)
+	}
+	for i, now := range nows {
+		want, err := p.Evaluate(now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(out[i]) != math.Float64bits(want) {
+			t.Fatalf("EvaluateBatch[%d] = %g, Evaluate(%g) = %g — want bit-identical", i, out[i], now, want)
+		}
+	}
+	if err := p.EvaluateBatch(nil, nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+}
+
+// TestPredictorEvaluateBatchFeatureError: a failing feature source fails
+// the whole batch — the layer above turns that into a full-chunk abstain.
+func TestPredictorEvaluateBatchFeatureError(t *testing.T) {
+	p := testPredictor(t, 0)
+	bad, err := NewPredictor(p.Network(),
+		func(now float64) ([]float64, error) {
+			if now > 1 {
+				return nil, ErrUBF
+			}
+			return []float64{0.3, 0.7}, nil
+		},
+		func(now float64) (*mat.Matrix, []float64, error) { return nil, nil, ErrUBF },
+		TrainConfig{NumKernels: 4, Candidates: 6, Refinements: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, 3)
+	if err := bad.EvaluateBatch([]float64{0, 0.5, 2}, out); err == nil {
+		t.Fatal("batch with a failing feature source did not error")
+	}
+}
