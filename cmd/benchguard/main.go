@@ -9,12 +9,15 @@
 //
 // Matching strips the trailing -N GOMAXPROCS suffix go test appends to
 // benchmark names, so baselines recorded on one core count compare
-// against runs on another. Only ns/op is guarded: absolute numbers vary
-// across machines, but a >25% slowdown between two runs on the SAME
-// runner is a regression signal, and the committed baseline doubles as
-// the reference table in DESIGN.md. Benchmarks present only in the
-// current artifact are reported but do not fail the run (new benchmarks
-// need a baseline refresh, not a red build).
+// against runs on another. Two dimensions are guarded: ns/op (absolute
+// numbers vary across machines, but a >25% slowdown between two runs on
+// the SAME runner is a regression signal) and allocs/op (any allocation
+// on a 0-alloc baseline fails — the zero-alloc contract is exact, not a
+// tolerance band — and >25% growth fails otherwise; benchmarks without
+// allocs/op on either side, i.e. runs without -benchmem, are skipped).
+// The committed baseline doubles as the reference table in DESIGN.md.
+// Benchmarks present only in the current artifact are reported but do not
+// fail the run (new benchmarks need a baseline refresh, not a red build).
 package main
 
 import (
@@ -156,8 +159,22 @@ func compare(baseline, current []Result, tolerance float64) (report, failures []
 			failures = append(failures, fmt.Sprintf("%s: %.1f ns/op vs baseline %.1f (%+.1f%%)",
 				name, got.NsPerOp, base.NsPerOp, delta))
 		}
-		report = append(report, fmt.Sprintf("%s %-48s %10.1f ns/op  baseline %10.1f  (%+.1f%%)",
-			status, name, got.NsPerOp, base.NsPerOp, delta))
+		allocNote := ""
+		if base.AllocsPerOp != nil && got.AllocsPerOp != nil {
+			ba, ga := *base.AllocsPerOp, *got.AllocsPerOp
+			allocNote = fmt.Sprintf("  %g allocs/op (baseline %g)", ga, ba)
+			switch {
+			case ba == 0 && ga > 0:
+				status = "REGRESS"
+				failures = append(failures, fmt.Sprintf("%s: %g allocs/op on a 0-alloc baseline", name, ga))
+			case ba > 0 && ga > ba*(1+tolerance):
+				status = "REGRESS"
+				failures = append(failures, fmt.Sprintf("%s: %g allocs/op vs baseline %g (%+.1f%%)",
+					name, ga, ba, (ga-ba)/ba*100))
+			}
+		}
+		report = append(report, fmt.Sprintf("%s %-48s %10.1f ns/op  baseline %10.1f  (%+.1f%%)%s",
+			status, name, got.NsPerOp, base.NsPerOp, delta, allocNote))
 	}
 	for _, r := range current {
 		if !matched[r.Name] {

@@ -60,6 +60,38 @@ func TestCompareExactTolerance(t *testing.T) {
 	}
 }
 
+func fp(v float64) *float64 { return &v }
+
+// TestCompareAllocGuard pins the allocs/op rules: any allocation on a
+// 0-alloc baseline fails, >tolerance growth on a non-zero baseline fails,
+// within-tolerance growth passes, and benchmarks lacking the field on
+// either side are judged on ns/op alone.
+func TestCompareAllocGuard(t *testing.T) {
+	baseline := []Result{
+		{Name: "BenchmarkZero", NsPerOp: 100, AllocsPerOp: fp(0)},
+		{Name: "BenchmarkFew", NsPerOp: 100, AllocsPerOp: fp(8)},
+		{Name: "BenchmarkGrow", NsPerOp: 100, AllocsPerOp: fp(8)},
+		{Name: "BenchmarkNoField", NsPerOp: 100},
+	}
+	current := []Result{
+		{Name: "BenchmarkZero", NsPerOp: 100, AllocsPerOp: fp(1)},    // 0 → 1: fail
+		{Name: "BenchmarkFew", NsPerOp: 100, AllocsPerOp: fp(9)},     // +12.5%: pass
+		{Name: "BenchmarkGrow", NsPerOp: 100, AllocsPerOp: fp(11)},   // +37.5%: fail
+		{Name: "BenchmarkNoField", NsPerOp: 100, AllocsPerOp: fp(5)}, // baseline lacks field: skip
+	}
+	_, failures := compare(baseline, current, 0.25)
+	joined := strings.Join(failures, "\n")
+	if len(failures) != 2 {
+		t.Fatalf("failures = %v, want zero-baseline + growth", failures)
+	}
+	if !strings.Contains(joined, "BenchmarkZero") || !strings.Contains(joined, "BenchmarkGrow") {
+		t.Fatalf("failures = %v", failures)
+	}
+	if strings.Contains(joined, "BenchmarkFew") || strings.Contains(joined, "BenchmarkNoField") {
+		t.Fatalf("alloc guard over-triggered: %v", failures)
+	}
+}
+
 // TestCompareSuffixAsymmetry: baselines recorded on a single-core machine
 // carry no -N procs suffix while CI runs do — and a trailing number can be
 // a real sub-benchmark parameter, so tenants-1 must not swallow

@@ -118,9 +118,10 @@ func (m *mirror) apply(ev runtime.Event) error {
 // signal regime drifted.
 func (m *mirror) layers(memFloor float64) []*core.Layer {
 	rawErrors := func(now float64) (float64, error) {
-		// Application level: detected-error rate over the data window.
-		w := m.log.Window(now-600, now+1e-9)
-		return float64(len(w)) / 600, nil
+		// Application level: detected-error rate over the data window —
+		// counted off the time column, nothing materialized.
+		lo, hi := m.log.ScanWindow(now-600, now+1e-9)
+		return float64(hi-lo) / 600, nil
 	}
 	rawMemory := func(now float64) (float64, error) {
 		// OS/resource level: free-memory depletion trend.

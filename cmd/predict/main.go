@@ -25,6 +25,7 @@ import (
 	"repro/internal/eventlog"
 	"repro/internal/hsmm"
 	"repro/internal/predict"
+	"repro/internal/runtime"
 )
 
 func main() {
@@ -64,13 +65,28 @@ func addWindowFlags(fs *flag.FlagSet) windowFlags {
 	}
 }
 
+// loadLog reads an error log in either format: a PFC1 columnar trace
+// (sniffed by magic, error rows bulk-decoded column→column into the
+// store) or the pipe-separated text format.
 func loadLog(path string) (*eventlog.Log, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	l, err := eventlog.Parse(f)
+	br := bufio.NewReaderSize(f, 1<<20)
+	if magic, err := br.Peek(4); err == nil && string(magic) == "PFC1" {
+		trace, err := runtime.ReadColumnar(br)
+		if err != nil {
+			return nil, fmt.Errorf("read columnar %s: %w", path, err)
+		}
+		l := eventlog.NewLog()
+		if _, err := trace.AppendErrorsTo(l); err != nil {
+			return nil, fmt.Errorf("decode columnar %s: %w", path, err)
+		}
+		return l, nil
+	}
+	l, err := eventlog.Parse(br)
 	if err != nil {
 		return nil, fmt.Errorf("parse %s: %w", path, err)
 	}

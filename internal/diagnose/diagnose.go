@@ -38,9 +38,11 @@ type Diagnoser struct {
 	unseen      float64
 }
 
-// CollectWindows assembles the pre-failure and reference error windows used
-// for training, with the same Δtd/Δtl geometry as the Fig. 6 extraction.
-func CollectWindows(l *eventlog.Log, failureTimes []float64, cfg eventlog.ExtractConfig) (failure, nonFailure [][]eventlog.Event, err error) {
+// CollectWindowRanges assembles the pre-failure and reference error
+// windows used for training as [lo, hi) column index ranges into the log
+// — the same Δtd/Δtl geometry as the Fig. 6 extraction, but two binary
+// searches per window instead of a copied []Event.
+func CollectWindowRanges(l *eventlog.Log, failureTimes []float64, cfg eventlog.ExtractConfig) (failure, nonFailure [][2]int, err error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -51,28 +53,51 @@ func CollectWindows(l *eventlog.Log, failureTimes []float64, cfg eventlog.Extrac
 	sort.Float64s(sorted)
 	for _, tf := range sorted {
 		end := tf - cfg.LeadTime
-		w := l.Window(end-cfg.DataWindow, end)
-		if len(w) >= cfg.MinEvents && len(w) > 0 {
-			failure = append(failure, w)
+		lo, hi := l.ScanWindow(end-cfg.DataWindow, end)
+		if hi-lo >= cfg.MinEvents && hi > lo {
+			failure = append(failure, [2]int{lo, hi})
 		}
 	}
 	guard := cfg.NonFailureGuard
 	if guard == 0 {
 		guard = cfg.DataWindow + cfg.LeadTime
 	}
-	first := l.At(0).Time
-	last := l.At(l.Len() - 1).Time
+	first := l.TimeAt(0)
+	last := l.TimeAt(l.Len() - 1)
 	for start := first; start+cfg.DataWindow <= last; start += cfg.NonFailureStride {
 		point := start + cfg.DataWindow + cfg.LeadTime
 		if nearFailure(point, sorted, guard) {
 			continue
 		}
-		w := l.Window(start, start+cfg.DataWindow)
-		if len(w) >= cfg.MinEvents && len(w) > 0 {
-			nonFailure = append(nonFailure, w)
+		lo, hi := l.ScanWindow(start, start+cfg.DataWindow)
+		if hi-lo >= cfg.MinEvents && hi > lo {
+			nonFailure = append(nonFailure, [2]int{lo, hi})
 		}
 	}
 	return failure, nonFailure, nil
+}
+
+// CollectWindows is the materializing compatibility form of
+// CollectWindowRanges: the same windows as copied []Event slices, for
+// callers that still hold events. New code should use the range form with
+// TrainOnRanges.
+func CollectWindows(l *eventlog.Log, failureTimes []float64, cfg eventlog.ExtractConfig) (failure, nonFailure [][]eventlog.Event, err error) {
+	fr, nr, err := CollectWindowRanges(l, failureTimes, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	materialize := func(ranges [][2]int) [][]eventlog.Event {
+		out := make([][]eventlog.Event, 0, len(ranges))
+		for _, r := range ranges {
+			w := make([]eventlog.Event, r[1]-r[0])
+			for i := range w {
+				w[i] = l.At(r[0] + i)
+			}
+			out = append(out, w)
+		}
+		return out
+	}
+	return materialize(fr), materialize(nr), nil
 }
 
 func nearFailure(t float64, sorted []float64, guard float64) bool {
@@ -125,6 +150,87 @@ func Train(failure, nonFailure [][]eventlog.Event, smoothing float64) (*Diagnose
 		pf := (fc[c] + smoothing) / (nf + 2*smoothing)
 		pn := (nc[c] + smoothing) / (nn + 2*smoothing)
 		d.componentLR[c] = math.Log(pf / pn)
+	}
+	for t := range unionInt(ft, nt) {
+		pf := (ft[t] + smoothing) / (nf + 2*smoothing)
+		pn := (nt[t] + smoothing) / (nn + 2*smoothing)
+		d.typeLR[t] = math.Log(pf / pn)
+	}
+	return d, nil
+}
+
+// countPresenceRanges tallies, for every component ID and event type, the
+// number of windows in which it appears at least once — column-native:
+// component presence via a generation-stamped dense array over dictionary
+// IDs, type presence via a reusable bitset (map fallback only for
+// negative type IDs). No per-window maps, no event materialization.
+func countPresenceRanges(l *eventlog.Log, ranges [][2]int) ([]float64, map[int]float64) {
+	comps := make([]float64, l.ComponentCount())
+	gen := make([]int, l.ComponentCount())
+	types := make(map[int]float64)
+	var typeSeen eventlog.TypeBitset
+	var negSeen map[int]bool
+	ids := l.ComponentIDs()
+	tcs := l.TypeCodes()
+	for w, r := range ranges {
+		stamp := w + 1
+		typeSeen.Reset()
+		for k := range negSeen {
+			delete(negSeen, k)
+		}
+		for i := r[0]; i < r[1]; i++ {
+			c := ids[i]
+			if gen[c] != stamp {
+				gen[c] = stamp
+				comps[c]++
+			}
+			t := int(tcs[i])
+			if t >= 0 {
+				if !typeSeen.Has(t) {
+					typeSeen.Add(t)
+					types[t]++
+				}
+			} else {
+				if negSeen == nil {
+					negSeen = make(map[int]bool)
+				}
+				if !negSeen[t] {
+					negSeen[t] = true
+					types[t]++
+				}
+			}
+		}
+	}
+	return comps, types
+}
+
+// TrainOnRanges is Train over CollectWindowRanges output: identical
+// log-ratios (components never present in any window fall back to the
+// unseen ratio, exactly as Train's union would assign them), computed by
+// column scans instead of window copies.
+func TrainOnRanges(l *eventlog.Log, failure, nonFailure [][2]int, smoothing float64) (*Diagnoser, error) {
+	if len(failure) == 0 || len(nonFailure) == 0 {
+		return nil, fmt.Errorf("%w: training needs both classes (%d/%d)",
+			ErrDiagnose, len(failure), len(nonFailure))
+	}
+	if smoothing <= 0 {
+		smoothing = 1
+	}
+	fc, ft := countPresenceRanges(l, failure)
+	nc, nt := countPresenceRanges(l, nonFailure)
+	nf, nn := float64(len(failure)), float64(len(nonFailure))
+	d := &Diagnoser{
+		componentLR: make(map[string]float64),
+		typeLR:      make(map[int]float64),
+		unseen:      math.Log(smoothing / (nf + 2*smoothing) * (nn + 2*smoothing) / smoothing),
+	}
+	for id := range fc {
+		if fc[id] == 0 && nc[id] == 0 {
+			continue
+		}
+		pf := (fc[id] + smoothing) / (nf + 2*smoothing)
+		pn := (nc[id] + smoothing) / (nn + 2*smoothing)
+		d.componentLR[l.ComponentName(uint32(id))] = math.Log(pf / pn)
 	}
 	for t := range unionInt(ft, nt) {
 		pf := (ft[t] + smoothing) / (nf + 2*smoothing)
@@ -192,6 +298,51 @@ func (d *Diagnoser) Diagnose(window []eventlog.Event) []Suspect {
 // window.
 func (d *Diagnoser) TopSuspect(window []eventlog.Event) string {
 	s := d.Diagnose(window)
+	if len(s) == 0 {
+		return ""
+	}
+	return s[0].Component
+}
+
+// DiagnoseRange is Diagnose over the log events in [from, to): the same
+// ranking, read straight off the columns (the component strings scored
+// are shared dictionary entries, never copied).
+func (d *Diagnoser) DiagnoseRange(l *eventlog.Log, from, to float64) []Suspect {
+	lo, hi := l.ScanWindow(from, to)
+	scores := make(map[string]float64)
+	counts := make(map[string]int)
+	ids := l.ComponentIDs()
+	tcs := l.TypeCodes()
+	for i := lo; i < hi; i++ {
+		comp := l.ComponentName(ids[i])
+		lr, ok := d.componentLR[comp]
+		if !ok {
+			lr = d.unseen
+		}
+		tlr, ok := d.typeLR[int(tcs[i])]
+		if !ok {
+			tlr = d.unseen
+		}
+		scores[comp] += lr + tlr
+		counts[comp]++
+	}
+	out := make([]Suspect, 0, len(scores))
+	for c, s := range scores {
+		out = append(out, Suspect{Component: c, Score: s, Events: counts[c]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Component < out[j].Component
+	})
+	return out
+}
+
+// TopSuspectRange returns the highest-ranked component for the log events
+// in [from, to), or "" when the window is empty.
+func (d *Diagnoser) TopSuspectRange(l *eventlog.Log, from, to float64) string {
+	s := d.DiagnoseRange(l, from, to)
 	if len(s) == 0 {
 		return ""
 	}

@@ -1,0 +1,338 @@
+package eventlog
+
+import (
+	"testing"
+)
+
+func denseLog(t testing.TB, n int) *Log {
+	t.Helper()
+	l := NewLog()
+	l.Grow(n)
+	comps := []string{"mem", "lb", "svc", "comp-0", "comp-1"}
+	for i := 0; i < n; i++ {
+		if err := l.Append(Event{
+			Time:      float64(i) * 0.5,
+			Component: comps[i%len(comps)],
+			Type:      i % 9,
+			Severity:  Severity(1 + i%4),
+			Message:   "m",
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return l
+}
+
+// TestScanWindowZeroAllocs pins the hot window primitive to zero
+// allocations at steady state.
+func TestScanWindowZeroAllocs(t *testing.T) {
+	l := denseLog(t, 4096)
+	var lo, hi int
+	allocs := testing.AllocsPerRun(200, func() {
+		lo, hi = l.ScanWindow(100, 1500)
+	})
+	if allocs != 0 {
+		t.Fatalf("ScanWindow allocates %.1f/op, want 0", allocs)
+	}
+	if hi <= lo {
+		t.Fatalf("ScanWindow returned empty range [%d,%d)", lo, hi)
+	}
+	if n := l.CountSevere(lo, hi, SeverityError); n == 0 {
+		t.Fatal("CountSevere found nothing in a dense window")
+	}
+	allocs = testing.AllocsPerRun(200, func() {
+		_ = l.CountSevere(lo, hi, SeverityError)
+	})
+	if allocs != 0 {
+		t.Fatalf("CountSevere allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestSlidingWindowIntoZeroAllocs pins the online-scoring sequence path:
+// after buffer warm-up, per-cycle window extraction allocates nothing.
+func TestSlidingWindowIntoZeroAllocs(t *testing.T) {
+	l := denseLog(t, 4096)
+	var s Sequence
+	SlidingWindowInto(l, 2000, 300, &s) // warm the buffers
+	allocs := testing.AllocsPerRun(200, func() {
+		SlidingWindowInto(l, 2000, 300, &s)
+	})
+	if allocs != 0 {
+		t.Fatalf("SlidingWindowInto allocates %.1f/op, want 0", allocs)
+	}
+	if s.Len() == 0 || s.Times[0] != 0 {
+		t.Fatalf("sequence malformed: len=%d", s.Len())
+	}
+}
+
+// TestExtractIntoZeroAllocs pins the column-native Extract: with recycled
+// sequence slices and a pre-sorted failure list, repeated extraction over
+// the same log allocates nothing.
+func TestExtractIntoZeroAllocs(t *testing.T) {
+	l := denseLog(t, 4096)
+	failures := []float64{500, 1200, 1900}
+	cfg := ExtractConfig{DataWindow: 120, LeadTime: 30, MinEvents: 1, NonFailureStride: 90}
+	fail, nonFail, err := ExtractInto(l, failures, cfg, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fail) == 0 || len(nonFail) == 0 {
+		t.Fatalf("extraction empty: %d/%d", len(fail), len(nonFail))
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		fail, nonFail, err = ExtractInto(l, failures, cfg, fail, nonFail)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ExtractInto allocates %.1f/op at steady state, want 0", allocs)
+	}
+	// Recycled output still matches a fresh extraction.
+	ff, fn, err := Extract(l, failures, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sequencesEqual(fail, ff) || !sequencesEqual(nonFail, fn) {
+		t.Fatal("recycled ExtractInto output diverged from fresh Extract")
+	}
+}
+
+// TestAtZeroAllocs: materializing events borrows dictionary strings, so
+// even the compatibility accessor is allocation-free per event.
+func TestAtZeroAllocs(t *testing.T) {
+	l := denseLog(t, 256)
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < l.Len(); i++ {
+			e := l.At(i)
+			if e.Severity == 0 {
+				t.Fatal("bad event")
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("At allocates %.1f per full scan, want 0", allocs)
+	}
+}
+
+// TestAppendInternedZeroAllocs pins the replay append path: with strings
+// resolved to dictionary IDs up front and capacity grown, appends touch
+// only numeric columns.
+func TestAppendInternedZeroAllocs(t *testing.T) {
+	l := NewLog()
+	comp := l.InternComponent("svc")
+	msg, err := l.InternMessage("component error")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Grow(2048)
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := l.AppendInterned(float64(i), comp, 3, SeverityError, msg); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendInterned allocates %.1f/op within grown capacity, want 0", allocs)
+	}
+	if l.At(0).Component != "svc" || l.At(0).Message != "component error" {
+		t.Fatalf("interned append corrupted: %+v", l.At(0))
+	}
+}
+
+func TestAppendInternedValidation(t *testing.T) {
+	l := NewLog()
+	comp := l.InternComponent("c")
+	msg, err := l.InternMessage("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.InternMessage("a|b"); err == nil {
+		t.Fatal("InternMessage accepted reserved characters")
+	}
+	if err := l.AppendInterned(1, comp, 1, SeverityInfo, msg); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendInterned(0.5, comp, 1, SeverityInfo, msg); err == nil {
+		t.Fatal("time regression accepted")
+	}
+	if err := l.AppendInterned(2, comp, 1, 99, msg); err == nil {
+		t.Fatal("bad severity accepted")
+	}
+	if err := l.AppendInterned(2, comp+100, 1, SeverityInfo, msg); err == nil {
+		t.Fatal("out-of-range component ID accepted")
+	}
+	if err := l.AppendInterned(2, comp, 1, SeverityInfo, msg+100); err == nil {
+		t.Fatal("out-of-range message ID accepted")
+	}
+	if l.Len() != 1 {
+		t.Fatalf("failed appends mutated the log: len=%d", l.Len())
+	}
+}
+
+func TestSlice(t *testing.T) {
+	l := denseLog(t, 100)
+	sub := l.Slice(10, 25)
+	want := l.Window(10, 25)
+	if sub.Len() != len(want) {
+		t.Fatalf("Slice len %d, want %d", sub.Len(), len(want))
+	}
+	for i := range want {
+		if sub.At(i) != want[i] {
+			t.Fatalf("Slice event %d = %+v, want %+v", i, sub.At(i), want[i])
+		}
+	}
+	// The slice is independent: appending to it must not disturb the parent.
+	if err := sub.Append(Event{Time: 1e6, Component: "new-comp", Type: 1, Severity: SeverityInfo, Message: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 100 {
+		t.Fatal("Slice aliases parent columns")
+	}
+	if sub.At(sub.Len()-1).Component != "new-comp" {
+		t.Fatal("append to slice lost")
+	}
+}
+
+func TestAppendColumns(t *testing.T) {
+	l := NewLog()
+	if err := l.Append(Event{Time: 1, Component: "pre", Type: 1, Severity: SeverityInfo, Message: "m"}); err != nil {
+		t.Fatal(err)
+	}
+	cols := Columns{
+		Times:    []float64{2, 2, 3},
+		Types:    []int32{4, 5, 4},
+		Sevs:     []uint8{2, 3, 4},
+		Comps:    []uint32{0, 1, 0},
+		Msgs:     []uint32{0, 0, 1},
+		CompDict: []string{"a", "pre"},
+		MsgDict:  []string{"x", "y"},
+	}
+	if err := l.AppendColumns(cols); err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 4 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	want := []Event{
+		{Time: 1, Component: "pre", Type: 1, Severity: SeverityInfo, Message: "m"},
+		{Time: 2, Component: "a", Type: 4, Severity: SeverityWarning, Message: "x"},
+		{Time: 2, Component: "pre", Type: 5, Severity: SeverityError, Message: "x"},
+		{Time: 3, Component: "a", Type: 4, Severity: SeverityCritical, Message: "y"},
+	}
+	for i, w := range want {
+		if l.At(i) != w {
+			t.Fatalf("event %d = %+v, want %+v", i, l.At(i), w)
+		}
+	}
+	// "pre" was already interned: the dictionary must not duplicate it.
+	if l.ComponentCount() != 2 {
+		t.Fatalf("component dictionary has %d entries, want 2", l.ComponentCount())
+	}
+
+	for name, bad := range map[string]Columns{
+		"length mismatch": {Times: []float64{4, 5}, Types: []int32{1}, Sevs: []uint8{1, 1}, Comps: []uint32{0, 0}, Msgs: []uint32{0, 0}, CompDict: []string{"a"}, MsgDict: []string{"x"}},
+		"time regression": {Times: []float64{1}, Types: []int32{1}, Sevs: []uint8{1}, Comps: []uint32{0}, Msgs: []uint32{0}, CompDict: []string{"a"}, MsgDict: []string{"x"}},
+		"bad severity":    {Times: []float64{9}, Types: []int32{1}, Sevs: []uint8{7}, Comps: []uint32{0}, Msgs: []uint32{0}, CompDict: []string{"a"}, MsgDict: []string{"x"}},
+		"comp index":      {Times: []float64{9}, Types: []int32{1}, Sevs: []uint8{1}, Comps: []uint32{5}, Msgs: []uint32{0}, CompDict: []string{"a"}, MsgDict: []string{"x"}},
+		"msg index":       {Times: []float64{9}, Types: []int32{1}, Sevs: []uint8{1}, Comps: []uint32{0}, Msgs: []uint32{5}, CompDict: []string{"a"}, MsgDict: []string{"x"}},
+		"reserved chars":  {Times: []float64{9}, Types: []int32{1}, Sevs: []uint8{1}, Comps: []uint32{0}, Msgs: []uint32{0}, CompDict: []string{"a"}, MsgDict: []string{"a|b"}},
+	} {
+		if err := l.AppendColumns(bad); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+		if l.Len() != 4 {
+			t.Fatalf("%s: failed batch mutated the log", name)
+		}
+	}
+}
+
+func TestTypeBitset(t *testing.T) {
+	var b TypeBitset
+	if b.Has(0) || b.Has(100) || b.Has(-1) {
+		t.Fatal("empty set has members")
+	}
+	b.Add(0)
+	b.Add(63)
+	b.Add(64)
+	b.Add(200)
+	b.Add(-5) // ignored
+	for _, want := range []int{0, 63, 64, 200} {
+		if !b.Has(want) {
+			t.Fatalf("missing %d", want)
+		}
+	}
+	if b.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", b.Count())
+	}
+	b.Reset()
+	if b.Count() != 0 || b.Has(64) {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestMarkAndFilterTypes(t *testing.T) {
+	l := denseLog(t, 64)
+	var set TypeBitset
+	lo, hi := l.ScanWindow(0, 10)
+	l.MarkTypes(lo, hi, &set)
+	for i := lo; i < hi; i++ {
+		if !set.Has(l.TypeAt(i)) {
+			t.Fatalf("type %d not marked", l.TypeAt(i))
+		}
+	}
+	idx := l.FilterTypes(0, l.Len(), &set, nil)
+	for _, i := range idx {
+		if !set.Has(l.TypeAt(i)) {
+			t.Fatal("FilterTypes returned non-member")
+		}
+	}
+	var only TypeBitset
+	only.Add(3)
+	n := 0
+	for i := 0; i < l.Len(); i++ {
+		if l.TypeAt(i) == 3 {
+			n++
+		}
+	}
+	if got := len(l.FilterTypes(0, l.Len(), &only, nil)); got != n {
+		t.Fatalf("FilterTypes found %d type-3 events, want %d", got, n)
+	}
+}
+
+func TestSeverityMaskAndFilter(t *testing.T) {
+	m := MaskAtLeast(SeverityError)
+	if m.Has(SeverityInfo) || m.Has(SeverityWarning) || !m.Has(SeverityError) || !m.Has(SeverityCritical) {
+		t.Fatalf("MaskAtLeast(Error) = %b", m)
+	}
+	l := denseLog(t, 64)
+	idx := l.FilterSeverity(0, l.Len(), m, nil)
+	want := 0
+	for i := 0; i < l.Len(); i++ {
+		if l.SeverityAt(i) >= SeverityError {
+			want++
+		}
+	}
+	if len(idx) != want {
+		t.Fatalf("FilterSeverity found %d, want %d", len(idx), want)
+	}
+	for _, i := range idx {
+		if l.SeverityAt(i) < SeverityError {
+			t.Fatal("FilterSeverity returned low-severity index")
+		}
+	}
+}
+
+// TestColumnCapacityLockstep: growth keeps all five columns at the same
+// capacity so a later bulk append never reallocates a subset.
+func TestColumnCapacityLockstep(t *testing.T) {
+	l := denseLog(t, 3000)
+	if c := cap(l.times); cap(l.types) != c || cap(l.sevs) != c || cap(l.comps) != c || cap(l.msgs) != c {
+		t.Fatalf("column capacities diverged: %d/%d/%d/%d/%d",
+			cap(l.times), cap(l.types), cap(l.sevs), cap(l.comps), cap(l.msgs))
+	}
+	if cap(l.times)%logChunk != 0 {
+		t.Fatalf("capacity %d not chunk-rounded", cap(l.times))
+	}
+}

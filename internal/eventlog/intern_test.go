@@ -1,0 +1,141 @@
+package eventlog
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestInternerBasics(t *testing.T) {
+	var in Interner
+	if in.Len() != 0 {
+		t.Fatal("zero value not empty")
+	}
+	a := in.Intern("alpha")
+	b := in.Intern("beta")
+	if a == b {
+		t.Fatal("distinct strings share an ID")
+	}
+	if got := in.Intern("alpha"); got != a {
+		t.Fatalf("re-intern moved ID %d → %d", a, got)
+	}
+	if in.Lookup(a) != "alpha" || in.Lookup(b) != "beta" {
+		t.Fatal("Lookup mismatch")
+	}
+	if in.Len() != 2 {
+		t.Fatalf("Len = %d", in.Len())
+	}
+	if s := in.Strings(); len(s) != 2 || s[a] != "alpha" || s[b] != "beta" {
+		t.Fatalf("Strings() = %v", s)
+	}
+}
+
+func TestInternerDenseFirstAppearanceOrder(t *testing.T) {
+	var in Interner
+	words := []string{"w0", "w1", "w2", "w3"}
+	for i, w := range words {
+		if id := in.Intern(w); id != uint32(i) {
+			t.Fatalf("Intern(%q) = %d, want dense first-appearance ID %d", w, id, i)
+		}
+	}
+}
+
+func TestInternerClone(t *testing.T) {
+	var in Interner
+	a := in.Intern("a")
+	cl := in.Clone()
+	// Diverge both sides; IDs assigned before the clone stay valid in both.
+	b1 := in.Intern("only-original")
+	b2 := cl.Intern("only-clone")
+	if in.Lookup(a) != "a" || cl.Lookup(a) != "a" {
+		t.Fatal("pre-clone ID broken")
+	}
+	if in.Lookup(b1) != "only-original" || cl.Lookup(b2) != "only-clone" {
+		t.Fatal("post-clone divergence broken")
+	}
+	if in.Len() != 2 || cl.Len() != 2 {
+		t.Fatalf("lens = %d/%d", in.Len(), cl.Len())
+	}
+	if got := cl.Intern("a"); got != a {
+		t.Fatalf("clone re-intern moved ID %d → %d", a, got)
+	}
+}
+
+// TestInternerHitCacheZeroAllocs: repeat interning of the same string
+// header must not allocate (the replay fast path).
+func TestInternerHitCacheZeroAllocs(t *testing.T) {
+	var in Interner
+	s := "component error"
+	in.Intern(s)
+	allocs := testing.AllocsPerRun(1000, func() {
+		if in.Intern(s) != 0 {
+			t.Fatal("ID moved")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("repeat Intern allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// FuzzInterner drives arbitrary string streams through the interner and
+// checks dictionary-index stability: IDs are dense, first-appearance
+// ordered, never reassigned, and Lookup always inverts Intern — including
+// through the single-entry hit cache and a Clone.
+func FuzzInterner(f *testing.F) {
+	f.Add("a\x00b\x00a\x00c")
+	f.Add("")
+	f.Add("\x00\x00")
+	f.Add("same\x00same\x00same")
+	f.Add("α\x00β\x00α\x00\x00γ")
+	f.Fuzz(func(t *testing.T, stream string) {
+		words := strings.Split(stream, "\x00")
+		var in Interner
+		ref := make(map[string]uint32)
+		order := []string{}
+		for _, w := range words {
+			id := in.Intern(w)
+			if want, seen := ref[w]; seen {
+				if id != want {
+					t.Fatalf("ID for %q moved %d → %d", w, want, id)
+				}
+			} else {
+				if id != uint32(len(order)) {
+					t.Fatalf("Intern(%q) = %d, want dense next ID %d", w, id, len(order))
+				}
+				ref[w] = id
+				order = append(order, w)
+			}
+			if got := in.Lookup(id); got != w {
+				t.Fatalf("Lookup(%d) = %q, want %q", id, got, w)
+			}
+			// Second call through the hit cache must agree.
+			if again := in.Intern(w); again != id {
+				t.Fatalf("cached re-intern of %q moved %d → %d", w, id, again)
+			}
+		}
+		if in.Len() != len(order) {
+			t.Fatalf("Len = %d, want %d distinct", in.Len(), len(order))
+		}
+		for i, w := range order {
+			if in.Lookup(uint32(i)) != w {
+				t.Fatalf("dictionary[%d] = %q, want %q", i, in.Lookup(uint32(i)), w)
+			}
+		}
+		cl := in.Clone()
+		for w, id := range ref {
+			if cl.Intern(w) != id {
+				t.Fatalf("clone reassigned %q", w)
+			}
+		}
+		// Fresh strings after the clone keep density on both sides.
+		fresh := fmt.Sprintf("fresh-%d", len(order))
+		if _, seen := ref[fresh]; !seen {
+			if id := in.Intern(fresh); id != uint32(len(order)) {
+				t.Fatalf("post-clone Intern = %d, want %d", id, len(order))
+			}
+			if id := cl.Intern(fresh); id != uint32(len(order)) {
+				t.Fatalf("clone post-clone Intern = %d, want %d", id, len(order))
+			}
+		}
+	})
+}

@@ -2,6 +2,15 @@
 // time-stamped error events with component and type identifiers, append-only
 // logs, burst tupling, and the Fig. 6 extraction of failure and non-failure
 // error sequences that feeds the HSMM predictor.
+//
+// The log's backing store is columnar (struct-of-arrays): times, type
+// codes and severities live in flat numeric columns, and component and
+// message strings are dictionary-interned so each distinct string exists
+// once regardless of how many events carry it. Appends write five column
+// cells (no per-event box, no per-event string allocation), hot scans run
+// branch-light loops over contiguous numeric memory, and the []Event API
+// (At, Events, Window, WindowView) survives as a materializing
+// compatibility shim for cold paths.
 package eventlog
 
 import (
@@ -70,22 +79,68 @@ type Event struct {
 	Message   string   // free-text message (no newlines)
 }
 
-// Log is a time-ordered, append-only error log.
+// Log is a time-ordered, append-only error log in struct-of-arrays
+// layout: parallel columns for time, type, severity, and dictionary
+// indices of the component and message strings. All columns always have
+// equal length and (chunk-rounded) equal capacity.
 type Log struct {
-	events []Event
+	times []float64
+	types []int32
+	sevs  []uint8
+	comps []uint32 // index into components
+	msgs  []uint32 // index into messages
+
+	components Interner
+	messages   Interner
 }
+
+// logChunk rounds column capacities: growth allocates whole chunks so the
+// five columns stay capacity-aligned and small logs do not re-copy on
+// every handful of appends.
+const logChunk = 1024
 
 // NewLog returns an empty log.
 func NewLog() *Log { return &Log{} }
 
-// Append adds an event; its time must be ≥ the last event's time (equal
-// times are allowed — real loggers emit bursts with identical stamps).
-func (l *Log) Append(e Event) error {
+// ensure grows all columns together to hold at least extra more events:
+// doubling, chunk-rounded, one allocation per column. Appends after an
+// ensure never reallocate until the reserved capacity is exhausted.
+func (l *Log) ensure(extra int) {
+	n := len(l.times)
+	need := n + extra
+	if need <= cap(l.times) {
+		return
+	}
+	c := 2 * cap(l.times)
+	if c < need {
+		c = need
+	}
+	c = (c + logChunk - 1) / logChunk * logChunk
+	times := make([]float64, n, c)
+	copy(times, l.times)
+	l.times = times
+	types := make([]int32, n, c)
+	copy(types, l.types)
+	l.types = types
+	sevs := make([]uint8, n, c)
+	copy(sevs, l.sevs)
+	l.sevs = sevs
+	comps := make([]uint32, n, c)
+	copy(comps, l.comps)
+	l.comps = comps
+	msgs := make([]uint32, n, c)
+	copy(msgs, l.msgs)
+	l.msgs = msgs
+}
+
+// checkEvent validates one event against the append rules relative to the
+// given tail time.
+func checkEvent(e Event, tail float64) error {
 	if math.IsNaN(e.Time) || math.IsInf(e.Time, 0) {
 		return fmt.Errorf("%w: event time %g", ErrLog, e.Time)
 	}
-	if n := len(l.events); n > 0 && e.Time < l.events[n-1].Time {
-		return fmt.Errorf("%w: event time %g before log tail %g", ErrLog, e.Time, l.events[n-1].Time)
+	if e.Time < tail {
+		return fmt.Errorf("%w: event time %g before log tail %g", ErrLog, e.Time, tail)
 	}
 	if strings.ContainsAny(e.Message, "\n|") {
 		return fmt.Errorf("%w: message contains reserved characters", ErrLog)
@@ -93,7 +148,32 @@ func (l *Log) Append(e Event) error {
 	if e.Severity < SeverityInfo || e.Severity > SeverityCritical {
 		return fmt.Errorf("%w: severity %d", ErrLog, e.Severity)
 	}
-	l.events = append(l.events, e)
+	if e.Type < math.MinInt32 || e.Type > math.MaxInt32 {
+		return fmt.Errorf("%w: event type %d out of int32 range", ErrLog, e.Type)
+	}
+	return nil
+}
+
+// tail returns the last event time, or -Inf on an empty log.
+func (l *Log) tail() float64 {
+	if n := len(l.times); n > 0 {
+		return l.times[n-1]
+	}
+	return math.Inf(-1)
+}
+
+// Append adds an event; its time must be ≥ the last event's time (equal
+// times are allowed — real loggers emit bursts with identical stamps).
+func (l *Log) Append(e Event) error {
+	if err := checkEvent(e, l.tail()); err != nil {
+		return err
+	}
+	l.ensure(1)
+	l.times = append(l.times, e.Time)
+	l.types = append(l.types, int32(e.Type))
+	l.sevs = append(l.sevs, uint8(e.Severity))
+	l.comps = append(l.comps, l.components.Intern(e.Component))
+	l.msgs = append(l.msgs, l.messages.Intern(e.Message))
 	return nil
 }
 
@@ -101,77 +181,387 @@ func (l *Log) Append(e Event) error {
 // that knows its trace size up front (e.g. a columnar trace header)
 // appends without intermediate reallocation-and-copy cycles.
 func (l *Log) Grow(n int) {
-	if n <= 0 || cap(l.events)-len(l.events) >= n {
+	if n <= 0 {
 		return
 	}
-	grown := make([]Event, len(l.events), len(l.events)+n)
-	copy(grown, l.events)
-	l.events = grown
+	l.ensure(n)
 }
 
 // AppendBatch appends events in order, atomically: the whole batch is
-// validated against the Append rules first, and on any error the log is
-// left unchanged.
+// validated against the Append rules first, and on any error the log's
+// event columns are left unchanged.
 func (l *Log) AppendBatch(events []Event) error {
-	last := math.Inf(-1)
-	if n := len(l.events); n > 0 {
-		last = l.events[n-1].Time
-	}
+	tail := l.tail()
 	for i, e := range events {
-		if math.IsNaN(e.Time) || math.IsInf(e.Time, 0) {
-			return fmt.Errorf("%w: batch[%d]: event time %g", ErrLog, i, e.Time)
+		if err := checkEvent(e, tail); err != nil {
+			return fmt.Errorf("batch[%d]: %w", i, err)
 		}
-		if e.Time < last {
-			return fmt.Errorf("%w: batch[%d]: event time %g before log tail %g", ErrLog, i, e.Time, last)
-		}
-		if strings.ContainsAny(e.Message, "\n|") {
-			return fmt.Errorf("%w: batch[%d]: message contains reserved characters", ErrLog, i)
-		}
-		if e.Severity < SeverityInfo || e.Severity > SeverityCritical {
-			return fmt.Errorf("%w: batch[%d]: severity %d", ErrLog, i, e.Severity)
-		}
-		last = e.Time
+		tail = e.Time
 	}
-	l.events = append(l.events, events...)
+	l.ensure(len(events))
+	for _, e := range events {
+		l.times = append(l.times, e.Time)
+		l.types = append(l.types, int32(e.Type))
+		l.sevs = append(l.sevs, uint8(e.Severity))
+		l.comps = append(l.comps, l.components.Intern(e.Component))
+		l.msgs = append(l.msgs, l.messages.Intern(e.Message))
+	}
+	return nil
+}
+
+// InternComponent returns (assigning if new) the dictionary ID of a
+// component string, for AppendInterned fast paths that resolve their
+// strings once instead of per event.
+func (l *Log) InternComponent(s string) uint32 { return l.components.Intern(s) }
+
+// InternMessage returns the dictionary ID of a message string, validating
+// the reserved-character rule once at intern time.
+func (l *Log) InternMessage(s string) (uint32, error) {
+	if strings.ContainsAny(s, "\n|") {
+		return 0, fmt.Errorf("%w: message contains reserved characters", ErrLog)
+	}
+	return l.messages.Intern(s), nil
+}
+
+// AppendInterned appends one event whose strings are already dictionary
+// IDs (from InternComponent/InternMessage on this log) — the zero-string
+// append path used by columnar replay. Time ordering and severity are
+// validated like Append; the IDs must be in range.
+func (l *Log) AppendInterned(t float64, comp uint32, typ int32, sev Severity, msg uint32) error {
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		return fmt.Errorf("%w: event time %g", ErrLog, t)
+	}
+	if t < l.tail() {
+		return fmt.Errorf("%w: event time %g before log tail %g", ErrLog, t, l.tail())
+	}
+	if sev < SeverityInfo || sev > SeverityCritical {
+		return fmt.Errorf("%w: severity %d", ErrLog, sev)
+	}
+	if int(comp) >= l.components.Len() {
+		return fmt.Errorf("%w: component ID %d out of range", ErrLog, comp)
+	}
+	if int(msg) >= l.messages.Len() {
+		return fmt.Errorf("%w: message ID %d out of range", ErrLog, msg)
+	}
+	l.ensure(1)
+	l.times = append(l.times, t)
+	l.types = append(l.types, typ)
+	l.sevs = append(l.sevs, uint8(sev))
+	l.comps = append(l.comps, comp)
+	l.msgs = append(l.msgs, msg)
+	return nil
+}
+
+// Columns is a borrowed struct-of-arrays event batch for bulk decode:
+// parallel per-event columns plus the dictionaries its Comps/Msgs indices
+// point into. All five event columns must have equal length.
+type Columns struct {
+	Times    []float64
+	Types    []int32
+	Sevs     []uint8
+	Comps    []uint32 // index into CompDict
+	Msgs     []uint32 // index into MsgDict
+	CompDict []string
+	MsgDict  []string
+}
+
+// AppendColumns bulk-appends a decoded column batch (e.g. the error rows
+// of a PFC1 trace) with zero per-event materialization: the batch's
+// dictionaries are interned once into the log's own (one remap entry per
+// distinct string), then the event columns are copied with the dictionary
+// indices rewritten through the remap tables. Validation is all-or-
+// nothing: on any error the log's event columns are unchanged.
+func (l *Log) AppendColumns(c Columns) error {
+	n := len(c.Times)
+	if len(c.Types) != n || len(c.Sevs) != n || len(c.Comps) != n || len(c.Msgs) != n {
+		return fmt.Errorf("%w: column lengths %d/%d/%d/%d/%d differ",
+			ErrLog, n, len(c.Types), len(c.Sevs), len(c.Comps), len(c.Msgs))
+	}
+	tail := l.tail()
+	for i := 0; i < n; i++ {
+		t := c.Times[i]
+		if math.IsNaN(t) || math.IsInf(t, 0) || t < tail {
+			return fmt.Errorf("%w: columns[%d]: event time %g out of order", ErrLog, i, t)
+		}
+		tail = t
+		if s := Severity(c.Sevs[i]); s < SeverityInfo || s > SeverityCritical {
+			return fmt.Errorf("%w: columns[%d]: severity %d", ErrLog, i, c.Sevs[i])
+		}
+		if int(c.Comps[i]) >= len(c.CompDict) {
+			return fmt.Errorf("%w: columns[%d]: component index %d out of range", ErrLog, i, c.Comps[i])
+		}
+		if int(c.Msgs[i]) >= len(c.MsgDict) {
+			return fmt.Errorf("%w: columns[%d]: message index %d out of range", ErrLog, i, c.Msgs[i])
+		}
+	}
+	for _, s := range c.MsgDict {
+		if strings.ContainsAny(s, "\n|") {
+			return fmt.Errorf("%w: message dictionary entry contains reserved characters", ErrLog)
+		}
+	}
+	compMap := make([]uint32, len(c.CompDict))
+	for i, s := range c.CompDict {
+		compMap[i] = l.components.Intern(s)
+	}
+	msgMap := make([]uint32, len(c.MsgDict))
+	for i, s := range c.MsgDict {
+		msgMap[i] = l.messages.Intern(s)
+	}
+	l.ensure(n)
+	l.times = append(l.times, c.Times...)
+	l.types = append(l.types, c.Types...)
+	l.sevs = append(l.sevs, c.Sevs...)
+	for i := 0; i < n; i++ {
+		l.comps = append(l.comps, compMap[c.Comps[i]])
+		l.msgs = append(l.msgs, msgMap[c.Msgs[i]])
+	}
 	return nil
 }
 
 // Len returns the number of events.
-func (l *Log) Len() int { return len(l.events) }
+func (l *Log) Len() int { return len(l.times) }
 
-// At returns the i-th event.
-func (l *Log) At(i int) Event { return l.events[i] }
+// At materializes the i-th event. The strings are the log's dictionary
+// entries (shared, not copied), so calling At for every event allocates
+// nothing.
+func (l *Log) At(i int) Event {
+	return Event{
+		Time:      l.times[i],
+		Component: l.components.Lookup(l.comps[i]),
+		Type:      int(l.types[i]),
+		Severity:  Severity(l.sevs[i]),
+		Message:   l.messages.Lookup(l.msgs[i]),
+	}
+}
 
-// Events returns a copy of all events.
+// Column accessors: read-only views of the backing columns for
+// column-native scans. The views must not be modified, and must not be
+// retained across a later Append (which may reallocate the columns).
+
+// Times returns the time column.
+func (l *Log) Times() []float64 { return l.times }
+
+// TypeCodes returns the event-type column.
+func (l *Log) TypeCodes() []int32 { return l.types }
+
+// SeverityCodes returns the severity column (values 1..4).
+func (l *Log) SeverityCodes() []uint8 { return l.sevs }
+
+// ComponentIDs returns the component dictionary-index column.
+func (l *Log) ComponentIDs() []uint32 { return l.comps }
+
+// MessageIDs returns the message dictionary-index column.
+func (l *Log) MessageIDs() []uint32 { return l.msgs }
+
+// TimeAt returns the i-th event time without materializing the event.
+func (l *Log) TimeAt(i int) float64 { return l.times[i] }
+
+// TypeAt returns the i-th event type.
+func (l *Log) TypeAt(i int) int { return int(l.types[i]) }
+
+// SeverityAt returns the i-th severity.
+func (l *Log) SeverityAt(i int) Severity { return Severity(l.sevs[i]) }
+
+// ComponentAt returns the i-th component (the shared dictionary string).
+func (l *Log) ComponentAt(i int) string { return l.components.Lookup(l.comps[i]) }
+
+// MessageAt returns the i-th message (the shared dictionary string).
+func (l *Log) MessageAt(i int) string { return l.messages.Lookup(l.msgs[i]) }
+
+// ComponentCount returns the number of distinct components seen.
+func (l *Log) ComponentCount() int { return l.components.Len() }
+
+// ComponentName returns the component string for a dictionary ID from
+// ComponentIDs.
+func (l *Log) ComponentName(id uint32) string { return l.components.Lookup(id) }
+
+// Events returns a copy of all events (materialized from the columns; the
+// strings are shared dictionary entries).
 func (l *Log) Events() []Event {
-	return append([]Event(nil), l.events...)
+	out := make([]Event, l.Len())
+	for i := range out {
+		out[i] = l.At(i)
+	}
+	return out
+}
+
+// ScanWindow returns the column index range [lo, hi) of the events with
+// time in the half-open interval [from, to) — two binary searches over
+// the time column, no materialization. This is the window primitive every
+// hot scan builds on: slice the columns with it, or count with hi−lo.
+func (l *Log) ScanWindow(from, to float64) (lo, hi int) {
+	lo = sort.SearchFloat64s(l.times, from)
+	hi = lo + sort.SearchFloat64s(l.times[lo:], to)
+	return lo, hi
 }
 
 // Window returns a copy of the events with time in the half-open interval
 // [from, to).
 func (l *Log) Window(from, to float64) []Event {
-	return append([]Event(nil), l.WindowView(from, to)...)
+	return l.WindowView(from, to)
 }
 
-// WindowView returns the events in [from, to) as a read-only view into the
-// log's backing store — no copy. The hot case-study and dataset scan loops
-// slide millions of windows over a finished log and immediately discard
-// each one, so the copy Window makes is pure overhead there. The view must
-// not be modified, and must not be retained across a later Append (which
-// may reallocate the backing array).
+// WindowView returns the events in [from, to) as a fresh []Event
+// materialized from the columns — a compatibility shim over ScanWindow.
+// The event strings are shared dictionary entries (no per-string copy),
+// but the slice itself is allocated per call: hot loops should use
+// ScanWindow and the column accessors instead.
 func (l *Log) WindowView(from, to float64) []Event {
-	lo := sort.Search(len(l.events), func(i int) bool { return l.events[i].Time >= from })
-	hi := sort.Search(len(l.events), func(i int) bool { return l.events[i].Time >= to })
-	return l.events[lo:hi]
+	lo, hi := l.ScanWindow(from, to)
+	if lo == hi {
+		return nil
+	}
+	out := make([]Event, hi-lo)
+	for i := range out {
+		out[i] = l.At(lo + i)
+	}
+	return out
+}
+
+// CountSevere returns the number of events in the index range [lo, hi)
+// with severity ≥ min — one branch-light pass over the severity column.
+func (l *Log) CountSevere(lo, hi int, min Severity) int {
+	m := uint8(min)
+	n := 0
+	for _, s := range l.sevs[lo:hi] {
+		if s >= m {
+			n++
+		}
+	}
+	return n
+}
+
+// SeverityMask is a bitmask over the four severities, for branch-light
+// column filters: bit (s-1) set means severity s passes.
+type SeverityMask uint8
+
+// MaskAtLeast returns the mask accepting severities ≥ min.
+func MaskAtLeast(min Severity) SeverityMask {
+	var m SeverityMask
+	for s := min; s <= SeverityCritical; s++ {
+		if s >= SeverityInfo {
+			m |= 1 << (uint8(s) - 1)
+		}
+	}
+	return m
+}
+
+// Has reports whether severity s passes the mask.
+func (m SeverityMask) Has(s Severity) bool {
+	return s >= SeverityInfo && s <= SeverityCritical && m&(1<<(uint8(s)-1)) != 0
+}
+
+// FilterSeverity appends to dst the column indices in [lo, hi) whose
+// severity passes the mask, and returns the extended slice. With a dst of
+// sufficient capacity the scan allocates nothing.
+func (l *Log) FilterSeverity(lo, hi int, mask SeverityMask, dst []int) []int {
+	for i, s := range l.sevs[lo:hi] {
+		if mask&(1<<(s-1)) != 0 {
+			dst = append(dst, lo+i)
+		}
+	}
+	return dst
+}
+
+// TypeBitset is a dense bitset over non-negative event-type IDs, used for
+// per-window type-presence scans without per-window map allocation. The
+// zero value is an empty set.
+type TypeBitset struct {
+	bits []uint64
+}
+
+// Reset clears the set, keeping its capacity.
+func (b *TypeBitset) Reset() {
+	for i := range b.bits {
+		b.bits[i] = 0
+	}
+}
+
+// Add inserts a non-negative type ID (negative IDs are ignored).
+func (b *TypeBitset) Add(t int) {
+	if t < 0 {
+		return
+	}
+	w := t >> 6
+	if w >= len(b.bits) {
+		grown := make([]uint64, w+1)
+		copy(grown, b.bits)
+		b.bits = grown
+	}
+	b.bits[w] |= 1 << (uint(t) & 63)
+}
+
+// Has reports membership; negative IDs are never members.
+func (b *TypeBitset) Has(t int) bool {
+	if t < 0 {
+		return false
+	}
+	w := t >> 6
+	return w < len(b.bits) && b.bits[w]&(1<<(uint(t)&63)) != 0
+}
+
+// Count returns the number of members.
+func (b *TypeBitset) Count() int {
+	n := 0
+	for _, w := range b.bits {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// MarkTypes adds every non-negative event type in the index range
+// [lo, hi) to the set.
+func (l *Log) MarkTypes(lo, hi int, set *TypeBitset) {
+	for _, t := range l.types[lo:hi] {
+		set.Add(int(t))
+	}
+}
+
+// FilterTypes appends to dst the column indices in [lo, hi) whose event
+// type is in the set, and returns the extended slice.
+func (l *Log) FilterTypes(lo, hi int, set *TypeBitset, dst []int) []int {
+	for i, t := range l.types[lo:hi] {
+		if set.Has(int(t)) {
+			dst = append(dst, lo+i)
+		}
+	}
+	return dst
+}
+
+// Slice returns a new log holding the events in [from, to): five column
+// copies plus a dictionary clone, no per-event work. This is how the
+// experiment harnesses carve train/test sub-logs out of a finished run.
+func (l *Log) Slice(from, to float64) *Log {
+	lo, hi := l.ScanWindow(from, to)
+	out := NewLog()
+	out.components = l.components.Clone()
+	out.messages = l.messages.Clone()
+	out.ensure(hi - lo)
+	out.times = append(out.times, l.times[lo:hi]...)
+	out.types = append(out.types, l.types[lo:hi]...)
+	out.sevs = append(out.sevs, l.sevs[lo:hi]...)
+	out.comps = append(out.comps, l.comps[lo:hi]...)
+	out.msgs = append(out.msgs, l.msgs[lo:hi]...)
+	return out
 }
 
 // Filter returns a new log with only the events of at least the given
 // severity.
 func (l *Log) Filter(min Severity) *Log {
+	mask := MaskAtLeast(min)
 	out := NewLog()
-	for _, e := range l.events {
-		if e.Severity >= min {
-			out.events = append(out.events, e)
+	out.components = l.components.Clone()
+	out.messages = l.messages.Clone()
+	for i, s := range l.sevs {
+		if mask&(1<<(s-1)) != 0 {
+			out.ensure(1)
+			out.times = append(out.times, l.times[i])
+			out.types = append(out.types, l.types[i])
+			out.sevs = append(out.sevs, s)
+			out.comps = append(out.comps, l.comps[i])
+			out.msgs = append(out.msgs, l.msgs[i])
 		}
 	}
 	return out
@@ -180,30 +570,62 @@ func (l *Log) Filter(min Severity) *Log {
 // Tuple collapses repeated reports: consecutive events with the same
 // component and type within epsilon seconds of the previous kept one are
 // merged into a single event (the first of the burst). This is the standard
-// log pre-processing step for bursty error reporting.
+// log pre-processing step for bursty error reporting. With interned
+// components the burst key is a pair of integers — no string hashing per
+// event.
 func (l *Log) Tuple(epsilon float64) *Log {
 	out := NewLog()
+	out.components = l.components.Clone()
+	out.messages = l.messages.Clone()
 	type key struct {
-		component string
-		typ       int
+		comp uint32
+		typ  int32
 	}
 	lastKept := make(map[key]float64)
-	for _, e := range l.events {
-		k := key{e.Component, e.Type}
-		if t, ok := lastKept[k]; ok && e.Time-t <= epsilon {
+	for i, t := range l.times {
+		k := key{l.comps[i], l.types[i]}
+		if prev, ok := lastKept[k]; ok && t-prev <= epsilon {
 			continue
 		}
-		lastKept[k] = e.Time
-		out.events = append(out.events, e)
+		lastKept[k] = t
+		out.ensure(1)
+		out.times = append(out.times, t)
+		out.types = append(out.types, l.types[i])
+		out.sevs = append(out.sevs, l.sevs[i])
+		out.comps = append(out.comps, l.comps[i])
+		out.msgs = append(out.msgs, l.msgs[i])
 	}
 	return out
 }
 
 // TypeSet returns the sorted set of distinct event types in the log.
 func (l *Log) TypeSet() []int {
+	minT, maxT := int32(math.MaxInt32), int32(math.MinInt32)
+	for _, t := range l.types {
+		if t < minT {
+			minT = t
+		}
+		if t > maxT {
+			maxT = t
+		}
+	}
+	if len(l.types) == 0 {
+		return nil
+	}
+	if minT >= 0 && maxT < 1<<20 {
+		var set TypeBitset
+		l.MarkTypes(0, l.Len(), &set)
+		out := make([]int, 0, set.Count())
+		for t := int(minT); t <= int(maxT); t++ {
+			if set.Has(t) {
+				out = append(out, t)
+			}
+		}
+		return out
+	}
 	seen := make(map[int]bool)
-	for _, e := range l.events {
-		seen[e.Type] = true
+	for _, t := range l.types {
+		seen[int(t)] = true
 	}
 	out := make([]int, 0, len(seen))
 	for t := range seen {
@@ -219,9 +641,9 @@ func (l *Log) TypeSet() []int {
 func (l *Log) WriteTo(w io.Writer) (int64, error) {
 	var n int64
 	bw := bufio.NewWriter(w)
-	for _, e := range l.events {
+	for i := range l.times {
 		c, err := fmt.Fprintf(bw, "%.6f|%s|%d|%s|%s\n",
-			e.Time, e.Component, e.Type, e.Severity, e.Message)
+			l.times[i], l.ComponentAt(i), l.types[i], Severity(l.sevs[i]), l.MessageAt(i))
 		n += int64(c)
 		if err != nil {
 			return n, err

@@ -49,6 +49,38 @@ func newSequence(events []Event, label bool) Sequence {
 	return s
 }
 
+// sequenceInto writes the re-based sequence for the column index range
+// [lo, hi) straight from the log's columns into s, reusing s.Times/s.Types
+// capacity when sufficient. No intermediate []Event exists: times and
+// types stream column→column, which is both the zero-alloc steady state
+// and the cache-friendly access pattern.
+func (l *Log) sequenceInto(s *Sequence, lo, hi int, label bool) {
+	n := hi - lo
+	if cap(s.Times) < n {
+		s.Times = make([]float64, n)
+	} else {
+		s.Times = s.Times[:n]
+	}
+	if cap(s.Types) < n {
+		s.Types = make([]int, n)
+	} else {
+		s.Types = s.Types[:n]
+	}
+	s.Label = label
+	if n == 0 {
+		return
+	}
+	base := l.times[lo]
+	times := l.times[lo:hi]
+	types := l.types[lo:hi]
+	for i, t := range times {
+		s.Times[i] = t - base
+	}
+	for i, t := range types {
+		s.Types[i] = int(t)
+	}
+}
+
 // ExtractConfig parameterizes the Fig. 6 sequence extraction.
 type ExtractConfig struct {
 	// DataWindow is Δtd, the length of the error-data window [s].
@@ -92,6 +124,16 @@ func (c ExtractConfig) Validate() error {
 // Δtd sampled on a stride whose prediction point (window end + Δtl) is at
 // least the guard distance away from every failure.
 func Extract(l *Log, failureTimes []float64, cfg ExtractConfig) (failure, nonFailure []Sequence, err error) {
+	return ExtractInto(l, failureTimes, cfg, nil, nil)
+}
+
+// ExtractInto is Extract reusing the caller's sequence slices: the
+// returned failure/nonFailure slices recycle the given ones (and the
+// Times/Types buffers of their elements) when capacity allows, so
+// repeated extraction over a growing log — the retrain-window capture
+// path — reaches a zero-allocation steady state. Passing nils is
+// equivalent to Extract.
+func ExtractInto(l *Log, failureTimes []float64, cfg ExtractConfig, failure, nonFailure []Sequence) ([]Sequence, []Sequence, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -102,34 +144,50 @@ func Extract(l *Log, failureTimes []float64, cfg ExtractConfig) (failure, nonFai
 	if guard == 0 {
 		guard = cfg.DataWindow + cfg.LeadTime
 	}
-	ft := append([]float64(nil), failureTimes...)
-	sort.Float64s(ft)
+	ft := failureTimes
+	if !sort.Float64sAreSorted(ft) {
+		ft = append([]float64(nil), failureTimes...)
+		sort.Float64s(ft)
+	}
 
+	failure = failure[:0]
 	for _, tf := range ft {
 		end := tf - cfg.LeadTime
 		start := end - cfg.DataWindow
-		events := l.WindowView(start, end)
-		if len(events) < cfg.MinEvents || len(events) == 0 {
+		lo, hi := l.ScanWindow(start, end)
+		if hi-lo < cfg.MinEvents || lo == hi {
 			continue
 		}
-		failure = append(failure, newSequence(events, true))
+		failure = appendSequence(failure, l, lo, hi, true)
 	}
 
-	first := l.At(0).Time
-	last := l.At(l.Len() - 1).Time
+	first := l.times[0]
+	last := l.times[l.Len()-1]
+	nonFailure = nonFailure[:0]
 	for start := first; start+cfg.DataWindow <= last; start += cfg.NonFailureStride {
 		end := start + cfg.DataWindow
 		predictionPoint := end + cfg.LeadTime
 		if tooCloseToFailure(predictionPoint, ft, guard) {
 			continue
 		}
-		events := l.WindowView(start, end)
-		if len(events) < cfg.MinEvents || len(events) == 0 {
+		lo, hi := l.ScanWindow(start, end)
+		if hi-lo < cfg.MinEvents || lo == hi {
 			continue
 		}
-		nonFailure = append(nonFailure, newSequence(events, false))
+		nonFailure = appendSequence(nonFailure, l, lo, hi, false)
 	}
 	return failure, nonFailure, nil
+}
+
+// appendSequence extends seqs with the sequence for [lo, hi), reusing the
+// buffers of a recycled element when one is available past len.
+func appendSequence(seqs []Sequence, l *Log, lo, hi int, label bool) []Sequence {
+	var s Sequence
+	if len(seqs) < cap(seqs) {
+		s = seqs[:len(seqs)+1][len(seqs)]
+	}
+	l.sequenceInto(&s, lo, hi, label)
+	return append(seqs, s)
 }
 
 // tooCloseToFailure reports whether t lies within guard of any failure time
@@ -146,9 +204,18 @@ func tooCloseToFailure(t float64, ft []float64, guard float64) bool {
 }
 
 // SlidingWindow returns the runtime-evaluation sequence: the errors within
-// the trailing Δtd window ending at time now. It scans the log through a
-// zero-copy view (newSequence re-bases into fresh slices anyway), so the
-// per-window cost is one binary search plus the sequence itself.
+// the trailing Δtd window ending at time now — one binary-searched column
+// range streamed into fresh sequence buffers.
 func SlidingWindow(l *Log, now, dataWindow float64) Sequence {
-	return newSequence(l.WindowView(now-dataWindow, now), false)
+	var s Sequence
+	SlidingWindowInto(l, now, dataWindow, &s)
+	return s
+}
+
+// SlidingWindowInto is SlidingWindow writing into a caller-owned sequence,
+// reusing its Times/Types capacity — the zero-allocation form for online
+// scoring loops that evaluate every cycle.
+func SlidingWindowInto(l *Log, now, dataWindow float64, s *Sequence) {
+	lo, hi := l.ScanWindow(now-dataWindow, now)
+	l.sequenceInto(s, lo, hi, false)
 }

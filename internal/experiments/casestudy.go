@@ -257,13 +257,9 @@ func makeDataset(cfg CaseStudyConfig, sys *scp.System) (*dataset, error) {
 		endAt:    (cfg.TrainDays + cfg.TestDays) * 86400,
 		failures: sys.FailureTimes(),
 	}
-	// Training log: events strictly before the split.
-	ds.trainLog = eventlog.NewLog()
-	for _, e := range sys.Log().WindowView(0, ds.splitAt) {
-		if err := ds.trainLog.Append(e); err != nil {
-			return nil, err
-		}
-	}
+	// Training log: events strictly before the split — one column slice,
+	// no per-event re-append.
+	ds.trainLog = sys.Log().Slice(0, ds.splitAt)
 	down := downSpans(sys)
 	grid := func(from, to float64) (times []float64, labels []bool) {
 		for t := from; t < to; t += cfg.EvalStride {

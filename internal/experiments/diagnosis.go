@@ -103,19 +103,14 @@ func RunDiagnosis(cfg CaseStudyConfig) (DiagnosisResult, error) {
 	log := sys.Log()
 	failures := sys.Failures()
 
-	trainLog := eventlog.NewLog()
-	for _, e := range log.Window(0, splitAt) {
-		if err := trainLog.Append(e); err != nil {
-			return DiagnosisResult{}, err
-		}
-	}
+	trainLog := log.Slice(0, splitAt)
 	var trainTimes []float64
 	for _, f := range failures {
 		if f.Time < splitAt {
 			trainTimes = append(trainTimes, f.Time)
 		}
 	}
-	failWins, nonFailWins, err := diagnose.CollectWindows(trainLog, trainTimes, eventlog.ExtractConfig{
+	failWins, nonFailWins, err := diagnose.CollectWindowRanges(trainLog, trainTimes, eventlog.ExtractConfig{
 		DataWindow:       cfg.DataWindow,
 		LeadTime:         0, // diagnose from the window adjacent to the failure
 		MinEvents:        1,
@@ -124,7 +119,7 @@ func RunDiagnosis(cfg CaseStudyConfig) (DiagnosisResult, error) {
 	if err != nil {
 		return DiagnosisResult{}, err
 	}
-	d, err := diagnose.Train(failWins, nonFailWins, 1)
+	d, err := diagnose.TrainOnRanges(trainLog, failWins, nonFailWins, 1)
 	if err != nil {
 		return DiagnosisResult{}, fmt.Errorf("train diagnoser: %w", err)
 	}
@@ -136,8 +131,7 @@ func RunDiagnosis(cfg CaseStudyConfig) (DiagnosisResult, error) {
 		if f.Time < splitAt {
 			continue
 		}
-		window := log.Window(f.Time-cfg.DataWindow, f.Time)
-		suspect := d.TopSuspect(window)
+		suspect := d.TopSuspectRange(log, f.Time-cfg.DataWindow, f.Time)
 		if suspect == "" {
 			continue
 		}

@@ -89,13 +89,7 @@ func RunDynamicity(seed int64) (DynamicityResult, error) {
 	log := sys.Log()
 
 	subLog := func(from, to float64) (*eventlog.Log, error) {
-		out := eventlog.NewLog()
-		for _, e := range log.WindowView(from, to) {
-			if err := out.Append(e); err != nil {
-				return nil, err
-			}
-		}
-		return out, nil
+		return log.Slice(from, to), nil
 	}
 
 	// Stale model: trained before the update.

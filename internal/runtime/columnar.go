@@ -88,22 +88,18 @@ func (c *ColumnarTrace) CountKinds() (errors, samples int) {
 }
 
 // ColumnarBuilder assembles a ColumnarTrace from a time-ordered event
-// stream, interning every string through per-column dictionaries.
+// stream, interning every string through per-column dictionaries (the
+// same eventlog.Interner the in-memory columnar log uses — one intern
+// machinery for both the on-disk and in-memory layouts).
 type ColumnarBuilder struct {
 	t     ColumnarTrace
-	vars  map[string]uint32
-	comps map[string]uint32
-	msgs  map[string]uint32
+	vars  eventlog.Interner
+	comps eventlog.Interner
+	msgs  eventlog.Interner
 }
 
 // NewColumnarBuilder returns an empty builder.
-func NewColumnarBuilder() *ColumnarBuilder {
-	return &ColumnarBuilder{
-		vars:  make(map[string]uint32),
-		comps: make(map[string]uint32),
-		msgs:  make(map[string]uint32),
-	}
-}
+func NewColumnarBuilder() *ColumnarBuilder { return &ColumnarBuilder{} }
 
 // Grow preallocates column capacity for n additional events.
 func (b *ColumnarBuilder) Grow(n int) {
@@ -118,16 +114,6 @@ func (b *ColumnarBuilder) Grow(n int) {
 	t.Sevs = append(make([]uint8, 0, len(t.Sevs)+n), t.Sevs...)
 	t.Msgs = append(make([]uint32, 0, len(t.Msgs)+n), t.Msgs...)
 	t.Values = append(make([]float64, 0, len(t.Values)+n), t.Values...)
-}
-
-func intern(dict *[]string, idx map[string]uint32, s string) uint32 {
-	if i, ok := idx[s]; ok {
-		return i
-	}
-	i := uint32(len(*dict))
-	*dict = append(*dict, s)
-	idx[s] = i
-	return i
 }
 
 func (b *ColumnarBuilder) checkTime(t float64) error {
@@ -156,10 +142,10 @@ func (b *ColumnarBuilder) AddError(e eventlog.Event) error {
 	t := &b.t
 	t.Times = append(t.Times, e.Time)
 	t.Kinds = append(t.Kinds, uint8(KindError))
-	t.Keys = append(t.Keys, intern(&t.Components, b.comps, e.Component))
+	t.Keys = append(t.Keys, b.comps.Intern(e.Component))
 	t.Types = append(t.Types, int32(e.Type))
 	t.Sevs = append(t.Sevs, uint8(e.Severity))
-	t.Msgs = append(t.Msgs, intern(&t.Messages, b.msgs, e.Message))
+	t.Msgs = append(t.Msgs, b.msgs.Intern(e.Message))
 	t.Values = append(t.Values, 0)
 	return nil
 }
@@ -172,7 +158,7 @@ func (b *ColumnarBuilder) AddSample(at float64, variable string, v float64) erro
 	t := &b.t
 	t.Times = append(t.Times, at)
 	t.Kinds = append(t.Kinds, uint8(KindSample))
-	t.Keys = append(t.Keys, intern(&t.Vars, b.vars, variable))
+	t.Keys = append(t.Keys, b.vars.Intern(variable))
 	t.Types = append(t.Types, 0)
 	t.Sevs = append(t.Sevs, 0)
 	t.Msgs = append(t.Msgs, 0)
@@ -193,7 +179,48 @@ func (b *ColumnarBuilder) AddFailure(at float64) error {
 }
 
 // Trace returns the assembled trace. The builder must not be used after.
-func (b *ColumnarBuilder) Trace() *ColumnarTrace { return &b.t }
+func (b *ColumnarBuilder) Trace() *ColumnarTrace {
+	b.t.Vars = b.vars.Strings()
+	b.t.Components = b.comps.Strings()
+	b.t.Messages = b.msgs.Strings()
+	return &b.t
+}
+
+// AppendErrorsTo bulk-decodes the trace's error rows straight into a
+// columnar log — dictionary indices remapped once per distinct string,
+// column cells copied, zero per-event Event materialization. It returns
+// the number of error events appended. This closes the disk→memory loop:
+// a PFC1 trace lands in the in-memory columnar store in the same layout
+// it had on disk.
+func (c *ColumnarTrace) AppendErrorsTo(l *eventlog.Log) (int, error) {
+	nErr, _ := c.CountKinds()
+	if nErr == 0 {
+		return 0, nil
+	}
+	cols := eventlog.Columns{
+		Times:    make([]float64, 0, nErr),
+		Types:    make([]int32, 0, nErr),
+		Sevs:     make([]uint8, 0, nErr),
+		Comps:    make([]uint32, 0, nErr),
+		Msgs:     make([]uint32, 0, nErr),
+		CompDict: c.Components,
+		MsgDict:  c.Messages,
+	}
+	for i, k := range c.Kinds {
+		if EventKind(k) != KindError {
+			continue
+		}
+		cols.Times = append(cols.Times, c.Times[i])
+		cols.Types = append(cols.Types, c.Types[i])
+		cols.Sevs = append(cols.Sevs, c.Sevs[i])
+		cols.Comps = append(cols.Comps, c.Keys[i])
+		cols.Msgs = append(cols.Msgs, c.Msgs[i])
+	}
+	if err := l.AppendColumns(cols); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrColumnar, err)
+	}
+	return nErr, nil
+}
 
 // WriteTo serializes the trace in the PFC1 binary layout: a magic tag,
 // the three string dictionaries (uvarint count, then uvarint length +

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically increasing atomic counter. It is padded to
@@ -351,7 +352,46 @@ func NewMetrics() *Metrics {
 		"version", buildVersion(),
 		"goversion", stdruntime.Version(),
 		"gomaxprocs", strconv.Itoa(stdruntime.GOMAXPROCS(0)))
+	registerGoMemMetrics(reg)
 	return m
+}
+
+// memStatsCache rate-limits runtime.ReadMemStats: the read stops the
+// world, and one scrape evaluates three Go-memory series, so the gauges
+// share a snapshot refreshed at most every memStatsTTL.
+type memStatsCache struct {
+	mu   sync.Mutex
+	at   time.Time
+	stat stdruntime.MemStats
+}
+
+const memStatsTTL = 500 * time.Millisecond
+
+func (c *memStatsCache) snapshot() stdruntime.MemStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if now := time.Now(); c.at.IsZero() || now.Sub(c.at) > memStatsTTL {
+		stdruntime.ReadMemStats(&c.stat)
+		c.at = now
+	}
+	return c.stat
+}
+
+// registerGoMemMetrics exposes the Go heap and GC gauges that make the
+// columnar store's allocation profile observable next to the pipeline
+// counters: steady heap, flat GC-cycle rate and negligible pause totals
+// are the runbook's confirmation that the hot path is allocation-free.
+func registerGoMemMetrics(reg *Registry) {
+	cache := &memStatsCache{}
+	reg.GaugeFunc("pfm_go_heap_alloc_bytes",
+		"Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).",
+		func() float64 { return float64(cache.snapshot().HeapAlloc) })
+	reg.CounterFunc("pfm_go_gc_cycles_total",
+		"Completed GC cycles (runtime.MemStats.NumGC).",
+		func() float64 { return float64(cache.snapshot().NumGC) })
+	reg.CounterFunc("pfm_go_gc_pause_seconds_total",
+		"Cumulative GC stop-the-world pause time (runtime.MemStats.PauseTotalNs).",
+		func() float64 { return float64(cache.snapshot().PauseTotalNs) / 1e9 })
 }
 
 // buildVersion resolves the main-module version stamped into the binary
