@@ -745,14 +745,27 @@ func benchRuntimeEngine(b *testing.B, layers []*Layer) *MEAEngine {
 // BenchmarkRuntimeThroughput measures sustained ingest throughput of the
 // streaming pipeline (bounded queue → Apply) and reports events/sec, with
 // end-to-end span tracing disabled vs enabled — the tracing-on/-off ratio
-// is the overhead budget the tracer must stay inside (<5%).
+// is the overhead budget the tracer must stay inside (<5%) — and with the
+// flight recorder armed on top of tracing, whose steady-state (no trigger
+// firing) must stay within 1% of the tracing-on arm at 0 allocs/op.
 func BenchmarkRuntimeThroughput(b *testing.B) {
 	for _, tc := range []struct {
-		name   string
-		tracer func() *Tracer
+		name     string
+		tracer   func() *Tracer
+		recorder func(*Tracer) *Recorder
 	}{
-		{"tracing-off", func() *Tracer { return nil }},
-		{"tracing-on", func() *Tracer { return NewTracer(256) }},
+		{"tracing-off", func() *Tracer { return nil }, nil},
+		{"tracing-on", func() *Tracer { return NewTracer(256) }, nil},
+		{"recorder-on", func() *Tracer { return NewTracer(256) }, func(tr *Tracer) *Recorder {
+			rec, err := NewRecorder(RecorderConfig{
+				Layers: []string{"quiet"},
+				Tracer: tr,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return rec
+		}},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
 			layers := []*Layer{{
@@ -761,12 +774,18 @@ func BenchmarkRuntimeThroughput(b *testing.B) {
 				Threshold: 1,
 			}}
 			var applied int64
+			tracer := tc.tracer()
+			var recorder *Recorder
+			if tc.recorder != nil {
+				recorder = tc.recorder(tracer)
+			}
 			rt, err := NewRuntime(RuntimeConfig{
 				Engine:        benchRuntimeEngine(b, layers),
 				Apply:         func(RuntimeEvent) error { applied++; return nil },
 				QueueCapacity: 4096,
 				Overflow:      OverflowBlock,
-				Tracer:        tc.tracer(),
+				Tracer:        tracer,
+				Recorder:      recorder,
 			})
 			if err != nil {
 				b.Fatal(err)

@@ -43,6 +43,7 @@ type columnarOptions struct {
 	ledgerSlack float64
 	metaWeights string
 	logger      *slog.Logger
+	incidents   incidentOptions
 }
 
 // runColumnar replays a columnar trace through the full online pipeline:
@@ -115,6 +116,16 @@ func runColumnar(o columnarOptions) error {
 		tracer = obs.NewTracer(o.traceCap)
 		tracer.SetSampleInterval(o.traceSample)
 	}
+	recorder, dp, err := buildRecorder(o.incidents, m, layerNames, tracer, ledger, nil, o.logger)
+	if err != nil {
+		return err
+	}
+	recordFailure := func(t float64) {
+		ledger.RecordFailure(t)
+		if dp != nil {
+			dp.RecordFailure(t)
+		}
+	}
 
 	// Replay clock: the trace-time high-water mark. The runtime's own
 	// evaluate ticker stays off (EvalInterval 0) — cycles are driven
@@ -132,6 +143,7 @@ func runColumnar(o columnarOptions) error {
 		Profiling:     o.pprofOn,
 		Tracer:        tracer,
 		Ledger:        ledger,
+		Recorder:      recorder,
 	})
 	if err != nil {
 		return err
@@ -188,7 +200,7 @@ func runColumnar(o columnarOptions) error {
 				if err := flush(); err != nil {
 					return err
 				}
-				ledger.RecordFailure(trace.Failures[fi])
+				recordFailure(trace.Failures[fi])
 				fi++
 			}
 			cycles = append(cycles, next)
@@ -198,7 +210,7 @@ func runColumnar(o columnarOptions) error {
 			return err
 		}
 		for fi < len(trace.Failures) && trace.Failures[fi] <= t {
-			ledger.RecordFailure(trace.Failures[fi])
+			recordFailure(trace.Failures[fi])
 			fi++
 		}
 		simNow.Store(math.Float64bits(t))
@@ -207,7 +219,7 @@ func runColumnar(o columnarOptions) error {
 		}
 	}
 	for fi < len(trace.Failures) {
-		ledger.RecordFailure(trace.Failures[fi])
+		recordFailure(trace.Failures[fi])
 		fi++
 	}
 	if err := flush(); err != nil {
@@ -236,6 +248,7 @@ func runColumnar(o columnarOptions) error {
 	logActionStats(o.logger, action)
 	logQuality(o.logger, ledger)
 	logModelAssessment(o.logger, ledger)
+	logIncidents(o.logger, recorder)
 	fmt.Print(engine.Report())
 	if o.traceDump > 0 && tracer != nil {
 		fmt.Printf("\nslowest %d end-to-end traces:\n\n", o.traceDump)

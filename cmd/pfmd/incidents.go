@@ -1,0 +1,164 @@
+// Flight-recorder wiring (-incident-dir/-incident-cap/-incident-warn):
+// the always-on obs.Recorder rides the MEA act stage, and pfmd adds the
+// service-level pieces — a lazily retrained log-symptom diagnoser feeding
+// the bundles' top suspects, and an optional on-disk JSON sink so bundles
+// survive the process.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/diagnose"
+	"repro/internal/eventlog"
+	"repro/internal/lifecycle"
+	"repro/internal/obs"
+)
+
+// incidentOptions carries the -incident-* flag set.
+type incidentOptions struct {
+	dir  string  // bundle sink directory ("" = in-memory only)
+	cap  int     // retained bundles (0 disables the recorder)
+	warn float64 // combined-confidence gate for warn-triggered capture
+}
+
+// diagProvider serves the recorder's DiagnoseRange queries over the live
+// mirror log: it lazily (re)trains a Sect. 4.3-style Bayesian symptom
+// diagnoser whenever ground-truth failures arrived since the last model,
+// so a bundle's top suspects always reflect every failure seen so far.
+// RecordFailure is called from the replay loop, Diagnose from bundle
+// assembly under the runtime's evaluation exclusion — the mutex makes the
+// pair safe, and the log itself is quiescent during assembly.
+type diagProvider struct {
+	mu       sync.Mutex
+	log      *eventlog.Log
+	failures []float64
+	trained  int // failure count the current model was trained on
+	d        *diagnose.Diagnoser
+}
+
+func newDiagProvider(log *eventlog.Log) *diagProvider {
+	return &diagProvider{log: log}
+}
+
+// RecordFailure notes one ground-truth failure for future training.
+func (p *diagProvider) RecordFailure(t float64) {
+	p.mu.Lock()
+	p.failures = append(p.failures, t)
+	p.mu.Unlock()
+}
+
+// Diagnose ranks suspect components over [from, to], retraining first if
+// new failures arrived. Returns nil until at least one failure window is
+// collectable (an untrained diagnoser has no posteriors to rank with).
+func (p *diagProvider) Diagnose(from, to float64) []diagnose.Suspect {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.failures) == 0 {
+		return nil
+	}
+	if p.d == nil || p.trained != len(p.failures) {
+		failWins, nonFailWins, err := diagnose.CollectWindowRanges(p.log, p.failures, eventlog.ExtractConfig{
+			DataWindow:       600,
+			LeadTime:         0, // diagnose from the window adjacent to the failure
+			MinEvents:        1,
+			NonFailureStride: 1200,
+		})
+		if err != nil || len(failWins) == 0 {
+			return nil
+		}
+		d, err := diagnose.TrainOnRanges(p.log, failWins, nonFailWins, 1)
+		if err != nil {
+			return nil
+		}
+		p.d = d
+		p.trained = len(p.failures)
+	}
+	return p.d.DiagnoseRange(p.log, from, to)
+}
+
+// buildRecorder assembles the single-tenant flight recorder over the
+// pipeline's mirror log, tracer, ledger, and lifecycle, plus the lazy
+// diagnoser. Returns (nil, nil, nil) when o.cap disables capture.
+func buildRecorder(
+	o incidentOptions,
+	m *mirror,
+	layerNames []string,
+	tracer *obs.Tracer,
+	led *obs.Ledger,
+	lcm *lifecycle.Manager,
+	logger *slog.Logger,
+) (*obs.Recorder, *diagProvider, error) {
+	if o.cap <= 0 {
+		return nil, nil, nil
+	}
+	dp := newDiagProvider(m.log)
+	cfg := obs.RecorderConfig{
+		Layers:        layerNames,
+		Window:        600, // matches the layers' error-data window Δtd
+		WarnThreshold: o.warn,
+		MaxBundles:    o.cap,
+		Log:           m.log,
+		Tracer:        tracer,
+		Ledger:        led,
+		Diagnose:      dp.Diagnose,
+		RuntimeStats:  true,
+	}
+	if lcm != nil {
+		cfg.Lifecycle = func() any { return lcm.States() }
+	}
+	rec, err := obs.NewRecorder(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if o.dir != "" {
+		sink, err := incidentSink(o.dir, logger)
+		if err != nil {
+			return nil, nil, err
+		}
+		rec.Subscribe(sink)
+	}
+	return rec, dp, nil
+}
+
+// incidentSink returns a bundle subscriber that persists each captured
+// bundle as <dir>/<id>.json (pretty-printed, one file per incident).
+func incidentSink(dir string, logger *slog.Logger) (func(*obs.IncidentBundle), error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("incident dir: %w", err)
+	}
+	return func(b *obs.IncidentBundle) {
+		path := filepath.Join(dir, b.ID+".json")
+		data, err := json.MarshalIndent(b, "", "  ")
+		if err == nil {
+			err = os.WriteFile(path, data, 0o644)
+		}
+		if err != nil {
+			logger.Warn("incident bundle write failed", "id", b.ID, "err", err)
+			return
+		}
+		logger.Info("incident bundle written",
+			"id", b.ID, "trigger", string(b.Trigger), "sim_time", b.Time,
+			"events", b.EventsTotal, "path", path)
+	}, nil
+}
+
+// logIncidents reports the recorder's capture record at shutdown.
+func logIncidents(logger *slog.Logger, rec *obs.Recorder) {
+	if rec == nil {
+		return
+	}
+	attrs := []any{slog.Int64("suppressed", rec.Suppressed())}
+	var total int64
+	for _, k := range obs.TriggerKinds {
+		n := rec.Captured(k)
+		total += n
+		attrs = append(attrs, slog.Int64(string(k), n))
+	}
+	attrs = append(attrs, slog.Int64("captured", total))
+	logger.Info("incident summary", attrs...)
+}

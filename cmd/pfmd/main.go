@@ -7,16 +7,26 @@
 // the serialized act stage steers the live simulator through a command
 // mailbox (applied on the simulation thread between replay slices).
 //
-// Observability: /metrics (Prometheus text), /healthz, /tracez (end-to-end
-// span traces), /ledger (online Sect. 3.3 prediction quality) and /layers
-// (predictor lifecycle state, with -hotswap) on -addr while the replay
-// runs, e.g.
+// Observability: /metrics (Prometheus text), /healthz and /readyz
+// (readiness), /livez (liveness), /tracez (end-to-end span traces),
+// /ledger (online Sect. 3.3 prediction quality), /layers (predictor
+// lifecycle state, with -hotswap) and /incidents (flight-recorder bundles)
+// on -addr while the replay runs, e.g.
 //
-//	pfmd -days 2 -compress 7200 -hotswap &
+//	pfmd -days 2 -compress 7200 -hotswap -incident-dir /tmp/incidents &
 //	curl -s localhost:9600/metrics | grep pfm_
 //	curl -s localhost:9600/ledger | head
 //	curl -s localhost:9600/layers
 //	curl -s "localhost:9600/tracez?n=10"
+//	curl -s localhost:9600/incidents | head
+//
+// The flight recorder keeps bounded always-on state (recent event-window
+// indices, per-layer score history, span IDs) and assembles a correlated
+// incident bundle — pre-trigger events, scores, versions, slowest spans,
+// suspect components, lifecycle states, runtime snapshot — whenever a
+// warning clears -incident-warn, a countermeasure fires, a predictor
+// drifts or rolls back, or ledger quality burns down. Bundles are served
+// on /incidents and optionally persisted to -incident-dir as JSON.
 //
 // With -hotswap the predictor lifecycle watches every layer's score stream
 // (self-calibrating CUSUM) and ledger quality (Page–Hinkley) for drift,
@@ -39,6 +49,7 @@
 //	     [-hotswap] [-drift-warmup 240] [-drift-threshold 8]
 //	     [-drift-shadow-min 20] [-drift-cooldown 200]
 //	     [-batch 0] [-replay-columnar trace.cols] [-replay-eval 900]
+//	     [-incident-dir DIR] [-incident-cap 32] [-incident-warn 0.5]
 package main
 
 import (
@@ -211,18 +222,6 @@ func parseMetaWeights(spec string, layers []*core.Layer) (*meta.Stacker, error) 
 	return meta.NewStacker(names, weights, bias)
 }
 
-// lastTraceID returns the newest completed end-to-end trace ID (0 when
-// none yet) — attached to decision logs to link them to /tracez spans.
-func lastTraceID(tr *obs.Tracer) uint64 {
-	var id uint64
-	for _, v := range tr.Snapshot() {
-		if v.Complete && v.ID > id {
-			id = v.ID
-		}
-	}
-	return id
-}
-
 // kindName labels event kinds in the -trace-dump rendering.
 func kindName(k uint8) string {
 	switch runtime.EventKind(k) {
@@ -267,6 +266,9 @@ func run() error {
 	batch := flag.Int("batch", 0, "ingest drain chunk size per shard (0 = runtime default)")
 	replayColumnar := flag.String("replay-columnar", "", "replay a PFC1 columnar trace (see loggen -columnar) at full speed instead of simulating")
 	replayEval := flag.Float64("replay-eval", 900, "MEA cadence in simulated seconds (with -replay-columnar)")
+	incidentDir := flag.String("incident-dir", "", "persist captured incident bundles as JSON files in this directory")
+	incidentCap := flag.Int("incident-cap", 32, "retained incident bundles (0 disables the flight recorder)")
+	incidentWarn := flag.Float64("incident-warn", 0.5, "combined-confidence gate for warn-triggered incident capture")
 	flag.Parse()
 	if *days <= 0 || *compress <= 0 {
 		return fmt.Errorf("days and compress must be positive")
@@ -290,6 +292,7 @@ func run() error {
 			traceCap: *traceCap, traceSample: *traceSample, traceDump: *traceDump,
 			ledgerWin: *ledgerWindow, ledgerSlack: *ledgerSlack,
 			metaWeights: *metaWeights, logger: logger,
+			incidents: incidentOptions{dir: *incidentDir, cap: *incidentCap, warn: *incidentWarn},
 		})
 	}
 	if *fleetMode {
@@ -411,6 +414,15 @@ func run() error {
 			"shadow_min_resolved", *driftShadowMin, "cooldown_cycles", *driftCooldown)
 	}
 
+	// Flight recorder: always-on bounded capture keyed to the act stage's
+	// warn/act decisions, lifecycle events, and ledger burn rate.
+	recorder, dp, err := buildRecorder(
+		incidentOptions{dir: *incidentDir, cap: *incidentCap, warn: *incidentWarn},
+		m, layerNames, tracer, ledger, lcm, logger)
+	if err != nil {
+		return err
+	}
+
 	// The replay clock: sim-time high-water mark, advanced by the feeder.
 	var simNow atomic.Uint64
 	rt, err := runtime.New(runtime.Config{
@@ -427,6 +439,7 @@ func run() error {
 		Tracer:        tracer,
 		Ledger:        ledger,
 		Lifecycle:     lcm,
+		Recorder:      recorder,
 	})
 	if err != nil {
 		return err
@@ -447,7 +460,7 @@ func run() error {
 			slog.Bool("suppressed", d.Suppressed),
 		}
 		if tracer != nil {
-			attrs = append(attrs, slog.Uint64("trace_id", lastTraceID(tracer)))
+			attrs = append(attrs, slog.Uint64("trace_id", tracer.NewestCompleteID()))
 		}
 		for i, s := range scores {
 			if i < len(layerNames) && !math.IsNaN(s) {
@@ -477,7 +490,15 @@ func run() error {
 		"sim_days", *days, "compress", *compress, "policy", policy.String(),
 		"workers", *workers, "shards", rt.Shards())
 
-	if err := replay(ctx, sys, rt, ledger, cmds, *days*86400, *compress, &simNow); err != nil &&
+	// Ground-truth failures feed both the quality ledger and the incident
+	// diagnoser's training set.
+	recordFailure := func(t float64) {
+		ledger.RecordFailure(t)
+		if dp != nil {
+			dp.RecordFailure(t)
+		}
+	}
+	if err := replay(ctx, sys, rt, recordFailure, cmds, *days*86400, *compress, &simNow); err != nil &&
 		ctx.Err() == nil {
 		return err
 	}
@@ -504,6 +525,7 @@ func run() error {
 	}
 	logQuality(logger, ledger)
 	logModelAssessment(logger, ledger)
+	logIncidents(logger, recorder)
 	fmt.Print(engine.Report())
 	if *traceDump > 0 && tracer != nil {
 		fmt.Printf("\nslowest %d end-to-end traces:\n\n", *traceDump)
@@ -546,7 +568,7 @@ func watchLifecycle(
 			attrs = append(attrs, slog.String("err", e.Err))
 		}
 		if tracer != nil {
-			attrs = append(attrs, slog.Uint64("trace_id", lastTraceID(tracer)))
+			attrs = append(attrs, slog.Uint64("trace_id", tracer.NewestCompleteID()))
 		}
 		switch e.Type {
 		case lifecycle.EventSwapped, lifecycle.EventConfirmed, lifecycle.EventRolledBack:
@@ -660,7 +682,7 @@ func replay(
 	ctx context.Context,
 	sys *scp.System,
 	rt *runtime.Runtime,
-	led *obs.Ledger,
+	recordFailure func(t float64),
 	cmds chan func(),
 	horizon, compress float64,
 	simNow *atomic.Uint64,
@@ -690,7 +712,7 @@ func replay(
 		simNow.Store(math.Float64bits(sys.Now()))
 		// Ground truth for the ledger: failures the slice produced.
 		for times := sys.FailureTimes(); seenFail < len(times); seenFail++ {
-			led.RecordFailure(times[seenFail])
+			recordFailure(times[seenFail])
 		}
 		// Stream everything the slice produced.
 		for n := sys.Log().Len(); seenLog < n; seenLog++ {

@@ -50,6 +50,11 @@ type FleetTenantView = fleet.TenantView
 // cardinality cap; tenants past the cap share one overflow scope.
 type ScopedLedger = obs.ScopedLedger
 
+// ScopedRecorder keeps per-tenant flight recorders under the same
+// cardinality-cap discipline; tenants past the cap share one overflow
+// recorder. Pass one in FleetConfig to enable the fleet /incidents plane.
+type ScopedRecorder = obs.ScopedRecorder
+
 // NewFleet assembles a fleet (not yet running; call Start).
 func NewFleet(cfg FleetConfig) (*Fleet, error) { return fleet.New(cfg) }
 
@@ -57,6 +62,12 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) { return fleet.New(cfg) }
 // maxScopes dedicated per-tenant journals.
 func NewScopedLedger(cfg LedgerConfig, maxScopes int, layerNames ...string) (*ScopedLedger, error) {
 	return obs.NewScopedLedger(cfg, maxScopes, layerNames...)
+}
+
+// NewScopedRecorder builds a scoped flight recorder with at most maxScopes
+// dedicated per-tenant recorders; cfg is the per-scope template.
+func NewScopedRecorder(cfg RecorderConfig, maxScopes int) (*ScopedRecorder, error) {
+	return obs.NewScopedRecorder(cfg, maxScopes)
 }
 
 // PumpFleet drains a trace source into the fleet (events via Ingest,

@@ -122,6 +122,13 @@ type Config struct {
 	Metrics *runtime.Metrics
 	Tracer  *obs.Tracer
 	Ledger  *obs.ScopedLedger
+	// Recorder multiplexes per-tenant flight recorders under the same
+	// cardinality cap/overflow-fold discipline as Ledger: each tenant's
+	// act stage feeds its scope, warn-trigger thresholds are weighted by
+	// tenant criticality (critical tenants capture bundles at lower
+	// confidence), and bundles surface on /incidents and in /fleet rows.
+	// Nil disables incident capture.
+	Recorder *obs.ScopedRecorder
 	// JournalLayers journals per-layer rows for every tenant with a
 	// dedicated ledger scope (combined decisions are always journaled).
 	// Tenants with a lifecycle manager journal per-layer regardless —
@@ -146,7 +153,9 @@ type tenant struct {
 	engine    *core.Engine
 	led       *obs.Ledger // scoped journal; nil without Config.Ledger
 	dedicated bool
-	journal   bool // journal per-layer rows
+	journal   bool          // journal per-layer rows
+	rec       *obs.Recorder // scoped flight recorder; nil without Config.Recorder
+	recOwn    bool          // rec is dedicated (not the overflow fold)
 	lcm       *lifecycle.Manager
 	cands     []lifecycle.CandidateScore // this cycle's shadow scores
 	row       []float64                  // per-cycle score row scratch
@@ -198,6 +207,7 @@ type Fleet struct {
 
 	started   atomic.Bool
 	stopping  atomic.Bool
+	stopped   atomic.Bool
 	stopOnce  sync.Once
 	stopErr   error
 	startWall time.Time
@@ -300,6 +310,23 @@ func New(cfg Config) (*Fleet, error) {
 			"Tenants sharing the overflow ledger scope (cardinality cap).",
 			func() float64 { return float64(cfg.Ledger.Folded()) })
 	}
+	if cfg.Recorder != nil {
+		rec := cfg.Recorder
+		help := "Incident bundles captured across the fleet by trigger kind."
+		for _, k := range obs.TriggerKinds {
+			kind := k
+			reg.CounterFunc("pfm_fleet_incidents_total", help,
+				func() float64 { return float64(rec.Captured(kind)) },
+				"trigger", string(kind))
+			help = ""
+		}
+		reg.CounterFunc("pfm_fleet_incidents_suppressed_total",
+			"Incident triggers suppressed by per-scope refractory windows.",
+			func() float64 { return float64(rec.Suppressed()) })
+		reg.GaugeFunc("pfm_fleet_recorder_folded",
+			"Tenants sharing the overflow flight recorder (cardinality cap).",
+			func() float64 { return float64(rec.Folded()) })
+	}
 	return f, nil
 }
 
@@ -361,7 +388,50 @@ func (f *Fleet) buildTenant(i int, spec TenantSpec) (*tenant, error) {
 			}
 		}
 	}
+	if f.cfg.Recorder != nil {
+		tn.rec = f.cfg.Recorder.Scope(spec.ID, obs.RecorderScopeConfig{
+			WarnThreshold: criticalityWarnThreshold(f.cfg.Recorder.Config().WarnThreshold, spec.Criticality),
+			Ledger:        tn.led,
+			Lifecycle: func() any {
+				if tn.lcm == nil {
+					return nil
+				}
+				return tn.lcm.States()
+			},
+		})
+		tn.recOwn = f.cfg.Recorder.Dedicated(spec.ID)
+		if tn.lcm != nil {
+			rec := tn.rec
+			tn.lcm.Subscribe(func(e lifecycle.Event) {
+				switch e.Type {
+				case lifecycle.EventDrift:
+					rec.TriggerEvent(obs.TriggerDrift, e.Time, e.Layer)
+				case lifecycle.EventRolledBack:
+					rec.TriggerEvent(obs.TriggerRollback, e.Time, e.Layer)
+				}
+			})
+		}
+	}
 	return tn, nil
+}
+
+// criticalityWarnThreshold weights the template warn-trigger gate by tenant
+// criticality: a criticality-2 tenant escalates warnings into incident
+// bundles at half the confidence a baseline tenant needs, clamped so the
+// gate stays inside the confidence range. base 0 (template warn trigger
+// fires on every warning) is preserved.
+func criticalityWarnThreshold(base, criticality float64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	eff := base / criticality
+	if eff < 0.05 {
+		eff = 0.05
+	}
+	if eff > 1 {
+		eff = 1
+	}
+	return eff
 }
 
 // tenantActions resolves a tenant's countermeasure set (default: one no-op
@@ -395,6 +465,9 @@ func (f *Fleet) Metrics() *runtime.Metrics { return f.metrics }
 
 // Ledger returns the scoped prediction ledger (nil when disabled).
 func (f *Fleet) Ledger() *obs.ScopedLedger { return f.cfg.Ledger }
+
+// Recorder returns the scoped flight recorder (nil when disabled).
+func (f *Fleet) Recorder() *obs.ScopedRecorder { return f.cfg.Recorder }
 
 // Tenants returns the number of registered tenants.
 func (f *Fleet) Tenants() int { return len(f.tenants) }
@@ -614,6 +687,10 @@ func (f *Fleet) EvaluateCycle() {
 			tn.cands = tn.lcm.Collect(now)
 		}
 	})
+	// Bundle assembly reads tenant event logs, so it shares the same
+	// exclusion: triggers raised by the previous cycle's act fan-out are
+	// assembled here (or by Stop's flush after the final cycle).
+	f.cfg.Recorder.Collect()
 	f.stateMu.Unlock()
 	f.metrics.EvalLatency.Observe(time.Since(start).Seconds())
 	evalEnd := tr.Now()
@@ -702,7 +779,19 @@ func (f *Fleet) actTenant(tn *tenant, now float64) {
 		tn.led.RecordPrediction(obs.CombinedLayer, now, d.Warned, d.Confidence)
 	}
 	if tn.lcm != nil {
+		// Runs before the recorder sees the cycle so drift/rollback
+		// triggers land ahead of this cycle's decision triggers.
 		tn.lcm.ObserveCycle(now, tn.row)
+	}
+	if tn.rec != nil {
+		tn.rec.Observe(now, tn.row, obs.CycleObservation{
+			Warned:        d.Warned,
+			Executed:      d.Executed,
+			Confidence:    d.Confidence,
+			Action:        d.ActionName,
+			LayerVersions: d.LayerVersions,
+			Detail:        tn.spec.ID,
+		})
 	}
 	tn.cands = nil
 }
@@ -764,6 +853,10 @@ func (f *Fleet) Stop(ctx context.Context) error {
 				tn.lcm.Wait()
 			}
 		}
+		// Pipeline is quiet: capture any triggers the final cycle raised
+		// and deliver the tail to subscribers.
+		f.cfg.Recorder.Flush()
+		f.stopped.Store(true)
 	})
 	return f.stopErr
 }

@@ -62,6 +62,14 @@ type TenantView struct {
 	// DedicatedLedger is false when the tenant's quality rows are folded
 	// into the overflow scope by the cardinality cap.
 	DedicatedLedger bool `json:"dedicatedLedger"`
+	// DedicatedRecorder is false when the tenant's incident bundles are
+	// folded into the overflow recorder by the cardinality cap.
+	DedicatedRecorder bool `json:"dedicatedRecorder"`
+	// Incidents counts flight-recorder bundles captured on the tenant's
+	// scope across all trigger kinds (overflow totals when
+	// DedicatedRecorder is false); nil when the fleet runs without a
+	// recorder.
+	Incidents *int64 `json:"incidents,omitempty"`
 	// Quality is the tenant's rolling combined-layer contingency table
 	// (from its own scope, or the shared overflow scope when folded);
 	// omitted when the fleet runs without a ledger.
@@ -110,8 +118,15 @@ type RollupView struct {
 	WeightedF1 *float64 `json:"weightedF1,omitempty"`
 	// FoldedTenants counts tenants sharing the overflow ledger scope.
 	FoldedTenants int64 `json:"foldedTenants"`
-	Cycles        int64 `json:"cycles"`
-	QueueDepth    int   `json:"queueDepth"`
+	// Incidents is the fleet-wide count of captured incident bundles and
+	// IncidentsSuppressed the refractory-suppressed trigger count; both
+	// stay 0 when the fleet runs without a recorder.
+	Incidents           int64 `json:"incidents"`
+	IncidentsSuppressed int64 `json:"incidentsSuppressed"`
+	// FoldedRecorderTenants counts tenants sharing the overflow recorder.
+	FoldedRecorderTenants int64 `json:"foldedRecorderTenants"`
+	Cycles                int64 `json:"cycles"`
+	QueueDepth            int   `json:"queueDepth"`
 }
 
 // Rollup aggregates fleet health at domain time now.
@@ -125,6 +140,13 @@ func (f *Fleet) Rollup(now float64) RollupView {
 	}
 	if f.cfg.Ledger != nil {
 		r.FoldedTenants = f.cfg.Ledger.Folded()
+	}
+	if f.cfg.Recorder != nil {
+		for _, k := range obs.TriggerKinds {
+			r.Incidents += f.cfg.Recorder.Captured(k)
+		}
+		r.IncidentsSuppressed = f.cfg.Recorder.Suppressed()
+		r.FoldedRecorderTenants = f.cfg.Recorder.Folded()
 	}
 	var critSum, critUp, f1Sum, f1Crit float64
 	for _, tn := range f.tenants {
@@ -197,6 +219,14 @@ func (f *Fleet) view(tn *tenant, now float64) TenantView {
 		t := toTableJSON(rollingCombined(tn.led))
 		v.Quality = &t
 	}
+	if tn.rec != nil {
+		v.DedicatedRecorder = tn.recOwn
+		var n int64
+		for _, k := range obs.TriggerKinds {
+			n += tn.rec.Captured(k)
+		}
+		v.Incidents = &n
+	}
 	return v
 }
 
@@ -248,13 +278,28 @@ type health struct {
 	LastCycleAgoSeconds float64 `json:"lastCycleAgoSeconds"`
 }
 
+// status derives the fleet pipeline state for readiness/liveness bodies.
+func (f *Fleet) status() string {
+	switch {
+	case f.stopped.Load():
+		return "stopped"
+	case !f.Running():
+		return "draining"
+	}
+	return "ok"
+}
+
 // Handler serves the fleet observability plane:
 //
-//	GET /fleet    — rollup + per-tenant health/quality/versions
-//	                (?tenant=ID for one row, ?status=S to filter)
-//	GET /metrics  — Prometheus text exposition (shared metric plane)
-//	GET /healthz  — JSON liveness (503 once stopping)
-//	GET /tracez   — slowest end-to-end spans (with Config.Tracer)
+//	GET /fleet     — rollup + per-tenant health/quality/versions/incidents
+//	                 (?tenant=ID for one row, ?status=S to filter)
+//	GET /metrics   — Prometheus text exposition (shared metric plane)
+//	GET /healthz   — JSON readiness (503 once draining or stopped);
+//	                 /readyz is an alias
+//	GET /livez     — JSON liveness (200 for the life of the process)
+//	GET /tracez    — slowest end-to-end spans (with Config.Tracer)
+//	GET /incidents — flight-recorder bundles across tenants: summary list,
+//	                 or one full bundle with ?id= (with Config.Recorder)
 func (f *Fleet) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/fleet", f.serveFleet)
@@ -262,9 +307,9 @@ func (f *Fleet) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = f.metrics.WritePrometheus(w)
 	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+	ready := func(w http.ResponseWriter, _ *http.Request) {
 		h := health{
-			Status:              "ok",
+			Status:              f.status(),
 			UptimeSeconds:       f.Uptime().Seconds(),
 			Tenants:             len(f.tenants),
 			Shards:              len(f.queues),
@@ -276,12 +321,21 @@ func (f *Fleet) Handler() http.Handler {
 			h.LastCycleAgoSeconds = time.Since(time.Unix(0, last)).Seconds()
 		}
 		w.Header().Set("Content-Type", "application/json")
-		if !f.Running() {
-			h.Status = "stopping"
+		if h.Status != "ok" {
 			w.WriteHeader(http.StatusServiceUnavailable)
 		}
 		_ = json.NewEncoder(w).Encode(h)
+	}
+	mux.HandleFunc("/healthz", ready)
+	mux.HandleFunc("/readyz", ready)
+	mux.HandleFunc("/livez", func(w http.ResponseWriter, _ *http.Request) {
+		runtime.ServeLiveness(w, f.status())
 	})
+	if f.cfg.Recorder != nil {
+		mux.HandleFunc("/incidents", func(w http.ResponseWriter, req *http.Request) {
+			runtime.ServeIncidents(w, req, f.cfg.Recorder.Bundles, f.cfg.Recorder.Bundle)
+		})
+	}
 	if f.cfg.Tracer != nil {
 		mux.HandleFunc("/tracez", func(w http.ResponseWriter, req *http.Request) {
 			n := 20

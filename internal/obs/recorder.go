@@ -1,0 +1,687 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	stdruntime "runtime"
+	"sync"
+	"time"
+
+	"repro/internal/diagnose"
+	"repro/internal/eventlog"
+)
+
+// TriggerKind names the condition that fired an incident capture.
+type TriggerKind string
+
+// The recorder's trigger matrix. Warn and act fire from the engine's
+// combined decision, drift and rollback from lifecycle events, burnrate
+// from the rolling ledger F-measure falling through a floor.
+const (
+	// TriggerWarn fires when the combined decision warns at or above the
+	// recorder's warn threshold.
+	TriggerWarn TriggerKind = "warn"
+	// TriggerAct fires when the act stage executes (or schedules) a
+	// countermeasure.
+	TriggerAct TriggerKind = "act"
+	// TriggerDrift fires on a lifecycle drift detection.
+	TriggerDrift TriggerKind = "drift"
+	// TriggerRollback fires when a hot-swap is rolled back.
+	TriggerRollback TriggerKind = "rollback"
+	// TriggerBurnRate fires while the rolling combined F-measure sits
+	// below the configured floor with enough resolved predictions.
+	TriggerBurnRate TriggerKind = "burnrate"
+)
+
+// TriggerKinds lists every trigger kind in a stable order (metric
+// registration, rendering).
+var TriggerKinds = []TriggerKind{TriggerWarn, TriggerAct, TriggerDrift, TriggerRollback, TriggerBurnRate}
+
+// triggerIndex maps a kind to its slot in the recorder's fixed counter
+// arrays (-1 for unknown kinds).
+func triggerIndex(k TriggerKind) int {
+	for i, t := range TriggerKinds {
+		if t == k {
+			return i
+		}
+	}
+	return -1
+}
+
+// RecorderConfig parameterizes a flight recorder. Only Layers is
+// mandatory; every correlated source (event log, tracer, ledger,
+// diagnoser, lifecycle) is optional and simply absent from bundles when
+// nil. Times are in the pipeline's domain clock.
+type RecorderConfig struct {
+	// Scope names the recorder (tenant ID in a fleet); folded into bundle
+	// IDs so scoped recorders never collide.
+	Scope string
+	// Layers are the prediction-layer names, in engine order; score
+	// history rows and bundle versions are indexed like this.
+	Layers []string
+	// Window is the pre-trigger capture horizon [s]: a bundle carries the
+	// event-log slice and score history from trigger−Window to the
+	// trigger (default 600).
+	Window float64
+	// ScoreDepth is how many recent cycles of per-layer scores the ring
+	// retains (default 32).
+	ScoreDepth int
+	// WarnThreshold gates the warn trigger: the combined decision must
+	// warn with at least this confidence (0 fires on every warning).
+	WarnThreshold float64
+	// BurnRateFloor arms the burn-rate trigger: it fires when the rolling
+	// combined F-measure drops below the floor (0 disables).
+	BurnRateFloor float64
+	// BurnRateMinResolved is the minimum resolved predictions in the
+	// rolling window before the burn-rate trigger can fire (default 10),
+	// so an empty ledger does not alarm.
+	BurnRateMinResolved int
+	// Refractory is the per-trigger-kind dead time [s] after a capture
+	// (default 2×Window): a flapping predictor yields one bundle per
+	// refractory period per kind, the rest count as suppressed.
+	Refractory float64
+	// MaxBundles bounds retained bundles; older ones are evicted
+	// (default 32).
+	MaxBundles int
+	// MaxEvents caps the event-log slice per bundle, keeping the newest
+	// events of the window (default 512).
+	MaxEvents int
+	// SlowSpans is how many slowest tracer spans a bundle carries
+	// (default 5).
+	SlowSpans int
+	// Log is the mirrored event log the bundles slice. The recorder reads
+	// it only inside Collect/Flush, which the runtime calls under the
+	// evaluation exclusion (or after shutdown), so no extra locking is
+	// needed.
+	Log *eventlog.Log
+	// Tracer correlates bundles with spans: the triggering decision's
+	// newest complete trace ID and the slowest retained spans.
+	Tracer *Tracer
+	// Ledger supplies the burn-rate signal and the quality snapshot
+	// embedded in bundles.
+	Ledger *Ledger
+	// Diagnose maps a captured window to ranked suspects — typically a
+	// closure over diagnose.Diagnoser.DiagnoseRange on the same log. Runs
+	// inside Collect, under the same exclusion as Log reads.
+	Diagnose func(from, to float64) []diagnose.Suspect
+	// Lifecycle returns the per-layer lifecycle states for the bundle
+	// (a closure over lifecycle.Manager.States; typed any because the
+	// lifecycle package layers above obs).
+	Lifecycle func() any
+	// RuntimeStats embeds a rate-limited memstats/goroutine snapshot in
+	// each bundle. Off by default: the snapshot is wall-clock state, so
+	// deterministic-replay tests leave it disabled.
+	RuntimeStats bool
+}
+
+// CycleObservation is the act-stage outcome of one MEA cycle, the
+// recorder-visible projection of the engine's decision (obs stays below
+// core in the import order).
+type CycleObservation struct {
+	Warned        bool
+	Executed      bool
+	Confidence    float64
+	Action        string
+	LayerVersions []uint64
+	// Detail annotates the trigger (fleet runtimes put the tenant here).
+	Detail string
+}
+
+// BundleScore is one retained cycle in a bundle's score history.
+type BundleScore struct {
+	Time     float64   `json:"time"`
+	Scores   []float64 `json:"scores"`
+	Versions []uint64  `json:"versions,omitempty"`
+}
+
+// RuntimeSnapshot is the rate-limited process state embedded in bundles
+// when RecorderConfig.RuntimeStats is set.
+type RuntimeSnapshot struct {
+	Goroutines   int    `json:"goroutines"`
+	HeapAlloc    uint64 `json:"heap_alloc"`
+	HeapSys      uint64 `json:"heap_sys"`
+	NumGC        uint32 `json:"num_gc"`
+	PauseTotalNs uint64 `json:"pause_total_ns"`
+}
+
+// IncidentBundle is one self-contained, causally-correlated incident
+// capture: the triggering decision, the pre-trigger event window, score
+// history, slowest spans, ranked suspects, quality tables and lifecycle
+// states, assembled inside the lead-time window the prediction bought.
+type IncidentBundle struct {
+	ID            string      `json:"id"`
+	Seq           uint64      `json:"seq"`
+	Scope         string      `json:"scope,omitempty"`
+	Trigger       TriggerKind `json:"trigger"`
+	Time          float64     `json:"time"`
+	Detail        string      `json:"detail,omitempty"`
+	Confidence    float64     `json:"confidence"`
+	Action        string      `json:"action,omitempty"`
+	TraceID       uint64      `json:"trace_id,omitempty"`
+	Layers        []string    `json:"layers,omitempty"`
+	LayerVersions []uint64    `json:"layer_versions,omitempty"`
+
+	EventsFrom  float64          `json:"events_from"`
+	EventsTo    float64          `json:"events_to"`
+	EventsTotal int              `json:"events_total"` // window population before the MaxEvents cap
+	Events      []eventlog.Event `json:"events,omitempty"`
+
+	Scores    []BundleScore      `json:"scores,omitempty"`
+	Suspects  []diagnose.Suspect `json:"suspects,omitempty"`
+	Spans     []TraceView        `json:"spans,omitempty"`
+	Quality   *LedgerSnapshot    `json:"quality,omitempty"`
+	Lifecycle any                `json:"lifecycle,omitempty"`
+	Runtime   *RuntimeSnapshot   `json:"runtime,omitempty"`
+
+	// CaptureSeconds is the wall time Collect spent assembling the
+	// bundle (pfm_incident_bundle_seconds).
+	CaptureSeconds float64 `json:"capture_seconds"`
+}
+
+// Fingerprint renders the bundle's replay-deterministic content: identity,
+// trigger, captured window bounds, suspects, score history and versions.
+// Wall-clock fields (trace ID, spans, runtime snapshot, capture duration)
+// are deliberately excluded — two replays of the same trace with the same
+// config must produce identical fingerprint sets, which is the recorder's
+// determinism contract.
+func (b *IncidentBundle) Fingerprint() string {
+	fp := fmt.Sprintf("%s|%s|%x|%s|%x|%x..%x|%d", b.ID, b.Trigger,
+		math.Float64bits(b.Time), b.Detail, math.Float64bits(b.Confidence),
+		math.Float64bits(b.EventsFrom), math.Float64bits(b.EventsTo), b.EventsTotal)
+	for _, v := range b.LayerVersions {
+		fp += fmt.Sprintf("|v%d", v)
+	}
+	for _, s := range b.Suspects {
+		fp += fmt.Sprintf("|%s:%x:%d", s.Component, math.Float64bits(s.Score), s.Events)
+	}
+	for _, row := range b.Scores {
+		fp += fmt.Sprintf("|t%x", math.Float64bits(row.Time))
+		for _, s := range row.Scores {
+			fp += fmt.Sprintf(",%x", math.Float64bits(s))
+		}
+	}
+	for _, e := range b.Events {
+		fp += fmt.Sprintf("|e%x:%s:%d", math.Float64bits(e.Time), e.Component, e.Type)
+	}
+	return fp
+}
+
+// pendingTrigger is one fired trigger awaiting bundle assembly at the
+// next Collect (which runs under the evaluation exclusion, where the
+// event log is safe to read).
+type pendingTrigger struct {
+	kind       TriggerKind
+	t          float64
+	detail     string
+	confidence float64
+	action     string
+	traceID    uint64
+	versions   []uint64
+}
+
+// Recorder is a prediction-triggered flight recorder: always-on bounded
+// ring state (per-layer score history) plus a trigger pipeline that turns
+// warnings, act firings, lifecycle drift/rollback and ledger burn-rate
+// alarms into IncidentBundles. The steady-state path (Observe with no
+// trigger firing, Collect with nothing pending) allocates nothing —
+// pinned by TestRecorderSteadyStateZeroAllocs.
+//
+// Concurrency: Observe and TriggerEvent run on the act stage, Collect
+// under the runtime's evaluation exclusion, Flush after shutdown; an
+// internal mutex serializes them, so the recorder is safe for concurrent
+// use from all runtime stages.
+type Recorder struct {
+	mu  sync.Mutex
+	cfg RecorderConfig
+
+	// Score-history ring, flat layer-major rows: row i of depth holds
+	// times[i], scores[i*nLayers:...], versions[i*nLayers:...].
+	nLayers int
+	depth   int
+	head    int // next row to write
+	count   int // rows filled (≤ depth)
+	times   []float64
+	scores  []float64
+	vers    []uint64
+
+	// Trigger state.
+	nextAllowed []float64 // per trigger kind, domain time
+	captured    []int64   // per trigger kind
+	suppressed  int64
+	pending     []pendingTrigger
+	seq         uint64
+
+	bundles []*IncidentBundle
+	ready   []*IncidentBundle // assembled, not yet delivered to subscribers
+	subs    []func(*IncidentBundle)
+}
+
+// Recorder defaults.
+const (
+	defaultRecorderWindow     = 600.0
+	defaultRecorderDepth      = 32
+	defaultRecorderMaxBundles = 32
+	defaultRecorderMaxEvents  = 512
+	defaultRecorderSlowSpans  = 5
+	defaultBurnRateResolved   = 10
+)
+
+// NewRecorder validates the configuration and builds a flight recorder.
+func NewRecorder(cfg RecorderConfig) (*Recorder, error) {
+	if len(cfg.Layers) == 0 {
+		return nil, fmt.Errorf("%w: recorder needs at least one layer", ErrObs)
+	}
+	bad := func(v float64) bool { return v < 0 || math.IsNaN(v) || math.IsInf(v, 0) }
+	if bad(cfg.Window) || bad(cfg.WarnThreshold) || bad(cfg.BurnRateFloor) || bad(cfg.Refractory) {
+		return nil, fmt.Errorf("%w: recorder window=%g warn=%g floor=%g refractory=%g",
+			ErrObs, cfg.Window, cfg.WarnThreshold, cfg.BurnRateFloor, cfg.Refractory)
+	}
+	if cfg.ScoreDepth < 0 || cfg.MaxBundles < 0 || cfg.MaxEvents < 0 || cfg.SlowSpans < 0 || cfg.BurnRateMinResolved < 0 {
+		return nil, fmt.Errorf("%w: negative recorder depth/cap", ErrObs)
+	}
+	if cfg.Window == 0 {
+		cfg.Window = defaultRecorderWindow
+	}
+	if cfg.ScoreDepth == 0 {
+		cfg.ScoreDepth = defaultRecorderDepth
+	}
+	if cfg.Refractory == 0 {
+		cfg.Refractory = 2 * cfg.Window
+	}
+	if cfg.MaxBundles == 0 {
+		cfg.MaxBundles = defaultRecorderMaxBundles
+	}
+	if cfg.MaxEvents == 0 {
+		cfg.MaxEvents = defaultRecorderMaxEvents
+	}
+	if cfg.SlowSpans == 0 {
+		cfg.SlowSpans = defaultRecorderSlowSpans
+	}
+	if cfg.BurnRateMinResolved == 0 {
+		cfg.BurnRateMinResolved = defaultBurnRateResolved
+	}
+	n := len(cfg.Layers)
+	r := &Recorder{
+		cfg:         cfg,
+		nLayers:     n,
+		depth:       cfg.ScoreDepth,
+		times:       make([]float64, cfg.ScoreDepth),
+		scores:      make([]float64, cfg.ScoreDepth*n),
+		vers:        make([]uint64, cfg.ScoreDepth*n),
+		nextAllowed: make([]float64, len(TriggerKinds)),
+		captured:    make([]int64, len(TriggerKinds)),
+		pending:     make([]pendingTrigger, 0, 4),
+		bundles:     make([]*IncidentBundle, 0, cfg.MaxBundles),
+	}
+	for i := range r.nextAllowed {
+		r.nextAllowed[i] = math.Inf(-1)
+	}
+	return r, nil
+}
+
+// Config returns the recorder's (defaulted) configuration.
+func (r *Recorder) Config() RecorderConfig {
+	if r == nil {
+		return RecorderConfig{}
+	}
+	return r.cfg
+}
+
+// Subscribe registers fn to receive every assembled bundle. Callbacks run
+// on the act stage (and during Flush), outside the recorder's own lock
+// and outside the runtime's state lock — safe to do I/O. Register before
+// the pipeline starts.
+func (r *Recorder) Subscribe(fn func(*IncidentBundle)) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.subs = append(r.subs, fn)
+	r.mu.Unlock()
+}
+
+// Observe records one act-stage cycle into the score-history ring and
+// runs the decision-driven trigger checks (warn, act, burn-rate). Safe on
+// a nil receiver; allocation-free unless a trigger fires.
+func (r *Recorder) Observe(now float64, scores []float64, o CycleObservation) {
+	if r == nil {
+		return
+	}
+	// The burn-rate signal reads the ledger outside the recorder lock
+	// (Ledger has its own); Quality returns its table by value.
+	burn := false
+	if r.cfg.BurnRateFloor > 0 && r.cfg.Ledger != nil {
+		q := r.cfg.Ledger.Quality(CombinedLayer)
+		if q.TP+q.FP+q.TN+q.FN >= r.cfg.BurnRateMinResolved {
+			f := q.FMeasure()
+			burn = !math.IsNaN(f) && f < r.cfg.BurnRateFloor
+		}
+	}
+	r.mu.Lock()
+	// Ring write: one row per cycle, NaN-padded when the caller scored
+	// fewer layers than declared.
+	row := r.head * r.nLayers
+	r.times[r.head] = now
+	for i := 0; i < r.nLayers; i++ {
+		if i < len(scores) {
+			r.scores[row+i] = scores[i]
+		} else {
+			r.scores[row+i] = math.NaN()
+		}
+		if i < len(o.LayerVersions) {
+			r.vers[row+i] = o.LayerVersions[i]
+		} else {
+			r.vers[row+i] = 0
+		}
+	}
+	r.head = (r.head + 1) % r.depth
+	if r.count < r.depth {
+		r.count++
+	}
+	if o.Warned && o.Confidence >= r.cfg.WarnThreshold {
+		r.fireLocked(TriggerWarn, now, o)
+	}
+	if o.Executed {
+		r.fireLocked(TriggerAct, now, o)
+	}
+	if burn {
+		r.fireLocked(TriggerBurnRate, now, o)
+	}
+	ready := r.takeReadyLocked()
+	r.mu.Unlock()
+	r.deliver(ready)
+}
+
+// TriggerEvent fires an external trigger (lifecycle drift or rollback) at
+// domain time t. detail typically names the affected layer.
+func (r *Recorder) TriggerEvent(kind TriggerKind, t float64, detail string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.fireLocked(kind, t, CycleObservation{Detail: detail})
+	r.mu.Unlock()
+}
+
+// fireLocked applies the refractory gate and queues a pending trigger.
+// The caller holds r.mu.
+func (r *Recorder) fireLocked(kind TriggerKind, t float64, o CycleObservation) {
+	ki := triggerIndex(kind)
+	if ki < 0 {
+		return
+	}
+	if t < r.nextAllowed[ki] {
+		r.suppressed++
+		return
+	}
+	r.nextAllowed[ki] = t + r.cfg.Refractory
+	p := pendingTrigger{
+		kind:       kind,
+		t:          t,
+		detail:     o.Detail,
+		confidence: o.Confidence,
+		action:     o.Action,
+		traceID:    r.cfg.Tracer.NewestCompleteID(),
+	}
+	if len(o.LayerVersions) > 0 {
+		p.versions = append([]uint64(nil), o.LayerVersions...)
+	}
+	r.pending = append(r.pending, p)
+}
+
+// Collect assembles a bundle for every pending trigger. The runtime calls
+// it inside the evaluation exclusion (no Apply concurrent), which is what
+// makes the event-log reads and the Diagnose callback safe. With nothing
+// pending it is a single uncontended lock round-trip — allocation-free.
+func (r *Recorder) Collect() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.collectLocked()
+	r.mu.Unlock()
+}
+
+// collectLocked drains r.pending into assembled bundles. Caller holds r.mu.
+func (r *Recorder) collectLocked() {
+	for i := range r.pending {
+		b := r.assembleLocked(&r.pending[i])
+		if len(r.bundles) >= r.cfg.MaxBundles {
+			copy(r.bundles, r.bundles[1:])
+			r.bundles = r.bundles[:len(r.bundles)-1]
+		}
+		r.bundles = append(r.bundles, b)
+		if len(r.subs) > 0 {
+			r.ready = append(r.ready, b)
+		}
+	}
+	r.pending = r.pending[:0]
+}
+
+// assembleLocked builds one incident bundle. Caller holds r.mu and the
+// pipeline's evaluation exclusion.
+func (r *Recorder) assembleLocked(p *pendingTrigger) *IncidentBundle {
+	start := time.Now()
+	r.seq++
+	b := &IncidentBundle{
+		ID:            bundleID(r.cfg.Scope, p.kind, p.t, r.seq),
+		Seq:           r.seq,
+		Scope:         r.cfg.Scope,
+		Trigger:       p.kind,
+		Time:          p.t,
+		Detail:        p.detail,
+		Confidence:    p.confidence,
+		Action:        p.action,
+		TraceID:       p.traceID,
+		Layers:        r.cfg.Layers,
+		LayerVersions: p.versions,
+		EventsFrom:    p.t - r.cfg.Window,
+		EventsTo:      p.t,
+	}
+	if ki := triggerIndex(p.kind); ki >= 0 {
+		r.captured[ki]++
+	}
+	if l := r.cfg.Log; l != nil {
+		// The repo-wide now+1e-9 idiom makes the upper bound inclusive.
+		lo, hi := l.ScanWindow(b.EventsFrom, b.EventsTo+1e-9)
+		b.EventsTotal = hi - lo
+		from := b.EventsFrom
+		if b.EventsTotal > r.cfg.MaxEvents {
+			from = l.TimeAt(hi - r.cfg.MaxEvents)
+		}
+		b.Events = l.Slice(from, b.EventsTo+1e-9).Events()
+	}
+	if r.cfg.Diagnose != nil {
+		b.Suspects = r.cfg.Diagnose(b.EventsFrom, b.EventsTo)
+	}
+	// Score history: retained rows at or before the trigger, oldest first.
+	for i := 0; i < r.count; i++ {
+		idx := (r.head - r.count + i + r.depth) % r.depth
+		if r.times[idx] > p.t {
+			continue
+		}
+		row := idx * r.nLayers
+		b.Scores = append(b.Scores, BundleScore{
+			Time:     r.times[idx],
+			Scores:   append([]float64(nil), r.scores[row:row+r.nLayers]...),
+			Versions: append([]uint64(nil), r.vers[row:row+r.nLayers]...),
+		})
+	}
+	if r.cfg.Tracer != nil {
+		b.Spans = r.cfg.Tracer.Slowest(r.cfg.SlowSpans)
+	}
+	if r.cfg.Ledger != nil {
+		snap := r.cfg.Ledger.Snapshot()
+		b.Quality = &snap
+	}
+	if r.cfg.Lifecycle != nil {
+		b.Lifecycle = r.cfg.Lifecycle()
+	}
+	if r.cfg.RuntimeStats {
+		b.Runtime = runtimeSnap()
+	}
+	b.CaptureSeconds = time.Since(start).Seconds()
+	return b
+}
+
+// takeReadyLocked hands the undelivered bundles to the caller (which must
+// deliver them outside the lock). Caller holds r.mu.
+func (r *Recorder) takeReadyLocked() []*IncidentBundle {
+	if len(r.ready) == 0 {
+		return nil
+	}
+	ready := r.ready
+	r.ready = nil
+	return ready
+}
+
+// deliver invokes the subscribers for each bundle, outside every lock.
+func (r *Recorder) deliver(bundles []*IncidentBundle) {
+	if len(bundles) == 0 {
+		return
+	}
+	r.mu.Lock()
+	subs := r.subs
+	r.mu.Unlock()
+	for _, b := range bundles {
+		for _, fn := range subs {
+			fn(b)
+		}
+	}
+}
+
+// Flush assembles any still-pending triggers and delivers undelivered
+// bundles. The runtime calls it during Stop, after the pipeline has
+// quiesced (no concurrent Apply), so the log reads are safe.
+func (r *Recorder) Flush() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.collectLocked()
+	ready := r.takeReadyLocked()
+	r.mu.Unlock()
+	r.deliver(ready)
+}
+
+// Bundles returns the retained bundles, oldest first.
+func (r *Recorder) Bundles() []*IncidentBundle {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*IncidentBundle(nil), r.bundles...)
+}
+
+// Bundle returns the retained bundle with the given ID (nil if evicted or
+// never captured).
+func (r *Recorder) Bundle(id string) *IncidentBundle {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, b := range r.bundles {
+		if b.ID == id {
+			return b
+		}
+	}
+	return nil
+}
+
+// Captured returns how many bundles the given trigger kind has produced.
+func (r *Recorder) Captured(kind TriggerKind) int64 {
+	if r == nil {
+		return 0
+	}
+	ki := triggerIndex(kind)
+	if ki < 0 {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.captured[ki]
+}
+
+// Suppressed returns how many triggers the refractory gate swallowed.
+func (r *Recorder) Suppressed() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.suppressed
+}
+
+// Pending returns how many fired triggers await assembly.
+func (r *Recorder) Pending() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.pending)
+}
+
+// bundleID derives the deterministic bundle identity: FNV-1a 64 over the
+// scope, trigger kind, trigger-time bits and capture sequence number.
+// Replaying the same trace with the same config reproduces the same IDs.
+func bundleID(scope string, kind TriggerKind, t float64, seq uint64) string {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+		h ^= 0xff // terminator so ("ab","c") != ("a","bc")
+		h *= prime64
+	}
+	mix(scope)
+	mix(string(kind))
+	for bits, i := math.Float64bits(t), 0; i < 8; i++ {
+		h ^= bits >> (8 * i) & 0xff
+		h *= prime64
+	}
+	for i := 0; i < 8; i++ {
+		h ^= seq >> (8 * i) & 0xff
+		h *= prime64
+	}
+	return fmt.Sprintf("%016x", h)
+}
+
+// runtimeSnapCache rate-limits ReadMemStats for bundle snapshots: a
+// capture storm pays the stop-the-world read at most once per TTL.
+var runtimeSnapCache struct {
+	mu   sync.Mutex
+	at   time.Time
+	snap RuntimeSnapshot
+}
+
+// runtimeSnapTTL is the snapshot cache lifetime.
+const runtimeSnapTTL = 500 * time.Millisecond
+
+// runtimeSnap returns the (possibly cached) process snapshot.
+func runtimeSnap() *RuntimeSnapshot {
+	c := &runtimeSnapCache
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if now := time.Now(); now.Sub(c.at) > runtimeSnapTTL {
+		var ms stdruntime.MemStats
+		stdruntime.ReadMemStats(&ms)
+		c.snap = RuntimeSnapshot{
+			Goroutines:   stdruntime.NumGoroutine(),
+			HeapAlloc:    ms.HeapAlloc,
+			HeapSys:      ms.HeapSys,
+			NumGC:        ms.NumGC,
+			PauseTotalNs: ms.PauseTotalNs,
+		}
+		c.at = now
+	}
+	snap := c.snap
+	return &snap
+}

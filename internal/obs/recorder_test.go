@@ -1,0 +1,329 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/diagnose"
+	"repro/internal/eventlog"
+)
+
+func testRecorder(t *testing.T, cfg RecorderConfig) *Recorder {
+	t.Helper()
+	if cfg.Layers == nil {
+		cfg.Layers = []string{"a", "b"}
+	}
+	r, err := NewRecorder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRecorderConfigValidation(t *testing.T) {
+	if _, err := NewRecorder(RecorderConfig{}); err == nil {
+		t.Fatal("want error for no layers")
+	}
+	if _, err := NewRecorder(RecorderConfig{Layers: []string{"a"}, Window: -1}); err == nil {
+		t.Fatal("want error for negative window")
+	}
+	if _, err := NewRecorder(RecorderConfig{Layers: []string{"a"}, WarnThreshold: math.NaN()}); err == nil {
+		t.Fatal("want error for NaN threshold")
+	}
+	r := testRecorder(t, RecorderConfig{Layers: []string{"a"}})
+	cfg := r.Config()
+	if cfg.Window != defaultRecorderWindow || cfg.ScoreDepth != defaultRecorderDepth ||
+		cfg.Refractory != 2*defaultRecorderWindow || cfg.MaxBundles != defaultRecorderMaxBundles {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+}
+
+// TestRecorderWarnTrigger: a warning at/above the threshold produces one
+// bundle at the next Collect; sub-threshold warnings do not fire.
+func TestRecorderWarnTrigger(t *testing.T) {
+	r := testRecorder(t, RecorderConfig{WarnThreshold: 0.5, Window: 10})
+	r.Observe(1, []float64{0.2, 0.1}, CycleObservation{Warned: true, Confidence: 0.4})
+	r.Collect()
+	if got := len(r.Bundles()); got != 0 {
+		t.Fatalf("sub-threshold warn captured %d bundles", got)
+	}
+	r.Observe(2, []float64{0.9, 0.8}, CycleObservation{Warned: true, Confidence: 0.9, LayerVersions: []uint64{3, 4}})
+	if r.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", r.Pending())
+	}
+	r.Collect()
+	bundles := r.Bundles()
+	if len(bundles) != 1 {
+		t.Fatalf("bundles = %d, want 1", len(bundles))
+	}
+	b := bundles[0]
+	if b.Trigger != TriggerWarn || b.Time != 2 || b.Confidence != 0.9 {
+		t.Fatalf("bundle = %+v", b)
+	}
+	if b.EventsFrom != -8 || b.EventsTo != 2 {
+		t.Fatalf("window = [%g, %g], want [-8, 2]", b.EventsFrom, b.EventsTo)
+	}
+	if len(b.LayerVersions) != 2 || b.LayerVersions[0] != 3 {
+		t.Fatalf("versions = %v", b.LayerVersions)
+	}
+	// Score history retains both observed cycles, oldest first.
+	if len(b.Scores) != 2 || b.Scores[0].Time != 1 || b.Scores[1].Scores[0] != 0.9 {
+		t.Fatalf("score history = %+v", b.Scores)
+	}
+	if r.Captured(TriggerWarn) != 1 || r.Captured(TriggerAct) != 0 {
+		t.Fatalf("captured warn=%d act=%d", r.Captured(TriggerWarn), r.Captured(TriggerAct))
+	}
+	if got := r.Bundle(b.ID); got != b {
+		t.Fatalf("Bundle(%q) = %v", b.ID, got)
+	}
+}
+
+// TestRecorderRefractory: within the dead time repeated triggers of one
+// kind are suppressed, other kinds still fire, and the gate reopens.
+func TestRecorderRefractory(t *testing.T) {
+	r := testRecorder(t, RecorderConfig{Window: 10, Refractory: 100})
+	warned := CycleObservation{Warned: true, Confidence: 1}
+	r.Observe(1, []float64{1, 1}, warned)
+	r.Observe(2, []float64{1, 1}, warned)
+	r.Observe(3, []float64{1, 1}, CycleObservation{Warned: true, Confidence: 1, Executed: true, Action: "restart"})
+	r.Collect()
+	if got := len(r.Bundles()); got != 2 { // one warn + one act
+		t.Fatalf("bundles = %d, want 2", got)
+	}
+	if r.Suppressed() != 2 { // warn at t=2 and t=3
+		t.Fatalf("suppressed = %d, want 2", r.Suppressed())
+	}
+	r.Observe(102, []float64{1, 1}, warned) // past t=1+100
+	r.Collect()
+	if got := r.Captured(TriggerWarn); got != 2 {
+		t.Fatalf("warn captures after refractory = %d, want 2", got)
+	}
+}
+
+// TestRecorderBurnRate: the burn-rate trigger needs an armed floor, enough
+// resolved predictions, and a rolling combined F below the floor.
+func TestRecorderBurnRate(t *testing.T) {
+	led, err := NewLedger(LedgerConfig{LeadTime: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := testRecorder(t, RecorderConfig{BurnRateFloor: 0.5, BurnRateMinResolved: 3, Ledger: led})
+	// Three resolved false positives: F = 0 < 0.5.
+	for i := 0; i < 3; i++ {
+		led.RecordPrediction(CombinedLayer, float64(i), true, 1)
+	}
+	led.Advance(10)
+	r.Observe(11, []float64{0, 0}, CycleObservation{})
+	r.Collect()
+	if got := r.Captured(TriggerBurnRate); got != 1 {
+		t.Fatalf("burn-rate captures = %d, want 1", got)
+	}
+	// Below the resolved floor nothing fires.
+	led2, _ := NewLedger(LedgerConfig{LeadTime: 1})
+	r2 := testRecorder(t, RecorderConfig{BurnRateFloor: 0.5, BurnRateMinResolved: 5, Ledger: led2})
+	led2.RecordPrediction(CombinedLayer, 0, true, 1)
+	led2.Advance(10)
+	r2.Observe(11, []float64{0, 0}, CycleObservation{})
+	r2.Collect()
+	if got := r2.Captured(TriggerBurnRate); got != 0 {
+		t.Fatalf("burn-rate fired with %d resolved", 1)
+	}
+}
+
+// TestRecorderExternalTriggerAndEvents: lifecycle-style external triggers
+// capture the event-log window, the MaxEvents cap keeps the newest
+// events, and EventsTotal reports the uncapped population.
+func TestRecorderExternalTriggerAndEvents(t *testing.T) {
+	l := eventlog.NewLog()
+	for i := 0; i < 20; i++ {
+		if err := l.Append(eventlog.Event{Time: float64(i), Component: "c", Type: i, Severity: eventlog.SeverityError}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := testRecorder(t, RecorderConfig{Window: 100, MaxEvents: 5, Log: l,
+		Diagnose: func(from, to float64) []diagnose.Suspect {
+			return []diagnose.Suspect{{Component: "c", Score: from + to, Events: 1}}
+		}})
+	r.TriggerEvent(TriggerDrift, 19, "errrate")
+	r.Collect()
+	b := r.Bundles()[0]
+	if b.Trigger != TriggerDrift || b.Detail != "errrate" {
+		t.Fatalf("bundle = %+v", b)
+	}
+	if b.EventsTotal != 20 {
+		t.Fatalf("events total = %d, want 20", b.EventsTotal)
+	}
+	if len(b.Events) != 5 || b.Events[0].Type != 15 || b.Events[4].Type != 19 {
+		t.Fatalf("capped events = %+v", b.Events)
+	}
+	if len(b.Suspects) != 1 || b.Suspects[0].Component != "c" {
+		t.Fatalf("suspects = %+v", b.Suspects)
+	}
+}
+
+// TestRecorderDeterministicIDs: the same trigger sequence reproduces the
+// same bundle IDs and fingerprints; different scopes never collide.
+func TestRecorderDeterministicIDs(t *testing.T) {
+	run := func(scope string) []string {
+		r := testRecorder(t, RecorderConfig{Scope: scope, Window: 10})
+		r.Observe(1, []float64{0.9, 0.8}, CycleObservation{Warned: true, Confidence: 0.9})
+		r.Observe(2, []float64{0.9, 0.8}, CycleObservation{Executed: true, Action: "restart"})
+		r.Collect()
+		var fps []string
+		for _, b := range r.Bundles() {
+			fps = append(fps, b.Fingerprint())
+		}
+		return fps
+	}
+	a1, a2, b1 := run("a"), run("a"), run("b")
+	if strings.Join(a1, "\n") != strings.Join(a2, "\n") {
+		t.Fatalf("same scope, different fingerprints:\n%v\nvs\n%v", a1, a2)
+	}
+	if len(a1) != 2 || a1[0] == a1[1] {
+		t.Fatalf("fingerprints not distinct per trigger: %v", a1)
+	}
+	if a1[0] == b1[0] {
+		t.Fatal("different scopes produced the same bundle identity")
+	}
+}
+
+// TestRecorderEviction: the bundle ring keeps the newest MaxBundles.
+func TestRecorderEviction(t *testing.T) {
+	r := testRecorder(t, RecorderConfig{Window: 1, Refractory: 1e-9, MaxBundles: 3})
+	for i := 1; i <= 5; i++ {
+		r.Observe(float64(i), []float64{1, 1}, CycleObservation{Executed: true})
+	}
+	r.Collect()
+	bundles := r.Bundles()
+	if len(bundles) != 3 {
+		t.Fatalf("retained = %d, want 3", len(bundles))
+	}
+	if bundles[0].Time != 3 || bundles[2].Time != 5 {
+		t.Fatalf("retained times = %g..%g, want 3..5", bundles[0].Time, bundles[2].Time)
+	}
+}
+
+// TestRecorderSubscribeFlush: subscribers see every bundle exactly once,
+// whether delivered on a later Observe or by the shutdown Flush.
+func TestRecorderSubscribeFlush(t *testing.T) {
+	r := testRecorder(t, RecorderConfig{Window: 1, Refractory: 1e-9})
+	var got []string
+	r.Subscribe(func(b *IncidentBundle) { got = append(got, b.ID) })
+	r.Observe(1, []float64{1, 1}, CycleObservation{Executed: true})
+	r.Collect()
+	r.Observe(2, []float64{0, 0}, CycleObservation{}) // delivery piggybacks here
+	if len(got) != 1 {
+		t.Fatalf("delivered = %d after observe, want 1", len(got))
+	}
+	r.Observe(3, []float64{1, 1}, CycleObservation{Executed: true})
+	r.Flush() // captures the pending trigger and delivers it
+	if len(got) != 2 {
+		t.Fatalf("delivered = %d after flush, want 2", len(got))
+	}
+	if got[0] == got[1] {
+		t.Fatal("duplicate delivery")
+	}
+}
+
+// TestRecorderSteadyStateZeroAllocs pins the always-on cost: Observe with
+// no trigger firing and Collect with nothing pending must not allocate.
+func TestRecorderSteadyStateZeroAllocs(t *testing.T) {
+	led, err := NewLedger(LedgerConfig{LeadTime: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := testRecorder(t, RecorderConfig{WarnThreshold: 0.5, BurnRateFloor: 0.1, Ledger: led})
+	scores := []float64{0.1, 0.2}
+	versions := []uint64{1, 1}
+	now := 0.0
+	if avg := testing.AllocsPerRun(1000, func() {
+		now++
+		r.Observe(now, scores, CycleObservation{Confidence: 0.1, LayerVersions: versions})
+		r.Collect()
+	}); avg != 0 {
+		t.Fatalf("steady-state Observe+Collect allocates %.1f/op", avg)
+	}
+}
+
+// TestScopedRecorderFold: the cardinality cap folds late scopes into the
+// shared overflow recorder, mirroring ScopedLedger.
+func TestScopedRecorderFold(t *testing.T) {
+	sr, err := NewScopedRecorder(RecorderConfig{Layers: []string{"a"}, Window: 10, WarnThreshold: 0.9}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewScopedRecorder(RecorderConfig{Layers: []string{"a"}}, 0); err == nil {
+		t.Fatal("want error for cap 0")
+	}
+	t1 := sr.Scope("t1", RecorderScopeConfig{WarnThreshold: 0.2})
+	t2 := sr.Scope("t2", RecorderScopeConfig{})
+	t3 := sr.Scope("t3", RecorderScopeConfig{})
+	t4 := sr.Scope("t4", RecorderScopeConfig{})
+	if t1 == t2 || t3 != t4 {
+		t.Fatal("fold discipline broken")
+	}
+	if sr.Scope("t1", RecorderScopeConfig{}) != t1 {
+		t.Fatal("re-registration must return the existing recorder")
+	}
+	if !sr.Dedicated("t1") || sr.Dedicated("t3") || sr.Folded() != 2 {
+		t.Fatalf("dedicated/folded bookkeeping wrong: folded=%d", sr.Folded())
+	}
+	want := []string{"t1", "t2", OverflowScope}
+	if got := sr.Scopes(); strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("scopes = %v, want %v", got, want)
+	}
+	// The per-scope warn override holds: 0.3 warns on t1 (threshold 0.2)
+	// but not on t2 (template 0.9); the folded scope uses the template too.
+	t1.Observe(1, []float64{1}, CycleObservation{Warned: true, Confidence: 0.3})
+	t2.Observe(1, []float64{1}, CycleObservation{Warned: true, Confidence: 0.3})
+	t3.Observe(1, []float64{1}, CycleObservation{Warned: true, Confidence: 0.95, Detail: "t3"})
+	sr.Collect()
+	if got := sr.Captured(TriggerWarn); got != 2 {
+		t.Fatalf("captured = %d, want 2 (t1 + overflow)", got)
+	}
+	all := sr.Bundles()
+	if len(all) != 2 || all[0].Scope != "t1" || all[1].Scope != OverflowScope {
+		t.Fatalf("bundles = %+v", all)
+	}
+	if sr.Bundle(all[1].ID) == nil {
+		t.Fatal("cross-scope Bundle lookup failed")
+	}
+	// Subscribers apply to existing and future scopes.
+	var seen int
+	sr.Subscribe(func(*IncidentBundle) { seen++ })
+	t5 := sr.Scope("t5", RecorderScopeConfig{}) // folds into overflow (already subscribed)
+	_ = t5
+	t1.Observe(200, []float64{1}, CycleObservation{Warned: true, Confidence: 1})
+	sr.Flush()
+	if seen != 1 {
+		t.Fatalf("subscriber saw %d bundles, want 1", seen)
+	}
+}
+
+// TestTracerNewestCompleteID: only complete traces count, and the newest
+// wins.
+func TestTracerNewestCompleteID(t *testing.T) {
+	var nilTr *Tracer
+	if nilTr.NewestCompleteID() != 0 {
+		t.Fatal("nil tracer must report 0")
+	}
+	tr := NewTracer(8)
+	if tr.NewestCompleteID() != 0 {
+		t.Fatal("empty tracer must report 0")
+	}
+	id1 := tr.PublishApplied(0, "a", 0, 1, 2, 3, 4)
+	tr.PublishDropped(0, "b", 0, 5, 6, 7)
+	if tr.NewestCompleteID() != 0 {
+		t.Fatal("applied/dropped traces must not count as complete")
+	}
+	tr.CompleteCycle(5, 6, 7, 8) // completes id1 (applied at 4 ≤ evalStart 5)
+	if got := tr.NewestCompleteID(); got != id1 {
+		t.Fatalf("newest complete = %d, want %d", got, id1)
+	}
+	id3 := tr.PublishApplied(0, "c", 0, 9, 10, 11, 12)
+	tr.CompleteCycle(13, 14, 15, 16)
+	if got := tr.NewestCompleteID(); got != id3 {
+		t.Fatalf("newest complete = %d, want %d", got, id3)
+	}
+}

@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// RecorderScopeConfig carries the per-scope overrides a fleet applies on
+// top of the template RecorderConfig when registering a tenant.
+type RecorderScopeConfig struct {
+	// WarnThreshold overrides the template's warn-trigger gate (fleets
+	// weight it by tenant criticality); 0 keeps the template value.
+	WarnThreshold float64
+	// Ledger overrides the burn-rate/quality source with the scope's own
+	// journal (typically ScopedLedger.Scope of the same name).
+	Ledger *Ledger
+	// Lifecycle overrides the lifecycle-state source for the scope.
+	Lifecycle func() any
+}
+
+// ScopedRecorder multiplexes per-scope flight recorders — one per tenant
+// in a fleet — under a single template configuration, with the same
+// cardinality cap and overflow-fold discipline as ScopedLedger: the first
+// MaxScopes scopes get a dedicated recorder (own ring, own refractory
+// state, own bundles), later scopes share one overflow recorder, so
+// bundle retention and metric cardinality stay bounded no matter how many
+// tenants register.
+type ScopedRecorder struct {
+	mu       sync.Mutex
+	cfg      RecorderConfig
+	max      int
+	order    []string // dedicated scopes, registration order
+	scopes   map[string]*Recorder
+	overflow *Recorder
+	folded   int64
+	subs     []func(*IncidentBundle) // applied to every scope, current and future
+}
+
+// NewScopedRecorder builds a scoped recorder around a template
+// configuration (its Scope field is ignored; each scope stamps its own).
+// maxScopes caps the dedicated recorders (minimum 1).
+func NewScopedRecorder(cfg RecorderConfig, maxScopes int) (*ScopedRecorder, error) {
+	if maxScopes < 1 {
+		return nil, fmt.Errorf("%w: scope cap %d (need >= 1)", ErrObs, maxScopes)
+	}
+	cfg.Scope = ""
+	if _, err := NewRecorder(cfg); err != nil { // validate + surface defaults early
+		return nil, err
+	}
+	return &ScopedRecorder{cfg: cfg, max: maxScopes, scopes: make(map[string]*Recorder)}, nil
+}
+
+// Config returns the template configuration shared by every scope.
+func (s *ScopedRecorder) Config() RecorderConfig { return s.cfg }
+
+// MaxScopes returns the dedicated-recorder cap.
+func (s *ScopedRecorder) MaxScopes() int { return s.max }
+
+// Scope returns the named scope's recorder, creating it on first use with
+// the given overrides. Once the cap is reached, every new scope returns
+// the shared overflow recorder (whose triggers keep the template
+// thresholds — folded tenants share its refractory budget too).
+func (s *ScopedRecorder) Scope(name string, sc RecorderScopeConfig) *Recorder {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rec, ok := s.scopes[name]; ok {
+		return rec
+	}
+	if name != OverflowScope && len(s.order) < s.max {
+		cfg := s.cfg
+		cfg.Scope = name
+		if sc.WarnThreshold > 0 {
+			cfg.WarnThreshold = sc.WarnThreshold
+		}
+		if sc.Ledger != nil {
+			cfg.Ledger = sc.Ledger
+		}
+		if sc.Lifecycle != nil {
+			cfg.Lifecycle = sc.Lifecycle
+		}
+		rec, _ := NewRecorder(cfg) // template already validated
+		for _, fn := range s.subs {
+			rec.Subscribe(fn)
+		}
+		s.scopes[name] = rec
+		s.order = append(s.order, name)
+		return rec
+	}
+	if s.overflow == nil {
+		cfg := s.cfg
+		cfg.Scope = OverflowScope
+		s.overflow, _ = NewRecorder(cfg)
+		for _, fn := range s.subs {
+			s.overflow.Subscribe(fn)
+		}
+		s.scopes[OverflowScope] = s.overflow
+	}
+	if name != OverflowScope {
+		s.folded++
+		s.scopes[name] = s.overflow
+	}
+	return s.overflow
+}
+
+// Dedicated reports whether the named scope owns its recorder.
+func (s *ScopedRecorder) Dedicated(name string) bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.scopes[name]
+	return ok && rec != s.overflow
+}
+
+// Scopes returns the dedicated scope names in registration order, plus
+// the OverflowScope last if any scope was folded.
+func (s *ScopedRecorder) Scopes() []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := append([]string(nil), s.order...)
+	if s.overflow != nil {
+		out = append(out, OverflowScope)
+	}
+	return out
+}
+
+// Folded returns how many distinct scopes share the overflow recorder.
+func (s *ScopedRecorder) Folded() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.folded
+}
+
+// Subscribe registers fn on every scope, existing and future.
+func (s *ScopedRecorder) Subscribe(fn func(*IncidentBundle)) {
+	if s == nil || fn == nil {
+		return
+	}
+	s.mu.Lock()
+	s.subs = append(s.subs, fn)
+	recs := s.distinctLocked()
+	s.mu.Unlock()
+	for _, rec := range recs {
+		rec.Subscribe(fn)
+	}
+}
+
+// distinctLocked returns each distinct recorder once, dedicated scopes in
+// registration order then the overflow. Caller holds s.mu.
+func (s *ScopedRecorder) distinctLocked() []*Recorder {
+	recs := make([]*Recorder, 0, len(s.order)+1)
+	for _, name := range s.order {
+		recs = append(recs, s.scopes[name])
+	}
+	if s.overflow != nil {
+		recs = append(recs, s.overflow)
+	}
+	return recs
+}
+
+// distinct snapshots the recorder set under the lock.
+func (s *ScopedRecorder) distinct() []*Recorder {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.distinctLocked()
+}
+
+// Collect assembles pending bundles on every scope, in registration
+// order. Call under the fleet's evaluation exclusion.
+func (s *ScopedRecorder) Collect() {
+	for _, rec := range s.distinct() {
+		rec.Collect()
+	}
+}
+
+// Flush flushes every scope after the fleet has quiesced.
+func (s *ScopedRecorder) Flush() {
+	for _, rec := range s.distinct() {
+		rec.Flush()
+	}
+}
+
+// Captured sums bundles of the given trigger kind across scopes.
+func (s *ScopedRecorder) Captured(kind TriggerKind) int64 {
+	var n int64
+	for _, rec := range s.distinct() {
+		n += rec.Captured(kind)
+	}
+	return n
+}
+
+// Suppressed sums refractory-suppressed triggers across scopes.
+func (s *ScopedRecorder) Suppressed() int64 {
+	var n int64
+	for _, rec := range s.distinct() {
+		n += rec.Suppressed()
+	}
+	return n
+}
+
+// Bundles returns every retained bundle across scopes, ordered by trigger
+// time, then scope, then sequence.
+func (s *ScopedRecorder) Bundles() []*IncidentBundle {
+	var out []*IncidentBundle
+	for _, rec := range s.distinct() {
+		out = append(out, rec.Bundles()...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Time != out[j].Time {
+			return out[i].Time < out[j].Time
+		}
+		if out[i].Scope != out[j].Scope {
+			return out[i].Scope < out[j].Scope
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// Bundle returns the retained bundle with the given ID from any scope.
+func (s *ScopedRecorder) Bundle(id string) *IncidentBundle {
+	for _, rec := range s.distinct() {
+		if b := rec.Bundle(id); b != nil {
+			return b
+		}
+	}
+	return nil
+}

@@ -289,6 +289,26 @@ func (s *slot) view() TraceView {
 	return v
 }
 
+// NewestCompleteID returns the highest trace ID among retained complete
+// (end-to-end) traces, 0 when none — the span the most recent finished
+// MEA cycle covered. Nil-safe and allocation-free; the flight recorder
+// stamps it onto incident bundles at trigger time.
+func (t *Tracer) NewestCompleteID() uint64 {
+	if t == nil {
+		return 0
+	}
+	var newest uint64
+	for i := range t.slots {
+		s := &t.slots[i]
+		s.mu.Lock()
+		if s.state == stateDone && s.id > newest {
+			newest = s.id
+		}
+		s.mu.Unlock()
+	}
+	return newest
+}
+
 // Slowest returns the n slowest retained traces (complete and dropped
 // traces by their final total, in-flight ones by time accrued so far),
 // slowest first.

@@ -346,10 +346,13 @@ func NewMetrics() *Metrics {
 		EvalLatency:     reg.Histogram("pfm_stage_latency_seconds", "", nil, "stage", "evaluate"),
 		ActLatency:      reg.Histogram("pfm_stage_latency_seconds", "", nil, "stage", "act"),
 	}
+	version, revision, vcsTime := buildIdentity()
 	reg.GaugeFunc("pfm_build_info",
 		"Build metadata carried in labels; the value is always 1.",
 		func() float64 { return 1 },
-		"version", buildVersion(),
+		"version", version,
+		"revision", revision,
+		"vcstime", vcsTime,
 		"goversion", stdruntime.Version(),
 		"gomaxprocs", strconv.Itoa(stdruntime.GOMAXPROCS(0)))
 	registerGoMemMetrics(reg)
@@ -377,12 +380,17 @@ func (c *memStatsCache) snapshot() stdruntime.MemStats {
 	return c.stat
 }
 
+// goMemCache is the process-wide snapshot shared by every registry: a
+// scrape storm across planes (the runtime's /metrics and a fleet's both
+// register these gauges) still stops the world at most once per TTL.
+var goMemCache = &memStatsCache{}
+
 // registerGoMemMetrics exposes the Go heap and GC gauges that make the
 // columnar store's allocation profile observable next to the pipeline
 // counters: steady heap, flat GC-cycle rate and negligible pause totals
 // are the runbook's confirmation that the hot path is allocation-free.
 func registerGoMemMetrics(reg *Registry) {
-	cache := &memStatsCache{}
+	cache := goMemCache
 	reg.GaugeFunc("pfm_go_heap_alloc_bytes",
 		"Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).",
 		func() float64 { return float64(cache.snapshot().HeapAlloc) })
@@ -394,13 +402,28 @@ func registerGoMemMetrics(reg *Registry) {
 		func() float64 { return float64(cache.snapshot().PauseTotalNs) / 1e9 })
 }
 
-// buildVersion resolves the main-module version stamped into the binary
-// ("(devel)" for plain `go build` trees).
-func buildVersion() string {
-	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
-		return bi.Main.Version
+// buildIdentity resolves the build metadata stamped into the binary: the
+// main-module version ("(devel)" for plain `go build` trees) plus the
+// vcs.revision and vcs.time settings embedded by builds inside a checkout
+// ("unknown" when the info is absent, e.g. `go test` binaries).
+func buildIdentity() (version, revision, vcsTime string) {
+	version, revision, vcsTime = "unknown", "unknown", "unknown"
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return
 	}
-	return "unknown"
+	if bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			revision = s.Value
+		case "vcs.time":
+			vcsTime = s.Value
+		}
+	}
+	return
 }
 
 // Dropped returns the total events dropped across all reasons.

@@ -5,8 +5,11 @@ import (
 	"io"
 	"math"
 	"net/http"
+	stdruntime "runtime"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 func TestCounterAndGauge(t *testing.T) {
@@ -87,6 +90,73 @@ func TestSharedFamilyRendersOneTypeLine(t *testing.T) {
 	}
 }
 
+// TestMemStatsCacheTTL pins the 500 ms ReadMemStats cache contract: a hit
+// inside the TTL returns the identical snapshot even after GC activity, an
+// expired entry refreshes, and every registry shares the one process-wide
+// cache (a scrape storm across planes stops the world at most once per TTL).
+func TestMemStatsCacheTTL(t *testing.T) {
+	c := goMemCache
+	reset := func(at time.Time) {
+		c.mu.Lock()
+		c.at = at
+		c.mu.Unlock()
+	}
+	reset(time.Time{}) // force a fresh read
+	s1 := c.snapshot()
+	// Provoke GC state changes the cache must NOT see inside the TTL.
+	garbage := make([][]byte, 4)
+	for i := range garbage {
+		garbage[i] = make([]byte, 1<<20)
+	}
+	garbage = nil
+	_ = garbage
+	stdruntime.GC()
+	if s2 := c.snapshot(); s2 != s1 {
+		t.Fatalf("cache hit returned a different snapshot:\nfirst %+v\nthen  %+v", s1, s2)
+	}
+	// Past the TTL the next read refreshes: NumGC advanced above.
+	reset(time.Now().Add(-memStatsTTL - time.Second))
+	if s3 := c.snapshot(); s3.NumGC <= s1.NumGC {
+		t.Fatalf("expired cache did not refresh: NumGC %d -> %d", s1.NumGC, s3.NumGC)
+	}
+	// Both planes share the singleton: plant a sentinel snapshot and pin
+	// the TTL window open; two independent metric sets must both render it.
+	c.mu.Lock()
+	c.stat.NumGC = 1234567
+	c.at = time.Now()
+	c.mu.Unlock()
+	for i, m := range []*Metrics{NewMetrics(), NewMetrics()} {
+		var sb strings.Builder
+		if err := m.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(sb.String(), "pfm_go_gc_cycles_total 1.234567e+06") {
+			t.Fatalf("registry %d did not serve the shared cached snapshot", i)
+		}
+	}
+	reset(time.Time{}) // leave a clean cache for other tests
+}
+
+// TestBuildInfoVCSLabels: pfm_build_info carries revision and vcstime
+// labels resolved from the build settings ("unknown" in test binaries,
+// never absent).
+func TestBuildInfoVCSLabels(t *testing.T) {
+	var sb strings.Builder
+	if err := NewMetrics().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`revision="`, `vcstime="`, `version="`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("pfm_build_info missing %s label:\n%s", want, out)
+		}
+	}
+	version, revision, vcsTime := buildIdentity()
+	if version == "" || revision == "" || vcsTime == "" {
+		t.Fatalf("buildIdentity returned empty fields: %q %q %q", version, revision, vcsTime)
+	}
+}
+
 // TestServerEndpoints exercises /metrics and /healthz over a real listener,
 // including the 503 flip once the pipeline stops.
 func TestServerEndpoints(t *testing.T) {
@@ -118,6 +188,12 @@ func TestServerEndpoints(t *testing.T) {
 	if code != http.StatusOK || !strings.Contains(body, `"status":"ok"`) {
 		t.Fatalf("healthz: %d %s", code, body)
 	}
+	if code, body = get("/readyz"); code != http.StatusOK || !strings.Contains(body, `"status":"ok"`) {
+		t.Fatalf("readyz: %d %s", code, body)
+	}
+	if code, body = get("/livez"); code != http.StatusOK || !strings.Contains(body, `"status":"live"`) {
+		t.Fatalf("livez: %d %s", code, body)
+	}
 	code, body = get("/metrics")
 	if code != http.StatusOK {
 		t.Fatalf("metrics status %d", code)
@@ -137,7 +213,51 @@ func TestServerEndpoints(t *testing.T) {
 	if err := rt.Stop(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if code, body = get("/healthz"); code != http.StatusServiceUnavailable {
+	if code, body = get("/healthz"); code != http.StatusServiceUnavailable ||
+		!strings.Contains(body, `"status":"stopped"`) {
 		t.Fatalf("healthz after stop: %d %s", code, body)
+	}
+	if code, body = get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz after stop: %d %s", code, body)
+	}
+	// Liveness must survive the drain: the process still serves.
+	if code, body = get("/livez"); code != http.StatusOK ||
+		!strings.Contains(body, `"pipeline":"stopped"`) {
+		t.Fatalf("livez after stop: %d %s", code, body)
+	}
+}
+
+// TestReadinessDraining pins the intermediate readiness state: while a
+// graceful Stop drains the queues through a slow Apply, readiness reports
+// "draining" with 503, flipping to "stopped" when the drain lands.
+func TestReadinessDraining(t *testing.T) {
+	release := make(chan struct{})
+	var once sync.Once
+	entered := make(chan struct{})
+	rt := startRuntime(t, func(Event) error {
+		once.Do(func() { close(entered) })
+		<-release
+		return nil
+	}, 8, Block)
+	ctx := context.Background()
+	if err := rt.Ingest(ctx, Event{Time: 1}); err != nil {
+		t.Fatal(err)
+	}
+	<-entered // Apply is now wedged mid-drain
+	stopped := make(chan error, 1)
+	go func() { stopped <- rt.Stop(ctx) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for rt.health().Status != "draining" {
+		if time.Now().After(deadline) {
+			t.Fatalf("health never reported draining: %+v", rt.health())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	if err := <-stopped; err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.health().Status; got != "stopped" {
+		t.Fatalf("post-drain status = %q, want stopped", got)
 	}
 }

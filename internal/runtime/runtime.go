@@ -91,6 +91,14 @@ type Config struct {
 	// counters, a retrain-duration histogram and the /layers endpoint are
 	// registered.
 	Lifecycle *lifecycle.Manager
+	// Recorder is the prediction-triggered flight recorder: the act stage
+	// feeds it every cycle's decision (Recorder.Observe), pending
+	// incident captures are assembled inside the evaluation exclusion
+	// (Recorder.Collect), lifecycle drift/rollback events fire its
+	// external triggers, and Stop flushes the tail. Nil disables it. When
+	// set, pfm_incidents_total / pfm_incident_bundle_seconds are
+	// registered and /incidents serves the retained bundles.
+	Recorder *obs.Recorder
 }
 
 // cycleResult carries one score vector from the evaluate to the act stage,
@@ -132,6 +140,7 @@ type Runtime struct {
 
 	started   atomic.Bool
 	stopping  atomic.Bool
+	stopped   atomic.Bool // graceful drain complete (readiness: "stopped")
 	stopOnce  sync.Once
 	stopErr   error
 	startWall time.Time
@@ -255,7 +264,43 @@ func New(cfg Config) (*Runtime, error) {
 		}
 		registerLifecycleMetrics(reg, cfg.Lifecycle, layers)
 	}
+	if cfg.Recorder != nil {
+		registerRecorderMetrics(reg, cfg.Recorder)
+		if cfg.Lifecycle != nil {
+			// Drift and rollback events originate deterministically in
+			// ObserveCycle (act stage), so they are replay-stable triggers;
+			// retrain-done is wall-clock timed and deliberately not wired.
+			rec := cfg.Recorder
+			cfg.Lifecycle.Subscribe(func(e lifecycle.Event) {
+				switch e.Type {
+				case lifecycle.EventDrift:
+					rec.TriggerEvent(obs.TriggerDrift, e.Time, e.Layer)
+				case lifecycle.EventRolledBack:
+					rec.TriggerEvent(obs.TriggerRollback, e.Time, e.Layer)
+				}
+			})
+		}
+	}
 	return r, nil
+}
+
+// registerRecorderMetrics exposes the flight recorder's trigger counters
+// and the bundle-assembly latency histogram.
+func registerRecorderMetrics(reg *Registry, rec *obs.Recorder) {
+	capturedHelp := "Incident bundles captured, by trigger kind."
+	for _, k := range obs.TriggerKinds {
+		kind := k
+		reg.CounterFunc("pfm_incidents_total", capturedHelp,
+			func() float64 { return float64(rec.Captured(kind)) }, "trigger", string(kind))
+		capturedHelp = ""
+	}
+	reg.CounterFunc("pfm_incidents_suppressed_total",
+		"Triggers swallowed by the refractory rate limit.",
+		func() float64 { return float64(rec.Suppressed()) })
+	bundleDur := reg.Histogram("pfm_incident_bundle_seconds",
+		"Wall time spent assembling one incident bundle.",
+		[]float64{1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1})
+	rec.Subscribe(func(b *obs.IncidentBundle) { bundleDur.Observe(b.CaptureSeconds) })
 }
 
 // registerLifecycleMetrics exposes the predictor-lifecycle observability:
@@ -350,6 +395,9 @@ func (r *Runtime) Ledger() *obs.Ledger { return r.cfg.Ledger }
 // Lifecycle returns the configured predictor-lifecycle manager (nil when
 // disabled).
 func (r *Runtime) Lifecycle() *lifecycle.Manager { return r.cfg.Lifecycle }
+
+// Recorder returns the configured flight recorder (nil when disabled).
+func (r *Runtime) Recorder() *obs.Recorder { return r.cfg.Recorder }
 
 // Metrics returns the pipeline's metric set.
 func (r *Runtime) Metrics() *Metrics { return r.metrics }
@@ -619,6 +667,9 @@ func (r *Runtime) runCycle() {
 	if r.cfg.Lifecycle != nil {
 		cands = r.cfg.Lifecycle.Collect(now)
 	}
+	// Incident assembly also needs the exclusion: bundles slice the
+	// Apply-side event log, which only this lock quiesces.
+	r.cfg.Recorder.Collect()
 	r.stateMu.Unlock()
 	r.metrics.EvalLatency.Observe(time.Since(start).Seconds())
 	select {
@@ -708,6 +759,17 @@ func (r *Runtime) actOne(res cycleResult) {
 	if r.cfg.Lifecycle != nil {
 		r.cfg.Lifecycle.ObserveCycle(res.now, res.scores)
 	}
+	// Flight-recorder observation runs after ObserveCycle so lifecycle
+	// drift/rollback triggers of this cycle precede the decision triggers'
+	// refractory accounting deterministically. CompleteCycle already ran,
+	// so a firing trigger correlates with this cycle's newest span.
+	r.cfg.Recorder.Observe(res.now, res.scores, obs.CycleObservation{
+		Warned:        d.Warned,
+		Executed:      d.Executed,
+		Confidence:    d.Confidence,
+		Action:        d.ActionName,
+		LayerVersions: d.LayerVersions,
+	})
 	r.lastCycle.Store(time.Now().UnixNano())
 	r.cycles.Add(1)
 }
@@ -757,6 +819,10 @@ func (r *Runtime) CycleBatch(nows []float64) {
 			cands[i] = r.cfg.Lifecycle.Collect(now)
 		}
 	}
+	// Assemble incidents triggered since the previous batch while the
+	// exclusion is held (triggers raised by this batch's act stage below
+	// are captured by the next batch, or by the Stop-time Flush).
+	r.cfg.Recorder.Collect()
 	r.stateMu.Unlock()
 	r.metrics.EvalLatency.Observe(time.Since(start).Seconds())
 	evalEnd := r.cfg.Tracer.Now()
@@ -833,6 +899,10 @@ func (r *Runtime) Stop(ctx context.Context) error {
 		if r.cfg.Lifecycle != nil {
 			r.cfg.Lifecycle.Wait() // let in-flight background retrains land
 		}
+		// The pipeline is quiesced (no Apply, no cycles): capture triggers
+		// the final cycle raised and deliver undelivered bundles.
+		r.cfg.Recorder.Flush()
+		r.stopped.Store(true)
 	})
 	return r.stopErr
 }

@@ -15,9 +15,13 @@ import (
 	"repro/internal/predict"
 )
 
-// Health is the /healthz response body.
+// Health is the /healthz and /readyz response body.
 type Health struct {
-	Status        string  `json:"status"` // "ok" | "stopping"
+	// Status is "ok" while serving, "draining" once a graceful Stop has
+	// begun (queues flushing through Apply), and "stopped" after the
+	// drain completes. Readiness returns 503 for both non-ok states;
+	// liveness (/livez) stays 200 for the life of the process.
+	Status        string  `json:"status"`
 	UptimeSeconds float64 `json:"uptimeSeconds"`
 	Shards        int     `json:"shards"`
 	QueueDepth    int     `json:"queueDepth"`    // summed across shards
@@ -28,7 +32,7 @@ type Health struct {
 	LastCycleAgoSeconds float64 `json:"lastCycleAgoSeconds"`
 }
 
-// health snapshots liveness.
+// health snapshots readiness state.
 func (r *Runtime) health() Health {
 	h := Health{
 		Status:              "ok",
@@ -39,13 +43,35 @@ func (r *Runtime) health() Health {
 		Evaluations:         r.metrics.Evaluations.Value(),
 		LastCycleAgoSeconds: -1,
 	}
-	if !r.Running() {
-		h.Status = "stopping"
+	switch {
+	case r.stopped.Load():
+		h.Status = "stopped"
+	case !r.Running():
+		h.Status = "draining"
 	}
 	if last := r.LastCycle(); !last.IsZero() {
 		h.LastCycleAgoSeconds = time.Since(last).Seconds()
 	}
 	return h
+}
+
+// ServeHealth renders a readiness body: 200 while status is "ok", 503
+// during drain ("draining") and after shutdown ("stopped"). Shared by
+// /healthz and /readyz on both the single-tenant and fleet planes.
+func ServeHealth(w http.ResponseWriter, h Health) {
+	w.Header().Set("Content-Type", "application/json")
+	if h.Status != "ok" {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	_ = json.NewEncoder(w).Encode(h)
+}
+
+// ServeLiveness answers liveness probes: the process is serving HTTP, so
+// it is alive regardless of drain state — restarting a draining pod
+// would turn every graceful shutdown into a kill.
+func ServeLiveness(w http.ResponseWriter, status string) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"status\":\"live\",\"pipeline\":%q}\n", status)
 }
 
 // kindLabel names an event kind byte for trace rendering.
@@ -194,16 +220,71 @@ func (r *Runtime) serveLedger(w http.ResponseWriter, _ *http.Request) {
 	_ = json.NewEncoder(w).Encode(out)
 }
 
+// IncidentSummary is one bundle row in the /incidents list view.
+type IncidentSummary struct {
+	ID          string          `json:"id"`
+	Scope       string          `json:"scope,omitempty"`
+	Trigger     obs.TriggerKind `json:"trigger"`
+	Time        float64         `json:"time"`
+	Detail      string          `json:"detail,omitempty"`
+	Confidence  float64         `json:"confidence"`
+	Action      string          `json:"action,omitempty"`
+	TraceID     uint64          `json:"trace_id,omitempty"`
+	EventsTotal int             `json:"events_total"`
+	TopSuspect  string          `json:"top_suspect,omitempty"`
+}
+
+// SummarizeIncident projects a bundle onto its list row.
+func SummarizeIncident(b *obs.IncidentBundle) IncidentSummary {
+	s := IncidentSummary{
+		ID: b.ID, Scope: b.Scope, Trigger: b.Trigger, Time: b.Time,
+		Detail: b.Detail, Confidence: b.Confidence, Action: b.Action,
+		TraceID: b.TraceID, EventsTotal: b.EventsTotal,
+	}
+	if len(b.Suspects) > 0 {
+		s.TopSuspect = b.Suspects[0].Component
+	}
+	return s
+}
+
+// ServeIncidents renders the /incidents plane over any bundle source:
+// the newest-last summary list by default, one full bundle with ?id=.
+// Shared by the single-tenant runtime and the fleet handler.
+func ServeIncidents(w http.ResponseWriter, req *http.Request,
+	list func() []*obs.IncidentBundle, get func(id string) *obs.IncidentBundle) {
+	w.Header().Set("Content-Type", "application/json")
+	if id := req.URL.Query().Get("id"); id != "" {
+		b := get(id)
+		if b == nil {
+			w.WriteHeader(http.StatusNotFound)
+			fmt.Fprintf(w, "{\"error\":\"no bundle %q (evicted or never captured)\"}\n", id)
+			return
+		}
+		_ = json.NewEncoder(w).Encode(b)
+		return
+	}
+	bundles := list()
+	out := make([]IncidentSummary, len(bundles))
+	for i, b := range bundles {
+		out[i] = SummarizeIncident(b)
+	}
+	_ = json.NewEncoder(w).Encode(out)
+}
+
 // Handler serves the observability endpoints:
 //
-//	GET /metrics  — Prometheus text exposition of the pipeline metrics
-//	GET /healthz  — JSON liveness (200 while running, 503 once stopping)
-//	GET /tracez   — slowest recent end-to-end traces (with Config.Tracer;
-//	                text table, or JSON with ?format=json)
-//	GET /ledger   — prediction-quality ledger snapshot (with Config.Ledger)
-//	GET /layers   — per-layer predictor lifecycle status: state, serving
-//	                version, drift/retrain/swap counters (with
-//	                Config.Lifecycle)
+//	GET /metrics   — Prometheus text exposition of the pipeline metrics
+//	GET /healthz   — JSON readiness (200 while running, 503 once draining
+//	                 or stopped); /readyz is an alias
+//	GET /livez     — JSON liveness (200 for the life of the process)
+//	GET /tracez    — slowest recent end-to-end traces (with Config.Tracer;
+//	                 text table, or JSON with ?format=json)
+//	GET /ledger    — prediction-quality ledger snapshot (with Config.Ledger)
+//	GET /layers    — per-layer predictor lifecycle status: state, serving
+//	                 version, drift/retrain/swap counters (with
+//	                 Config.Lifecycle)
+//	GET /incidents — flight-recorder bundles: summary list, or one full
+//	                 bundle with ?id= (with Config.Recorder)
 //
 // With Config.Profiling set, the standard net/http/pprof handlers are also
 // mounted under /debug/pprof/.
@@ -213,13 +294,11 @@ func (r *Runtime) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = r.metrics.WritePrometheus(w)
 	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		h := r.health()
-		w.Header().Set("Content-Type", "application/json")
-		if h.Status != "ok" {
-			w.WriteHeader(http.StatusServiceUnavailable)
-		}
-		_ = json.NewEncoder(w).Encode(h)
+	ready := func(w http.ResponseWriter, _ *http.Request) { ServeHealth(w, r.health()) }
+	mux.HandleFunc("/healthz", ready)
+	mux.HandleFunc("/readyz", ready)
+	mux.HandleFunc("/livez", func(w http.ResponseWriter, _ *http.Request) {
+		ServeLiveness(w, r.health().Status)
 	})
 	if r.cfg.Tracer != nil {
 		mux.HandleFunc("/tracez", r.serveTracez)
@@ -231,6 +310,11 @@ func (r *Runtime) Handler() http.Handler {
 		mux.HandleFunc("/layers", func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
 			_ = json.NewEncoder(w).Encode(r.cfg.Lifecycle.States())
+		})
+	}
+	if r.cfg.Recorder != nil {
+		mux.HandleFunc("/incidents", func(w http.ResponseWriter, req *http.Request) {
+			ServeIncidents(w, req, r.cfg.Recorder.Bundles, r.cfg.Recorder.Bundle)
 		})
 	}
 	if r.cfg.Profiling {

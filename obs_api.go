@@ -30,9 +30,39 @@ type LedgerConfig = obs.LedgerConfig
 // the ledger, alongside the per-layer tables.
 const LedgerCombinedLayer = obs.CombinedLayer
 
+// Recorder is the prediction-triggered flight recorder: always-on bounded
+// ring state plus a trigger pipeline that turns warnings, act firings,
+// lifecycle drift/rollback and ledger burn-rate alarms into correlated
+// IncidentBundles. Pass one in RuntimeConfig to enable /incidents.
+type Recorder = obs.Recorder
+
+// RecorderConfig parameterizes a flight recorder (capture window, trigger
+// thresholds, refractory period, and the correlated sources to embed).
+type RecorderConfig = obs.RecorderConfig
+
+// IncidentBundle is one self-contained incident capture: the triggering
+// decision, pre-trigger event window, score history, slowest spans, ranked
+// suspects, quality tables and lifecycle states.
+type IncidentBundle = obs.IncidentBundle
+
+// TriggerKind names the condition that fired an incident capture.
+type TriggerKind = obs.TriggerKind
+
+// The recorder's trigger matrix.
+const (
+	TriggerWarn     = obs.TriggerWarn
+	TriggerAct      = obs.TriggerAct
+	TriggerDrift    = obs.TriggerDrift
+	TriggerRollback = obs.TriggerRollback
+	TriggerBurnRate = obs.TriggerBurnRate
+)
+
 // NewTracer builds a span tracer retaining the most recent capacity traces
 // (rounded up to a power of two).
 func NewTracer(capacity int) *Tracer { return obs.NewTracer(capacity) }
+
+// NewRecorder validates the configuration and builds a flight recorder.
+func NewRecorder(cfg RecorderConfig) (*Recorder, error) { return obs.NewRecorder(cfg) }
 
 // NewLedger builds a prediction-quality ledger for the given layer names
 // (the combined decision table is always present).
