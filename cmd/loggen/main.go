@@ -26,6 +26,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"strconv"
 	"strings"
@@ -51,13 +52,14 @@ func run() error {
 	skew := flag.Float64("skew", 1, "Zipf exponent of the per-tenant load profile (0 = uniform)")
 	columnar := flag.Bool("columnar", false, "also write <out>.cols, the PFC1 columnar trace pfmd -replay-columnar consumes")
 	convert := flag.String("convert", "", "convert existing <prefix>.log/.sar.tsv/.failures.tsv artifacts into <prefix>.cols and exit")
+	send := flag.String("send", "", "stream the multi-tenant trace to a pfmd -listen address over TCP (PFW1 wire format) instead of writing files")
 	flag.Parse()
 
 	if *convert != "" {
 		return runConvert(*convert)
 	}
-	if *tenants > 1 {
-		return runMulti(*tenants, *skew, *seed, *days, *out)
+	if *tenants > 1 || *send != "" {
+		return runMulti(*tenants, *skew, *seed, *days, *out, *send)
 	}
 
 	cfg := scp.DefaultConfig()
@@ -278,7 +280,7 @@ func readFailuresTSV(path string) ([]float64, error) {
 
 // runMulti generates the interleaved multi-tenant trace in both fleet
 // ingest formats.
-func runMulti(tenants int, skew float64, seed int64, days float64, out string) error {
+func runMulti(tenants int, skew float64, seed int64, days float64, out, send string) error {
 	m, err := scp.NewMulti(scp.MultiConfig{Tenants: tenants, BaseSeed: seed, Skew: skew})
 	if err != nil {
 		return err
@@ -293,6 +295,14 @@ func runMulti(tenants int, skew float64, seed int64, days float64, out string) e
 			failures++
 		}
 	}
+	if send != "" {
+		if err := sendWireTrace(recs, send); err != nil {
+			return err
+		}
+		fmt.Printf("sent %d records (%d tenants, %d failures) to %s\n",
+			len(recs), tenants, failures, send)
+		return nil
+	}
 	if err := writeTextTrace(recs, out+".trace"); err != nil {
 		return err
 	}
@@ -302,6 +312,18 @@ func runMulti(tenants int, skew float64, seed int64, days float64, out string) e
 	fmt.Printf("wrote %s.trace and %s.wire: %d tenants (zipf skew %g), %d records, %d failures\n",
 		out, out, tenants, skew, len(recs), failures)
 	return nil
+}
+
+// sendWireTrace streams the trace to a fleet listener (pfmd -listen) over
+// TCP in the PFW1 wire format. TCP flow control paces the send against the
+// fleet's ingest backpressure.
+func sendWireTrace(recs []fleet.Record, addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	return fleet.WriteWire(conn, recs)
 }
 
 func writeTextTrace(recs []fleet.Record, path string) error {

@@ -43,6 +43,9 @@ type fleetOptions struct {
 	ledgerWindow float64
 	ledgerSlack  float64
 	traceFile    string
+	listen       string
+	actBudget    int
+	rateLimit    float64
 	logger       *slog.Logger
 }
 
@@ -113,7 +116,7 @@ func runFleet(o fleetOptions) error {
 	for i, id := range ids {
 		// Hot tenants are also the critical ones: criticality follows the
 		// Zipf weight, so the availability rollup reflects service impact.
-		specs[i] = fleet.TenantSpec{ID: id, Criticality: weights[i]}
+		specs[i] = fleet.TenantSpec{ID: id, Criticality: weights[i], RateLimit: o.rateLimit}
 	}
 
 	var simNow atomic.Uint64 // Float64bits of the replay's domain time
@@ -152,6 +155,7 @@ func runFleet(o fleetOptions) error {
 		QueueCapacity: o.queueCap,
 		Overflow:      o.policy,
 		Workers:       o.workers,
+		ActBudget:     o.actBudget,
 		EvalInterval:  o.evalEvery,
 		Clock:         func() float64 { return math.Float64frombits(simNow.Load()) },
 		Tracer:        tracer,
@@ -172,14 +176,21 @@ func runFleet(o fleetOptions) error {
 		return err
 	}
 	defer srv.Close()
+	source := sourceName(o.traceFile)
+	if o.listen != "" {
+		source = "listen " + o.listen
+	}
 	logger.Info("fleet started",
 		"tenants", o.tenants, "skew", o.skew, "shards", f.Shards(),
-		"workers", o.workers, "addr", bound, "source", sourceName(o.traceFile))
+		"workers", o.workers, "addr", bound, "source", source)
 
 	horizon := o.days * 86400
-	if o.traceFile != "" {
+	switch {
+	case o.listen != "":
+		err = serveFleetListen(ctx, f, o.listen, &simNow, logger)
+	case o.traceFile != "":
 		err = replayFleetFile(ctx, f, o.traceFile, o.compress, &simNow)
-	} else {
+	default:
 		err = replayFleetSim(ctx, f, multi, horizon, o.compress, &simNow)
 	}
 	if err != nil && ctx.Err() == nil {
@@ -201,6 +212,51 @@ func sourceName(traceFile string) string {
 		return "simulator"
 	}
 	return traceFile
+}
+
+// serveFleetListen ingests from a TCP trace listener until the context
+// ends: senders (loggen -send, or any syslog-style shipper speaking the
+// text protocol) pace themselves against the fleet's backpressure, and the
+// domain clock follows the newest record time seen.
+func serveFleetListen(ctx context.Context, f *fleet.Fleet, addr string, simNow *atomic.Uint64, logger *slog.Logger) error {
+	ls, err := fleet.Listen(addr)
+	if err != nil {
+		return err
+	}
+	logger.Info("fleet ingest listening", "addr", ls.Addr())
+	go func() {
+		<-ctx.Done()
+		_ = ls.Close()
+	}()
+	defer ls.Close()
+	n, err := fleet.Pump(ctx, f, &clockSource{src: ls, simNow: simNow})
+	logger.Info("fleet ingest done",
+		"records", n, "conns", ls.Conns(), "decodeErrors", ls.DecodeErrors())
+	return err
+}
+
+// clockSource advances the fleet's domain clock to the newest record time
+// without pacing (the network sender sets the pace).
+type clockSource struct {
+	src    fleet.Source
+	simNow *atomic.Uint64
+}
+
+func (c *clockSource) Next() (fleet.Record, error) {
+	rec, err := c.src.Next()
+	if err != nil {
+		return rec, err
+	}
+	for {
+		old := c.simNow.Load()
+		if math.Float64frombits(old) >= rec.Event.Time {
+			break
+		}
+		if c.simNow.CompareAndSwap(old, math.Float64bits(rec.Event.Time)) {
+			break
+		}
+	}
+	return rec, nil
 }
 
 // replayFleetSim advances the multi-tenant simulator in wall-paced slices,

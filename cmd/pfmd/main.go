@@ -263,6 +263,9 @@ func run() error {
 	skew := flag.Float64("skew", 1, "Zipf exponent of the tenant load profile (with -fleet)")
 	fleetScopes := flag.Int("fleet-scopes", 64, "dedicated per-tenant quality-ledger scopes before folding (with -fleet)")
 	fleetTrace := flag.String("fleet-trace", "", "replay a recorded trace file instead of simulating (.trace text or .wire binary, see loggen -tenants)")
+	fleetListen := flag.String("listen", "", "accept tenant traces over TCP on this address instead of simulating (with -fleet; PFW1 wire or text line protocol, see loggen -send)")
+	actBudget := flag.Int("act-budget", 0, "max tenants that may execute a countermeasure per cycle, criticality-prioritized (with -fleet; 0 = unlimited)")
+	rateLimit := flag.Float64("rate-limit", 0, "per-tenant ingest drain cap [events per simulated second] (with -fleet; 0 = unlimited)")
 	batch := flag.Int("batch", 0, "ingest drain chunk size per shard (0 = runtime default)")
 	replayColumnar := flag.String("replay-columnar", "", "replay a PFC1 columnar trace (see loggen -columnar) at full speed instead of simulating")
 	replayEval := flag.Float64("replay-eval", 900, "MEA cadence in simulated seconds (with -replay-columnar)")
@@ -303,7 +306,8 @@ func run() error {
 			evalEvery: *evalEvery, scopes: *fleetScopes,
 			traceCap: *traceCap, traceSample: *traceSample,
 			ledgerWindow: *ledgerWindow, ledgerSlack: *ledgerSlack,
-			traceFile: *fleetTrace, logger: logger,
+			traceFile: *fleetTrace, listen: *fleetListen,
+			actBudget: *actBudget, rateLimit: *rateLimit, logger: logger,
 		})
 	}
 

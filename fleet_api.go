@@ -78,3 +78,12 @@ func PumpFleet(ctx context.Context, f *Fleet, src FleetSource) (int, error) {
 
 // NewFleetSliceSource replays an in-memory record slice.
 func NewFleetSliceSource(recs []FleetRecord) FleetSource { return fleet.NewSliceSource(recs) }
+
+// FleetListenSource is a FleetSource fed by TCP connections speaking the
+// PFW1 wire format or the text line protocol (auto-detected per
+// connection). Close it to stop accepting and unblock PumpFleet.
+type FleetListenSource = fleet.ListenSource
+
+// ListenFleet opens a TCP ingest listener on addr; pump the returned
+// source into a fleet with PumpFleet. See pfmd -listen / loggen -send.
+func ListenFleet(addr string) (*FleetListenSource, error) { return fleet.Listen(addr) }

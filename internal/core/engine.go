@@ -366,6 +366,86 @@ type Decision struct {
 // serialized on the engine mutex, preserving the one-decision-at-a-time
 // semantics of the simulation-clocked cycle.
 func (e *Engine) ActOn(now float64, scores []float64) Decision {
+	d, pending := e.DecideOn(now, scores)
+	if pending != nil {
+		pending.Commit(&d)
+	}
+	e.mu.Lock()
+	observer := e.observer
+	e.mu.Unlock()
+	if observer != nil {
+		observer(now, scores, d)
+	}
+	return d
+}
+
+// PendingAct is a warn decision's selected-but-not-yet-executed
+// countermeasure, returned by DecideOn so a coordinator (e.g. the fleet's
+// criticality-weighted act budget) can order executions across engines
+// before committing them. Exactly one of Commit or Drop must be called;
+// both are idempotent after the first resolution.
+type PendingAct struct {
+	e        *Engine
+	action   *act.Action
+	now      float64
+	imminent bool
+	resolved bool
+}
+
+// Action returns the selected countermeasure's name.
+func (p *PendingAct) Action() string { return p.action.Name() }
+
+// Commit executes (or schedules) the pending countermeasure and records it
+// against the oscillation guard, updating d's ActionName/Executed — the
+// second half of what ActOn does inline.
+func (p *PendingAct) Commit(d *Decision) {
+	e := p.e
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if p.resolved {
+		return
+	}
+	p.resolved = true
+	e.actionTimes = append(e.actionTimes, p.now)
+	if e.scheduler != nil {
+		if schedErr := e.scheduler.Schedule(p.action, p.now+e.cfg.LeadTime, nil); schedErr == nil {
+			d.ActionName = p.action.Name()
+			d.Executed = true
+		}
+	} else if execErr := p.action.Execute(); execErr == nil {
+		d.ActionName = p.action.Name()
+		d.Executed = true
+	}
+	if e.truth != nil {
+		e.outcomes.add(predict.Classify(true, p.imminent), d.ActionName)
+	}
+}
+
+// Drop releases the pending countermeasure without executing it (a budget
+// denial). The oscillation guard does not count it — nothing ran — and the
+// outcome matrix books the warning with no action.
+func (p *PendingAct) Drop(d *Decision) {
+	e := p.e
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if p.resolved {
+		return
+	}
+	p.resolved = true
+	if e.truth != nil {
+		e.outcomes.add(predict.Classify(true, p.imminent), d.ActionName)
+	}
+}
+
+// DecideOn is ActOn with the execution deferred: it combines, warns, selects
+// the countermeasure and applies the oscillation guard, but when the guard
+// admits an action it returns it as a PendingAct instead of executing. The
+// caller resolves the pending act with Commit or Drop (the returned Decision
+// reports Executed only after Commit). Unlike ActOn it never invokes the
+// cycle observer — a deferred decision has no single commit point the
+// observer could meaningfully see. Decide/commit pairs on one engine must
+// not interleave with other decisions on the same engine.
+func (e *Engine) DecideOn(now float64, scores []float64) (Decision, *PendingAct) {
 	// Combine outside observable state: abstaining layers contribute their
 	// threshold (neutral) to the combiner input and no vote.
 	input := make([]float64, len(e.layers))
@@ -415,6 +495,7 @@ func (e *Engine) ActOn(now float64, scores []float64) Decision {
 		Time: now, Confidence: confidence, ActionName: "none",
 		CombinerErr: combinerErr, LayerVersions: versions,
 	}
+	var pending *PendingAct
 	if positive {
 		d.Warned = true
 		e.warnings = append(e.warnings, predict.Warning{
@@ -427,31 +508,20 @@ func (e *Engine) ActOn(now float64, scores []float64) Decision {
 		action, _, worth, err := e.selector.Select(e.actions, confidence)
 		if err == nil && worth {
 			if e.guardAllows(now) {
-				e.actionTimes = append(e.actionTimes, now)
-				if e.scheduler != nil {
-					if schedErr := e.scheduler.Schedule(action, now+e.cfg.LeadTime, nil); schedErr == nil {
-						d.ActionName = action.Name()
-						d.Executed = true
-					}
-				} else if execErr := action.Execute(); execErr == nil {
-					d.ActionName = action.Name()
-					d.Executed = true
-				}
+				pending = &PendingAct{e: e, action: action, now: now, imminent: imminent}
 			} else {
 				e.suppressed++
 				d.Suppressed = true
 			}
 		}
 	}
-	if e.truth != nil {
+	// With a pending act the outcome row is booked at Commit/Drop time,
+	// once the final ActionName is known.
+	if e.truth != nil && pending == nil {
 		e.outcomes.add(predict.Classify(positive, imminent), d.ActionName)
 	}
-	observer := e.observer
 	e.mu.Unlock()
-	if observer != nil {
-		observer(now, scores, d)
-	}
-	return d
+	return d, pending
 }
 
 // guardAllows applies the oscillation guard.

@@ -1,0 +1,131 @@
+package fleet
+
+import (
+	"context"
+	"testing"
+)
+
+// actFleet builds a fleet whose three tenants all run hot enough to act in
+// the first cycle, with distinct criticalities so the budget's priority
+// order is observable.
+func actFleet(t *testing.T, budget int) (*Fleet, *testClock) {
+	t.Helper()
+	clock := newTestClock(0)
+	cfg := testFleetConfig([]TenantSpec{
+		{ID: "hi", Criticality: 4}, {ID: "mid", Criticality: 2}, {ID: "lo"},
+	}, clock)
+	cfg.ActBudget = budget
+	// One committed action per tenant per window: a tenant that wins the
+	// budget slot is guard-suppressed next cycle, so the deferred demand
+	// rotates through in priority order instead of the winner repeating.
+	cfg.Engine.OscillationWindow = 100
+	cfg.Engine.MaxActionsPerWindow = 1
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := f.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		for _, id := range []string{"hi", "mid", "lo"} {
+			if err := f.Ingest(ctx, sample(id, float64(i), 0.9)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := f.Barrier(ctx); err != nil {
+		t.Fatal(err)
+	}
+	return f, clock
+}
+
+func actions(t *testing.T, f *Fleet, id string) int64 {
+	t.Helper()
+	v, ok := f.TenantStatus(id)
+	if !ok {
+		t.Fatalf("tenant %s missing", id)
+	}
+	return v.Actions
+}
+
+// TestActBudgetPriority: with ActBudget=1, the single countermeasure slot
+// goes to the highest criticality×confidence tenant; the rest are deferred
+// (counted, warn still recorded) rather than silently skipped.
+func TestActBudgetPriority(t *testing.T) {
+	f, clock := actFleet(t, 1)
+	ctx := context.Background()
+	clock.Set(10)
+	f.EvaluateCycle()
+
+	if got := actions(t, f, "hi"); got != 1 {
+		t.Errorf("hi actions = %d, want 1 (highest priority wins the slot)", got)
+	}
+	if got := actions(t, f, "mid") + actions(t, f, "lo"); got != 0 {
+		t.Errorf("mid+lo actions = %d, want 0 (deferred by budget)", got)
+	}
+	r := f.Rollup(10)
+	if r.ActionsDeferred != 2 {
+		t.Errorf("deferred = %d, want 2", r.ActionsDeferred)
+	}
+	if r.ActBudget != 1 {
+		t.Errorf("rollup actBudget = %d, want 1", r.ActBudget)
+	}
+	// Deferral does not forfeit the warn: every hot tenant still warned.
+	for _, id := range []string{"hi", "mid", "lo"} {
+		if v, _ := f.TenantStatus(id); v.Warnings == 0 {
+			t.Errorf("tenant %s has no warning; budget must defer the act, not the warn", id)
+		}
+	}
+
+	// Next cycle: hi is guard-suppressed (it acted this window), so the
+	// deferred demand competes and mid outranks lo; lo drains the cycle
+	// after. A dropped act must not consume the tenant's guard budget.
+	clock.Set(11)
+	f.EvaluateCycle()
+	if got := actions(t, f, "hi"); got != 1 {
+		t.Errorf("hi actions after second cycle = %d, want 1 (guard holds)", got)
+	}
+	if got := actions(t, f, "mid"); got != 1 {
+		t.Errorf("mid actions after second cycle = %d, want 1", got)
+	}
+	clock.Set(12)
+	f.EvaluateCycle()
+	if got := actions(t, f, "lo"); got != 1 {
+		t.Errorf("lo actions after third cycle = %d, want 1", got)
+	}
+	if err := f.Stop(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestActBudgetUnlimited: budget 0 means no cap — every act-ready tenant
+// executes in the same cycle and nothing is deferred.
+func TestActBudgetUnlimited(t *testing.T) {
+	f, clock := actFleet(t, 0)
+	ctx := context.Background()
+	clock.Set(10)
+	f.EvaluateCycle()
+	for _, id := range []string{"hi", "mid", "lo"} {
+		if got := actions(t, f, id); got != 1 {
+			t.Errorf("%s actions = %d, want 1", id, got)
+		}
+	}
+	if r := f.Rollup(10); r.ActionsDeferred != 0 {
+		t.Errorf("deferred = %d, want 0 with no budget", r.ActionsDeferred)
+	}
+	if err := f.Stop(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestActBudgetValidation: a negative budget is a config error.
+func TestActBudgetValidation(t *testing.T) {
+	clock := newTestClock(0)
+	cfg := testFleetConfig(specs("a"), clock)
+	cfg.ActBudget = -1
+	if _, err := New(cfg); err == nil {
+		t.Fatal("New accepted a negative ActBudget")
+	}
+}

@@ -103,7 +103,13 @@ func fleetFingerprint(t *testing.T, shards, workers, batchSize int, useBatch boo
 	if err := f.Stop(ctx); err != nil {
 		t.Fatal(err)
 	}
+	return digestFleet(t, f, led, ids)
+}
 
+// digestFleet renders every observable outcome of a finished fleet — the
+// byte-identical comparison unit of the determinism and churn-parity tests.
+func digestFleet(t *testing.T, f *Fleet, led *obs.ScopedLedger, ids []string) string {
+	t.Helper()
 	var b strings.Builder
 	for _, id := range ids {
 		v, ok := f.TenantStatus(id)

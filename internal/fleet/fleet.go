@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	stdruntime "runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -53,18 +54,25 @@ type TenantSpec struct {
 	// ID must be unique, non-empty, and free of '|', newline, and 0x1f
 	// (the trace formats use them as separators).
 	ID string
-	// Criticality weights the tenant in the fleet availability rollup
-	// (the Noisy-OR paper's service-criticality idea: losing a critical
-	// service hurts more). Zero defaults to 1.
+	// Criticality weights the tenant in the fleet availability rollup and
+	// in the act-budget priority queue (the Noisy-OR paper's
+	// service-criticality idea: losing a critical service hurts more).
+	// Zero defaults to 1.
 	Criticality float64
+	// RateLimit caps the tenant's drain rate in events per domain second
+	// (token bucket, burst of one second's credit). Over-rate backlog stays
+	// queued in the tenant's own sub-queue until it overflows under the
+	// fleet's policy, so a misbehaving tenant throttles and eventually
+	// sheds only itself. 0 means unlimited.
+	RateLimit float64
 }
 
 // Config parameterizes a fleet.
 type Config struct {
-	// Tenants is the fleet membership, fixed at construction. The
-	// consistent-hash ring makes later membership changes cheap to add
-	// (only ~1/Shards of tenants move per shard-count change), but this
-	// implementation keeps registration static for determinism.
+	// Tenants is the initial fleet membership. The fleet is elastic:
+	// AddTenant/RemoveTenant admit and retire tenants while it runs, and
+	// Resize changes the shard count with a queue handoff (the
+	// consistent-hash ring moves only ~1/Shards of tenants).
 	Tenants []TenantSpec
 	// Layers are the shared layer templates instantiated per tenant.
 	Layers []LayerTemplate
@@ -94,8 +102,9 @@ type Config struct {
 	NewLifecycle func(t TenantSpec, layers []*core.Layer, led *obs.Ledger) (*lifecycle.Manager, error)
 
 	// Shards is the number of ingest shard queues/consumers (default
-	// min(GOMAXPROCS, 8)). QueueCapacity bounds each shard's queue
-	// (default 1024); Overflow is the full-queue policy (default Block).
+	// min(GOMAXPROCS, 8)); Resize changes it live. QueueCapacity bounds
+	// each tenant's sub-queue (default 1024); Overflow is the full-queue
+	// policy (default Block).
 	Shards        int
 	QueueCapacity int
 	Overflow      runtime.OverflowPolicy
@@ -109,6 +118,13 @@ type Config struct {
 	// drain up to BatchSize events per lock acquisition, and batch layer
 	// scoring chunks tenants into BatchSize groups (default 64).
 	BatchSize int
+	// ActBudget caps how many tenants may execute a countermeasure per
+	// evaluation cycle. When more warn decisions select an action than the
+	// budget allows, a criticality-weighted priority queue (criticality ×
+	// confidence, ties by tenant ID) decides which tenants act; the rest
+	// are deferred — warned and journaled, but not executed — and counted
+	// on pfm_fleet_act_deferred_total. 0 means unlimited.
+	ActBudget int
 	// EvalInterval is the wall-clock cycle cadence; zero disables the
 	// ticker (cycles then run via EvaluateNow/EvaluateCycle only).
 	EvalInterval time.Duration
@@ -146,8 +162,8 @@ type Config struct {
 // tenant is one registered tenant's runtime slice.
 type tenant struct {
 	spec      TenantSpec
-	index     int
-	shard     int
+	index     int // slot in the current membership's tenants slice
+	q         *tenantQueue
 	state     TenantState
 	layers    []*core.Layer
 	engine    *core.Engine
@@ -160,9 +176,16 @@ type tenant struct {
 	cands     []lifecycle.CandidateScore // this cycle's shadow scores
 	row       []float64                  // per-cycle score row scratch
 
+	// dec/pact are the cycle's decide-phase scratch: written by the decide
+	// fan-out, resolved by the budget pass, consumed by the finish fan-out
+	// — all under cycleMu.
+	dec  core.Decision
+	pact *core.PendingAct
+
 	events      atomic.Int64
 	warnings    atomic.Int64
 	actions     atomic.Int64
+	deferred    atomic.Int64 // act-budget deferrals
 	failures    atomic.Int64
 	lastEvent   atomic.Uint64 // Float64bits; NaN until the first event
 	lastFailure atomic.Uint64 // Float64bits; NaN until the first failure
@@ -170,40 +193,81 @@ type tenant struct {
 	lastConf    atomic.Uint64 // Float64bits of the last combined confidence
 }
 
+// shardIndex returns the shard currently draining the tenant's sub-queue.
+func (tn *tenant) shardIndex() int { return tn.q.owner.Load().shard }
+
 func storeTime(a *atomic.Uint64, t float64) { a.Store(math.Float64bits(t)) }
 func loadTime(a *atomic.Uint64) float64     { return math.Float64frombits(a.Load()) }
 
-// Fleet is the multi-tenant MEA runtime. Construct with New, drive with
-// Start/Ingest (or Pump), observe via Handler, finish with Stop.
-type Fleet struct {
-	cfg     Config
-	tenants []*tenant
+// membership is one immutable generation of the fleet's shape: who the
+// tenants are, how they index into the score matrix, and which shard queues
+// exist. Readers (Ingest, Rollup, the cycle) load it once and work against a
+// consistent snapshot; Add/Remove/Resize install a successor atomically.
+type membership struct {
+	gen     int64
+	tenants []*tenant // index-aligned with layerScores/states
 	byID    map[string]*tenant
 	ring    *ring
-	queues  []*shardQueue
-	pool    *runtime.Pool
-	metrics *runtime.Metrics
-
-	// stateMu guards every tenant's state: shard consumers apply chunks
-	// under the shared side, cycle evaluation under the exclusive side.
-	stateMu sync.RWMutex
-
+	shards  []*shardQueue
 	// layerScores is the cross-tenant score matrix, laid out layer-major:
 	// layerScores[l*len(tenants)+t]. Written by pool workers at disjoint
 	// indices during evaluation, read during the act fan-out.
 	layerScores []float64
 	// states is the index-aligned state slice handed to batch scorers.
 	states []TenantState
+}
+
+// reindex rebuilds the index-aligned views after a tenants change. Caller
+// holds cycleMu (tenant.index is cycle-addressed).
+func (m *membership) reindex(layers int) {
+	m.layerScores = make([]float64, layers*len(m.tenants))
+	m.states = make([]TenantState, len(m.tenants))
+	for i, tn := range m.tenants {
+		tn.index = i
+		m.states[i] = tn.state
+	}
+}
+
+// Fleet is the multi-tenant MEA runtime. Construct with New, drive with
+// Start/Ingest (or Pump), change shape with AddTenant/RemoveTenant/Resize,
+// observe via Handler, finish with Stop.
+type Fleet struct {
+	cfg     Config
+	mem     atomic.Pointer[membership]
+	pool    *runtime.Pool
+	metrics *runtime.Metrics
+
+	// adminMu serializes membership changes (AddTenant/RemoveTenant/
+	// Resize) with each other and with Start/Stop.
+	adminMu sync.Mutex
+	retired []*tenant // removed tenants with lifecycle managers to drain at Stop
+
+	// stateMu guards every tenant's state: shard consumers apply chunks
+	// under the shared side, cycle evaluation under the exclusive side.
+	stateMu sync.RWMutex
+
+	// pendingN counts events admitted but not yet settled, fleet-wide —
+	// handoffs move queued items between shards, so Barrier's accounting
+	// lives above the shard level.
+	pendingN atomic.Int64
 
 	consumersWg sync.WaitGroup
 	wg          sync.WaitGroup
 	evalReq     chan struct{}
 	evalStop    chan struct{}
-	cycleMu     sync.Mutex // serializes ticker cycles with EvaluateCycle
+	cycleMu     sync.Mutex // serializes cycles with each other and with membership swaps
 	hardCtx     context.Context
 	hardStop    context.CancelFunc
 
-	unknown *runtime.Counter // ingest for unregistered tenants
+	unknown     *runtime.Counter // ingest for unregistered tenants
+	ratelimited *runtime.Counter // scheduler skips on empty token buckets
+	handoffN    *runtime.Counter // queued events re-homed by membership changes
+	actExecuted *runtime.Counter
+	actDeferred *runtime.Counter
+	shardDrops  []*runtime.Counter // per shard index, reused across resizes
+	shardMetN   int                // shard indices with registered gauges
+
+	actCands []*tenant // budget-pass scratch, under cycleMu
 
 	started   atomic.Bool
 	stopping  atomic.Bool
@@ -227,7 +291,7 @@ func New(cfg Config) (*Fleet, error) {
 	if cfg.NewState == nil || cfg.Apply == nil {
 		return nil, fmt.Errorf("%w: nil NewState/Apply", ErrFleet)
 	}
-	if cfg.QueueCapacity < 0 || cfg.Shards < 0 || cfg.Workers < 0 || cfg.BatchSize < 0 || cfg.EvalInterval < 0 {
+	if cfg.QueueCapacity < 0 || cfg.Shards < 0 || cfg.Workers < 0 || cfg.BatchSize < 0 || cfg.EvalInterval < 0 || cfg.ActBudget < 0 {
 		return nil, fmt.Errorf("%w: negative sizing", ErrFleet)
 	}
 	if cfg.Shards == 0 {
@@ -264,47 +328,53 @@ func New(cfg Config) (*Fleet, error) {
 	}
 	f := &Fleet{
 		cfg:     cfg,
-		tenants: make([]*tenant, 0, len(cfg.Tenants)),
-		byID:    make(map[string]*tenant, len(cfg.Tenants)),
-		ring:    newRing(cfg.Shards, cfg.Vnodes),
-		queues:  make([]*shardQueue, cfg.Shards),
 		metrics: cfg.Metrics,
 		evalReq: make(chan struct{}, 1),
 	}
 	reg := f.metrics.Registry()
-	// Shard gauges are registered eagerly for every shard — including the
-	// ones no tenant hashes to — so dashboards see an explicit 0 instead
-	// of a gap (same guarantee the single runtime gives its shards).
-	depthHelp := "Events waiting per fleet ingest shard."
-	dropHelp := "Events dropped per fleet ingest shard (all reasons)."
-	for s := range f.queues {
-		drops := reg.Counter("pfm_fleet_shard_dropped_total", dropHelp, "shard", strconv.Itoa(s))
-		f.queues[s] = newShardQueue(cfg.QueueCapacity, cfg.Overflow, f.metrics, drops, cfg.Tracer, s)
-		q := f.queues[s]
-		reg.GaugeFunc("pfm_fleet_shard_queue_depth", depthHelp,
-			func() float64 { return float64(q.depth()) }, "shard", strconv.Itoa(s))
-		depthHelp, dropHelp = "", ""
-	}
 	f.unknown = reg.Counter("pfm_fleet_unknown_tenant_total",
 		"Events rejected because their tenant is not registered.")
+	f.ratelimited = reg.Counter("pfm_fleet_ratelimited_total",
+		"Drain-scheduler visits that skipped a backlogged tenant because its token bucket was empty.")
+	f.handoffN = reg.Counter("pfm_fleet_handoff_total",
+		"Queued events re-homed onto another shard by membership changes.")
+	f.actExecuted = reg.Counter("pfm_fleet_act_executed_total",
+		"Countermeasures executed across the fleet.")
+	f.actDeferred = reg.Counter("pfm_fleet_act_deferred_total",
+		"Warn decisions whose countermeasure was deferred by the act budget.")
+	mem := &membership{
+		gen:    1,
+		byID:   make(map[string]*tenant, len(cfg.Tenants)),
+		ring:   newRing(cfg.Shards, cfg.Vnodes),
+		shards: make([]*shardQueue, cfg.Shards),
+	}
+	for s := range mem.shards {
+		mem.shards[s] = f.newShardQueueAt(s)
+	}
 	for i, spec := range cfg.Tenants {
-		tn, err := f.buildTenant(i, spec)
+		tn, err := f.buildTenant(mem.byID, i, spec)
 		if err != nil {
 			return nil, err
 		}
-		f.tenants = append(f.tenants, tn)
-		f.byID[spec.ID] = tn
+		tn.q = newTenantQueue(tn, cfg.QueueCapacity, tn.spec.RateLimit)
+		mem.shards[mem.ring.shardOf(tn.spec.ID)].attach(tn.q)
+		mem.tenants = append(mem.tenants, tn)
+		mem.byID[tn.spec.ID] = tn
 	}
-	f.layerScores = make([]float64, len(cfg.Layers)*len(f.tenants))
-	f.states = make([]TenantState, len(f.tenants))
-	for i, tn := range f.tenants {
-		f.states[i] = tn.state
-	}
+	mem.reindex(len(cfg.Layers))
+	f.mem.Store(mem)
+	// Gauges register after the first membership store: their closures read
+	// the current generation.
 	reg.GaugeFunc("pfm_fleet_tenants", "Registered tenants.",
-		func() float64 { return float64(len(f.tenants)) })
+		func() float64 { return float64(len(f.mem.Load().tenants)) })
+	reg.GaugeFunc("pfm_fleet_generation", "Membership generation (bumped by add/remove/resize).",
+		func() float64 { return float64(f.mem.Load().gen) })
+	reg.GaugeFunc("pfm_fleet_act_budget", "Per-cycle countermeasure budget (0 = unlimited).",
+		func() float64 { return float64(cfg.ActBudget) })
 	reg.GaugeFunc("pfm_fleet_weighted_availability",
 		"Criticality-weighted fraction of tenants not currently failed.",
 		func() float64 { return f.Rollup(f.now()).WeightedAvailability })
+	f.registerShardGauges(cfg.Shards)
 	if cfg.Ledger != nil {
 		reg.GaugeFunc("pfm_fleet_ledger_folded",
 			"Tenants sharing the overflow ledger scope (cardinality cap).",
@@ -330,17 +400,62 @@ func New(cfg Config) (*Fleet, error) {
 	return f, nil
 }
 
+// newShardQueueAt builds the queue for shard index s, reusing the shard's
+// drop counter when the index existed in an earlier generation.
+func (f *Fleet) newShardQueueAt(s int) *shardQueue {
+	reg := f.metrics.Registry()
+	for len(f.shardDrops) <= s {
+		help := ""
+		if len(f.shardDrops) == 0 {
+			help = "Events dropped per fleet ingest shard (all reasons)."
+		}
+		f.shardDrops = append(f.shardDrops,
+			reg.Counter("pfm_fleet_shard_dropped_total", help, "shard", strconv.Itoa(len(f.shardDrops))))
+	}
+	return newShardQueue(f.cfg.Overflow, f.cfg.QueueCapacity, f.metrics, f.shardDrops[s], f.ratelimited,
+		f.cfg.Tracer, &f.pendingN, f.now, s)
+}
+
+// registerShardGauges registers depth gauges for shard indices [shardMetN,
+// n). A gauge reads the live generation, so it reports 0 for an index the
+// fleet has since shrunk away from.
+func (f *Fleet) registerShardGauges(n int) {
+	reg := f.metrics.Registry()
+	help := ""
+	if f.shardMetN == 0 {
+		help = "Events waiting per fleet ingest shard."
+	}
+	for s := f.shardMetN; s < n; s++ {
+		idx := s
+		reg.GaugeFunc("pfm_fleet_shard_queue_depth", help, func() float64 {
+			mem := f.mem.Load()
+			if idx < len(mem.shards) {
+				return float64(mem.shards[idx].depth())
+			}
+			return 0
+		}, "shard", strconv.Itoa(s))
+		help = ""
+	}
+	if n > f.shardMetN {
+		f.shardMetN = n
+	}
+}
+
 // buildTenant assembles one tenant's state, layers, engine, journal scope,
-// and (optionally) lifecycle manager.
-func (f *Fleet) buildTenant(i int, spec TenantSpec) (*tenant, error) {
+// and (optionally) lifecycle manager. byID is the membership the tenant is
+// validated against.
+func (f *Fleet) buildTenant(byID map[string]*tenant, i int, spec TenantSpec) (*tenant, error) {
 	if spec.ID == "" || strings.ContainsAny(spec.ID, "|\n\x1f") {
 		return nil, fmt.Errorf("%w: tenant %d has invalid ID %q", ErrFleet, i, spec.ID)
 	}
-	if _, dup := f.byID[spec.ID]; dup {
+	if _, dup := byID[spec.ID]; dup {
 		return nil, fmt.Errorf("%w: duplicate tenant %q", ErrFleet, spec.ID)
 	}
 	if spec.Criticality < 0 || math.IsNaN(spec.Criticality) || math.IsInf(spec.Criticality, 0) {
 		return nil, fmt.Errorf("%w: tenant %q criticality %g", ErrFleet, spec.ID, spec.Criticality)
+	}
+	if spec.RateLimit < 0 || math.IsNaN(spec.RateLimit) || math.IsInf(spec.RateLimit, 0) {
+		return nil, fmt.Errorf("%w: tenant %q rate limit %g", ErrFleet, spec.ID, spec.RateLimit)
 	}
 	if spec.Criticality == 0 {
 		spec.Criticality = 1
@@ -352,7 +467,6 @@ func (f *Fleet) buildTenant(i int, spec TenantSpec) (*tenant, error) {
 	tn := &tenant{
 		spec:  spec,
 		index: i,
-		shard: f.ring.shardOf(spec.ID),
 		state: st,
 		row:   make([]float64, len(f.cfg.Layers)),
 	}
@@ -470,25 +584,29 @@ func (f *Fleet) Ledger() *obs.ScopedLedger { return f.cfg.Ledger }
 func (f *Fleet) Recorder() *obs.ScopedRecorder { return f.cfg.Recorder }
 
 // Tenants returns the number of registered tenants.
-func (f *Fleet) Tenants() int { return len(f.tenants) }
+func (f *Fleet) Tenants() int { return len(f.mem.Load().tenants) }
 
 // Shards returns the number of ingest shards.
-func (f *Fleet) Shards() int { return len(f.queues) }
+func (f *Fleet) Shards() int { return len(f.mem.Load().shards) }
+
+// Generation returns the membership generation (starts at 1; every
+// AddTenant/RemoveTenant/Resize bumps it).
+func (f *Fleet) Generation() int64 { return f.mem.Load().gen }
 
 // ShardOf returns the shard the tenant's events are routed to, and whether
 // the tenant is registered.
 func (f *Fleet) ShardOf(tenantID string) (int, bool) {
-	tn, ok := f.byID[tenantID]
+	tn, ok := f.mem.Load().byID[tenantID]
 	if !ok {
 		return 0, false
 	}
-	return tn.shard, true
+	return tn.shardIndex(), true
 }
 
 // QueueDepth returns the ingest backlog summed across shards.
 func (f *Fleet) QueueDepth() int {
 	total := 0
-	for _, q := range f.queues {
+	for _, q := range f.mem.Load().shards {
 		total += q.depth()
 	}
 	return total
@@ -503,6 +621,8 @@ func (f *Fleet) Start(ctx context.Context) error {
 	if !f.started.CompareAndSwap(false, true) {
 		return fmt.Errorf("%w: already started", ErrFleet)
 	}
+	f.adminMu.Lock()
+	defer f.adminMu.Unlock()
 	f.startWall = time.Now()
 	if f.cfg.Clock == nil {
 		start := f.startWall
@@ -513,10 +633,11 @@ func (f *Fleet) Start(ctx context.Context) error {
 	if f.cfg.Workers > 1 {
 		f.pool = runtime.NewPool(f.cfg.Workers)
 	}
-	f.wg.Add(len(f.queues) + 2)
-	f.consumersWg.Add(len(f.queues))
-	for s := range f.queues {
-		go f.consumeLoop(f.queues[s])
+	mem := f.mem.Load()
+	f.wg.Add(len(mem.shards) + 2)
+	f.consumersWg.Add(len(mem.shards))
+	for s := range mem.shards {
+		go f.consumeLoop(mem.shards[s])
 	}
 	go func() {
 		defer f.wg.Done()
@@ -527,16 +648,148 @@ func (f *Fleet) Start(ctx context.Context) error {
 	go func() {
 		<-f.hardCtx.Done()
 		f.stopping.Store(true)
-		for _, q := range f.queues {
+		f.adminMu.Lock()
+		for _, q := range f.mem.Load().shards {
 			q.close()
 		}
+		f.adminMu.Unlock()
 	}()
+	return nil
+}
+
+// AddTenant admits a tenant into the (possibly running) fleet: its state,
+// layers, engine and observability scopes are built, its sub-queue attaches
+// to the shard the current ring generation assigns, and the next membership
+// generation installs atomically — Ingest accepts its events as soon as
+// AddTenant returns.
+func (f *Fleet) AddTenant(spec TenantSpec) error {
+	f.adminMu.Lock()
+	defer f.adminMu.Unlock()
+	if f.stopping.Load() {
+		return fmt.Errorf("%w: fleet is stopping", ErrFleet)
+	}
+	mem := f.mem.Load()
+	tn, err := f.buildTenant(mem.byID, len(mem.tenants), spec)
+	if err != nil {
+		return err
+	}
+	tn.q = newTenantQueue(tn, f.cfg.QueueCapacity, tn.spec.RateLimit)
+	mem.shards[mem.ring.shardOf(tn.spec.ID)].attach(tn.q)
+	next := &membership{
+		gen:     mem.gen + 1,
+		tenants: append(append(make([]*tenant, 0, len(mem.tenants)+1), mem.tenants...), tn),
+		byID:    make(map[string]*tenant, len(mem.byID)+1),
+		ring:    mem.ring,
+		shards:  mem.shards,
+	}
+	for id, t := range mem.byID {
+		next.byID[id] = t
+	}
+	next.byID[tn.spec.ID] = tn
+	f.cycleMu.Lock()
+	next.reindex(len(f.cfg.Layers))
+	f.mem.Store(next)
+	f.cycleMu.Unlock()
+	return nil
+}
+
+// RemoveTenant retires a tenant: the next membership generation (without
+// it) installs atomically, its queued backlog is shed (counted dropped),
+// and its ledger/recorder scopes are released so /metrics and /fleet stop
+// reporting the ghost. Events already drained into an in-flight chunk still
+// apply; later Ingest calls return ErrUnknownTenant.
+func (f *Fleet) RemoveTenant(id string) error {
+	f.adminMu.Lock()
+	defer f.adminMu.Unlock()
+	mem := f.mem.Load()
+	tn, ok := mem.byID[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownTenant, id)
+	}
+	next := &membership{
+		gen:     mem.gen + 1,
+		tenants: make([]*tenant, 0, len(mem.tenants)-1),
+		byID:    make(map[string]*tenant, len(mem.byID)-1),
+		ring:    mem.ring,
+		shards:  mem.shards,
+	}
+	for _, t := range mem.tenants {
+		if t != tn {
+			next.tenants = append(next.tenants, t)
+		}
+	}
+	for tid, t := range mem.byID {
+		if tid != id {
+			next.byID[tid] = t
+		}
+	}
+	f.cycleMu.Lock()
+	next.reindex(len(f.cfg.Layers))
+	f.mem.Store(next)
+	f.cycleMu.Unlock()
+	tn.q.closeAndDrain()
+	f.cfg.Ledger.Release(id)
+	f.cfg.Recorder.Release(id)
+	if tn.lcm != nil {
+		f.retired = append(f.retired, tn)
+	}
+	return nil
+}
+
+// Resize changes the shard count live. A new ring generation installs
+// atomically; the handoff pass then re-homes only the tenants whose shard
+// assignment moved (~1/shards of the fleet on a grow-by-one), carrying
+// their queued backlog with them without copying or reordering — per-tenant
+// FIFO order is preserved across the move. Shrunk-away shards close once
+// their members are gone; their consumers exit after draining.
+func (f *Fleet) Resize(shards int) error {
+	if shards < 1 {
+		return fmt.Errorf("%w: shards %d", ErrFleet, shards)
+	}
+	f.adminMu.Lock()
+	defer f.adminMu.Unlock()
+	if f.stopping.Load() {
+		return fmt.Errorf("%w: fleet is stopping", ErrFleet)
+	}
+	mem := f.mem.Load()
+	if shards == len(mem.shards) {
+		return nil
+	}
+	newShards := make([]*shardQueue, shards)
+	n := copy(newShards, mem.shards)
+	for s := n; s < shards; s++ {
+		newShards[s] = f.newShardQueueAt(s)
+		if f.started.Load() {
+			f.wg.Add(1)
+			f.consumersWg.Add(1)
+			go f.consumeLoop(newShards[s])
+		}
+	}
+	f.registerShardGauges(shards)
+	next := &membership{
+		gen:         mem.gen + 1,
+		tenants:     mem.tenants,
+		byID:        mem.byID,
+		ring:        newRing(shards, f.cfg.Vnodes),
+		shards:      newShards,
+		layerScores: mem.layerScores,
+		states:      mem.states,
+	}
+	f.mem.Store(next)
+	moved := 0
+	for _, tn := range next.tenants {
+		moved += moveQueue(tn.q, newShards[next.ring.shardOf(tn.spec.ID)])
+	}
+	f.handoffN.Add(int64(moved))
+	for s := shards; s < len(mem.shards); s++ {
+		mem.shards[s].close()
+	}
 	return nil
 }
 
 // Ingest offers one tenant event under the configured overflow policy.
 func (f *Fleet) Ingest(ctx context.Context, ev Event) error {
-	tn, ok := f.byID[ev.Tenant]
+	tn, ok := f.mem.Load().byID[ev.Tenant]
 	if !ok {
 		f.unknown.Inc()
 		return fmt.Errorf("%w: %q", ErrUnknownTenant, ev.Tenant)
@@ -549,13 +802,18 @@ func (f *Fleet) Ingest(ctx context.Context, ev Event) error {
 		it.traceStart = now
 		it.traceOffered = now
 	}
-	return f.queues[tn.shard].push(ctx, it)
+	err := tn.q.push(ctx, it)
+	if errors.Is(err, errTenantRemoved) {
+		f.unknown.Inc()
+		return fmt.Errorf("%w: %q", ErrUnknownTenant, ev.Tenant)
+	}
+	return err
 }
 
 // RecordFailure journals one observed ground-truth failure of a tenant at
 // domain time t (ledger input and health signal, not monitoring input).
 func (f *Fleet) RecordFailure(tenantID string, t float64) error {
-	tn, ok := f.byID[tenantID]
+	tn, ok := f.mem.Load().byID[tenantID]
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownTenant, tenantID)
 	}
@@ -583,18 +841,24 @@ func (f *Fleet) consumeLoop(q *shardQueue) {
 	tr := f.cfg.Tracer
 	buf := make([]item, f.cfg.BatchSize)
 	for {
-		n := q.drainInto(buf)
+		n, backoff := q.drainInto(buf)
 		if n == 0 {
+			if backoff {
+				// Backlog exists but every active tenant is over its rate
+				// limit: yield until buckets refill.
+				time.Sleep(500 * time.Microsecond)
+				continue
+			}
 			return
 		}
 		if f.hardCtx.Err() != nil {
 			// Hard stop: shed the chunk unapplied so shutdown is prompt.
 			for i := 0; i < n; i++ {
 				f.metrics.DroppedShutdown.Inc()
-				q.dropped()
+				q.dropCount()
 				q.traceDrop(buf[i])
 			}
-			q.settled(n)
+			q.settled(buf, n)
 			continue
 		}
 		var dequeued int64
@@ -621,7 +885,7 @@ func (f *Fleet) consumeLoop(q *shardQueue) {
 					buf[i].traceStart, buf[i].traceOffered, dequeued, tr.Now())
 			}
 		}
-		q.settled(n)
+		q.settled(buf, n)
 	}
 }
 
@@ -657,32 +921,42 @@ func (f *Fleet) evaluateLoop() {
 	}
 }
 
-// EvaluateCycle runs one full synchronous MEA cycle over every tenant:
-// batched cross-tenant layer scoring and lifecycle collection under the
-// exclusive state lock, then the per-tenant act fan-out and the ledger
-// watermark advance. Concurrent calls (ticker vs. caller) serialize.
+// EvaluateCycle runs one full synchronous MEA cycle over every tenant in
+// the current membership generation: batched cross-tenant layer scoring and
+// lifecycle collection under the exclusive state lock, then the act stage
+// and the ledger watermark advance. Concurrent calls (ticker vs. caller)
+// serialize; membership swaps serialize against the whole cycle.
+//
+// The act stage is two-phase when an ActBudget is set: a decide fan-out
+// computes every tenant's cross-layer decision with the countermeasure
+// deferred, a serial budget pass commits the top-budget pending acts in
+// criticality×confidence order (ties by tenant ID — deterministic) and
+// drops the rest, and a finish fan-out journals and accounts the final
+// decisions. Without a budget, decide/commit/finish fuse into the single
+// per-tenant fan-out the fixed-shape fleet ran.
 //
 // Determinism: scoring writes disjoint matrix slots, the act fan-out
-// touches disjoint tenant state, and journaling goes to per-tenant scoped
-// ledgers — so for a fixed ingested prefix (see Barrier) the cycle's
-// observable outcome is independent of Shards, Workers, BatchSize, and
-// GOMAXPROCS.
+// touches disjoint tenant state, the budget pass orders on a deterministic
+// key, and journaling goes to per-tenant scoped ledgers — so for a fixed
+// ingested prefix (see Barrier) the cycle's observable outcome is
+// independent of Shards, Workers, BatchSize, and GOMAXPROCS.
 func (f *Fleet) EvaluateCycle() {
 	f.cycleMu.Lock()
 	defer f.cycleMu.Unlock()
+	mem := f.mem.Load()
 	tr := f.cfg.Tracer
 	evalStart := tr.Now()
 	now := f.now()
-	nT := len(f.tenants)
+	nT := len(mem.tenants)
 	start := time.Now()
 	f.stateMu.Lock()
 	for li := range f.cfg.Layers {
-		f.scoreLayer(li, now)
+		f.scoreLayer(mem, li, now)
 	}
 	// Lifecycle capture/shadow scoring needs the same exclusion the layer
 	// scores just used (it reads predictor state).
 	f.pool.Do(nT, func(i int) {
-		tn := f.tenants[i]
+		tn := mem.tenants[i]
 		if tn.lcm != nil {
 			tn.cands = tn.lcm.Collect(now)
 		}
@@ -697,9 +971,25 @@ func (f *Fleet) EvaluateCycle() {
 
 	actWall := time.Now()
 	actStart := tr.Now()
-	f.pool.Do(nT, func(i int) {
-		f.actTenant(f.tenants[i], now)
-	})
+	if f.cfg.ActBudget > 0 {
+		f.pool.Do(nT, func(i int) {
+			f.decideTenant(mem, mem.tenants[i], now)
+		})
+		f.resolveBudget(mem)
+		f.pool.Do(nT, func(i int) {
+			f.finishTenant(mem.tenants[i], now)
+		})
+	} else {
+		f.pool.Do(nT, func(i int) {
+			tn := mem.tenants[i]
+			f.decideTenant(mem, tn, now)
+			if tn.pact != nil {
+				tn.pact.Commit(&tn.dec)
+				tn.pact = nil
+			}
+			f.finishTenant(tn, now)
+		})
+	}
 	f.cfg.Ledger.Advance(now)
 	f.metrics.Evaluations.Inc()
 	f.metrics.ActLatency.Observe(time.Since(actWall).Seconds())
@@ -712,10 +1002,10 @@ func (f *Fleet) EvaluateCycle() {
 // batch scorers run once per BatchSize chunk of tenants, per-tenant
 // scorers once per tenant — both fanned across the shared pool with
 // index-addressed writes.
-func (f *Fleet) scoreLayer(li int, now float64) {
+func (f *Fleet) scoreLayer(mem *membership, li int, now float64) {
 	tmpl := f.cfg.Layers[li]
-	nT := len(f.tenants)
-	out := f.layerScores[li*nT : (li+1)*nT]
+	nT := len(mem.tenants)
+	out := mem.layerScores[li*nT : (li+1)*nT]
 	if tmpl.ScoreBatch != nil {
 		b := f.cfg.BatchSize
 		chunks := (nT + b - 1) / b
@@ -725,7 +1015,7 @@ func (f *Fleet) scoreLayer(li int, now float64) {
 			if hi > nT {
 				hi = nT
 			}
-			if err := tmpl.ScoreBatch(f.states[lo:hi], now, out[lo:hi]); err != nil {
+			if err := tmpl.ScoreBatch(mem.states[lo:hi], now, out[lo:hi]); err != nil {
 				for i := lo; i < hi; i++ {
 					out[i] = math.NaN() // whole chunk abstains
 				}
@@ -734,7 +1024,7 @@ func (f *Fleet) scoreLayer(li int, now float64) {
 		return
 	}
 	f.pool.Do(nT, func(i int) {
-		s, err := tmpl.Score(f.states[i], now)
+		s, err := tmpl.Score(mem.states[i], now)
 		if err != nil {
 			s = math.NaN()
 		}
@@ -742,14 +1032,51 @@ func (f *Fleet) scoreLayer(li int, now float64) {
 	})
 }
 
-// actTenant runs one tenant's serialized act stage for this cycle:
-// cross-layer decision, counters, and scoped-ledger journaling.
-func (f *Fleet) actTenant(tn *tenant, now float64) {
-	nT := len(f.tenants)
+// decideTenant runs one tenant's cross-layer decision with the
+// countermeasure deferred into tn.pact.
+func (f *Fleet) decideTenant(mem *membership, tn *tenant, now float64) {
+	nT := len(mem.tenants)
 	for li := range f.cfg.Layers {
-		tn.row[li] = f.layerScores[li*nT+tn.index]
+		tn.row[li] = mem.layerScores[li*nT+tn.index]
 	}
-	d := tn.engine.ActOn(now, tn.row)
+	tn.dec, tn.pact = tn.engine.DecideOn(now, tn.row)
+}
+
+// resolveBudget commits the cycle's pending countermeasures in
+// criticality×confidence priority order up to ActBudget and drops the rest
+// (deferred: warned and journaled, not executed). Runs serially under
+// cycleMu; the ordering key is deterministic, so so is the commit set.
+func (f *Fleet) resolveBudget(mem *membership) {
+	cands := f.actCands[:0]
+	for _, tn := range mem.tenants {
+		if tn.pact != nil {
+			cands = append(cands, tn)
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		pa := cands[a].spec.Criticality * cands[a].dec.Confidence
+		pb := cands[b].spec.Criticality * cands[b].dec.Confidence
+		if pa != pb {
+			return pa > pb
+		}
+		return cands[a].spec.ID < cands[b].spec.ID
+	})
+	for i, tn := range cands {
+		if i < f.cfg.ActBudget {
+			tn.pact.Commit(&tn.dec)
+		} else {
+			tn.pact.Drop(&tn.dec)
+			tn.deferred.Add(1)
+			f.actDeferred.Inc()
+		}
+		tn.pact = nil
+	}
+	f.actCands = cands[:0] // keep the scratch capacity across cycles
+}
+
+// finishTenant accounts and journals one tenant's resolved decision.
+func (f *Fleet) finishTenant(tn *tenant, now float64) {
+	d := tn.dec
 	if d.Warned {
 		tn.warnings.Add(1)
 		f.metrics.Warnings.Inc()
@@ -757,6 +1084,7 @@ func (f *Fleet) actTenant(tn *tenant, now float64) {
 	if d.Executed {
 		tn.actions.Add(1)
 		f.metrics.Actions.Inc()
+		f.actExecuted.Inc()
 	}
 	if d.Suppressed {
 		f.metrics.Suppressed.Inc()
@@ -794,6 +1122,7 @@ func (f *Fleet) actTenant(tn *tenant, now float64) {
 		})
 	}
 	tn.cands = nil
+	tn.dec = core.Decision{}
 }
 
 // Barrier blocks until every event admitted before the call has been fully
@@ -802,14 +1131,7 @@ func (f *Fleet) actTenant(tn *tenant, now float64) {
 // meaningful.
 func (f *Fleet) Barrier(ctx context.Context) error {
 	for {
-		quiet := true
-		for _, q := range f.queues {
-			if q.pending() != 0 {
-				quiet = false
-				break
-			}
-		}
-		if quiet {
+		if f.pendingN.Load() == 0 {
 			return nil
 		}
 		select {
@@ -828,10 +1150,12 @@ func (f *Fleet) Stop(ctx context.Context) error {
 		return fmt.Errorf("%w: not started", ErrFleet)
 	}
 	f.stopOnce.Do(func() {
+		f.adminMu.Lock()
 		f.stopping.Store(true)
-		for _, q := range f.queues {
+		for _, q := range f.mem.Load().shards {
 			q.close()
 		}
+		f.adminMu.Unlock()
 		done := make(chan struct{})
 		go func() {
 			f.wg.Wait()
@@ -848,7 +1172,11 @@ func (f *Fleet) Stop(ctx context.Context) error {
 		if f.pool != nil {
 			f.pool.Close()
 		}
-		for _, tn := range f.tenants {
+		f.adminMu.Lock()
+		waitFor := append([]*tenant(nil), f.mem.Load().tenants...)
+		waitFor = append(waitFor, f.retired...)
+		f.adminMu.Unlock()
+		for _, tn := range waitFor {
 			if tn.lcm != nil {
 				tn.lcm.Wait()
 			}

@@ -3,6 +3,7 @@ package fleet
 import (
 	"context"
 	"fmt"
+	"net"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -101,4 +102,124 @@ func BenchmarkFleetCycle(b *testing.B) {
 		clock.Set(float64(i))
 		f.EvaluateCycle()
 	}
+}
+
+// BenchmarkFleetChurn measures the membership-churn control plane on a
+// live fleet of 500 tenants: one AddTenant+RemoveTenant round trip per op
+// (tenant/), and one shard-count flip with its queue handoff per op
+// (resize/). Both install a full membership generation — the cost scales
+// with fleet size, not backlog, since queues move by pointer.
+func BenchmarkFleetChurn(b *testing.B) {
+	base := func(b *testing.B) *Fleet {
+		b.Helper()
+		const tenants = 500
+		clock := newTestClock(0)
+		sp := make([]TenantSpec, tenants)
+		for i := range sp {
+			sp[i] = TenantSpec{ID: fmt.Sprintf("t%04d", i)}
+		}
+		cfg := testFleetConfig(sp, clock)
+		cfg.Shards = 4
+		f, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Start(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		return f
+	}
+	b.Run("tenant", func(b *testing.B) {
+		f := base(b)
+		defer func() { _ = f.Stop(context.Background()) }()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := f.AddTenant(TenantSpec{ID: "xchurn"}); err != nil {
+				b.Fatal(err)
+			}
+			if err := f.RemoveTenant("xchurn"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("resize", func(b *testing.B) {
+		f := base(b)
+		defer func() { _ = f.Stop(context.Background()) }()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := f.Resize(4 + i%2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFleetListenIngest measures network ingest end to end: PFW1
+// frames over loopback TCP, per-connection decode, consistent-hash routing,
+// one Apply per event — the TCP analogue of BenchmarkFleetThroughput.
+func BenchmarkFleetListenIngest(b *testing.B) {
+	const tenants = 8
+	clock := newTestClock(0)
+	sp := make([]TenantSpec, tenants)
+	ids := make([]string, tenants)
+	for i := range sp {
+		ids[i] = fmt.Sprintf("t%04d", i)
+		sp[i] = TenantSpec{ID: ids[i]}
+	}
+	var applied atomic.Int64
+	cfg := testFleetConfig(sp, clock)
+	cfg.Apply = func(TenantState, Event) error {
+		applied.Add(1)
+		return nil
+	}
+	cfg.QueueCapacity = 4096
+	cfg.Overflow = runtime.Block
+	f, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := f.Start(ctx); err != nil {
+		b.Fatal(err)
+	}
+	ls, err := Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs := make([]Record, b.N)
+	for i := range recs {
+		recs[i] = Record{Event: Event{
+			Tenant: ids[i%tenants], Kind: runtime.KindSample,
+			Time: float64(i), Variable: "x", Value: 1,
+		}}
+	}
+	errc := make(chan error, 1)
+	go func() {
+		conn, err := net.Dial("tcp", ls.Addr())
+		if err != nil {
+			errc <- err
+			return
+		}
+		defer conn.Close()
+		errc <- WriteWire(conn, recs)
+	}()
+	b.ResetTimer()
+	start := time.Now()
+	n, err := Pump(ctx, f, &limitSource{src: ls, n: b.N})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Stop(ctx); err != nil {
+		b.Fatal(err)
+	}
+	elapsed := time.Since(start).Seconds()
+	b.StopTimer()
+	if err := <-errc; err != nil {
+		b.Fatal(err)
+	}
+	_ = ls.Close()
+	if n != b.N || applied.Load() != int64(b.N) {
+		b.Fatalf("pumped %d applied %d of %d", n, applied.Load(), b.N)
+	}
+	b.ReportMetric(float64(b.N)/elapsed, "events/sec")
 }

@@ -1,0 +1,176 @@
+package fleet
+
+import (
+	"bufio"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// ListenSource accepts tenant traces over TCP and yields them as a Source —
+// the fleet's network ingest edge. Each connection speaks either of the two
+// existing trace encodings, auto-detected from its first bytes:
+//
+//   - the PFW1 binary wire format (the stream starts with the magic), or
+//   - the text line protocol (E|/S|/F| lines).
+//
+// Every connection decodes independently with its own buffers; frames from
+// concurrent connections interleave at record granularity. Backpressure is
+// end-to-end: Next hands records to the caller's Pump, Pump blocks in
+// Ingest under the fleet's overflow policy, the per-source channel fills,
+// the connection goroutine stops reading, and TCP flow control pushes back
+// on the sender — a slow fleet slows the senders instead of buffering
+// unboundedly.
+//
+// The decoders never panic on malformed input (fuzz-verified, see
+// FuzzListenDecode): a corrupt binary stream ends its connection at the
+// first bad frame; a malformed text line is counted and skipped, matching
+// TailSource's recoverable-error stance.
+type ListenSource struct {
+	ln   net.Listener
+	recs chan Record
+	stop chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+
+	conns      atomic.Int64 // connections accepted
+	decodeErrs atomic.Int64 // malformed text lines skipped + streams aborted
+}
+
+// Listen starts a trace listener on addr (":0" picks a free port). Drive it
+// with Pump like any other Source; Close stops accepting and unblocks Next.
+func Listen(addr string) (*ListenSource, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &ListenSource{
+		ln:   ln,
+		recs: make(chan Record, 256),
+		stop: make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *ListenSource) Addr() string { return s.ln.Addr().String() }
+
+// Conns returns the number of connections accepted so far.
+func (s *ListenSource) Conns() int64 { return s.conns.Load() }
+
+// DecodeErrors returns the number of malformed lines skipped plus binary
+// streams aborted.
+func (s *ListenSource) DecodeErrors() int64 { return s.decodeErrs.Load() }
+
+// Next yields the next record from any connection; io.EOF after Close.
+func (s *ListenSource) Next() (Record, error) {
+	select {
+	case rec := <-s.recs:
+		return rec, nil
+	case <-s.stop:
+		// Drain records already queued before reporting end-of-stream so a
+		// sender's final records are not lost to the close race.
+		select {
+		case rec := <-s.recs:
+			return rec, nil
+		default:
+			return Record{}, io.EOF
+		}
+	}
+}
+
+// Close stops accepting, ends every connection, and unblocks Next with
+// io.EOF once the queued records drain.
+func (s *ListenSource) Close() error {
+	var err error
+	s.once.Do(func() {
+		close(s.stop)
+		err = s.ln.Close()
+	})
+	s.wg.Wait()
+	return err
+}
+
+func (s *ListenSource) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.conns.Add(1)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			// End the read promptly on Close: the conn unblocks with an
+			// error instead of waiting for the peer.
+			go func() {
+				<-s.stop
+				conn.Close()
+			}()
+			if err := decodeStream(conn, s.emit, &s.decodeErrs); err != nil {
+				s.decodeErrs.Add(1)
+			}
+		}()
+	}
+}
+
+// emit queues one decoded record; false once the source is closing.
+func (s *ListenSource) emit(rec Record) bool {
+	select {
+	case s.recs <- rec:
+		return true
+	case <-s.stop:
+		return false
+	}
+}
+
+// decodeStream decodes one connection's byte stream: PFW1 binary when the
+// magic leads, the text line protocol otherwise. emit returning false stops
+// the decode cleanly. badLines counts skipped malformed text lines (nil
+// disables counting). The returned error is the stream-fatal decode error,
+// if any — never a panic, whatever the input.
+func decodeStream(r io.Reader, emit func(Record) bool, badLines *atomic.Int64) error {
+	br := bufio.NewReader(r)
+	if magic, err := br.Peek(len(WireMagic)); err == nil && string(magic) == WireMagic {
+		wr := NewReader(br)
+		for {
+			rec, err := wr.Next()
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				// A binary stream is stateful (dictionaries): one bad frame
+				// poisons everything after it, so the connection ends here.
+				return err
+			}
+			if !emit(rec) {
+				return nil
+			}
+		}
+	}
+	sc := bufio.NewScanner(br)
+	sc.Buffer(make([]byte, 0, 4096), maxWireString)
+	for sc.Scan() {
+		rec, skip, err := ParseLine(sc.Text())
+		if err != nil {
+			if badLines != nil {
+				badLines.Add(1)
+			}
+			continue
+		}
+		if skip {
+			continue
+		}
+		if !emit(rec) {
+			return nil
+		}
+	}
+	return sc.Err()
+}
+
+var _ Source = (*ListenSource)(nil)

@@ -1,0 +1,202 @@
+package fleet
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// limitSource ends a stream after n records — the deterministic EOF the
+// listen-parity test needs, since a live ListenSource only EOFs on Close.
+type limitSource struct {
+	src Source
+	n   int
+}
+
+func (l *limitSource) Next() (Record, error) {
+	if l.n == 0 {
+		return Record{}, io.EOF
+	}
+	l.n--
+	return l.src.Next()
+}
+
+// TestListenParity: a trace shipped over TCP — split across two concurrent
+// connections, one speaking the PFW1 wire format and one the text line
+// protocol — replays to the same per-tenant counts and ledger totals as
+// the in-process slice source. Per-tenant ordering is preserved because
+// each tenant's sub-stream rides a single connection; cross-tenant
+// interleaving is arbitrary and must not matter.
+func TestListenParity(t *testing.T) {
+	ids, recs := simTrace(t)
+	ref := replay(t, ids, NewSliceSource(recs))
+
+	// Partition by tenant: first two tenants over wire, rest over text.
+	wireTenants := map[string]bool{ids[0]: true, ids[1]: true}
+	var wireRecs, textRecs []Record
+	for _, rec := range recs {
+		if wireTenants[rec.Event.Tenant] {
+			wireRecs = append(wireRecs, rec)
+		} else {
+			textRecs = append(textRecs, rec)
+		}
+	}
+	var wireBuf, textBuf bytes.Buffer
+	if err := WriteWire(&wireBuf, wireRecs); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTrace(&textBuf, textRecs); err != nil {
+		t.Fatal(err)
+	}
+
+	ls, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ls.Close()
+	send := func(payload []byte) {
+		conn, err := net.Dial("tcp", ls.Addr())
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		defer conn.Close()
+		if _, err := conn.Write(payload); err != nil {
+			t.Errorf("send: %v", err)
+		}
+	}
+	go send(wireBuf.Bytes())
+	go send(textBuf.Bytes())
+
+	got := replay(t, ids, &limitSource{src: ls, n: len(recs)})
+	for key, want := range ref {
+		if g := got[key]; g != want {
+			t.Errorf("listen source: %s = %v, want %v", key, g, want)
+		}
+	}
+	if ls.Conns() != 2 {
+		t.Errorf("conns = %d, want 2", ls.Conns())
+	}
+	if ls.DecodeErrors() != 0 {
+		t.Errorf("decode errors = %d on clean streams, want 0", ls.DecodeErrors())
+	}
+}
+
+// TestListenMalformed: a text connection with corrupt lines keeps going —
+// bad lines are counted and skipped — while a corrupt binary stream ends
+// its connection at the first bad frame, after yielding the records that
+// preceded it.
+func TestListenMalformed(t *testing.T) {
+	ls, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ls.Close()
+
+	// Text: two good samples around two malformed lines.
+	text := "S|a|1|load|0.5\nGARBAGE\nS|a|abc|load|x\nS|a|2|load|0.6\n"
+	// Wire: one good record, then a poisoned frame.
+	var wire bytes.Buffer
+	if err := WriteWire(&wire, []Record{{Event: Event{Tenant: "b", Time: 1, Variable: "load", Value: 0.1}}}); err != nil {
+		t.Fatal(err)
+	}
+	wire.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	for _, payload := range []string{text, wire.String()} {
+		conn, err := net.Dial("tcp", ls.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Write([]byte(payload)); err != nil {
+			t.Fatal(err)
+		}
+		conn.Close()
+	}
+
+	counts := map[string]int{}
+	for i := 0; i < 3; i++ {
+		rec, err := ls.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		counts[rec.Event.Tenant]++
+	}
+	if counts["a"] != 2 || counts["b"] != 1 {
+		t.Errorf("decoded counts = %v, want a:2 b:1", counts)
+	}
+	// 2 bad text lines + 1 aborted binary stream.
+	deadline := time.Now().Add(2 * time.Second)
+	for ls.DecodeErrors() < 3 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := ls.DecodeErrors(); got != 3 {
+		t.Errorf("decode errors = %d, want 3 (2 bad lines + 1 bad stream)", got)
+	}
+}
+
+// TestListenCloseUnblocks: Close ends a blocked Next with io.EOF even with
+// an idle connection open.
+func TestListenCloseUnblocks(t *testing.T) {
+	ls, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", ls.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := ls.Next()
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if err := ls.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != io.EOF {
+			t.Fatalf("Next after Close = %v, want io.EOF", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Next still blocked after Close")
+	}
+}
+
+// FuzzListenDecode: the connection decoder never panics, whatever bytes a
+// peer sends — binary, text, or hostile hybrids. Shares the FuzzWireDecode
+// seed shapes plus text-protocol seeds.
+func FuzzListenDecode(f *testing.F) {
+	var wire bytes.Buffer
+	if err := WriteWire(&wire, wireSampleTrace()); err != nil {
+		f.Fatal(err)
+	}
+	valid := wire.Bytes()
+	var text bytes.Buffer
+	if err := WriteTrace(&text, wireSampleTrace()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(text.Bytes())
+	f.Add([]byte("PFW1"))
+	f.Add([]byte("PFW1\xff\xff\xff\xff"))
+	f.Add([]byte("S|a|1|load|0.5\nE|a|2|comp|0|1|msg\nF|a|3\n"))
+	f.Add([]byte("S|a|1|load|0.5\nPFW1\x01\x00"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var bad atomic.Int64
+		n := 0
+		_ = decodeStream(bytes.NewReader(data), func(rec Record) bool {
+			n++
+			if len(rec.Event.Tenant) > maxWireString {
+				t.Fatalf("decoded tenant exceeds cap")
+			}
+			return n < 1<<16 // bound emitted records, not a correctness limit
+		}, &bad)
+	})
+}

@@ -1,0 +1,248 @@
+package fleet
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/runtime"
+)
+
+// queueHarness wires a bare shardQueue for direct scheduler tests.
+type queueHarness struct {
+	q       *shardQueue
+	pending atomic.Int64
+	clock   float64
+	rl      runtime.Counter
+}
+
+func newQueueHarness(policy runtime.OverflowPolicy) *queueHarness {
+	h := &queueHarness{}
+	h.q = newShardQueue(policy, 1<<16, runtime.NewMetrics(), &runtime.Counter{}, &h.rl,
+		nil, &h.pending, func() float64 { return h.clock }, 0)
+	return h
+}
+
+func (h *queueHarness) tenant(id string, capacity int, rate float64) *tenantQueue {
+	tn := &tenant{spec: TenantSpec{ID: id}}
+	tq := newTenantQueue(tn, capacity, rate)
+	tn.q = tq
+	h.q.attach(tq)
+	return tq
+}
+
+func (h *queueHarness) fill(t *testing.T, tq *tenantQueue, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		it := item{ev: Event{Tenant: tq.tn.spec.ID, Time: float64(i)}, tn: tq.tn}
+		if err := tq.push(context.Background(), it); err != nil {
+			t.Fatalf("push %s[%d]: %v", tq.tn.spec.ID, i, err)
+		}
+	}
+}
+
+// TestDRRFairness: one tenant with a 1000-event backlog must not starve
+// small tenants — every small tenant's entire backlog fits in the first
+// drained chunk because DRR credits each active tenant one quantum per
+// pass before revisiting the hot one.
+func TestDRRFairness(t *testing.T) {
+	h := newQueueHarness(runtime.Block)
+	hot := h.tenant("hot", 2000, 0)
+	h.fill(t, hot, 1000)
+	smalls := []*tenantQueue{
+		h.tenant("s1", 100, 0), h.tenant("s2", 100, 0), h.tenant("s3", 100, 0),
+	}
+	for _, tq := range smalls {
+		h.fill(t, tq, 5)
+	}
+
+	buf := make([]item, 64)
+	n, limited := h.q.drainInto(buf)
+	if limited || n != 64 {
+		t.Fatalf("drainInto = (%d, %v), want (64, false)", n, limited)
+	}
+	for _, tq := range smalls {
+		if tq.n != 0 {
+			t.Errorf("small tenant %s still has %d queued after first chunk; DRR starved it",
+				tq.tn.spec.ID, tq.n)
+		}
+	}
+	counts := map[string]int{}
+	for _, it := range buf[:n] {
+		counts[it.ev.Tenant]++
+	}
+	if counts["s1"] != 5 || counts["s2"] != 5 || counts["s3"] != 5 {
+		t.Errorf("small-tenant take = %v, want 5 each", counts)
+	}
+	if counts["hot"] != 64-15 {
+		t.Errorf("hot take = %d, want %d", counts["hot"], 64-15)
+	}
+	h.q.settled(buf, n)
+
+	// Per-tenant FIFO survives the interleave: each tenant's events come
+	// out in push order across the whole drain.
+	last := map[string]float64{"hot": -1, "s1": -1, "s2": -1, "s3": -1}
+	check := func(buf []item, n int) {
+		for _, it := range buf[:n] {
+			if it.ev.Time <= last[it.ev.Tenant] {
+				t.Fatalf("tenant %s reordered: %v after %v",
+					it.ev.Tenant, it.ev.Time, last[it.ev.Tenant])
+			}
+			last[it.ev.Tenant] = it.ev.Time
+		}
+	}
+	check(buf, n)
+	total := n
+	h.q.close()
+	for {
+		n, _ := h.q.drainInto(buf)
+		if n == 0 {
+			break
+		}
+		check(buf, n)
+		h.q.settled(buf, n)
+		total += n
+	}
+	if total != 1015 {
+		t.Errorf("drained %d events total, want 1015", total)
+	}
+	if got := h.pending.Load(); got != 0 {
+		t.Errorf("pending = %d after full settle, want 0", got)
+	}
+}
+
+// TestQueueRateLimit: a rate-limited tenant is throttled to its token
+// balance, drainInto signals a rate-limited backlog with (0, true), and
+// tokens refill as the domain clock advances (capped at burst).
+func TestQueueRateLimit(t *testing.T) {
+	h := newQueueHarness(runtime.Block)
+	tq := h.tenant("rl", 100, 2) // 2 events/s, burst 2
+	h.fill(t, tq, 10)
+
+	buf := make([]item, 64)
+	n, limited := h.q.drainInto(buf)
+	if n != 2 || limited {
+		t.Fatalf("first drain = (%d, %v), want (2, false): bucket starts full at burst", n, limited)
+	}
+	h.q.settled(buf, n)
+	if h.rl.Value() == 0 {
+		t.Error("ratelimited counter not bumped when the scheduler clipped the take")
+	}
+
+	// Clock frozen: the backlog is entirely rate-limited.
+	n, limited = h.q.drainInto(buf)
+	if n != 0 || !limited {
+		t.Fatalf("frozen-clock drain = (%d, %v), want (0, true)", n, limited)
+	}
+
+	h.clock = 3 // 3 domain-seconds × 2/s = 6 tokens, capped at burst 2
+	n, limited = h.q.drainInto(buf)
+	if n != 2 || limited {
+		t.Fatalf("post-refill drain = (%d, %v), want (2, false): refill capped at burst", n, limited)
+	}
+	h.q.settled(buf, n)
+
+	// Shutdown overrides the bucket: the remaining 6 drain immediately even
+	// though the clock never advances again.
+	h.q.close()
+	n, limited = h.q.drainInto(buf)
+	if n != 6 || limited {
+		t.Fatalf("post-close drain = (%d, %v), want (6, false): close bypasses rate limits", n, limited)
+	}
+	h.q.settled(buf, n)
+	if tq.n != 0 {
+		t.Errorf("backlog %d after shutdown drain, want 0", tq.n)
+	}
+	n, limited = h.q.drainInto(buf)
+	if n != 0 || limited {
+		t.Fatalf("empty closed drain = (%d, %v), want (0, false)", n, limited)
+	}
+}
+
+// TestQueueRateLimitUnlimitedPeer: one tenant's empty token bucket must not
+// block an unlimited peer on the same shard.
+func TestQueueRateLimitUnlimitedPeer(t *testing.T) {
+	h := newQueueHarness(runtime.Block)
+	limited := h.tenant("lim", 100, 1)
+	free := h.tenant("free", 100, 0)
+	h.fill(t, limited, 8)
+	h.fill(t, free, 8)
+
+	buf := make([]item, 64)
+	n, backoff := h.q.drainInto(buf)
+	if backoff {
+		t.Fatal("drain signalled backoff with an unlimited tenant backlogged")
+	}
+	counts := map[string]int{}
+	for _, it := range buf[:n] {
+		counts[it.ev.Tenant]++
+	}
+	if counts["free"] != 8 {
+		t.Errorf("unlimited tenant drained %d, want all 8", counts["free"])
+	}
+	if counts["lim"] != 1 {
+		t.Errorf("limited tenant drained %d, want 1 (burst floor)", counts["lim"])
+	}
+	h.q.settled(buf, n)
+}
+
+// TestMoveQueuePreservesBacklog: a handoff relocates the sub-queue object
+// — every queued item, in order, with pending accounting intact.
+func TestMoveQueuePreservesBacklog(t *testing.T) {
+	h := newQueueHarness(runtime.Block)
+	tq := h.tenant("mv", 100, 0)
+	h.fill(t, tq, 9)
+
+	dst := newShardQueue(runtime.Block, 1<<16, runtime.NewMetrics(), &runtime.Counter{}, nil,
+		nil, &h.pending, func() float64 { return 0 }, 1)
+	if got := moveQueue(tq, dst); got != 9 {
+		t.Fatalf("moveQueue = %d, want 9", got)
+	}
+	if moveQueue(tq, dst) != 0 {
+		t.Error("same-shard move should be a no-op")
+	}
+	if tq.owner.Load() != dst {
+		t.Fatal("owner not re-homed")
+	}
+	// New pushes land on the destination.
+	h.fill(t, tq, 1)
+	buf := make([]item, 16)
+	n, _ := dst.drainInto(buf)
+	if n != 10 {
+		t.Fatalf("destination drained %d, want 10", n)
+	}
+	for i, it := range buf[:9] {
+		if it.ev.Time != float64(i) {
+			t.Fatalf("item %d out of order after handoff: time %v", i, it.ev.Time)
+		}
+	}
+	dst.settled(buf, n)
+	if got := h.pending.Load(); got != 0 {
+		t.Errorf("pending = %d after settle, want 0", got)
+	}
+	// The source no longer schedules the tenant.
+	h.q.close()
+	if n, _ := h.q.drainInto(buf); n != 0 {
+		t.Errorf("source drained %d items after handoff, want 0", n)
+	}
+}
+
+// TestQueueDeficitCap: an idle-then-bursty tenant cannot bank unbounded
+// deficit — credit is clamped to quantum + chunk size, so one visit can
+// never exceed a chunk.
+func TestQueueDeficitCap(t *testing.T) {
+	h := newQueueHarness(runtime.Block)
+	tq := h.tenant("cap", 4000, 0)
+	h.fill(t, tq, 3000)
+	buf := make([]item, 32)
+	for i := 0; i < 3; i++ {
+		n, _ := h.q.drainInto(buf)
+		if n == 0 {
+			t.Fatal("unexpected empty drain")
+		}
+		h.q.settled(buf, n)
+		if tq.deficit > drrQuantum+len(buf) {
+			t.Fatalf("deficit %d exceeds cap %d", tq.deficit, drrQuantum+len(buf))
+		}
+	}
+}

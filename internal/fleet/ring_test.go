@@ -72,3 +72,44 @@ func TestRingSingleShard(t *testing.T) {
 		}
 	}
 }
+
+// TestRingMovementBound is the property form of TestRingMinimalMovement:
+// for every (vnodes, n) in a realistic grid, growing n → n+1 shards remaps
+// at most ceil(T/(n+1)) + 10% slack of T tenants — the consistent-hashing
+// guarantee the resize handoff budget relies on. (The ideal is exactly
+// T/(n+1): only tenants claimed by the new shard's vnodes move.)
+func TestRingMovementBound(t *testing.T) {
+	const tenants = 500
+	ids := make([]string, tenants)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("svc-%03d", i)
+	}
+	for _, vnodes := range []int{32, 64, 128} {
+		for _, n := range []int{2, 3, 4, 8} {
+			old := newRing(n, vnodes)
+			grown := newRing(n+1, vnodes)
+			moved := 0
+			for _, id := range ids {
+				from, to := old.shardOf(id), grown.shardOf(id)
+				if from != to {
+					moved++
+					// Consistent hashing only ever moves tenants TO the new
+					// shard on growth; a move between surviving shards means
+					// the ring reshuffled more than the new vnodes claim.
+					if to != n {
+						t.Errorf("vnodes=%d %d→%d: tenant %s moved %d→%d, not to the new shard",
+							vnodes, n, n+1, id, from, to)
+					}
+				}
+			}
+			bound := (tenants+n)/(n+1) + tenants/10
+			if moved > bound {
+				t.Errorf("vnodes=%d %d→%d shards moved %d/%d tenants, bound %d",
+					vnodes, n, n+1, moved, tenants, bound)
+			}
+			if moved == 0 {
+				t.Errorf("vnodes=%d %d→%d moved no tenants; new shard unused", vnodes, n, n+1)
+			}
+		}
+	}
+}

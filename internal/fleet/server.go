@@ -2,10 +2,13 @@ package fleet
 
 import (
 	"encoding/json"
+	"errors"
+	"io"
 	"math"
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/obs"
@@ -127,16 +130,30 @@ type RollupView struct {
 	FoldedRecorderTenants int64 `json:"foldedRecorderTenants"`
 	Cycles                int64 `json:"cycles"`
 	QueueDepth            int   `json:"queueDepth"`
+	// Generation is the membership generation; add/remove/resize bump it.
+	Generation int64 `json:"generation"`
+	// ActBudget echoes the per-cycle countermeasure cap (0 = unlimited);
+	// ActionsDeferred counts warn decisions the budget deferred.
+	ActBudget         int   `json:"actBudget"`
+	ActionsDeferred   int64 `json:"actionsDeferred"`
+	EventsRateLimited int64 `json:"eventsRateLimited"`
+	EventsHandedOff   int64 `json:"eventsHandedOff"`
 }
 
 // Rollup aggregates fleet health at domain time now.
 func (f *Fleet) Rollup(now float64) RollupView {
+	mem := f.mem.Load()
 	r := RollupView{
-		Tenants:    len(f.tenants),
-		Shards:     len(f.queues),
-		ByStatus:   make(map[string]int, 5),
-		Cycles:     f.cycles.Load(),
-		QueueDepth: f.QueueDepth(),
+		Tenants:           len(mem.tenants),
+		Shards:            len(mem.shards),
+		ByStatus:          make(map[string]int, 5),
+		Cycles:            f.cycles.Load(),
+		QueueDepth:        f.QueueDepth(),
+		Generation:        mem.gen,
+		ActBudget:         f.cfg.ActBudget,
+		ActionsDeferred:   f.actDeferred.Value(),
+		EventsRateLimited: f.ratelimited.Value(),
+		EventsHandedOff:   f.handoffN.Value(),
 	}
 	if f.cfg.Ledger != nil {
 		r.FoldedTenants = f.cfg.Ledger.Folded()
@@ -149,7 +166,7 @@ func (f *Fleet) Rollup(now float64) RollupView {
 		r.FoldedRecorderTenants = f.cfg.Recorder.Folded()
 	}
 	var critSum, critUp, f1Sum, f1Crit float64
-	for _, tn := range f.tenants {
+	for _, tn := range mem.tenants {
 		st := f.statusOf(tn, now)
 		r.ByStatus[st]++
 		critSum += tn.spec.Criticality
@@ -196,7 +213,7 @@ func (f *Fleet) view(tn *tenant, now float64) TenantView {
 	v := TenantView{
 		ID:              tn.spec.ID,
 		Criticality:     tn.spec.Criticality,
-		Shard:           tn.shard,
+		Shard:           tn.shardIndex(),
 		Status:          f.statusOf(tn, now),
 		Events:          tn.events.Load(),
 		Failures:        tn.failures.Load(),
@@ -233,7 +250,7 @@ func (f *Fleet) view(tn *tenant, now float64) TenantView {
 // TenantStatus returns one tenant's current row (ok == false for an
 // unknown ID).
 func (f *Fleet) TenantStatus(tenantID string) (TenantView, bool) {
-	tn, ok := f.byID[tenantID]
+	tn, ok := f.mem.Load().byID[tenantID]
 	if !ok {
 		return TenantView{}, false
 	}
@@ -244,9 +261,10 @@ func (f *Fleet) TenantStatus(tenantID string) (TenantView, bool) {
 // tenant row (?tenant=ID narrows to one tenant, ?status=failed filters).
 func (f *Fleet) serveFleet(w http.ResponseWriter, req *http.Request) {
 	now := f.now()
+	mem := f.mem.Load()
 	out := fleetJSON{Rollup: f.Rollup(now)}
 	if id := req.URL.Query().Get("tenant"); id != "" {
-		tn, ok := f.byID[id]
+		tn, ok := mem.byID[id]
 		if !ok {
 			http.Error(w, "unknown tenant", http.StatusNotFound)
 			return
@@ -254,8 +272,8 @@ func (f *Fleet) serveFleet(w http.ResponseWriter, req *http.Request) {
 		out.Tenants = []TenantView{f.view(tn, now)}
 	} else {
 		want := req.URL.Query().Get("status")
-		out.Tenants = make([]TenantView, 0, len(f.tenants))
-		for _, tn := range f.tenants {
+		out.Tenants = make([]TenantView, 0, len(mem.tenants))
+		for _, tn := range mem.tenants {
 			v := f.view(tn, now)
 			if want == "" || v.Status == want {
 				out.Tenants = append(out.Tenants, v)
@@ -289,30 +307,114 @@ func (f *Fleet) status() string {
 	return "ok"
 }
 
-// Handler serves the fleet observability plane:
+// serveTenants admits a tenant into the running fleet: POST /fleet/tenants
+// with a TenantSpec JSON body. 201 on success, 409 for a duplicate ID, 400
+// for an invalid spec.
+func (f *Fleet) serveTenants(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var spec TenantSpec
+	if err := json.NewDecoder(io.LimitReader(req.Body, 1<<16)).Decode(&spec); err != nil {
+		http.Error(w, "bad tenant spec: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := f.AddTenant(spec); err != nil {
+		code := http.StatusBadRequest
+		if strings.Contains(err.Error(), "duplicate") {
+			code = http.StatusConflict
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	v, _ := f.TenantStatus(spec.ID)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// serveTenant retires one tenant: DELETE /fleet/tenants/{id}. 200 on
+// success, 404 for an unknown ID.
+func (f *Fleet) serveTenant(w http.ResponseWriter, req *http.Request) {
+	id := strings.TrimPrefix(req.URL.Path, "/fleet/tenants/")
+	if req.Method != http.MethodDelete {
+		http.Error(w, "DELETE only", http.StatusMethodNotAllowed)
+		return
+	}
+	if id == "" {
+		http.Error(w, "missing tenant id", http.StatusBadRequest)
+		return
+	}
+	if err := f.RemoveTenant(id); err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, ErrUnknownTenant) {
+			code = http.StatusNotFound
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]string{"removed": id})
+}
+
+// serveResize changes the shard count: POST /fleet/resize with
+// {"shards": N}. The response reports how many queued events the handoff
+// re-homed (lifetime total).
+func (f *Fleet) serveResize(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var body struct {
+		Shards int `json:"shards"`
+	}
+	if err := json.NewDecoder(io.LimitReader(req.Body, 1<<12)).Decode(&body); err != nil {
+		http.Error(w, "bad resize body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := f.Resize(body.Shards); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]int64{
+		"shards":     int64(f.Shards()),
+		"generation": f.Generation(),
+		"handedOff":  f.handoffN.Value(),
+	})
+}
+
+// Handler serves the fleet observability and admin plane:
 //
-//	GET /fleet     — rollup + per-tenant health/quality/versions/incidents
-//	                 (?tenant=ID for one row, ?status=S to filter)
-//	GET /metrics   — Prometheus text exposition (shared metric plane)
-//	GET /healthz   — JSON readiness (503 once draining or stopped);
-//	                 /readyz is an alias
-//	GET /livez     — JSON liveness (200 for the life of the process)
-//	GET /tracez    — slowest end-to-end spans (with Config.Tracer)
-//	GET /incidents — flight-recorder bundles across tenants: summary list,
-//	                 or one full bundle with ?id= (with Config.Recorder)
+//	GET    /fleet              — rollup + per-tenant health/quality/versions
+//	                             (?tenant=ID for one row, ?status=S filters)
+//	POST   /fleet/tenants      — admit a tenant (TenantSpec JSON body)
+//	DELETE /fleet/tenants/{id} — retire a tenant (backlog shed, scopes freed)
+//	POST   /fleet/resize       — change the shard count ({"shards": N})
+//	GET    /metrics            — Prometheus text exposition
+//	GET    /healthz            — JSON readiness (503 once draining/stopped);
+//	                             /readyz is an alias
+//	GET    /livez              — JSON liveness (200 for the process's life)
+//	GET    /tracez             — slowest end-to-end spans (with Config.Tracer)
+//	GET    /incidents          — flight-recorder bundles across tenants
 func (f *Fleet) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/fleet", f.serveFleet)
+	mux.HandleFunc("/fleet/tenants", f.serveTenants)
+	mux.HandleFunc("/fleet/tenants/", f.serveTenant)
+	mux.HandleFunc("/fleet/resize", f.serveResize)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = f.metrics.WritePrometheus(w)
 	})
 	ready := func(w http.ResponseWriter, _ *http.Request) {
+		mem := f.mem.Load()
 		h := health{
 			Status:              f.status(),
 			UptimeSeconds:       f.Uptime().Seconds(),
-			Tenants:             len(f.tenants),
-			Shards:              len(f.queues),
+			Tenants:             len(mem.tenants),
+			Shards:              len(mem.shards),
 			QueueDepth:          f.QueueDepth(),
 			Cycles:              f.cycles.Load(),
 			LastCycleAgoSeconds: -1,

@@ -129,10 +129,17 @@ func parseTime(s string) (float64, error) {
 
 // TailSource reads protocol lines from a stream. With Follow set it tails
 // a growing file: at EOF it polls until more bytes appear (the reader-side
-// half of a log-shipping pipe) instead of returning io.EOF.
+// half of a log-shipping pipe) instead of returning io.EOF. Sources opened
+// with OpenTail also survive log rotation while following: an in-place
+// truncation (copytruncate) rewinds to the new top, and a rename-and-
+// recreate rotation reopens the fresh file at path — the tail keeps
+// flowing instead of silently stalling on the old inode.
 type TailSource struct {
 	r       *bufio.Reader
 	closer  io.Closer
+	fh      *os.File // set by OpenTail; enables rotation detection
+	path    string
+	offset  int64 // bytes consumed from the current file
 	line    int
 	partial string // bytes of an unterminated line seen so far
 
@@ -158,6 +165,8 @@ func OpenTail(path string) (*TailSource, error) {
 	}
 	ts := NewTailSource(fh)
 	ts.closer = fh
+	ts.fh = fh
+	ts.path = path
 	return ts, nil
 }
 
@@ -176,6 +185,7 @@ func (s *TailSource) Next() (Record, error) {
 	for {
 		chunk, err := s.r.ReadString('\n')
 		s.partial += chunk
+		s.offset += int64(len(chunk))
 		switch {
 		case err == nil:
 			// A complete line is buffered in partial.
@@ -208,7 +218,8 @@ func (s *TailSource) Next() (Record, error) {
 	}
 }
 
-// waitMore sleeps one poll interval (or ends the follow via Stop).
+// waitMore sleeps one poll interval (or ends the follow via Stop), then
+// checks for log rotation on file-backed sources.
 func (s *TailSource) waitMore() error {
 	poll := s.Poll
 	if poll <= 0 {
@@ -218,6 +229,44 @@ func (s *TailSource) waitMore() error {
 	case <-s.Stop:
 		return io.EOF
 	case <-time.After(poll):
-		return nil
 	}
+	s.checkRotate()
+	return nil
+}
+
+// checkRotate handles both rotation styles at EOF: a file shorter than
+// what was already consumed means an in-place truncation (rewind and
+// restart), and a path whose inode no longer matches the open handle means
+// rename-and-recreate (reopen the new file). Either way the accumulated
+// partial line belonged to the old incarnation and is discarded. Errors
+// (e.g. the new file not created yet) leave the tail polling as before.
+func (s *TailSource) checkRotate() {
+	if s.fh == nil {
+		return
+	}
+	st, err := s.fh.Stat()
+	if err == nil && st.Size() < s.offset {
+		if _, err := s.fh.Seek(0, io.SeekStart); err == nil {
+			s.r.Reset(s.fh)
+			s.offset = 0
+			s.partial = ""
+			s.line = 0
+		}
+		return
+	}
+	pst, perr := os.Stat(s.path)
+	if err != nil || perr != nil || os.SameFile(st, pst) {
+		return
+	}
+	nfh, err := os.Open(s.path)
+	if err != nil {
+		return
+	}
+	_ = s.fh.Close()
+	s.fh = nfh
+	s.closer = nfh
+	s.r.Reset(nfh)
+	s.offset = 0
+	s.partial = ""
+	s.line = 0
 }

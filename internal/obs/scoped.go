@@ -27,6 +27,9 @@ type ScopedLedger struct {
 	overflow  *Ledger
 	folded    int64 // scopes routed to the overflow journal
 	watermark float64
+	// retired totals keep Totals monotonic after Release drops a journal.
+	retiredPred int64
+	retiredFail int64
 }
 
 // NewScopedLedger builds a scoped ledger. maxScopes caps the number of
@@ -123,6 +126,40 @@ func (s *ScopedLedger) Folded() int64 {
 	return s.folded
 }
 
+// Release retires the named scope (a removed tenant): its journal is
+// dropped from Scopes and the cardinality cap slot is freed for a future
+// scope. The journal's lifetime prediction/failure totals are retained so
+// Totals stays monotonic. Releasing a folded scope decrements Folded; its
+// rows stay merged in the overflow journal (the same aggregate
+// approximation folding made on the way in). Releasing an unknown scope or
+// the overflow scope is a no-op. Any *Ledger handle obtained earlier stays
+// safe to use; its writes just no longer surface here.
+func (s *ScopedLedger) Release(name string) {
+	if s == nil || name == OverflowScope {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	led, ok := s.scopes[name]
+	if !ok {
+		return
+	}
+	delete(s.scopes, name)
+	if led == s.overflow {
+		s.folded--
+		return
+	}
+	for i, n := range s.order {
+		if n == name {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	snap := led.Snapshot()
+	s.retiredPred += snap.Predictions
+	s.retiredFail += snap.Failures
+}
+
 // Advance declares ground truth complete up to now on every scope. Call
 // once per evaluation cycle; it fans out to each journal in registration
 // order (plus the overflow journal).
@@ -163,6 +200,7 @@ func (s *ScopedLedger) Totals() (predictions, failures int64) {
 		return 0, 0
 	}
 	s.mu.Lock()
+	predictions, failures = s.retiredPred, s.retiredFail
 	leds := make([]*Ledger, 0, len(s.order)+1)
 	for _, name := range s.order {
 		leds = append(leds, s.scopes[name])

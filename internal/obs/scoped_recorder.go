@@ -35,6 +35,9 @@ type ScopedRecorder struct {
 	overflow *Recorder
 	folded   int64
 	subs     []func(*IncidentBundle) // applied to every scope, current and future
+	// retired tallies keep Captured/Suppressed monotonic after Release.
+	retiredCaptured   map[TriggerKind]int64
+	retiredSuppressed int64
 }
 
 // NewScopedRecorder builds a scoped recorder around a template
@@ -142,6 +145,42 @@ func (s *ScopedRecorder) Folded() int64 {
 	return s.folded
 }
 
+// Release retires the named scope (a removed tenant): its recorder drops
+// out of Scopes/Bundles and the cardinality cap slot is freed for a future
+// scope. Lifetime captured/suppressed tallies are retained so the summed
+// counters stay monotonic; the scope's retained bundles are discarded with
+// it (subscribers already saw everything collected). Releasing a folded
+// scope decrements Folded and leaves the overflow recorder untouched.
+func (s *ScopedRecorder) Release(name string) {
+	if s == nil || name == OverflowScope {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.scopes[name]
+	if !ok {
+		return
+	}
+	delete(s.scopes, name)
+	if rec == s.overflow {
+		s.folded--
+		return
+	}
+	for i, n := range s.order {
+		if n == name {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	if s.retiredCaptured == nil {
+		s.retiredCaptured = make(map[TriggerKind]int64)
+	}
+	for _, kind := range TriggerKinds {
+		s.retiredCaptured[kind] += rec.Captured(kind)
+	}
+	s.retiredSuppressed += rec.Suppressed()
+}
+
 // Subscribe registers fn on every scope, existing and future.
 func (s *ScopedRecorder) Subscribe(fn func(*IncidentBundle)) {
 	if s == nil || fn == nil {
@@ -194,19 +233,33 @@ func (s *ScopedRecorder) Flush() {
 	}
 }
 
-// Captured sums bundles of the given trigger kind across scopes.
+// Captured sums bundles of the given trigger kind across scopes,
+// including scopes since retired by Release.
 func (s *ScopedRecorder) Captured(kind TriggerKind) int64 {
-	var n int64
-	for _, rec := range s.distinct() {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	n := s.retiredCaptured[kind]
+	recs := s.distinctLocked()
+	s.mu.Unlock()
+	for _, rec := range recs {
 		n += rec.Captured(kind)
 	}
 	return n
 }
 
-// Suppressed sums refractory-suppressed triggers across scopes.
+// Suppressed sums refractory-suppressed triggers across scopes, including
+// scopes since retired by Release.
 func (s *ScopedRecorder) Suppressed() int64 {
-	var n int64
-	for _, rec := range s.distinct() {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	n := s.retiredSuppressed
+	recs := s.distinctLocked()
+	s.mu.Unlock()
+	for _, rec := range recs {
 		n += rec.Suppressed()
 	}
 	return n
